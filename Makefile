@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce recalibrate examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate EXPERIMENTS.md (runs the full evaluation, ~5-10 minutes).
+reproduce:
+	$(PYTHON) -m repro.experiments.compare EXPERIMENTS.md
+
+# Refresh the empirical residual corrections after model changes.
+recalibrate:
+	$(PYTHON) -m repro.experiments.recalibrate
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info

@@ -1,0 +1,16 @@
+"""Benchmark: the footnote-2 cold-start experiment."""
+
+import pytest
+
+from repro.experiments.coldstart import run_cold_start
+
+
+def test_bench_coldstart(bench_once):
+    result = bench_once(run_cold_start, "reduction", "gcc")
+    print()
+    print(result.format())
+    # Paper: first run used 3.2% less energy, ~4.8 W less power, with
+    # the same execution time.
+    assert result.cold.elapsed_s == pytest.approx(result.warm.elapsed_s, rel=0.01)
+    assert 0.01 < result.energy_savings < 0.09
+    assert result.power_delta_w > 1.0

@@ -1,0 +1,79 @@
+"""Benchmarks for the extensions: power clamp, autotuner, cluster.
+
+These are forward-looking experiments the paper motivates but does not
+run; the benchmarks record their headline numbers alongside the paper
+reproduction.
+"""
+
+import pytest
+
+from repro.cluster import run_cluster
+from repro.qthreads import Spawn, Taskwait, Work
+from repro.rcr import Blackboard, RCRDaemon
+from repro.throttle.clamp import PowerClampController
+from repro.tuner import Objective, tune_threads
+from tests.conftest import make_runtime
+
+
+def test_bench_power_clamp(bench_once):
+    """Clamp a ~150 W workload to 110 W and measure what it costs."""
+
+    def run(budget):
+        rt = make_runtime(16)
+        bb = Blackboard()
+        daemon = RCRDaemon(rt.engine, rt.node, bb)
+        daemon.start()
+        clamp = None
+        if budget is not None:
+            clamp = PowerClampController(rt.engine, rt.scheduler, bb, budget)
+            clamp.start()
+
+        def body():
+            yield Work(0.01, mem_fraction=0.2, power_scale=1.3)
+            return 1
+
+        def program():
+            handles = []
+            for _ in range(800):
+                handle = yield Spawn(body())
+                handles.append(handle)
+            yield Taskwait()
+            return len(handles)
+
+        res = rt.run(program())
+        return res
+
+    def run_both():
+        return run(None), run(110.0)
+
+    free, clamped = bench_once(run_both)
+    print(
+        f"\nunclamped: {free.elapsed_s:.2f}s at {free.avg_power_w:.1f}W | "
+        f"clamped to 110W: {clamped.elapsed_s:.2f}s at {clamped.avg_power_w:.1f}W"
+    )
+    assert clamped.avg_power_w < free.avg_power_w
+    assert clamped.avg_power_w < 110.0 * 1.08
+    assert clamped.elapsed_s > free.elapsed_s  # the bound costs time
+
+
+def test_bench_autotune(bench_once):
+    result = bench_once(tune_threads, "lulesh", "gcc",
+                        threads=(1, 2, 4, 8, 12, 16))
+    print()
+    print(result.format())
+    assert result.best_for(Objective.ENERGY).threads < result.best_for(
+        Objective.TIME
+    ).threads
+
+
+def test_bench_cluster(bench_once):
+    result = bench_once(
+        run_cluster,
+        [("bots-health", "maestro"), ("bots-strassen", "maestro"), ("lulesh", "maestro")],
+        380.0,
+        time_limit_s=300.0,
+    )
+    print()
+    print(result.format())
+    assert result.peak_power_w <= 380.0 * 1.10
+    assert len(result.rows) == 3

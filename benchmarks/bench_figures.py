@@ -1,0 +1,62 @@
+"""Benchmarks: regenerate Figures 1-4 (speedup & normalized energy sweeps).
+
+One benchmark per figure; each prints the full series and asserts the
+paper's qualitative scaling claims.
+"""
+
+import pytest
+
+from repro.calibration.paper_data import SPEEDUP16
+from repro.experiments.figures import run_figure
+
+
+def _print_figure(result):
+    print()
+    print(result.format())
+
+
+def test_bench_fig1_simple_lulesh_gcc(bench_once):
+    result = bench_once(run_figure, "fig1")
+    _print_figure(result)
+    s = result.series
+    assert s["nqueens"].speedup(16) > 13.0                 # scales to 16
+    assert s["mergesort"].speedup(16) == pytest.approx(1.85, abs=0.3)
+    assert s["dijkstra"].speedup(8) > 6.0                  # scales to 8
+    assert s["fibonacci"].speedup(16) < 0.8                # serial wins
+    assert s["reduction"].speedup(16) < 0.4                # serial wins big
+    assert s["lulesh"].speedup(16) == pytest.approx(4.0, rel=0.15)
+    # Poor scalers: energy minimum below 16 threads.
+    for app in ("lulesh", "dijkstra"):
+        assert s[app].min_energy_threads < 16
+
+
+def test_bench_fig2_simple_lulesh_icc(bench_once):
+    result = bench_once(run_figure, "fig2")
+    _print_figure(result)
+    s = result.series
+    # ICC's fibonacci is optimizer-transformed and scales (Table III).
+    assert s["fibonacci"].speedup(16) > 5.0
+    assert s["mergesort"].speedup(16) == pytest.approx(1.85, abs=0.3)
+    assert s["lulesh"].speedup(16) == pytest.approx(4.0, rel=0.15)
+
+
+def test_bench_fig3_bots_gcc(bench_once):
+    result = bench_once(run_figure, "fig3")
+    _print_figure(result)
+    s = result.series
+    assert s["bots-health"].speedup(16) == pytest.approx(6.7, rel=0.15)
+    assert s["bots-sort"].speedup(16) == pytest.approx(12.6, rel=0.15)
+    assert s["bots-strassen"].speedup(16) == pytest.approx(4.9, rel=0.15)
+    # "Most of the BOTS tests have near linear speedup."
+    for app in ("bots-alignment-for", "bots-fib", "bots-nqueens"):
+        assert s[app].speedup(16) > 13.0
+
+
+def test_bench_fig4_bots_icc(bench_once):
+    result = bench_once(run_figure, "fig4")
+    _print_figure(result)
+    s = result.series
+    assert s["bots-health"].speedup(16) == pytest.approx(6.7, rel=0.15)
+    assert s["bots-strassen"].speedup(16) == pytest.approx(4.9, rel=0.15)
+    for app in ("bots-alignment-single", "bots-sparselu-single"):
+        assert s[app].speedup(16) > 13.0

@@ -1,0 +1,32 @@
+"""Benchmark: policy-threshold sensitivity study (ablation of the
+paper's empirically chosen 75 W / 50 W thresholds)."""
+
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_bench_sensitivity_lulesh(bench_once):
+    result = bench_once(
+        run_sensitivity, "lulesh",
+        power_high_values=(65.0, 75.0, 85.0, 95.0),
+    )
+    print()
+    print(result.format())
+    by_threshold = {p.power_high_w: p for p in result.points}
+    # The paper's 75 W threshold engages and saves energy...
+    assert by_threshold[75.0].activations >= 1
+    assert result.energy_savings(by_threshold[75.0]) > 0.01
+    # ...a threshold above the app's peak power never does.
+    assert by_threshold[95.0].activations == 0
+
+
+def test_bench_sensitivity_dijkstra(bench_once):
+    result = bench_once(
+        run_sensitivity, "dijkstra",
+        power_high_values=(60.0, 75.0, 90.0),
+    )
+    print()
+    print(result.format())
+    engaged = [p for p in result.points if p.activations > 0]
+    assert engaged, "no threshold engaged for dijkstra"
+    # Throttling dijkstra saves energy wherever it engages (alpha > 1).
+    assert all(result.energy_savings(p) > 0.0 for p in engaged)

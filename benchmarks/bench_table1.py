@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table I (GCC vs ICC, 16 threads, -O2)."""
+
+from repro.analysis.tables import render_side_by_side
+from repro.calibration.paper_data import TABLE1_GCC, TABLE1_ICC, TABLE2_GCC, PaperRow
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(bench_once):
+    result = bench_once(run_table1)
+    rows = []
+    for app in TABLE1_GCC:
+        for compiler, paper_table in (("GCC", TABLE1_GCC), ("ICC", TABLE1_ICC)):
+            measured = result.cells[(app, compiler)]
+            paper = paper_table[app]
+            if app == "fibonacci" and compiler == "GCC":
+                # Table I printed the O3 numbers for this row (see tests).
+                paper = TABLE2_GCC[app]["O2"]
+            rows.append((f"{app} [{compiler}]", measured, paper))
+    print()
+    print(render_side_by_side("TABLE I — measured vs paper", rows))
+    # Shape assertions: every row within 8% on time.
+    for label, measured, paper in rows:
+        assert abs(measured.time_s - paper.time_s) / paper.time_s < 0.08, label

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table II (GCC optimization levels)."""
+
+from repro.analysis.tables import render_side_by_side
+from repro.calibration.paper_data import TABLE2_GCC
+from repro.experiments.table23 import run_table2
+
+
+def test_bench_table2(bench_once):
+    result = bench_once(run_table2)
+    rows = []
+    for app, paper_rows in TABLE2_GCC.items():
+        for level, paper in paper_rows.items():
+            rows.append((f"{app} [-{level}]", result.cells[(app, level)], paper))
+    print()
+    print(render_side_by_side("TABLE II — measured vs paper", rows))
+    for label, measured, paper in rows:
+        assert abs(measured.time_s - paper.time_s) / paper.time_s < 0.10, label

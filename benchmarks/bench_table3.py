@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table III (ICC optimization levels, -ipo sparselu)."""
+
+from repro.analysis.tables import render_side_by_side
+from repro.calibration.paper_data import TABLE3_ICC
+from repro.experiments.table23 import run_table3
+
+
+def test_bench_table3(bench_once):
+    result = bench_once(run_table3)
+    rows = []
+    for app, paper_rows in TABLE3_ICC.items():
+        for level, paper in paper_rows.items():
+            rows.append((f"{app} [-{level}]", result.cells[(app, level)], paper))
+    print()
+    print(render_side_by_side("TABLE III — measured vs paper", rows))
+    for label, measured, paper in rows:
+        assert abs(measured.time_s - paper.time_s) / paper.time_s < 0.10, label

@@ -1,0 +1,66 @@
+"""Benchmarks: regenerate Tables IV-VII (MAESTRO dynamic throttling)
+plus the Section IV-B no-throttle overhead check."""
+
+import pytest
+
+from repro.calibration.paper_data import THROTTLE_TABLES, PaperRow
+from repro.analysis.tables import render_side_by_side
+from repro.experiments.throttling import (
+    WELL_SCALING_APPS,
+    run_overhead_check,
+    run_throttle_table,
+)
+
+
+def _show(result):
+    paper = THROTTLE_TABLES[result.app]
+    rows = []
+    for config, measured in (
+        ("16 Threads - Dynamic", result.dynamic16),
+        ("16 Threads - Fixed", result.fixed16),
+        ("12 Threads - Fixed", result.fixed12),
+    ):
+        key = {"16 Threads - Dynamic": "dynamic16",
+               "16 Threads - Fixed": "fixed16",
+               "12 Threads - Fixed": "fixed12"}[config]
+        measured_row = PaperRow(measured.time_s, measured.energy_j, measured.watts)
+        rows.append((config, measured_row, paper[key]))
+    print()
+    print(render_side_by_side(f"{result.app} — measured vs paper", rows))
+
+
+def test_bench_table4_lulesh(bench_once):
+    r = bench_once(run_throttle_table, "lulesh")
+    _show(r)
+    assert r.dynamic_energy_savings > 0.015      # paper: 3.3%
+    assert r.dynamic16.watts < r.fixed16.watts - 8.0
+
+
+def test_bench_table5_dijkstra(bench_once):
+    r = bench_once(run_throttle_table, "dijkstra")
+    _show(r)
+    assert r.fixed12.time_s < r.fixed16.time_s   # 12 threads win
+    assert r.dynamic16.time_s < r.fixed16.time_s # dynamic recovers
+
+
+def test_bench_table6_health(bench_once):
+    r = bench_once(run_throttle_table, "bots-health")
+    _show(r)
+    assert r.dynamic16.watts < r.fixed16.watts
+    assert abs(r.dynamic_energy_savings) < 0.03  # paper margin: 1.9%
+
+
+def test_bench_table7_strassen(bench_once):
+    r = bench_once(run_throttle_table, "bots-strassen")
+    _show(r)
+    assert r.dynamic_energy_savings > 0.01       # paper: 3.2%
+    assert r.dynamic16.time_s < r.fixed16.time_s * 1.01  # fastest config
+
+
+@pytest.mark.parametrize("app", WELL_SCALING_APPS[:2])
+def test_bench_overhead(bench_once, app):
+    check = bench_once(run_overhead_check, app)
+    print(f"\n{app}: throttled={check.throttled} overhead={check.overhead:+.3%} "
+          f"(paper allows up to 0.6%)")
+    assert not check.throttled
+    assert abs(check.overhead) < 0.006

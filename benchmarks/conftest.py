@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows next to the paper's values.  The measured
+quantity (via pytest-benchmark) is the wall time of the regeneration —
+i.e. how fast the simulator reproduces that artifact.  Simulations are
+deterministic, so a single round suffices.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single deterministic round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Fixture wrapper around :func:`run_once`."""
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+    return _run

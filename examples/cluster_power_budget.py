@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Multi-node power scheduling (the paper's conclusion, made concrete).
+
+Three simulated nodes run different workloads under one global power
+budget.  Each node enforces its local share with a power clamp built on
+``MSR_PKG_POWER_LIMIT`` plus concurrency throttling; a cluster-level
+coordinator re-divides the budget every second based on measured demand,
+shifting Watts from finished or idle nodes to the ones still working —
+"power scheduling" in the sense of Rountree et al., driven through the
+per-node parallelism/energy interface the paper's runtime exposes.
+
+Run:  python examples/cluster_power_budget.py [budget_watts]
+"""
+
+import sys
+
+from repro.cluster import run_cluster
+
+
+def main() -> None:
+    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 380.0
+    workloads = [
+        ("bots-health", "maestro"),
+        ("bots-strassen", "maestro"),
+        ("lulesh", "maestro"),
+    ]
+    print(
+        f"Running {len(workloads)} nodes under a {budget:.0f} W global "
+        f"budget (unconstrained, they would peak near "
+        f"{len(workloads) * 156:.0f} W)...\n"
+    )
+    result = run_cluster(workloads, global_budget_w=budget, time_limit_s=300.0)
+    print(result.format())
+
+    print("\nBudget reallocation trace (every ~5 s):")
+    for sample in result.samples[::5]:
+        powers = "  ".join(
+            f"{name}:{watts:6.1f}W" for name, watts in sample.node_power_w.items()
+        )
+        budgets = "  ".join(
+            f"{watts:6.1f}W" for watts in sample.budgets_w.values()
+        )
+        print(f"  t={sample.time_s:6.1f}s  measured [{powers}]  budgets [{budgets}]")
+
+    print(
+        "\nWatch the trace: when the short health run finishes, the "
+        "coordinator hands its Watts to strassen and lulesh, which speed "
+        "back up — no node ever exceeds its clamp for long, and the "
+        "cluster peak stays at the budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Write your own task-parallel program against the public API.
+
+Shows the full surface a new application uses: OpenMP-style constructs
+(`parallel_reduce`), explicit qthread operations (`Spawn`/`Taskwait`),
+work segments with memory character, and the measurement stack — here a
+task-parallel Monte-Carlo pi estimator whose leaf tasks really compute.
+
+The interesting knob: flip ``MEM_FRACTION``/``COHERENCE`` below and watch
+the measured scaling and energy change — with a shared-accumulator
+coherence cost the parallel version stops paying for itself, exactly the
+micro-benchmark pathology from the paper's Section II.
+
+Run:  python examples/custom_app.py
+"""
+
+import operator
+
+import numpy as np
+
+from repro.config import RuntimeConfig, ThrottleConfig
+from repro.openmp import OmpEnv, parallel_reduce
+from repro.qthreads import Runtime, Work
+from repro.rcr import Blackboard, RCRDaemon, RegionClient
+from repro.throttle import ThrottleController
+
+#: Workload character of each chunk (try mem 0.9 / coherence 2.0 to see
+#: the coherence-storm pathology).
+MEM_FRACTION = 0.3
+COHERENCE = 0.0
+CHUNKS = 400
+SAMPLES_PER_CHUNK = 2_000
+WORK_PER_CHUNK_S = 0.004
+
+
+def monte_carlo_pi(env: OmpEnv, seed: int = 0):
+    """Task-parallel pi estimation: one task per sample chunk."""
+
+    def chunk_body(lo: int, hi: int):
+        # The simulated cost of this chunk on the machine model...
+        yield Work(
+            WORK_PER_CHUNK_S * (hi - lo),
+            mem_fraction=MEM_FRACTION,
+            coherence_penalty=COHERENCE,
+            tag="mc-chunk",
+        )
+        # ...and the real computation it stands for.
+        hits = 0
+        for index in range(lo, hi):
+            rng = np.random.default_rng(seed + index)
+            xy = rng.random((SAMPLES_PER_CHUNK, 2))
+            hits += int(np.count_nonzero((xy ** 2).sum(axis=1) <= 1.0))
+        return hits
+
+    def program():
+        hits = yield from parallel_reduce(
+            env, 0, CHUNKS, chunk_body, operator.add, 0, chunk=1, label="mc-pi"
+        )
+        return 4.0 * hits / (CHUNKS * SAMPLES_PER_CHUNK)
+
+    return program()
+
+
+def run(threads: int, throttle: bool = False):
+    runtime = Runtime(runtime_config=RuntimeConfig(num_threads=threads))
+    blackboard = Blackboard()
+    daemon = RCRDaemon(runtime.engine, runtime.node, blackboard)
+    daemon.start()
+    client = RegionClient(runtime.engine, blackboard, 2, daemon=daemon)
+    if throttle:
+        controller = ThrottleController(
+            runtime.engine, runtime.scheduler, blackboard, ThrottleConfig(enabled=True)
+        )
+        controller.start()
+    client.start("mc-pi")
+    result = runtime.run(monte_carlo_pi(OmpEnv(num_threads=threads)))
+    report = client.end("mc-pi")
+    return result, report
+
+
+def main() -> None:
+    print(f"Monte-Carlo pi: {CHUNKS} tasks x {SAMPLES_PER_CHUNK} samples, "
+          f"mem_fraction={MEM_FRACTION}, coherence={COHERENCE}\n")
+    baseline = None
+    for threads in (1, 4, 16):
+        result, report = run(threads)
+        speedup = baseline / report.elapsed_s if baseline else 1.0
+        baseline = baseline or report.elapsed_s
+        print(
+            f"{threads:2d} threads: pi ~= {result.result:.5f}   "
+            f"{report.elapsed_s:6.3f} s  {report.energy_j:7.1f} J  "
+            f"{report.avg_watts:6.1f} W   speedup {speedup:5.2f}"
+        )
+    print(
+        "\n(The estimate is identical at every thread count — the task "
+        "graph computes the same sums regardless of schedule.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

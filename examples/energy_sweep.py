@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Thread-count sweep: speedup and energy curves (Figures 1-4).
+
+Reproduces the paper's central observation for any benchmark: for
+programs with sub-linear speedup, minimal energy occurs at a *lower*
+thread count than peak performance — the headroom the MAESTRO throttler
+exploits.
+
+Run:  python examples/energy_sweep.py [app] [compiler]
+      python examples/energy_sweep.py dijkstra gcc
+"""
+
+import sys
+
+from repro.analysis.curves import ascii_chart
+from repro.experiments.figures import run_scaling_series
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "lulesh"
+    compiler = sys.argv[2] if len(sys.argv) > 2 else "gcc"
+    threads = (1, 2, 4, 8, 12, 16)
+
+    print(f"Sweeping {app} ({compiler.upper()} -O2) over {threads} threads...\n")
+    series = run_scaling_series(app, compiler, threads=threads)
+    print(series.format())
+
+    print("\nSpeedup:")
+    print(ascii_chart([series], value="speedup", width=48, height=10))
+    print("\nNormalized energy (E/E1):")
+    print(ascii_chart([series], value="energy", width=48, height=10))
+
+    best_time = max(series.thread_counts, key=series.speedup)
+    best_energy = series.min_energy_threads
+    print(
+        f"\nPeak performance at {best_time} threads; minimum energy at "
+        f"{best_energy} threads."
+    )
+    if best_energy < best_time:
+        rise = series.energy_rise_at_max_threads
+        print(
+            f"Energy-optimal concurrency is BELOW peak-performance "
+            f"concurrency: running flat-out at {threads[-1]} threads wastes "
+            f"{rise:.0%} energy over the minimum — this is the headroom "
+            f"dynamic concurrency throttling recovers."
+        )
+    else:
+        print(
+            "This application scales well: maximum parallelism is also "
+            "energy-optimal, and the throttle correctly leaves it alone."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""MAESTRO dynamic concurrency throttling in action (Tables IV-VII).
+
+Runs one of the paper's four throttling targets three ways — dynamic
+(RCRdaemon + throttle controller), fixed 16 threads, fixed 12 threads —
+prints the Table IV-style comparison, and then dumps the controller's
+decision trace so you can watch the policy classify each 0.1 s window
+into High/Medium/Low bands and arm/disarm the throttle.
+
+Run:  python examples/throttling_demo.py [lulesh|dijkstra|bots-health|bots-strassen]
+"""
+
+import sys
+
+from repro.calibration.paper_data import THROTTLE_TABLES
+from repro.experiments.throttling import run_throttle_table
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "bots-strassen"
+    if app not in THROTTLE_TABLES:
+        raise SystemExit(f"pick one of: {', '.join(sorted(THROTTLE_TABLES))}")
+
+    print(f"Running {app} under MAESTRO (-O3): dynamic / fixed-16 / fixed-12...\n")
+    result = run_throttle_table(app)
+    print(result.format())
+
+    paper = THROTTLE_TABLES[app]
+    print("\nPaper's rows for comparison:")
+    for config, row in paper.items():
+        print(f"  {config:10s} {row.time_s:7.2f} s  {row.joules:8.1f} J  {row.watts:6.1f} W")
+
+    controller = result.dynamic16.controller
+    print(
+        f"\nThrottle engaged {result.dynamic16.run.throttle_activations}x, "
+        f"released {result.dynamic16.run.throttle_deactivations}x; "
+        f"throttled for {controller.time_throttled_s:.2f} s of "
+        f"{result.dynamic16.time_s:.2f} s."
+    )
+
+    print("\nDecision trace (one line per 0.1 s controller tick):")
+    previous = None
+    for decision in controller.decisions:
+        flag = "ON " if decision.throttle else "off"
+        marker = "  <-- toggled" if previous is not None and decision.throttle != previous else ""
+        print(
+            f"  t={decision.time_s:6.2f}s  power {decision.max_socket_power_w:6.1f} W/socket "
+            f"[{decision.power_band.value:6s}]  mem {decision.max_socket_concurrency:5.1f} refs "
+            f"[{decision.memory_band.value:6s}]  throttle {flag}{marker}"
+        )
+        previous = decision.throttle
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Trace a throttled run: power and core activity over time.
+
+Attaches a timeline probe to a dynamic-throttling run of strassen and
+renders the power strip chart — you can see the high-power addition
+sweeps, the throttle biting into them (spinning cores appear, power
+drops), and the compute-bound multiply phase running untouched at full
+width in between.
+
+Run:  python examples/timeline_trace.py [app]
+"""
+
+import sys
+
+from repro.analysis.timeline import TimelineProbe
+from repro.apps import build_app
+from repro.calibration.profiles import get_profile
+from repro.config import RuntimeConfig, ThrottleConfig
+from repro.openmp import OmpEnv
+from repro.qthreads import Runtime
+from repro.rcr import Blackboard, RCRDaemon
+from repro.throttle import ThrottleController
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "bots-strassen"
+    profile = get_profile(app, "maestro", "O3")
+
+    runtime = Runtime(runtime_config=RuntimeConfig(num_threads=16))
+    blackboard = Blackboard()
+    daemon = RCRDaemon(runtime.engine, runtime.node, blackboard)
+    daemon.start()
+    controller = ThrottleController(
+        runtime.engine, runtime.scheduler, blackboard, ThrottleConfig(enabled=True)
+    )
+    controller.start()
+    probe = TimelineProbe(runtime.engine, runtime.node, period_s=0.1)
+    probe.start()
+
+    print(f"Running {app} (MAESTRO, -O3) with dynamic throttling...\n")
+    result = runtime.run(build_app(app, OmpEnv(num_threads=16), profile=profile))
+    probe.stop()
+    controller.stop()
+
+    timeline = probe.timeline
+    print("Node power over the run:")
+    print(timeline.ascii_strip("node_power_w"))
+    print("\nBusy cores:")
+    print(timeline.ascii_strip("busy_cores", height=6))
+    print("\nSpinning (throttled) cores:")
+    print(timeline.ascii_strip("spinning_cores", height=6))
+    print(
+        f"\nTotals: {result.elapsed_s:.2f} s, {result.energy_j:.0f} J, "
+        f"{result.avg_power_w:.1f} W average / {timeline.peak_power_w:.1f} W peak; "
+        f"throttle engaged {result.throttle_activations}x.\n"
+    )
+    print("First lines of the CSV export (timeline.to_csv()):")
+    for line in timeline.to_csv().splitlines()[:4]:
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

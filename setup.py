@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The canonical project metadata lives in pyproject.toml.  This file exists
+because the build environment is offline and has no `wheel` package, so
+PEP 660 editable installs (which must build a wheel) cannot work; pip falls
+back to the legacy `setup.py develop` path, which only needs egg-info.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,15 @@
+"""Analysis helpers: table rendering, speedup/energy series, statistics."""
+
+from repro.analysis.curves import ScalingPoint, ScalingSeries
+from repro.analysis.stats import geometric_mean, relative_error, summarize_errors
+from repro.analysis.tables import render_grid_table, render_side_by_side
+
+__all__ = [
+    "ScalingPoint",
+    "ScalingSeries",
+    "geometric_mean",
+    "relative_error",
+    "render_grid_table",
+    "render_side_by_side",
+    "summarize_errors",
+]

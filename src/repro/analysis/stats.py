@@ -1,0 +1,35 @@
+"""Small statistics helpers used by experiments and tests."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """(measured - reference) / reference; 0 when both are zero."""
+    if reference == 0:
+        return 0.0 if measured == 0 else math.inf
+    return (measured - reference) / reference
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def summarize_errors(errors: Mapping[str, float]) -> str:
+    """One-line summary: mean / max absolute relative error."""
+    if not errors:
+        return "no comparisons"
+    abs_errors = [abs(e) for e in errors.values()]
+    worst = max(errors, key=lambda k: abs(errors[k]))
+    return (
+        f"mean |err| {sum(abs_errors) / len(abs_errors):.1%}, "
+        f"max |err| {max(abs_errors):.1%} ({worst})"
+    )

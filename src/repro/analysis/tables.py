@@ -1,0 +1,84 @@
+"""ASCII table rendering for experiment output.
+
+Two layouts cover everything the harness prints:
+
+* :func:`render_grid_table` — rows x column-groups of (Time, Joules,
+  Watts) triples, the layout of the paper's Tables I-III;
+* :func:`render_side_by_side` — measured-vs-paper comparison with
+  relative errors, used by the EXPERIMENTS.md generator.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.calibration.paper_data import PaperRow
+
+
+def _fmt(value: float, width: int = 8, decimals: int = 1) -> str:
+    return f"{value:>{width}.{decimals}f}"
+
+
+def render_grid_table(
+    title: str,
+    row_labels: Sequence[str],
+    column_groups: Sequence[str],
+    cells: Mapping[tuple[str, str], PaperRow],
+    *,
+    missing: str = "-",
+) -> str:
+    """Tables I-III layout: one (Time, Joules, Watts) triple per group."""
+    label_w = max([11] + [len(r) for r in row_labels])
+    lines = [title]
+    header = " " * label_w
+    sub = " " * label_w
+    for group in column_groups:
+        header += f" | {group:^28}"
+        sub += " | " + f"{'Time':>8} {'Joules':>9} {'Watts':>8}"
+    lines.append(header)
+    lines.append(sub)
+    lines.append("-" * len(sub))
+    for label in row_labels:
+        line = f"{label:<{label_w}}"
+        for group in column_groups:
+            cell = cells.get((label, group))
+            if cell is None:
+                line += " | " + f"{missing:>8} {missing:>9} {missing:>8}"
+            else:
+                line += (
+                    " | "
+                    + f"{_fmt(cell.time_s)} {_fmt(cell.joules, 9, 0)} {_fmt(cell.watts)}"
+                )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_side_by_side(
+    title: str,
+    rows: Sequence[tuple[str, PaperRow, PaperRow]],
+    *,
+    left: str = "measured",
+    right: str = "paper",
+) -> str:
+    """Measured-vs-paper rows with relative time/energy/power errors."""
+    label_w = max([13] + [len(r[0]) for r in rows])
+    lines = [title]
+    lines.append(
+        f"{'':<{label_w}} | {left:^26} | {right:^26} | {'rel.err (T/E/W)':^20}"
+    )
+    lines.append("-" * (label_w + 82))
+
+    def err(a: float, b: float) -> str:
+        if b == 0:
+            return "  n/a"
+        return f"{(a - b) / b:+6.1%}"
+
+    for label, measured, paper in rows:
+        lines.append(
+            f"{label:<{label_w}}"
+            f" | {_fmt(measured.time_s)} {_fmt(measured.joules, 9, 0)} {_fmt(measured.watts)}"
+            f" | {_fmt(paper.time_s)} {_fmt(paper.joules, 9, 0)} {_fmt(paper.watts)}"
+            f" | {err(measured.time_s, paper.time_s)} {err(measured.joules, paper.joules)}"
+            f" {err(measured.watts, paper.watts)}"
+        )
+    return "\n".join(lines)

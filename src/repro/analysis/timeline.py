@@ -1,0 +1,176 @@
+"""Power/activity timelines: sampled traces of a run.
+
+The paper's figures come from exactly this kind of instrumentation —
+periodically sampled power alongside scheduler state.  A
+:class:`TimelineProbe` rides the simulation as a daemon, sampling node
+power, per-socket power, active/spinning core counts and temperature at a
+fixed cadence; the resulting :class:`Timeline` renders as an ASCII strip
+chart or exports CSV for external plotting.
+
+Usage::
+
+    probe = TimelineProbe(runtime.engine, runtime.node, period_s=0.05)
+    probe.start()
+    runtime.run(program)
+    probe.stop()
+    print(probe.timeline.ascii_strip("node_power_w"))
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import MeasurementError
+from repro.hw.node import Node
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """One probe sample."""
+
+    time_s: float
+    node_power_w: float
+    socket_power_w: tuple[float, ...]
+    busy_cores: int
+    spinning_cores: int
+    temp_degc: tuple[float, ...]
+
+
+@dataclass
+class Timeline:
+    """A sampled run trace."""
+
+    period_s: float
+    samples: list[TimelineSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def column(self, name: str) -> list[float]:
+        """Extract one scalar column by field name."""
+        if not self.samples:
+            return []
+        probe = getattr(self.samples[0], name, None)
+        if probe is None:
+            raise MeasurementError(f"no timeline column {name!r}")
+        if isinstance(probe, tuple):
+            raise MeasurementError(
+                f"column {name!r} is per-socket; pick an index via column_socket"
+            )
+        return [float(getattr(s, name)) for s in self.samples]
+
+    def column_socket(self, name: str, socket: int) -> list[float]:
+        """Extract one per-socket column."""
+        return [float(getattr(s, name)[socket]) for s in self.samples]
+
+    @property
+    def peak_power_w(self) -> float:
+        return max((s.node_power_w for s in self.samples), default=0.0)
+
+    @property
+    def mean_power_w(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.node_power_w for s in self.samples) / len(self.samples)
+
+    def ascii_strip(self, column: str = "node_power_w", *, width: int = 72,
+                    height: int = 10) -> str:
+        """Render one column as an ASCII strip chart."""
+        values = self.column(column)
+        if not values:
+            return "(empty timeline)"
+        # Downsample/bucket to the chart width by averaging.
+        buckets: list[float] = []
+        per = max(1, len(values) // width)
+        for i in range(0, len(values), per):
+            chunk = values[i:i + per]
+            buckets.append(sum(chunk) / len(chunk))
+        buckets = buckets[:width]
+        lo, hi = min(buckets), max(buckets)
+        span = (hi - lo) or 1.0
+        grid = [[" "] * len(buckets) for _ in range(height)]
+        for x, v in enumerate(buckets):
+            y = int((v - lo) / span * (height - 1))
+            for yy in range(y + 1):
+                grid[height - 1 - yy][x] = "#" if yy == y else "."
+        out = ["".join(row) for row in grid]
+        duration = self.samples[-1].time_s - self.samples[0].time_s
+        out.append(
+            f"{column}: min {lo:.1f}, max {hi:.1f} over {duration:.2f} s "
+            f"({len(self.samples)} samples)"
+        )
+        return "\n".join(out)
+
+    def to_csv(self) -> str:
+        """CSV export: one row per sample, sockets flattened."""
+        buf = io.StringIO()
+        sockets = len(self.samples[0].socket_power_w) if self.samples else 0
+        header = ["time_s", "node_power_w", "busy_cores", "spinning_cores"]
+        header += [f"socket{s}_power_w" for s in range(sockets)]
+        header += [f"socket{s}_temp_degc" for s in range(sockets)]
+        buf.write(",".join(header) + "\n")
+        for s in self.samples:
+            row = [f"{s.time_s:.6f}", f"{s.node_power_w:.3f}",
+                   str(s.busy_cores), str(s.spinning_cores)]
+            row += [f"{p:.3f}" for p in s.socket_power_w]
+            row += [f"{t:.2f}" for t in s.temp_degc]
+            buf.write(",".join(row) + "\n")
+        return buf.getvalue()
+
+
+class TimelineProbe:
+    """Daemon that samples a node into a :class:`Timeline`."""
+
+    def __init__(self, engine: Engine, node: Node, *, period_s: float = 0.05) -> None:
+        if period_s <= 0:
+            raise MeasurementError(f"period must be positive, got {period_s!r}")
+        self.engine = engine
+        self.node = node
+        self.timeline = Timeline(period_s=period_s)
+        self._running = False
+        self._next_event = None
+
+    def start(self) -> None:
+        if self._running:
+            raise MeasurementError("timeline probe already running")
+        self._running = True
+        self._sample()
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+
+    def _schedule_next(self) -> None:
+        self._next_event = self.engine.schedule(
+            self.timeline.period_s, self._tick, priority=Priority.USER,
+            label="timeline-sample",
+        )
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._sample()
+        self._schedule_next()
+
+    def _sample(self) -> None:
+        node = self.node
+        socket_power = tuple(
+            node.power_w(s) for s in range(node.config.sockets)
+        )
+        self.timeline.samples.append(
+            TimelineSample(
+                time_s=self.engine.now,
+                node_power_w=sum(socket_power),
+                socket_power_w=socket_power,
+                busy_cores=node.busy_core_count,
+                spinning_cores=node.spinning_core_count,
+                temp_degc=tuple(t.temp_degc for t in node.thermal),
+            )
+        )

@@ -1,0 +1,23 @@
+"""The paper's benchmark applications as task-graph programs.
+
+Three groups, as in Section II: locally-written micro-benchmarks
+(:mod:`repro.apps.micro`), the Barcelona OpenMP Tasks Suite
+(:mod:`repro.apps.bots`), and the LULESH hydrodynamics mini-app
+(:mod:`repro.apps.lulesh`).
+
+Every application is a generator program over the OpenMP layer whose
+*task-graph shape is real* (actual recursions, actual cutoffs, actual
+loop chunkings, actual dependencies) and whose leaf tasks carry work
+segments calibrated from the paper's measurements
+(:mod:`repro.calibration`).  With ``payload=True`` the leaves also run
+the genuine algorithms from :mod:`repro.kernels` on reduced inputs and
+return checkable results — that is how the test suite proves the task
+graphs compute what the real benchmarks compute.
+
+Use :func:`repro.apps.registry.build_app` to instantiate any of them by
+name.
+"""
+
+from repro.apps.registry import APP_REGISTRY, AppInfo, build_app, list_apps
+
+__all__ = ["APP_REGISTRY", "AppInfo", "build_app", "list_apps"]

@@ -1,0 +1,30 @@
+"""Shared helpers for application task graphs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+
+def equal_shares(total: float, n: int) -> list[float]:
+    """Split ``total`` into ``n`` equal parts (exactly summing to total)."""
+    if n <= 0:
+        raise ConfigError(f"cannot split into {n!r} parts")
+    share = total / n
+    return [share] * n
+
+
+def proportional_shares(total: float, weights: Sequence[float]) -> list[float]:
+    """Split ``total`` proportionally to ``weights``.
+
+    Used to give each subtree of a recursion the share of calibrated work
+    matching the real computation it represents (e.g. Fibonacci subtree
+    call counts).
+    """
+    if not weights:
+        raise ConfigError("weights must be non-empty")
+    wsum = float(sum(weights))
+    if wsum <= 0:
+        raise ConfigError("weights must sum to a positive value")
+    return [total * (w / wsum) for w in weights]

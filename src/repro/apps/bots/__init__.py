@@ -1,0 +1,13 @@
+"""Barcelona OpenMP Task Suite applications (paper Section II, group 2).
+
+Task-parallel benchmarks, several with cutoff thresholds "limiting the
+amount of generated parallelism so that the granularity of the tasks is
+coarse enough to amortize scheduling overhead costs", and two
+(``alignment``, ``sparselu``) in both task-generation variants: ``-for``
+(a worksharing loop spawns tasks) and ``-single`` (one thread inside a
+``single`` construct spawns everything).
+"""
+
+from repro.apps.bots import alignment, fib, health, nqueens, sort, sparselu, strassen
+
+__all__ = ["alignment", "fib", "health", "nqueens", "sort", "sparselu", "strassen"]

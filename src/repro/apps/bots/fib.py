@@ -1,0 +1,51 @@
+"""BOTS ``fib`` with cutoff: coarse-grained task recursion.
+
+Identical recursion to the micro-benchmark, but spawning stops below the
+cutoff depth and the remaining subtree runs inline — tasks are coarse
+enough to amortise scheduling, so speedup is near-linear (and the
+contention exponent is the machine default rather than a coherence
+storm: far fewer queue operations hit shared lines).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.calibration.profiles import WorkloadProfile
+from repro.kernels.fib import fib, fib_call_count
+from repro.openmp import OmpEnv
+from repro.qthreads.api import Spawn, Taskwait
+
+FIB_N = 26
+CUTOFF_DEPTH = 10
+
+
+def build(
+    profile: WorkloadProfile,
+    env: OmpEnv,
+    *,
+    payload: bool = False,
+    scale: float = 1.0,
+    n: int = FIB_N,
+    cutoff: int = CUTOFF_DEPTH,
+) -> Generator[Any, Any, int]:
+    """Program generator; returns fib(n)."""
+    total_work = profile.phase_work_s(0) * scale
+    work_per_call = total_work / fib_call_count(n)
+
+    def fib_task(m: int, depth: int) -> Generator[Any, Any, int]:
+        if m < 2 or depth >= cutoff:
+            yield profile.work(fib_call_count(m) * work_per_call, 0, tag="bfib-leaf")
+            return fib(m) if payload else fib(m)
+        a = yield Spawn(fib_task(m - 1, depth + 1), label=f"bfib({m - 1})")
+        b = yield Spawn(fib_task(m - 2, depth + 1), label=f"bfib({m - 2})")
+        yield profile.work(work_per_call, 0, tag="bfib-node")
+        yield Taskwait()
+        return a.result + b.result
+
+    def program() -> Generator[Any, Any, int]:
+        yield profile.serial_work(profile.serial_work_s * scale, tag="bfib-setup")
+        result = yield from fib_task(n, 0)
+        return result
+
+    return program()

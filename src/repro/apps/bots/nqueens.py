@@ -1,0 +1,82 @@
+"""BOTS ``nqueens`` with cutoff: backtracking with depth-limited spawning.
+
+Tasks are spawned only for the first ``cutoff`` rows; deeper search runs
+inline.  Conflicting placements are pruned before spawning (the real
+code checks before recursing), so the task graph is the real search
+tree's top layers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.calibration.profiles import WorkloadProfile
+from repro.kernels.nqueens import count_nqueens_from_prefix
+from repro.openmp import OmpEnv
+from repro.qthreads.api import RegionBoundary, Spawn, Taskwait
+
+BOARD_N = 10
+CUTOFF_ROWS = 3
+
+
+def build(
+    profile: WorkloadProfile,
+    env: OmpEnv,
+    *,
+    payload: bool = False,
+    scale: float = 1.0,
+    board_n: int = BOARD_N,
+    cutoff: int = CUTOFF_ROWS,
+) -> Generator[Any, Any, int]:
+    """Program generator; returns the solution count."""
+    # The spawned leaves are the viable prefixes at the cutoff depth;
+    # enumerate them to apportion the calibrated work.
+    viable = _viable_prefixes(board_n, cutoff)
+    work_per_leaf = profile.phase_work_s(0) * scale / max(1, len(viable))
+
+    def search_task(prefix: tuple[int, ...]) -> Generator[Any, Any, int]:
+        if len(prefix) >= cutoff:
+            yield profile.work(work_per_leaf, 0, tag=f"bnq{prefix}")
+            return count_nqueens_from_prefix(board_n, prefix) if payload else 1
+        handles = []
+        for col in range(board_n):
+            nxt = prefix + (col,)
+            if not _prefix_ok(board_n, nxt):
+                continue
+            handle = yield Spawn(search_task(nxt), label=f"bnq{nxt}")
+            handles.append(handle)
+        yield Taskwait()
+        return sum(h.result for h in handles)
+
+    def program() -> Generator[Any, Any, int]:
+        yield profile.serial_work(profile.serial_work_s * scale, tag="bnq-setup")
+        result = yield from search_task(())
+        yield RegionBoundary(kind="region")
+        return result
+
+    return program()
+
+
+def _prefix_ok(n: int, prefix: tuple[int, ...]) -> bool:
+    for i, ci in enumerate(prefix):
+        for j in range(i + 1, len(prefix)):
+            cj = prefix[j]
+            if ci == cj or abs(ci - cj) == j - i:
+                return False
+    return True
+
+
+def _viable_prefixes(n: int, depth: int) -> list[tuple[int, ...]]:
+    out: list[tuple[int, ...]] = []
+
+    def walk(prefix: tuple[int, ...]) -> None:
+        if len(prefix) == depth:
+            out.append(prefix)
+            return
+        for col in range(n):
+            nxt = prefix + (col,)
+            if _prefix_ok(n, nxt):
+                walk(nxt)
+
+    walk(())
+    return out

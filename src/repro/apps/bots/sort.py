@@ -1,0 +1,90 @@
+"""BOTS ``sort`` with cutoff: cilksort-style parallel mergesort.
+
+The real algorithm splits the array in two, sorts the halves as child
+tasks, and merges; below the cutoff it sorts sequentially.  Unlike the
+untuned micro-benchmark, the recursion parallelises the *whole* tree, so
+speedup reaches 12.6 — merges at level k still serialise across 2^k
+tasks, which is what keeps it below linear.
+
+``payload=True`` sorts a real numpy array through the task tree and
+returns it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.calibration.profiles import WorkloadProfile
+from repro.kernels.sorting import merge_sorted, mergesort as seq_sort
+from repro.openmp import OmpEnv
+from repro.qthreads.api import RegionBoundary, Spawn, Taskwait
+
+#: Recursion depth at which tasks stop spawning (leaves = 2^CUTOFF_DEPTH).
+CUTOFF_DEPTH = 10
+PAYLOAD_ELEMENTS = 4096
+
+
+def build(
+    profile: WorkloadProfile,
+    env: OmpEnv,
+    *,
+    payload: bool = False,
+    scale: float = 1.0,
+    seed: int = 0,
+    cutoff_depth: int = CUTOFF_DEPTH,
+) -> Generator[Any, Any, Any]:
+    """Program generator; returns the sorted array (payload) or leaf count."""
+    leaves = 1 << cutoff_depth
+    # Leaf sorting is ~half the n log n work; each merge level is ~equal
+    # total work, split over that level's tasks.
+    leaf_share = 0.5
+    total = profile.phase_work_s(0) * scale
+    leaf_work = total * leaf_share / leaves
+    merge_level_work = total * (1.0 - leaf_share) / cutoff_depth
+    data: Optional[np.ndarray] = None
+    if payload:
+        data = np.random.default_rng(seed).integers(0, 1_000_000, PAYLOAD_ELEMENTS)
+
+    def merge_piece(work_s: float) -> Generator[Any, Any, int]:
+        """One parallel slice of a node's merge (cilksort merges by
+        divide-and-conquer, so big merges are themselves task-parallel)."""
+        yield profile.work(work_s, 0, tag="bsort-merge-piece")
+        return 1
+
+    def sort_task(lo: int, hi: int, depth: int) -> Generator[Any, Any, Any]:
+        if depth >= cutoff_depth:
+            yield profile.work(leaf_work, 0, tag="bsort-leaf")
+            if data is not None:
+                return seq_sort(data[lo:hi])
+            return 1
+        mid = (lo + hi) // 2
+        left = yield Spawn(sort_task(lo, mid, depth + 1), label="bsort-l")
+        right = yield Spawn(sort_task(mid, hi, depth + 1), label="bsort-r")
+        yield Taskwait()
+        # This node's share of its merge level.  Near the root a merge
+        # covers most of the array, so cilksort splits it into parallel
+        # pieces; deep in the tree it runs inline.
+        node_merge = merge_level_work / (1 << depth)
+        splits = min(16, max(1, round(node_merge / (total / 2048))))
+        if splits > 1:
+            handles = []
+            for _ in range(splits):
+                handle = yield Spawn(merge_piece(node_merge / splits), label="bsort-mp")
+                handles.append(handle)
+            yield Taskwait()
+        else:
+            yield profile.work(node_merge, 0, tag="bsort-merge")
+        if data is not None:
+            return merge_sorted(left.result, right.result)
+        return left.result + right.result
+
+    def program() -> Generator[Any, Any, Any]:
+        size = data.size if data is not None else leaves
+        yield profile.serial_work(profile.serial_work_s * scale, tag="bsort-gen")
+        result = yield from sort_task(0, size, 0)
+        yield RegionBoundary(kind="region")
+        return result
+
+    return program()

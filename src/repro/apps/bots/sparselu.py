@@ -1,0 +1,155 @@
+"""BOTS ``sparselu``: blocked LU factorisation of a block-sparse matrix.
+
+Per elimination step k: factor the diagonal block (``lu0``, serial),
+solve the row panel (``fwd``) and column panel (``bdiv``) in parallel,
+then update every present trailing block (``bmod``) — the parallel bulk.
+Two task-generation variants as in BOTS: ``-for`` (worksharing loops
+spawn the panel/update tasks per row) and ``-single`` (one generator
+spawns all tasks of a phase).
+
+``payload=True`` factors a real block matrix through the task graph; the
+result is checked against :func:`repro.kernels.linalg.sparse_lu`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.calibration.profiles import WorkloadProfile
+from repro.kernels.linalg import make_sparse_blocks
+from repro.openmp import OmpEnv, parallel_for
+from repro.qthreads.api import RegionBoundary, Spawn, Taskwait
+
+#: Block-grid size: large enough that the late-k elimination steps (whose
+#: panels hold too few tasks to fill 16 threads) are a small tail, as they
+#: are at BOTS's production sizes.
+NUM_BLOCKS = 20
+BLOCK_SIZE = 8
+DENSITY = 0.7
+
+
+def build(
+    profile: WorkloadProfile,
+    env: OmpEnv,
+    *,
+    payload: bool = False,
+    scale: float = 1.0,
+    seed: int = 0,
+    variant: str = "single",
+    nb: int = NUM_BLOCKS,
+) -> Generator[Any, Any, Any]:
+    """Program generator; returns the factored block grid or task count."""
+    blocks = make_sparse_blocks(nb, BLOCK_SIZE, density=DENSITY, seed=seed)
+    present = [[blocks[i][j] is not None for j in range(nb)] for i in range(nb)]
+    # Fill-in: a bmod target becomes present once updated.
+    # Pre-count the task work: panels + updates over all k.
+    panel_tasks = 0
+    bmod_tasks = 0
+    sim_present = [row[:] for row in present]
+    for k in range(nb):
+        rows = [i for i in range(k + 1, nb) if sim_present[i][k]]
+        cols = [j for j in range(k + 1, nb) if sim_present[k][j]]
+        panel_tasks += len(rows) + len(cols)
+        for i in rows:
+            for j in cols:
+                sim_present[i][j] = True
+                bmod_tasks += 1
+    total_tasks = max(1, panel_tasks + bmod_tasks)
+    work_per_task = profile.phase_work_s(0) * scale / total_tasks
+    serial_per_k = profile.serial_work_s * scale / nb
+
+    lu = (
+        [[b.copy() if b is not None else None for b in row] for row in blocks]
+        if payload
+        else None
+    )
+
+    def lu0(k: int) -> None:
+        if lu is None:
+            return
+        akk = lu[k][k]
+        bs = akk.shape[0]
+        for i in range(1, bs):
+            for j in range(i):
+                akk[i, j] /= akk[j, j]
+                akk[i, j + 1:] -= akk[i, j] * akk[j, j + 1:]
+
+    def fwd_task(k: int, j: int) -> Generator[Any, Any, int]:
+        yield profile.work(work_per_task, 0, tag=f"fwd({k},{j})")
+        if lu is not None:
+            bs = lu[k][k].shape[0]
+            lower = np.tril(lu[k][k], -1) + np.eye(bs)
+            lu[k][j] = np.linalg.solve(lower, lu[k][j])
+        return 1
+
+    def bdiv_task(k: int, i: int) -> Generator[Any, Any, int]:
+        yield profile.work(work_per_task, 0, tag=f"bdiv({i},{k})")
+        if lu is not None:
+            upper = np.triu(lu[k][k])
+            lu[i][k] = np.linalg.solve(upper.T, lu[i][k].T).T
+        return 1
+
+    def bmod_task(k: int, i: int, j: int) -> Generator[Any, Any, int]:
+        yield profile.work(work_per_task, 0, tag=f"bmod({i},{j})")
+        if lu is not None:
+            if lu[i][j] is None:
+                lu[i][j] = np.zeros_like(lu[k][k])
+            lu[i][j] -= lu[i][k] @ lu[k][j]
+        return 1
+
+    live = [row[:] for row in present]
+
+    def spawn_phase_single(tasks: list) -> Generator[Any, Any, int]:
+        handles = []
+        for gen, label in tasks:
+            handle = yield Spawn(gen, label=label)
+            handles.append(handle)
+        yield Taskwait()
+        yield RegionBoundary(kind="loop")
+        return len(handles)
+
+    def row_of_bmods(k: int, rows: list[int], cols: list[int]):
+        def body(lo: int, hi: int) -> Generator[Any, Any, int]:
+            handles = []
+            for idx in range(lo, hi):
+                i = rows[idx]
+                for j in cols:
+                    handle = yield Spawn(bmod_task(k, i, j), label=f"bmod({i},{j})")
+                    handles.append(handle)
+            yield Taskwait()
+            return len(handles)
+        return body
+
+    def program() -> Generator[Any, Any, Any]:
+        count = 0
+        for k in range(nb):
+            # lu0: the serial pivot-block factorisation.
+            yield profile.serial_work(serial_per_k, tag=f"lu0({k})")
+            lu0(k)
+            rows = [i for i in range(k + 1, nb) if live[i][k]]
+            cols = [j for j in range(k + 1, nb) if live[k][j]]
+            panel = [(fwd_task(k, j), f"fwd({k},{j})") for j in cols]
+            panel += [(bdiv_task(k, i), f"bdiv({i},{k})") for i in rows]
+            count += yield from spawn_phase_single(panel)
+            if variant == "for" and rows:
+                partials = yield from parallel_for(
+                    env, 0, len(rows), row_of_bmods(k, rows, cols),
+                    chunk=1, label=f"bmod-rows({k})",
+                )
+                count += sum(partials)
+            else:
+                updates = [
+                    (bmod_task(k, i, j), f"bmod({i},{j})")
+                    for i in rows for j in cols
+                ]
+                count += yield from spawn_phase_single(updates)
+            for i in rows:
+                for j in cols:
+                    live[i][j] = True
+        if payload:
+            return lu
+        return count
+
+    return program()

@@ -1,0 +1,207 @@
+"""BOTS ``strassen`` with cutoff: seven-multiply recursive matmul.
+
+Executed *level-synchronously*, the way a blocked Strassen actually
+proceeds through memory: first the operand-addition sweeps of each
+recursion level (streaming whole submatrices — memory-bound, AVX-hot),
+then the burst of leaf multiplies (cache-blocked — compute-bound), then
+the combine sweeps back up the tree.  Between phases the algorithm has
+short serial bookkeeping sections (buffer recycling, next-level setup).
+
+This phase contrast is what Section IV's Table VII exercises: during the
+addition/combine sweeps both socket power and memory concurrency run
+High and the MAESTRO throttle engages — and because the sweeps contend
+super-linearly, 12 threads actually outrun 16 there; during the long
+multiply phase memory concurrency is Low, the throttle stays disarmed,
+and "most of the execution [is] done with 16 threads".
+
+``payload=True`` multiplies real matrices through the same phase
+schedule (an explicit node tree carries operands and partial products)
+and is checked against ``numpy @``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.calibration.profiles import WorkloadProfile
+from repro.openmp import OmpEnv
+from repro.qthreads.api import RegionBoundary, Spawn, Taskwait
+
+#: Payload matrix size and the recursion cutoff (depth 3: 343 leaves).
+MATRIX_N = 64
+CUTOFF_N = 8
+
+#: Phase indices in the profile (see calibration catalog).
+PHASE_MULTIPLY = 0
+PHASE_ADDITION = 1
+
+#: Share of the addition budget spent forming operands (vs combining).
+_OPERAND_SHARE = 0.6
+
+
+@dataclass
+class _Node:
+    """One node of the Strassen recursion tree."""
+
+    depth: int
+    size: int
+    a: Optional[np.ndarray] = None
+    b: Optional[np.ndarray] = None
+    m: Optional[np.ndarray] = None
+    children: list["_Node"] = field(default_factory=list)
+
+
+def _build_tree(depth_limit: int, size: int, cutoff: int) -> tuple[_Node, list[list[_Node]]]:
+    """Build the recursion tree; returns (root, nodes grouped by level)."""
+    root = _Node(depth=0, size=size)
+    levels: list[list[_Node]] = [[root]]
+    frontier = [root]
+    while frontier and frontier[0].size > cutoff:
+        nxt: list[_Node] = []
+        for node in frontier:
+            node.children = [
+                _Node(depth=node.depth + 1, size=node.size // 2) for _ in range(7)
+            ]
+            nxt.extend(node.children)
+        levels.append(nxt)
+        frontier = nxt
+    return root, levels
+
+
+def _operands_of(node: _Node, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """The k-th Strassen operand pair of a node (real additions)."""
+    am, bm = node.a, node.b
+    h = node.size // 2
+    a11, a12 = am[:h, :h], am[:h, h:]
+    a21, a22 = am[h:, :h], am[h:, h:]
+    b11, b12 = bm[:h, :h], bm[:h, h:]
+    b21, b22 = bm[h:, :h], bm[h:, h:]
+    table = (
+        lambda: (a11 + a22, b11 + b22),
+        lambda: (a21 + a22, b11.copy()),
+        lambda: (a11.copy(), b12 - b22),
+        lambda: (a22.copy(), b21 - b11),
+        lambda: (a11 + a12, b22.copy()),
+        lambda: (a21 - a11, b11 + b12),
+        lambda: (a12 - a22, b21 + b22),
+    )
+    return table[k]()
+
+
+def _combine_quadrant(node: _Node, q: int) -> None:
+    """Fill one output quadrant of a node from its children's products."""
+    m1, m2, m3, m4, m5, m6, m7 = (c.m for c in node.children)
+    h = node.size // 2
+    if node.m is None:
+        node.m = np.empty((node.size, node.size))
+    if q == 0:
+        node.m[:h, :h] = m1 + m4 - m5 + m7
+    elif q == 1:
+        node.m[:h, h:] = m3 + m5
+    elif q == 2:
+        node.m[h:, :h] = m2 + m4
+    else:
+        node.m[h:, h:] = m1 - m2 + m3 + m6
+
+
+def build(
+    profile: WorkloadProfile,
+    env: OmpEnv,
+    *,
+    payload: bool = False,
+    scale: float = 1.0,
+    seed: int = 0,
+    n: int = MATRIX_N,
+    cutoff: int = CUTOFF_N,
+) -> Generator[Any, Any, Any]:
+    """Program generator; returns the product matrix or the task count."""
+    root, levels = _build_tree(0, n, cutoff)
+    depth = len(levels) - 1
+    leaves = levels[-1]
+
+    # Work budgets.  Addition work at level d is proportional to the
+    # total matrix area touched there: 7^d nodes x (n/2^d)^2 ~ (7/4)^d.
+    mult_work = profile.phase_work_s(PHASE_MULTIPLY) * scale / max(1, len(leaves))
+    total_add = profile.phase_work_s(PHASE_ADDITION) * scale
+    level_weights = [(7 / 4) ** d for d in range(depth)]
+    weight_sum = sum(level_weights) or 1.0
+    # Serial bookkeeping: init plus a gap after every parallel phase
+    # (depth addition phases + 1 multiply phase + depth combine phases).
+    gaps = 2 * depth + 1
+    serial_each = profile.serial_work_s * scale / (gaps + 1)
+
+    if payload:
+        rng = np.random.default_rng(seed)
+        root.a = rng.standard_normal((n, n))
+        root.b = rng.standard_normal((n, n))
+
+    def operand_task(node: _Node, k: int, work_s: float) -> Generator[Any, Any, int]:
+        yield profile.work(work_s, PHASE_ADDITION, tag="str-add")
+        if node.a is not None:
+            child = node.children[k]
+            child.a, child.b = _operands_of(node, k)
+        return 1
+
+    def multiply_task(leaf: _Node) -> Generator[Any, Any, int]:
+        yield profile.work(mult_work, PHASE_MULTIPLY, tag="str-mult")
+        if leaf.a is not None:
+            leaf.m = leaf.a @ leaf.b
+        return 1
+
+    def combine_task(node: _Node, q: int, work_s: float) -> Generator[Any, Any, int]:
+        yield profile.work(work_s, PHASE_ADDITION, tag="str-combine")
+        if node.children[0].m is not None:
+            _combine_quadrant(node, q)
+        return 1
+
+    def run_phase(tasks: list) -> Generator[Any, Any, int]:
+        handles = []
+        for gen, label in tasks:
+            handle = yield Spawn(gen, label=label)
+            handles.append(handle)
+        yield Taskwait()
+        yield RegionBoundary(kind="loop")
+        return len(handles)
+
+    def program() -> Generator[Any, Any, Any]:
+        count = 0
+        yield profile.serial_work(serial_each, tag="str-init")
+        # Downward: operand-addition sweeps, one level at a time.
+        for d in range(depth):
+            level_add = total_add * _OPERAND_SHARE * level_weights[d] / weight_sum
+            nodes = levels[d]
+            per_task = level_add / (len(nodes) * 7)
+            count += yield from run_phase(
+                [
+                    (operand_task(node, k, per_task), f"add(d{d})")
+                    for node in nodes
+                    for k in range(7)
+                ]
+            )
+            yield profile.serial_work(serial_each, tag="str-gap")
+        # The multiply burst.
+        count += yield from run_phase(
+            [(multiply_task(leaf), "mult") for leaf in leaves]
+        )
+        yield profile.serial_work(serial_each, tag="str-gap")
+        # Upward: combine sweeps.
+        for d in range(depth - 1, -1, -1):
+            level_add = total_add * (1 - _OPERAND_SHARE) * level_weights[d] / weight_sum
+            nodes = levels[d]
+            per_task = level_add / (len(nodes) * 4)
+            count += yield from run_phase(
+                [
+                    (combine_task(node, q, per_task), f"combine(d{d})")
+                    for node in nodes
+                    for q in range(4)
+                ]
+            )
+            yield profile.serial_work(serial_each, tag="str-gap")
+        if root.m is not None:
+            return root.m
+        return count
+
+    return program()

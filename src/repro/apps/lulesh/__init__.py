@@ -1,0 +1,5 @@
+"""The LULESH mini-app (paper Section II, group 3)."""
+
+from repro.apps.lulesh import app
+
+__all__ = ["app"]

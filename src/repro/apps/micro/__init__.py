@@ -1,0 +1,12 @@
+"""The locally-written micro-benchmarks (paper Section II, first group).
+
+"Simple programs [that] implement fundamental algorithms such as matrix
+multiplication and sorting.  They are not tuned and represent default
+implementations of generic algorithms" — which is why their scaling is
+poor: reduction and fibonacci are slower parallel than serial, mergesort
+scales to 2 threads, dijkstra to 8.
+"""
+
+from repro.apps.micro import dijkstra, fibonacci, mergesort, nqueens, reduction
+
+__all__ = ["dijkstra", "fibonacci", "mergesort", "nqueens", "reduction"]

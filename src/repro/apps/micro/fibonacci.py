@@ -1,0 +1,62 @@
+"""Micro-benchmark ``fibonacci``: uncut naive task recursion.
+
+The untuned version spawns a task for *every* recursive call; the
+two-line tasks are far smaller than the scheduling cost and the spawn
+queues' cache lines storm between all cores (contention exponent 3).
+Result, per the paper: every parallel configuration is slower than the
+serial code — 16 threads took 50% longer.
+
+The simulated graph is the real recursion shape with a depth cap (the
+cap trades simulated task count for per-task work; each simulated leaf
+carries the calibrated work of the real subtree it stands for, weighted
+by the exact call count from :func:`repro.kernels.fib.fib_call_count`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.calibration.profiles import WorkloadProfile
+from repro.kernels.fib import fib, fib_call_count
+from repro.openmp import OmpEnv
+from repro.qthreads.api import Spawn, Taskwait
+
+#: Logical problem and the simulation's spawn-depth cap.
+FIB_N = 20
+SPAWN_DEPTH = 11
+
+
+def build(
+    profile: WorkloadProfile,
+    env: OmpEnv,
+    *,
+    payload: bool = False,
+    scale: float = 1.0,
+    n: int = FIB_N,
+    spawn_depth: int = SPAWN_DEPTH,
+) -> Generator[Any, Any, int]:
+    """Program generator; returns fib(n) computed by the task tree."""
+    total_work = profile.phase_work_s(0) * scale
+    root_calls = fib_call_count(n)
+    work_per_call = total_work / root_calls
+
+    def fib_task(m: int, depth: int) -> Generator[Any, Any, int]:
+        if m < 2 or depth >= spawn_depth:
+            # Real leaf: the whole remaining subtree computed inline.
+            yield profile.work(fib_call_count(m) * work_per_call, 0, tag="fib-leaf")
+            return fib(m) if payload else 1
+        a = yield Spawn(fib_task(m - 1, depth + 1), label=f"fib({m - 1})")
+        b = yield Spawn(fib_task(m - 2, depth + 1), label=f"fib({m - 2})")
+        # The call itself: one addition's worth of the calibrated work.
+        yield profile.work(work_per_call, 0, tag="fib-node")
+        yield Taskwait()
+        if payload:
+            return a.result + b.result
+        return a.result + b.result  # leaf count when not payload
+
+    def program() -> Generator[Any, Any, int]:
+        yield profile.serial_work(profile.serial_work_s * scale, tag="fib-setup")
+        result = yield from fib_task(n, 0)
+        return result
+
+    return program()

@@ -1,0 +1,57 @@
+"""Micro-benchmark ``mergesort``: the untuned two-task split.
+
+The default implementation sorts the two halves in parallel and merges
+serially — which is exactly why the paper measures it scaling to only 2
+threads, and why its 16-thread power draw (~60 W) is barely above idle:
+for most of the run at most two cores are busy, and the serial merge
+phase keeps one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.calibration.profiles import WorkloadProfile
+from repro.kernels.sorting import merge_sorted, mergesort as seq_mergesort
+from repro.openmp import OmpEnv
+from repro.qthreads.api import RegionBoundary, Spawn, Taskwait
+
+
+def build(
+    profile: WorkloadProfile,
+    env: OmpEnv,
+    *,
+    payload: bool = False,
+    scale: float = 1.0,
+    seed: int = 0,
+    elements: int = 4096,
+) -> Generator[Any, Any, Any]:
+    """Program generator; returns the sorted array (payload) or length."""
+    data: Optional[np.ndarray] = None
+    if payload:
+        data = np.random.default_rng(seed).integers(0, 10_000, elements)
+    half_work = profile.phase_work_s(0) * scale / 2.0
+    serial = profile.serial_work_s * scale
+
+    def sort_half(which: int) -> Generator[Any, Any, Any]:
+        yield profile.work(half_work, 0, tag=f"sort-half-{which}")
+        if data is not None:
+            half = data[: elements // 2] if which == 0 else data[elements // 2:]
+            return seq_mergesort(half)
+        return which
+
+    def program() -> Generator[Any, Any, Any]:
+        yield profile.serial_work(serial * 0.05, tag="ms-init")
+        h0 = yield Spawn(sort_half(0), label="sort-left")
+        h1 = yield Spawn(sort_half(1), label="sort-right")
+        yield Taskwait()
+        yield RegionBoundary(kind="region")
+        # The merge is the serial tail that caps the speedup at ~1.85.
+        yield profile.serial_work(serial * 0.95, tag="ms-merge")
+        if data is not None:
+            return merge_sorted(h0.result, h1.result)
+        return elements
+
+    return program()

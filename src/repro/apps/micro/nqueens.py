@@ -1,0 +1,67 @@
+"""Micro-benchmark ``nqueens``: task-parallel backtracking.
+
+Structure: every placement of the first ``prefix_rows`` queens becomes a
+task counting the solutions of its subtree (conflicting prefixes return
+immediately — real pruning, so some tasks are trivially short).  Compute
+bound, scales to all 16 threads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+from itertools import product
+
+from repro.apps.base import equal_shares
+from repro.calibration.profiles import WorkloadProfile
+from repro.kernels.nqueens import count_nqueens_from_prefix
+from repro.openmp import OmpEnv
+from repro.qthreads.api import RegionBoundary, Spawn, Taskwait
+
+#: Board size and task-spawn prefix depth of the simulated run.
+BOARD_N = 10
+PREFIX_ROWS = 3
+
+
+def build(
+    profile: WorkloadProfile,
+    env: OmpEnv,
+    *,
+    payload: bool = False,
+    scale: float = 1.0,
+    board_n: int = BOARD_N,
+    prefix_rows: int = PREFIX_ROWS,
+) -> Generator[Any, Any, int]:
+    """Program generator; returns the solution count (real if payload)."""
+    prefixes = list(product(range(board_n), repeat=prefix_rows))
+    # Conflicting prefixes are pruned instantly in the real code; give
+    # the calibrated work only to viable subtrees.
+    viable = [p for p in prefixes if _prefix_ok(board_n, p)]
+    shares = equal_shares(profile.phase_work_s(0) * scale, max(1, len(viable)))
+
+    def subtree_task(prefix: tuple[int, ...], work_s: float) -> Generator[Any, Any, int]:
+        yield profile.work(work_s, 0, tag="nq-subtree")
+        if payload:
+            return count_nqueens_from_prefix(board_n, prefix)
+        return 1
+
+    def program() -> Generator[Any, Any, int]:
+        yield profile.serial_work(profile.serial_work_s * scale, tag="nq-setup")
+        handles = []
+        for prefix, work_s in zip(viable, shares):
+            handle = yield Spawn(subtree_task(prefix, work_s), label=f"nq{prefix}")
+            handles.append(handle)
+        yield Taskwait()
+        yield RegionBoundary(kind="region")
+        return sum(h.result for h in handles)
+
+    return program()
+
+
+def _prefix_ok(n: int, prefix: tuple[int, ...]) -> bool:
+    """True when the prefix placement has no conflicts (cheap pre-check)."""
+    for i, ci in enumerate(prefix):
+        for j in range(i + 1, len(prefix)):
+            cj = prefix[j]
+            if ci == cj or abs(ci - cj) == j - i:
+                return False
+    return True

@@ -1,0 +1,57 @@
+"""Micro-benchmark ``reduction``: an OpenMP array-sum reduction loop.
+
+Structure: initialise an array (serial), then a parallel reduction over
+fixed-size chunks, then consume the result (serial).  Every chunk's
+cache lines and the reduction variable ping-pong across all active cores
+— the coherence-storm pattern (contention exponent 3) that makes the
+serial version faster than any parallel one (Section II-C.4: 16 threads
+took 220% longer than serial).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.calibration.profiles import WorkloadProfile
+from repro.openmp import OmpEnv, parallel_reduce
+
+
+def build(
+    profile: WorkloadProfile,
+    env: OmpEnv,
+    *,
+    payload: bool = False,
+    scale: float = 1.0,
+    seed: int = 0,
+) -> Generator[Any, Any, float]:
+    """Program generator for the reduction micro-benchmark.
+
+    Returns the reduction result (the real array sum when ``payload``).
+    """
+    chunks = profile.tasks
+    chunk_work = profile.phase_work_s(0) * scale / chunks
+    data = None
+    elems_per_chunk = 64
+    if payload:
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(chunks * elems_per_chunk)
+
+    def chunk_body(lo: int, hi: int) -> Generator[Any, Any, float]:
+        yield profile.work(chunk_work * (hi - lo), 0, tag="reduce-chunk")
+        if data is not None:
+            return float(data[lo * elems_per_chunk:hi * elems_per_chunk].sum())
+        return float(hi - lo)
+
+    def program() -> Generator[Any, Any, float]:
+        serial = profile.serial_work_s * scale
+        yield profile.serial_work(serial * 0.5, tag="init")
+        total = yield from parallel_reduce(
+            env, 0, chunks, chunk_body, operator.add, 0.0, chunk=1, label="reduction"
+        )
+        yield profile.serial_work(serial * 0.5, tag="finalize")
+        return total
+
+    return program()

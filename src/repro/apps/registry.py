@@ -1,0 +1,116 @@
+"""Application registry: build any benchmark by its canonical name."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.apps.bots import (
+    alignment as bots_alignment,
+    fib as bots_fib,
+    health as bots_health,
+    nqueens as bots_nqueens,
+    sort as bots_sort,
+    sparselu as bots_sparselu,
+    strassen as bots_strassen,
+)
+from repro.apps.lulesh import app as lulesh_app
+from repro.apps.micro import dijkstra, fibonacci, mergesort, nqueens, reduction
+from repro.calibration.profiles import WorkloadProfile, get_profile
+from repro.errors import UnknownApplicationError
+from repro.openmp import OmpEnv
+
+
+@dataclass(frozen=True)
+class AppInfo:
+    """Registry entry for one benchmark application."""
+
+    name: str
+    group: str  # 'micro' | 'bots' | 'mini-app'
+    description: str
+    builder: Callable[..., Generator[Any, Any, Any]]
+    #: Extra keyword arguments the builder is invoked with (variants).
+    extra_kwargs: dict
+
+
+def _entry(name, group, description, builder, **extra) -> AppInfo:
+    return AppInfo(name, group, description, builder, extra)
+
+
+APP_REGISTRY: dict[str, AppInfo] = {
+    info.name: info
+    for info in (
+        _entry("reduction", "micro", "OpenMP array-sum reduction loop",
+               reduction.build),
+        _entry("nqueens", "micro", "task-parallel n-queens backtracking",
+               nqueens.build),
+        _entry("mergesort", "micro", "untuned two-task merge sort",
+               mergesort.build),
+        _entry("fibonacci", "micro", "uncut naive Fibonacci task recursion",
+               fibonacci.build),
+        _entry("dijkstra", "micro", "wavefront-parallel shortest paths",
+               dijkstra.build),
+        _entry("bots-alignment-for", "bots",
+               "all-pairs protein alignment, loop-spawned tasks",
+               bots_alignment.build, variant="for"),
+        _entry("bots-alignment-single", "bots",
+               "all-pairs protein alignment, single-spawned tasks",
+               bots_alignment.build, variant="single"),
+        _entry("bots-fib", "bots", "Fibonacci task recursion with cutoff",
+               bots_fib.build),
+        _entry("bots-health", "bots", "multilevel health-system simulation",
+               bots_health.build),
+        _entry("bots-nqueens", "bots", "n-queens backtracking with cutoff",
+               bots_nqueens.build),
+        _entry("bots-sort", "bots", "cilksort-style parallel merge sort",
+               bots_sort.build),
+        _entry("bots-sparselu-for", "bots",
+               "blocked sparse LU, loop-spawned tasks",
+               bots_sparselu.build, variant="for"),
+        _entry("bots-sparselu-single", "bots",
+               "blocked sparse LU, single-spawned tasks",
+               bots_sparselu.build, variant="single"),
+        _entry("bots-strassen", "bots",
+               "Strassen matrix multiply with cutoff",
+               bots_strassen.build),
+        _entry("lulesh", "mini-app",
+               "Lagrangian shock hydrodynamics (Sedov blast wave)",
+               lulesh_app.build),
+    )
+}
+
+
+def list_apps(group: str | None = None) -> list[str]:
+    """Canonical application names, optionally filtered by group."""
+    return sorted(
+        name for name, info in APP_REGISTRY.items()
+        if group is None or info.group == group
+    )
+
+
+def build_app(
+    name: str,
+    env: OmpEnv,
+    *,
+    compiler: str = "gcc",
+    optlevel: str = "O2",
+    profile: WorkloadProfile | None = None,
+    payload: bool = False,
+    scale: float = 1.0,
+    **kwargs: Any,
+) -> Generator[Any, Any, Any]:
+    """Instantiate an application's program generator by name.
+
+    ``profile`` overrides the (compiler, optlevel) lookup — used by the
+    throttling experiments, which run the ``maestro`` profiles.
+    """
+    info = APP_REGISTRY.get(name)
+    if info is None:
+        raise UnknownApplicationError(
+            f"unknown application {name!r}; known: {', '.join(sorted(APP_REGISTRY))}"
+        )
+    if profile is None:
+        profile = get_profile(name, compiler, optlevel)
+    merged = dict(info.extra_kwargs)
+    merged.update(kwargs)
+    return info.builder(profile, env, payload=payload, scale=scale, **merged)

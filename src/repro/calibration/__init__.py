@@ -1,0 +1,51 @@
+"""Workload calibration against the paper's measurements.
+
+The paper's applications enter the simulator as *profiles*: per
+(application x compiler x optimization level) parameter sets describing
+total solo work, serial fraction, memory intensity per phase, contention
+response and power scale.  Three sources feed them:
+
+* :mod:`repro.calibration.paper_data` — every number from Tables I-VII,
+  transcribed, plus the scaling behaviour described in Section II-C.4;
+* :mod:`repro.calibration.profiles` — the per-application structure
+  catalog (phase shapes, contention exponents, task counts) with the
+  modelling rationale;
+* :mod:`repro.calibration.fit` — the analytic performance/power model
+  used to solve for the free parameters (memory intensity from the
+  scaling targets; total work from the 16-thread time; power scale from
+  the 16-thread wattage).
+
+Only 16-thread behaviour is fitted.  Everything else — the full 1..16
+thread curves, the 12-thread rows, and all dynamic-throttling results —
+emerges from the simulation and constitutes the reproduction.
+"""
+
+from repro.calibration.paper_data import (
+    PaperRow,
+    TABLE1_GCC,
+    TABLE1_ICC,
+    TABLE2_GCC,
+    TABLE3_ICC,
+    THROTTLE_TABLES,
+)
+from repro.calibration.profiles import (
+    APP_NAMES,
+    AppStructure,
+    WorkloadProfile,
+    get_profile,
+    get_structure,
+)
+
+__all__ = [
+    "APP_NAMES",
+    "AppStructure",
+    "PaperRow",
+    "TABLE1_GCC",
+    "TABLE1_ICC",
+    "TABLE2_GCC",
+    "TABLE3_ICC",
+    "THROTTLE_TABLES",
+    "WorkloadProfile",
+    "get_profile",
+    "get_structure",
+]

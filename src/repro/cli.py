@@ -1,0 +1,228 @@
+"""``repro-paper`` command-line interface.
+
+Subcommands map one-to-one to the paper's evaluation artifacts:
+
+    repro-paper list                       # applications in the registry
+    repro-paper run APP [options]          # one measured execution
+    repro-paper table1                     # Table I
+    repro-paper table2 / table3            # Tables II / III
+    repro-paper figure fig1..fig4          # Figures 1-4
+    repro-paper throttle [APP]             # Tables IV-VII
+    repro-paper coldstart                  # footnote 2
+    repro-paper reproduce [-o FILE]        # full EXPERIMENTS.md
+    repro-paper recalibrate                # refresh residual corrections
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APP_REGISTRY, list_apps
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for name in list_apps():
+        info = APP_REGISTRY[name]
+        print(f"{name:24s} [{info.group:8s}] {info.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_measurement
+
+    result = run_measurement(
+        args.app,
+        compiler=args.compiler,
+        optlevel=args.optlevel,
+        threads=args.threads,
+        throttle=args.throttle,
+        payload=args.payload,
+    )
+    print(result.region)
+    run = result.run
+    print(
+        f"tasks: {run.tasks_completed}  steals: {run.steals}  "
+        f"spins: {run.spin_entries}  throttle on/off: "
+        f"{run.throttle_activations}/{run.throttle_deactivations}"
+    )
+    if args.payload:
+        print(f"result: {run.result!r}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.table1 import run_table1
+
+    print(run_table1().format())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.table23 import run_table2
+
+    print(run_table2().format())
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments.table23 import run_table3
+
+    print(run_table3().format())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import run_figure
+
+    print(run_figure(args.figure).format())
+    return 0
+
+
+def _cmd_throttle(args: argparse.Namespace) -> int:
+    from repro.experiments.throttling import run_all_throttle_tables, run_throttle_table
+
+    if args.app:
+        print(run_throttle_table(args.app).format())
+    else:
+        for result in run_all_throttle_tables().values():
+            print(result.format())
+            print()
+    return 0
+
+
+def _cmd_coldstart(args: argparse.Namespace) -> int:
+    from repro.experiments.coldstart import run_cold_start
+
+    print(run_cold_start().format())
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.compare import generate_experiments_report
+
+    text = generate_experiments_report(output=args.output, quick=args.quick)
+    if args.output:
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments.export import (
+        export_figure_csv,
+        export_optlevels_csv,
+        export_table1_csv,
+        export_throttle_json,
+    )
+
+    what = args.artifact
+    out = args.output
+    if what.startswith("fig"):
+        from repro.experiments.figures import run_figure
+
+        text = export_figure_csv(run_figure(what), out)
+    elif what == "table1":
+        from repro.experiments.table1 import run_table1
+
+        text = export_table1_csv(run_table1(), out)
+    elif what in ("table2", "table3"):
+        from repro.experiments.table23 import run_opt_levels
+
+        compiler = "gcc" if what == "table2" else "icc"
+        text = export_optlevels_csv(run_opt_levels(compiler), out)
+    else:
+        from repro.experiments.throttling import run_throttle_table
+
+        app = {
+            "table4": "lulesh",
+            "table5": "dijkstra",
+            "table6": "bots-health",
+            "table7": "bots-strassen",
+        }[what]
+        text = export_throttle_json(run_throttle_table(app), out)
+    if out:
+        print(f"wrote {out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_recalibrate(args: argparse.Namespace) -> int:
+    from repro.experiments.recalibrate import compute_residuals, write_residuals_module
+
+    corrections = compute_residuals(verbose=True)
+    path = write_residuals_module(corrections)
+    print(f"wrote {len(corrections)} corrections to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-paper",
+        description=(
+            "Reproduction of 'Power Measurement and Concurrency Throttling "
+            "for Energy Reduction in OpenMP Programs' on a simulated "
+            "two-socket Sandybridge node."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark applications").set_defaults(func=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run one application with measurement")
+    run_p.add_argument("app", choices=sorted(APP_REGISTRY))
+    run_p.add_argument("--compiler", default="gcc", choices=["gcc", "icc", "maestro"])
+    run_p.add_argument("--optlevel", default="O2", choices=["O0", "O1", "O2", "O3"])
+    run_p.add_argument("--threads", type=int, default=16)
+    run_p.add_argument("--throttle", action="store_true",
+                       help="enable MAESTRO dynamic concurrency throttling")
+    run_p.add_argument("--payload", action="store_true",
+                       help="run the real algorithm payloads in leaf tasks")
+    run_p.set_defaults(func=_cmd_run)
+
+    sub.add_parser("table1", help="Table I (GCC vs ICC)").set_defaults(func=_cmd_table1)
+    sub.add_parser("table2", help="Table II (GCC -O levels)").set_defaults(func=_cmd_table2)
+    sub.add_parser("table3", help="Table III (ICC -O levels)").set_defaults(func=_cmd_table3)
+
+    fig_p = sub.add_parser("figure", help="Figures 1-4 (scaling sweeps)")
+    fig_p.add_argument("figure", choices=["fig1", "fig2", "fig3", "fig4"])
+    fig_p.set_defaults(func=_cmd_figure)
+
+    thr_p = sub.add_parser("throttle", help="Tables IV-VII (dynamic throttling)")
+    thr_p.add_argument("app", nargs="?", default=None)
+    thr_p.set_defaults(func=_cmd_throttle)
+
+    sub.add_parser("coldstart", help="footnote 2 (cold-system effect)").set_defaults(
+        func=_cmd_coldstart
+    )
+
+    rep_p = sub.add_parser("reproduce", help="full paper-vs-measured report")
+    rep_p.add_argument("-o", "--output", default=None)
+    rep_p.add_argument("--quick", action="store_true")
+    rep_p.set_defaults(func=_cmd_reproduce)
+
+    exp_p = sub.add_parser("export", help="export an artifact as CSV/JSON")
+    exp_p.add_argument(
+        "artifact",
+        choices=["table1", "table2", "table3", "table4", "table5", "table6",
+                 "table7", "fig1", "fig2", "fig3", "fig4"],
+    )
+    exp_p.add_argument("-o", "--output", default=None)
+    exp_p.set_defaults(func=_cmd_export)
+
+    sub.add_parser("recalibrate", help="refresh empirical residuals").set_defaults(
+        func=_cmd_recalibrate
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Multi-node power coordination (extension).
+
+The paper's conclusion: "Concurrency throttling, as presented, is a
+mechanism for saving energy within a single node of a larger system.  The
+interface to control active parallelism and monitoring of energy
+consumption made available by the runtime system will be useful to higher
+level tools that seek to control energy usage across multi-node systems."
+
+This package is a working sketch of that higher-level tool: several
+simulated nodes co-execute on one discrete-event engine, each running its
+own workload under a local power clamp (:mod:`repro.throttle.clamp`),
+while a :class:`~repro.cluster.coordinator.PowerCoordinator` re-divides a
+global power budget between them every second based on their measured
+demand — the "power scheduling" regime of Rountree et al. [25].
+"""
+
+from repro.cluster.coordinator import ClusterResult, PowerCoordinator, run_cluster
+from repro.cluster.node_sim import ClusterNode
+
+__all__ = ["ClusterNode", "ClusterResult", "PowerCoordinator", "run_cluster"]

@@ -1,0 +1,119 @@
+"""One cluster node: the full single-node stack on a shared engine.
+
+Each :class:`ClusterNode` owns its own simulated hardware, runtime,
+RCRdaemon, region client and power clamp; only the discrete-event engine
+is shared, so all nodes advance in one global timeline and the
+coordinator can read their meters coherently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.apps import build_app
+from repro.config import MachineConfig, PAPER_MACHINE, RuntimeConfig
+from repro.errors import SimulationError
+from repro.measure.report import MeasurementRow
+from repro.openmp import OmpEnv
+from repro.qthreads import Runtime
+from repro.rcr import Blackboard, RCRDaemon, RegionClient, meters
+from repro.sim.engine import Engine
+from repro.throttle.clamp import PowerClampController
+
+
+class ClusterNode:
+    """A named node running one application under a local power clamp."""
+
+    def __init__(
+        self,
+        name: str,
+        engine: Engine,
+        *,
+        app: str,
+        compiler: str = "maestro",
+        optlevel: str = "O3",
+        threads: int = 16,
+        budget_w: float = 160.0,
+        machine: MachineConfig = PAPER_MACHINE,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.app = app
+        self.engine = engine
+        self.runtime = Runtime(
+            machine,
+            RuntimeConfig(num_threads=threads),
+            engine=engine,
+            seed=seed,
+            stop_engine_on_done=False,
+        )
+        self.blackboard = Blackboard()
+        self.daemon = RCRDaemon(engine, self.runtime.node, self.blackboard)
+        self.daemon.start()
+        self.client = RegionClient(
+            engine, self.blackboard, machine.sockets, daemon=self.daemon
+        )
+        self.clamp = PowerClampController(
+            engine, self.runtime.scheduler, self.blackboard, budget_w
+        )
+        self.clamp.start()
+        self._program_kwargs = dict(app=app, compiler=compiler, optlevel=optlevel)
+        self._env = OmpEnv(num_threads=threads)
+        self._launched = False
+        self._start_time: Optional[float] = None
+        self._report = None
+
+    # ------------------------------------------------------------------
+    def launch(self, **app_kwargs: Any) -> None:
+        """Start the node's workload (root task + measurement region)."""
+        if self._launched:
+            raise SimulationError(f"node {self.name} already launched")
+        self._launched = True
+        self._start_time = self.engine.now
+        self.client.start(self.name)
+        program = build_app(
+            self._program_kwargs["app"],
+            self._env,
+            compiler=self._program_kwargs["compiler"],
+            optlevel=self._program_kwargs["optlevel"],
+            **app_kwargs,
+        )
+        root = self.runtime.spawn_root(program, label=self.name)
+        # Close the measurement region the instant this node's workload
+        # completes — other nodes keep running on the shared engine.
+        root.add_listener(lambda _task: self._close_region())
+
+    @property
+    def done(self) -> bool:
+        """True once the node's workload finished."""
+        return self._launched and self.runtime.root_done
+
+    @property
+    def measured_power_w(self) -> float:
+        """Last daemon-published node power."""
+        return self.blackboard.read_value(meters.NODE_POWER_W, default=0.0)
+
+    @property
+    def wants_more_power(self) -> bool:
+        """True while the local clamp is actively shedding threads."""
+        return (
+            not self.done
+            and self.clamp.active_limit < len(self.runtime.scheduler.workers)
+        )
+
+    def _close_region(self) -> None:
+        self.daemon.sample_now()
+        self._report = self.client.end(self.name)
+
+    def finish(self) -> MeasurementRow:
+        """Stop the node's daemons; returns the workload's summary row."""
+        if not self.done or self._report is None:
+            raise SimulationError(f"node {self.name} has not finished")
+        self.clamp.stop()
+        self.daemon.stop()
+        return MeasurementRow(
+            label=f"{self.name}:{self.app}",
+            time_s=self._report.elapsed_s,
+            energy_j=self._report.energy_j,
+            avg_watts=self._report.avg_watts,
+        )

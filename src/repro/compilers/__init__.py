@@ -1,0 +1,40 @@
+"""Compiler toolchain models.
+
+Section II-C.1/II-C.3 of the paper treats the compiler and its
+optimization level as first-class energy knobs: GCC vs ICC flip winners
+per application, -O levels change energy by 2-5x with no single best
+setting.  This package gives that axis a concrete home:
+
+* :class:`~repro.compilers.model.Toolchain` — name, version, flag
+  spelling per level, and the per-application quirks that the paper's
+  tables exhibit (ICC's transformation of naive fibonacci; -ipo being
+  required for sparselu);
+* :data:`~repro.compilers.model.GCC` / :data:`~repro.compilers.model.ICC`
+  / :data:`~repro.compilers.model.MAESTRO` — the three build
+  configurations the evaluation uses (MAESTRO = GCC -O3 objects linked
+  against the Qthreads runtime, per Section IV);
+* :func:`~repro.compilers.model.compile_app` — the "compile" step:
+  resolves (application, toolchain, level) to the calibrated
+  :class:`~repro.calibration.profiles.WorkloadProfile` the simulator
+  executes, exactly as a real build resolves sources to a binary.
+"""
+
+from repro.compilers.model import (
+    GCC,
+    ICC,
+    MAESTRO,
+    TOOLCHAINS,
+    Toolchain,
+    compile_app,
+    toolchain,
+)
+
+__all__ = [
+    "GCC",
+    "ICC",
+    "MAESTRO",
+    "TOOLCHAINS",
+    "Toolchain",
+    "compile_app",
+    "toolchain",
+]

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures without masking programming errors
+(``TypeError`` etc. are never wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event engine reaches an inconsistent state."""
+
+
+class SchedulerError(ReproError):
+    """Raised for invalid scheduling operations (e.g. double-completing a task)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulation can make no further progress.
+
+    Typical cause: every worker is blocked on a full/empty bit that no
+    runnable task will ever write.
+    """
+
+
+class MSRPermissionError(ReproError):
+    """Raised when an MSR is accessed without supervisor permission.
+
+    The paper (footnote 3) notes that both DVFS and duty-cycle modification
+    require kernel permission level; our MSR file models the same gate.
+    """
+
+
+class MSRAddressError(ReproError):
+    """Raised when reading or writing an unmapped MSR address."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid machine or experiment configuration."""
+
+
+class CalibrationError(ReproError):
+    """Raised when a workload profile cannot be fitted to its targets."""
+
+
+class MeasurementError(ReproError):
+    """Raised for invalid measurement-region usage (e.g. end before start)."""
+
+
+class UnknownApplicationError(ReproError):
+    """Raised when an application name is not present in the registry."""
+
+
+class UnknownCompilerError(ReproError):
+    """Raised when a compiler/optimization profile is not available."""

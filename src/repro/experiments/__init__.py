@@ -1,0 +1,23 @@
+"""Experiment harness: regenerates every table and figure in the paper.
+
+Each module corresponds to part of the evaluation (see the experiment
+index in DESIGN.md):
+
+* :mod:`repro.experiments.runner` — the shared measurement pipeline
+  (runtime + RCR daemon + region client + optional throttle controller);
+* :mod:`repro.experiments.table1` — Table I (GCC vs ICC at -O2);
+* :mod:`repro.experiments.table23` — Tables II/III (optimization levels);
+* :mod:`repro.experiments.figures` — Figures 1-4 (speedup & normalized
+  energy vs thread count);
+* :mod:`repro.experiments.throttling` — Tables IV-VII plus the
+  no-throttle overhead check;
+* :mod:`repro.experiments.coldstart` — footnote 2 (cold vs warm energy);
+* :mod:`repro.experiments.compare` — paper-vs-measured comparison and
+  EXPERIMENTS.md generation;
+* :mod:`repro.experiments.recalibrate` — regenerates the empirical
+  residual corrections in :mod:`repro.calibration.residuals`.
+"""
+
+from repro.experiments.runner import MeasurementResult, run_measurement
+
+__all__ = ["MeasurementResult", "run_measurement"]

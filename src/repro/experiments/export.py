@@ -1,0 +1,141 @@
+"""Plot-ready data export for every table and figure.
+
+The harness's in-memory results render as ASCII for the terminal; this
+module writes them as CSV/JSON artifacts so the figures can be re-plotted
+with external tooling (matplotlib, gnuplot, a spreadsheet) without
+re-running anything.
+
+    from repro.experiments.export import export_figure_csv, export_table_csv
+    export_figure_csv(run_figure("fig1"), "fig1.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.table1 import Table1Result
+from repro.experiments.table23 import OptLevelResult
+from repro.experiments.throttling import ThrottleTableResult
+
+PathLike = Union[str, Path]
+
+
+def _write(path: PathLike | None, text: str) -> str:
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def export_figure_csv(result: FigureResult, path: PathLike | None = None) -> str:
+    """One row per (app, threads): time, energy, speedup, E/E1."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        ["figure", "compiler", "app", "threads", "time_s", "energy_j",
+         "watts", "speedup", "normalized_energy"]
+    )
+    for app in sorted(result.series):
+        series = result.series[app]
+        for point in series.points:
+            writer.writerow(
+                [
+                    result.figure, result.compiler, app, point.threads,
+                    f"{point.time_s:.4f}", f"{point.energy_j:.2f}",
+                    f"{point.watts:.2f}",
+                    f"{series.speedup(point.threads):.4f}",
+                    f"{series.normalized_energy(point.threads):.4f}",
+                ]
+            )
+    return _write(path, buf.getvalue())
+
+
+def export_table1_csv(result: Table1Result, path: PathLike | None = None) -> str:
+    """Table I rows: app, compiler, measured and paper triples."""
+    paper = result.paper_cells()
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        ["app", "compiler", "time_s", "energy_j", "watts",
+         "paper_time_s", "paper_energy_j", "paper_watts"]
+    )
+    for (app, compiler), cell in sorted(result.cells.items()):
+        ref = paper.get((app, compiler))
+        writer.writerow(
+            [
+                app, compiler,
+                f"{cell.time_s:.4f}", f"{cell.joules:.2f}", f"{cell.watts:.2f}",
+                f"{ref.time_s:.4f}" if ref else "",
+                f"{ref.joules:.2f}" if ref else "",
+                f"{ref.watts:.2f}" if ref else "",
+            ]
+        )
+    return _write(path, buf.getvalue())
+
+
+def export_optlevels_csv(result: OptLevelResult, path: PathLike | None = None) -> str:
+    """Tables II/III rows: app, level, measured and paper triples."""
+    paper = result.paper_cells()
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(
+        ["compiler", "app", "optlevel", "time_s", "energy_j", "watts",
+         "paper_time_s", "paper_energy_j", "paper_watts"]
+    )
+    for (app, level), cell in sorted(result.cells.items()):
+        ref = paper.get((app, level))
+        writer.writerow(
+            [
+                result.compiler, app, level,
+                f"{cell.time_s:.4f}", f"{cell.joules:.2f}", f"{cell.watts:.2f}",
+                f"{ref.time_s:.4f}" if ref else "",
+                f"{ref.joules:.2f}" if ref else "",
+                f"{ref.watts:.2f}" if ref else "",
+            ]
+        )
+    return _write(path, buf.getvalue())
+
+
+def export_throttle_json(result: ThrottleTableResult, path: PathLike | None = None) -> str:
+    """One Table IV-VII as JSON, including the controller decision trace."""
+    controller = result.dynamic16.controller
+    payload = {
+        "app": result.app,
+        "configurations": {
+            name: {
+                "time_s": m.time_s,
+                "energy_j": m.energy_j,
+                "watts": m.watts,
+            }
+            for name, m in (
+                ("dynamic16", result.dynamic16),
+                ("fixed16", result.fixed16),
+                ("fixed12", result.fixed12),
+            )
+        },
+        "paper": {
+            name: {"time_s": row.time_s, "energy_j": row.joules, "watts": row.watts}
+            for name, row in result.paper_rows().items()
+        },
+        "dynamic_energy_savings": result.dynamic_energy_savings,
+        "dynamic_power_savings_w": result.dynamic_power_savings_w,
+        "throttle_activations": result.dynamic16.run.throttle_activations,
+        "time_throttled_s": controller.time_throttled_s if controller else 0.0,
+        "decisions": [
+            {
+                "time_s": d.time_s,
+                "power_w_per_socket": d.max_socket_power_w,
+                "memory_concurrency": d.max_socket_concurrency,
+                "power_band": d.power_band.value,
+                "memory_band": d.memory_band.value,
+                "throttle": d.throttle,
+            }
+            for d in (controller.decisions if controller else [])
+        ],
+    }
+    text = json.dumps(payload, indent=2)
+    return _write(path, text)

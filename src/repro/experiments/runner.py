@@ -1,0 +1,129 @@
+"""Shared measurement pipeline for all experiments.
+
+One call of :func:`run_measurement` assembles the full paper stack —
+simulated node, Qthreads runtime, RCRdaemon, region-measurement client
+and (optionally) the MAESTRO throttle controller — runs one application,
+and reports the same quantities the paper's tables do: execution time,
+total Joules, average Watts.
+
+Reported time/energy/power come from the *RCR measurement path* (RAPL
+counters read through MSRs with wrap handling, at daemon granularity),
+exactly as the paper measured; the simulator's ground truth is also
+attached so tests can verify the measurement path against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps import build_app
+from repro.calibration.profiles import WorkloadProfile, get_profile
+from repro.config import (
+    MachineConfig,
+    PAPER_MACHINE,
+    RuntimeConfig,
+    ThrottleConfig,
+)
+from repro.measure.report import MeasurementRow
+from repro.openmp import OmpEnv
+from repro.qthreads import Runtime
+from repro.qthreads.runtime import RunResult
+from repro.rcr import Blackboard, RCRDaemon, RegionClient, RegionReport
+from repro.throttle import ThrottleController
+
+
+@dataclass
+class MeasurementResult:
+    """One application execution with paper-style measurements."""
+
+    app: str
+    compiler: str
+    optlevel: str
+    threads: int
+    throttled: bool
+    #: Paper-style measurement (RCR region over RAPL counters).
+    region: RegionReport
+    #: Simulator ground truth and runtime statistics.
+    run: RunResult
+    #: Throttle decision log (None when the controller was off).
+    controller: Optional[ThrottleController] = None
+
+    @property
+    def time_s(self) -> float:
+        return self.region.elapsed_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.region.energy_j
+
+    @property
+    def watts(self) -> float:
+        return self.region.avg_watts
+
+    def row(self, label: Optional[str] = None) -> MeasurementRow:
+        """Render as a paper-style table row."""
+        return MeasurementRow(
+            label=label if label is not None else self.app,
+            time_s=self.time_s,
+            energy_j=self.energy_j,
+            avg_watts=self.watts,
+        )
+
+
+def run_measurement(
+    app: str,
+    compiler: str = "gcc",
+    optlevel: str = "O2",
+    threads: int = 16,
+    *,
+    throttle: bool = False,
+    throttle_config: Optional[ThrottleConfig] = None,
+    profile: Optional[WorkloadProfile] = None,
+    machine: MachineConfig = PAPER_MACHINE,
+    warm: bool = True,
+    payload: bool = False,
+    scale: float = 1.0,
+    seed: int = 0,
+    app_kwargs: Optional[dict] = None,
+) -> MeasurementResult:
+    """Run one application through the full measurement stack."""
+    if profile is None:
+        profile = get_profile(app, compiler, optlevel, machine)
+    runtime = Runtime(
+        machine,
+        RuntimeConfig(num_threads=threads),
+        seed=seed,
+        warm=warm,
+    )
+    blackboard = Blackboard()
+    daemon = RCRDaemon(runtime.engine, runtime.node, blackboard)
+    daemon.start()
+    client = RegionClient(runtime.engine, blackboard, machine.sockets, daemon=daemon)
+    controller = None
+    if throttle:
+        config = throttle_config if throttle_config is not None else ThrottleConfig(enabled=True)
+        controller = ThrottleController(runtime.engine, runtime.scheduler, blackboard, config)
+        controller.start()
+
+    env = OmpEnv(num_threads=threads)
+    program = build_app(
+        app, env, profile=profile, payload=payload, scale=scale,
+        **(app_kwargs or {}),
+    )
+    client.start(app)
+    run = runtime.run(program, label=app)
+    report = client.end(app)
+    daemon.stop()
+    if controller is not None:
+        controller.stop()
+    return MeasurementResult(
+        app=app,
+        compiler=compiler,
+        optlevel=optlevel,
+        threads=threads,
+        throttled=throttle,
+        region=report,
+        run=run,
+        controller=controller,
+    )

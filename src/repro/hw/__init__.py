@@ -1,0 +1,51 @@
+"""Simulated hardware substrate.
+
+Models the paper's test system: a two-socket Intel Sandybridge (Xeon
+E5-2680) node with per-core duty-cycle control, a shared memory subsystem
+with a concurrency/bandwidth saturation model, per-socket RAPL energy
+counters behind an MSR interface, and a first-order thermal model.
+
+The central class is :class:`repro.hw.node.Node`, which owns the fluid
+execution model: busy cores drain work segments at piecewise-constant rates
+that are recomputed whenever machine state changes.
+"""
+
+from repro.hw.core import Core, CoreState, Segment
+from repro.hw.memory import MemoryModel, SocketMemoryState
+from repro.hw.msr import (
+    IA32_CLOCK_MODULATION,
+    IA32_THERM_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_LIMIT,
+    MSR_RAPL_POWER_UNIT,
+    MSRFile,
+    decode_clock_modulation,
+    encode_clock_modulation,
+)
+from repro.hw.node import Node
+from repro.hw.power import PowerModel
+from repro.hw.rapl import RaplDomain
+from repro.hw.thermal import ThermalState
+from repro.hw.topology import CoreId, Topology
+
+__all__ = [
+    "Core",
+    "CoreId",
+    "CoreState",
+    "IA32_CLOCK_MODULATION",
+    "IA32_THERM_STATUS",
+    "MSR_PKG_ENERGY_STATUS",
+    "MSR_PKG_POWER_LIMIT",
+    "MSR_RAPL_POWER_UNIT",
+    "MSRFile",
+    "MemoryModel",
+    "Node",
+    "PowerModel",
+    "RaplDomain",
+    "Segment",
+    "SocketMemoryState",
+    "ThermalState",
+    "Topology",
+    "decode_clock_modulation",
+    "encode_clock_modulation",
+]

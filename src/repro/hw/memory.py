@@ -1,0 +1,120 @@
+"""Shared memory-subsystem contention model.
+
+Follows the concurrency framing of Mandel et al. [10], which the paper's
+throttling policy is built on: each socket has an *effective maximum number
+of outstanding memory references* (the knee ``K``).  Below the knee,
+additional references increase bandwidth at flat latency; above it,
+bandwidth stops improving and latency grows.
+
+Model
+-----
+Every busy core contributes an outstanding-reference demand
+``o_i = mlp * mu_i`` where ``mu_i`` is the memory fraction of its current
+work segment.  With socket demand ``N = sum(o_i)`` the latency stretch is::
+
+    sigma(N) = max(1, (N / K) ** alpha)
+
+``alpha = 1`` makes aggregate bandwidth exactly flat beyond the knee;
+``alpha > 1`` models queueing collapse, where aggregate throughput *falls*
+as more requesters pile on.  That regime is what lets the paper's dijkstra
+run *faster* on 12 threads than 16 (Table V) — reproducing it requires
+alpha > 1, which is why it is a configurable model parameter.
+
+Bandwidth utilisation ``min(1, N / K)`` is the "memory bandwidth" metric
+the RCRdaemon classifies against its 75%/25% thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import MemoryConfig
+
+
+@dataclass
+class SocketMemoryState:
+    """Mutable per-socket contention state, updated on every rate change."""
+
+    #: Total outstanding-reference demand from busy cores.
+    demand: float = 0.0
+    #: Current latency stretch factor sigma(N) >= 1.
+    stretch: float = 1.0
+    #: Bandwidth utilisation in [0, 1] (the RCR metric).
+    bw_util: float = 0.0
+
+
+class MemoryModel:
+    """Stateless contention arithmetic for one socket's memory subsystem."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        config.validate()
+        self.config = config
+
+    def core_demand(self, mem_fraction: float) -> float:
+        """Outstanding-reference demand of a core running a segment."""
+        if not (0.0 <= mem_fraction <= 1.0):
+            raise ValueError(f"mem_fraction must be in [0,1], got {mem_fraction!r}")
+        return self.config.mlp_per_core * mem_fraction
+
+    def stretch(self, demand: float, exponent: float | None = None) -> float:
+        """Latency stretch sigma(N) for total socket demand ``demand``.
+
+        ``exponent`` lets a requester's access pattern override the
+        machine default: the *occupancy* (demand) is shared socket state,
+        but how much a given pattern suffers from queueing above the knee
+        is pattern-specific (streaming prefetches tolerate queueing that
+        destroys dependent pointer chases).
+        """
+        if demand <= self.config.knee_refs:
+            return 1.0
+        ratio = demand / self.config.knee_refs
+        alpha = self.config.contention_exponent if exponent is None else exponent
+        if alpha < 1.0:
+            raise ValueError(f"contention exponent must be >= 1, got {alpha!r}")
+        return ratio ** alpha
+
+    def bandwidth_util(self, demand: float) -> float:
+        """Fraction of peak bandwidth in use, saturating at the knee."""
+        if demand <= 0:
+            return 0.0
+        return min(1.0, demand / self.config.knee_refs)
+
+    def evaluate(self, demand: float) -> SocketMemoryState:
+        """Full contention state for a given total demand."""
+        return SocketMemoryState(
+            demand=demand,
+            stretch=self.stretch(demand),
+            bw_util=self.bandwidth_util(demand),
+        )
+
+    def execution_stretch(self, mem_fraction: float, duty: float, sigma: float) -> float:
+        """Wall-time stretch of a segment relative to its solo duration.
+
+        A segment whose solo time is split ``(1 - mu)`` compute / ``mu``
+        memory runs its compute portion at the core's duty-modulated clock
+        and its memory portion at the contention-stretched latency::
+
+            stretch = (1 - mu) / duty + mu * sigma
+
+        Duty-cycle modulation gates the core clock, not the memory
+        controller, so the memory term is duty-independent.  (In this
+        paper's design only *spinning* cores are duty-throttled, and a spin
+        loop has ``mu = 0``; the general formula also supports the DVFS
+        ablation.)
+        """
+        if not (0.0 < duty <= 1.0):
+            raise ValueError(f"duty must be in (0,1], got {duty!r}")
+        if sigma < 1.0:
+            raise ValueError(f"sigma must be >= 1, got {sigma!r}")
+        return (1.0 - mem_fraction) / duty + mem_fraction * sigma
+
+    def memory_wall_fraction(self, mem_fraction: float, duty: float, sigma: float) -> float:
+        """Fraction of *wall time* the core spends stalled on memory.
+
+        Used by the power model: a stalled core draws stall power, not
+        issue power.
+        """
+        total = self.execution_stretch(mem_fraction, duty, sigma)
+        if total <= 0:
+            return 0.0
+        return (mem_fraction * sigma) / total

@@ -1,0 +1,446 @@
+"""The simulated node: cores + memory + power + thermal + RAPL + MSRs.
+
+Execution model
+---------------
+The node uses a *fluid* model layered on the discrete-event engine.  Each
+``BUSY`` core drains its current :class:`~repro.hw.core.Segment` (measured
+in solo-seconds) at a rate determined by its duty cycle and the current
+memory contention on its socket.  Rates are piecewise constant: they only
+change when machine state changes (a segment is assigned or completes, a
+core changes state, a duty cycle commits).  Every mutation therefore runs:
+
+1. ``_sync()``   — integrate energy/thermal/counters over the interval
+   since the last sync and drain in-flight segments at the cached rates;
+2. the mutation itself;
+3. ``_recompute()`` — recompute contention, per-core rates and socket
+   power, and reschedule the next segment-completion event.
+
+Because power is constant between syncs, energy integration is exact; the
+thermal step uses the closed-form RC solution, also exact per interval.
+
+The node knows nothing about tasks, threads or OpenMP — that is the
+runtime's job (:mod:`repro.qthreads`).  Its public surface is "assign this
+segment to that core and call me back", plus state/duty control and the
+MSR-visible counters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+from repro.config import MachineConfig, PAPER_MACHINE
+from repro.errors import SimulationError
+from repro.hw.core import Core, CoreState, Segment
+from repro.hw.memory import MemoryModel, SocketMemoryState
+from repro.hw.msr import (
+    IA32_APERF,
+    IA32_CLOCK_MODULATION,
+    IA32_MPERF,
+    IA32_THERM_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+    MSR_PKG_POWER_LIMIT,
+    MSR_RAPL_POWER_UNIT,
+    MSRFile,
+    RAPL_POWER_UNIT_RAW,
+    decode_clock_modulation,
+)
+from repro.hw.perfctr import CounterSnapshot, SocketCounters, snapshot, window_average
+from repro.hw.power import PowerModel
+from repro.hw.rapl import RaplDomain
+from repro.hw.thermal import ThermalState
+from repro.hw.topology import Topology
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+
+#: Segments whose remaining wall time is below this are treated as
+#: complete, batching near-simultaneous completions into one event.
+_COMPLETION_EPS_S = 1e-12
+
+
+class Node:
+    """A two-socket Sandybridge-style node under fluid simulation."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: MachineConfig = PAPER_MACHINE,
+        *,
+        warm: bool = True,
+        track_tag_energy: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.topology = Topology(config.sockets, config.cores_per_socket)
+        self.cores: list[Core] = [
+            Core(index=i, socket=self.topology.socket_of(i))
+            for i in range(self.topology.total_cores)
+        ]
+        self.memory_model = MemoryModel(config.memory)
+        self.power_model = PowerModel(config.power)
+        self.rapl: list[RaplDomain] = [RaplDomain(s) for s in range(config.sockets)]
+        self.thermal: list[ThermalState] = [
+            ThermalState(config.thermal) for _ in range(config.sockets)
+        ]
+        self.counters: list[SocketCounters] = [
+            SocketCounters() for _ in range(config.sockets)
+        ]
+        self.msr = MSRFile()
+        self._mem_state: list[SocketMemoryState] = [
+            SocketMemoryState() for _ in range(config.sockets)
+        ]
+        self._socket_power: list[float] = [0.0] * config.sockets
+        self._pkg_power_limit_raw: list[int] = [0] * config.sockets
+        self._last_sync = engine.now
+        self._completion = None
+        #: Optional attribution of active-core energy to segment tags
+        #: (profiling aid; off by default to keep the sync loop lean).
+        self.track_tag_energy = track_tag_energy
+        self.tag_energy_j: dict[str, float] = {}
+
+        if warm:
+            self.warm_up()
+        self._map_msrs()
+        self._recompute()
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def warm_up(self, power_w_per_socket: float = 70.0) -> None:
+        """Pre-heat each socket to the steady state of a loaded run.
+
+        The paper reports all numbers "from experiments run on a warm
+        system" (Section II-C); this models that precondition.  A cold node
+        (``warm=False``) starts at ambient and reproduces footnote 2.
+        """
+        for therm in self.thermal:
+            therm.warm_to_steady_state(power_w_per_socket)
+
+    def _map_msrs(self) -> None:
+        for s in range(self.config.sockets):
+            self.msr.map_package(
+                s, MSR_PKG_ENERGY_STATUS, reader=self._make_energy_reader(s)
+            )
+            self.msr.map_package(
+                s, MSR_RAPL_POWER_UNIT, reader=lambda: RAPL_POWER_UNIT_RAW
+            )
+            self.msr.map_package(
+                s,
+                MSR_PKG_POWER_LIMIT,
+                reader=self._make_power_limit_reader(s),
+                writer=self._make_power_limit_writer(s),
+            )
+        for core in self.cores:
+            self.msr.map_core(
+                core.index,
+                IA32_CLOCK_MODULATION,
+                reader=self._make_clockmod_reader(core.index),
+                writer=self._make_clockmod_writer(core.index),
+            )
+            self.msr.map_core(
+                core.index,
+                IA32_THERM_STATUS,
+                reader=self._make_therm_reader(core.socket),
+            )
+            self.msr.map_core(
+                core.index, IA32_MPERF,
+                reader=self._make_cycle_reader(core.index, "mperf_cycles"),
+            )
+            self.msr.map_core(
+                core.index, IA32_APERF,
+                reader=self._make_cycle_reader(core.index, "aperf_cycles"),
+            )
+
+    def _make_cycle_reader(self, core: int, attr: str) -> Callable[[], int]:
+        def read() -> int:
+            self._sync()
+            return int(getattr(self.cores[core], attr))
+        return read
+
+    def _make_energy_reader(self, socket: int) -> Callable[[], int]:
+        def read() -> int:
+            self._sync()
+            return self.rapl[socket].read_status()
+        return read
+
+    def _make_therm_reader(self, socket: int) -> Callable[[], int]:
+        def read() -> int:
+            self._sync()
+            return self.thermal[socket].therm_status_raw()
+        return read
+
+    def _make_power_limit_reader(self, socket: int) -> Callable[[], int]:
+        def read() -> int:
+            return self._pkg_power_limit_raw[socket]
+        return read
+
+    def _make_power_limit_writer(self, socket: int) -> Callable[[int], None]:
+        def write(value: int) -> None:
+            self._pkg_power_limit_raw[socket] = value
+        return write
+
+    def _make_clockmod_reader(self, core: int) -> Callable[[], int]:
+        def read() -> int:
+            return self.cores[core].clock_mod_raw
+        return read
+
+    def _make_clockmod_writer(self, core: int) -> Callable[[int], None]:
+        def write(value: int) -> None:
+            # The write is architecturally visible immediately...
+            self.cores[core].clock_mod_raw = value
+            duty = decode_clock_modulation(value)
+            # ...but the PLL takes a moment to retime: the paper measured
+            # roughly 250 memory operations' worth of delay including call
+            # and OS overhead (Section IV).
+            delay = self.config.msr_write_mem_ops * self.config.memory.base_latency_s
+            self.engine.schedule(
+                delay,
+                lambda: self.set_duty(core, duty),
+                priority=Priority.MACHINE,
+                label=f"clockmod-commit core={core}",
+            )
+        return write
+
+    # ------------------------------------------------------------------
+    # fluid model core
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Integrate state forward to the current simulation time."""
+        now = self.engine.now
+        dt = now - self._last_sync
+        if dt <= 0.0:
+            return
+        for s in range(self.config.sockets):
+            power = self._socket_power[s]
+            mem = self._mem_state[s]
+            self.rapl[s].add_energy(power * dt)
+            self.counters[s].accumulate(mem.demand, mem.bw_util, power, dt)
+            self.thermal[s].advance(power, dt)
+        freq = self.config.frequency_hz
+        for core in self.cores:
+            if core.state is CoreState.BUSY:
+                core.remaining -= core.speed * dt
+                if core.remaining < 0.0:
+                    core.remaining = 0.0
+                core.busy_seconds += dt
+                if self.track_tag_energy and core.segment is not None:
+                    leak = self.power_model.leakage_factor(
+                        self.thermal[core.socket].temp_degc
+                    )
+                    joules = self.power_model.core_power_w(core, leak) * dt
+                    tag = core.segment.tag or "(untagged)"
+                    self.tag_energy_j[tag] = self.tag_energy_j.get(tag, 0.0) + joules
+            elif core.state is CoreState.SPIN:
+                core.spin_seconds += dt
+            if core.state in (CoreState.BUSY, CoreState.SPIN):
+                # APERF/MPERF tick only in C0; APERF at the modulated rate.
+                core.mperf_cycles += dt * freq
+                core.aperf_cycles += dt * freq * core.duty
+        self._last_sync = now
+
+    def _recompute(self) -> None:
+        """Recompute contention, rates and power; reschedule completion."""
+        mm = self.memory_model
+        busy_total = 0
+        for s in range(self.config.sockets):
+            demand = 0.0
+            for i in self.topology.cores_in_socket(s):
+                core = self.cores[i]
+                if core.state is CoreState.BUSY and core.segment is not None:
+                    demand += mm.core_demand(core.segment.mem_fraction)
+                    busy_total += 1
+            self._mem_state[s] = mm.evaluate(demand)
+        for core in self.cores:
+            if core.state is CoreState.BUSY and core.segment is not None:
+                sigma = mm.stretch(
+                    self._mem_state[core.socket].demand,
+                    core.segment.contention_exponent,
+                )
+                # Coherence ping-pong is node-wide and knee-free: every
+                # other busy core adds sharing latency.
+                if core.segment.coherence_penalty > 0.0 and busy_total > 1:
+                    sigma += core.segment.coherence_penalty * (busy_total - 1)
+                mu = core.segment.mem_fraction
+                stretch = mm.execution_stretch(mu, core.duty, sigma)
+                core.speed = 1.0 / stretch
+                core.mem_wall_fraction = mm.memory_wall_fraction(mu, core.duty, sigma)
+            else:
+                core.speed = 0.0
+                core.mem_wall_fraction = 0.0
+        for s in range(self.config.sockets):
+            socket_cores = (self.cores[i] for i in self.topology.cores_in_socket(s))
+            self._socket_power[s] = self.power_model.socket_power_w(
+                socket_cores,
+                self._mem_state[s].bw_util,
+                self.thermal[s].temp_degc,
+            )
+        self._schedule_completion()
+
+    def _schedule_completion(self) -> None:
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        dt_min = math.inf
+        for core in self.cores:
+            if core.state is CoreState.BUSY and core.speed > 0.0:
+                dt = core.remaining / core.speed
+                if dt < dt_min:
+                    dt_min = dt
+        if math.isinf(dt_min):
+            return
+        self._completion = self.engine.schedule(
+            max(dt_min, 0.0),
+            self._on_completion,
+            priority=Priority.MACHINE,
+            label="segment-complete",
+        )
+
+    def _on_completion(self) -> None:
+        self._completion = None
+        self._sync()
+        finished: list[Core] = []
+        for core in self.cores:
+            if core.state is CoreState.BUSY and (
+                core.remaining <= core.speed * _COMPLETION_EPS_S
+            ):
+                finished.append(core)
+        callbacks: list[Optional[Callable[[], Any]]] = []
+        for core in finished:
+            assert core.segment is not None
+            core.segments_completed += 1
+            core.work_done_solo_seconds += core.segment.solo_seconds
+            callbacks.append(core.on_complete)
+            core.segment = None
+            core.on_complete = None
+            core.remaining = 0.0
+            core.state = CoreState.IDLE
+        # Recompute before callbacks so any state the callbacks observe
+        # (power, contention) reflects the completions.
+        self._recompute()
+        for cb in callbacks:
+            if cb is not None:
+                cb()
+
+    # ------------------------------------------------------------------
+    # runtime-facing control
+    # ------------------------------------------------------------------
+    def assign(
+        self,
+        core_index: int,
+        segment: Segment,
+        on_complete: Optional[Callable[[], Any]] = None,
+    ) -> None:
+        """Start ``segment`` on an idle or spinning core.
+
+        ``on_complete`` fires (via the event queue, never synchronously)
+        when the segment finishes.
+        """
+        core = self.cores[core_index]
+        if core.state is CoreState.BUSY:
+            raise SimulationError(f"core {core_index} is already busy")
+        if core.state is CoreState.OFF:
+            raise SimulationError(f"core {core_index} is off")
+        self._sync()
+        core.state = CoreState.BUSY
+        core.segment = segment
+        core.remaining = segment.solo_seconds
+        core.on_complete = on_complete
+        self._recompute()
+
+    def _set_state(self, core_index: int, state: CoreState) -> None:
+        core = self.cores[core_index]
+        if core.state is CoreState.BUSY:
+            raise SimulationError(
+                f"core {core_index} is busy; cannot change state to {state}"
+            )
+        self._sync()
+        core.state = state
+        self._recompute()
+
+    def set_idle(self, core_index: int) -> None:
+        """Return a core to the hardware-idle (power-gated) state."""
+        self._set_state(core_index, CoreState.IDLE)
+
+    def set_spin(self, core_index: int, duty: Optional[float] = None) -> None:
+        """Put a core into the throttled spin loop (clocked, no work)."""
+        core = self.cores[core_index]
+        if core.state is CoreState.BUSY:
+            raise SimulationError(f"core {core_index} is busy; cannot spin")
+        self._sync()
+        core.state = CoreState.SPIN
+        if duty is not None:
+            core.duty = duty
+        self._recompute()
+
+    def set_off(self, core_index: int) -> None:
+        """Park a core at the OS level (deep C-state, zero power)."""
+        self._set_state(core_index, CoreState.OFF)
+
+    def set_duty(self, core_index: int, duty: float) -> None:
+        """Apply a duty-cycle fraction to a core, effective immediately.
+
+        The MSR write path models the actuation latency and then calls
+        this; tests and the DVFS ablation may call it directly.
+        """
+        if not (0.0 < duty <= 1.0):
+            raise SimulationError(f"duty must be in (0,1], got {duty!r}")
+        self._sync()
+        self.cores[core_index].duty = duty
+        self._recompute()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Bring all integrators and cached rates up to 'now'."""
+        self._sync()
+        self._recompute()
+
+    def energy_j(self, socket: int) -> float:
+        """Ground-truth accumulated energy of one socket, Joules."""
+        self._sync()
+        return self.rapl[socket].energy_j
+
+    def total_energy_j(self) -> float:
+        """Ground-truth accumulated energy of the whole node, Joules."""
+        self._sync()
+        return sum(dom.energy_j for dom in self.rapl)
+
+    def power_w(self, socket: int) -> float:
+        """Instantaneous power of one socket, Watts."""
+        self.refresh()
+        return self._socket_power[socket]
+
+    def total_power_w(self) -> float:
+        """Instantaneous power of the whole node, Watts."""
+        self.refresh()
+        return sum(self._socket_power)
+
+    def temp_degc(self, socket: int) -> float:
+        """Current die temperature of one socket."""
+        self._sync()
+        return self.thermal[socket].temp_degc
+
+    def memory_state(self, socket: int) -> SocketMemoryState:
+        """Instantaneous contention state of one socket."""
+        self.refresh()
+        return self._mem_state[socket]
+
+    def counters_snapshot(self, socket: int) -> CounterSnapshot:
+        """Snapshot of a socket's time-integrated counters."""
+        self._sync()
+        return snapshot(self.counters[socket])
+
+    def window(self, socket: int, since: CounterSnapshot):
+        """Averages between ``since`` and now (see perfctr.window_average)."""
+        return window_average(since, self.counters_snapshot(socket))
+
+    @property
+    def busy_core_count(self) -> int:
+        """Number of cores currently executing a segment."""
+        return sum(1 for c in self.cores if c.state is CoreState.BUSY)
+
+    @property
+    def spinning_core_count(self) -> int:
+        """Number of cores currently in the throttled spin loop."""
+        return sum(1 for c in self.cores if c.state is CoreState.SPIN)

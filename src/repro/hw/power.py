@@ -1,0 +1,75 @@
+"""Instantaneous socket power model.
+
+Per-socket package power is the sum of:
+
+* temperature-dependent static power — uncore (LLC, ring, memory
+  controller) plus per-core idle or active-base power, all scaled by a
+  linear leakage factor ``1 + k * (T - T_ref)``.  The leakage term is what
+  reproduces the paper's observation (footnote 2) that a cold chip draws
+  measurably less power for identical work;
+* per-core dynamic power — full-rate issue power scaled by the duty cycle
+  and the fraction of wall time actually issuing, plus stall power for the
+  fraction of wall time blocked on memory;
+* bandwidth-proportional memory-controller power.
+
+Calibration of the constants against the paper's measured wattages is
+documented in :class:`repro.config.PowerConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.config import PowerConfig
+from repro.hw.core import Core, CoreState
+
+
+class PowerModel:
+    """Stateless power arithmetic for one socket."""
+
+    def __init__(self, config: PowerConfig) -> None:
+        config.validate()
+        self.config = config
+
+    def leakage_factor(self, temp_degc: float) -> float:
+        """Leakage multiplier on static power at ``temp_degc``."""
+        factor = 1.0 + self.config.leakage_per_degc * (
+            temp_degc - self.config.leakage_ref_degc
+        )
+        # Leakage cannot make static power negative no matter how cold the
+        # model is driven in tests.
+        return max(0.1, factor)
+
+    def core_power_w(self, core: Core, leak: float) -> float:
+        """Instantaneous power of one core given the leakage factor."""
+        cfg = self.config
+        if core.state is CoreState.OFF:
+            return 0.0
+        if core.state is CoreState.IDLE:
+            return cfg.core_idle_w * leak
+        if core.state is CoreState.SPIN:
+            # Clocked but doing no work: active base (leaky) plus the
+            # duty-modulated issue power of the spin loop itself.
+            return cfg.core_active_base_w * leak + cfg.core_cpu_w * core.duty
+        # BUSY
+        scale = core.segment.power_scale if core.segment is not None else 1.0
+        mu_wall = core.mem_wall_fraction
+        dynamic = (
+            cfg.core_cpu_w * core.duty * (1.0 - mu_wall)
+            + cfg.core_stall_w * mu_wall
+        )
+        return scale * (cfg.core_active_base_w * leak + dynamic)
+
+    def socket_power_w(
+        self,
+        cores: Iterable[Core],
+        bw_util: float,
+        temp_degc: float,
+    ) -> float:
+        """Total package power of one socket."""
+        leak = self.leakage_factor(temp_degc)
+        total = self.config.uncore_w * leak
+        for core in cores:
+            total += self.core_power_w(core, leak)
+        total += self.config.bandwidth_w * max(0.0, min(1.0, bw_util))
+        return total

@@ -1,0 +1,54 @@
+"""Running Average Power Limit (RAPL) energy accounting.
+
+Each socket owns a :class:`RaplDomain` that integrates the socket's
+simulated power draw into an energy accumulator.  Two views exist:
+
+* :attr:`RaplDomain.energy_j` — exact accumulated Joules, the simulator's
+  ground truth, used by tests to validate measurement code;
+* :meth:`RaplDomain.read_status` — what software sees: the accumulated
+  energy quantised into 15.3 microJoule ticks and truncated to 32 bits,
+  exactly the ``MSR_PKG_ENERGY_STATUS`` semantics the paper describes
+  (Section II-A).  The counter wraps in a few minutes at full load, so
+  clients must poll often enough and track wraps; that client logic lives
+  in :mod:`repro.measure.energy`.
+"""
+
+from __future__ import annotations
+
+from repro.units import (
+    RAPL_COUNTER_MODULUS,
+    RAPL_ENERGY_UNIT_J,
+)
+
+
+class RaplDomain:
+    """Per-socket energy accumulator with an MSR-visible wrapped counter."""
+
+    __slots__ = ("socket", "_energy_j")
+
+    def __init__(self, socket: int) -> None:
+        self.socket = socket
+        self._energy_j = 0.0
+
+    @property
+    def energy_j(self) -> float:
+        """Ground-truth accumulated energy in Joules (never wraps)."""
+        return self._energy_j
+
+    def add_energy(self, joules: float) -> None:
+        """Accumulate ``joules`` of consumed energy.
+
+        Called by the node's synchronisation step with ``power * dt``.
+        Negative energy would mean the clock ran backwards; that is guarded
+        at the clock level, so a plain assert suffices here.
+        """
+        assert joules >= 0.0, f"negative energy increment {joules!r}"
+        self._energy_j += joules
+
+    def read_status(self) -> int:
+        """Raw 32-bit MSR_PKG_ENERGY_STATUS value (15.3 uJ ticks, wrapped)."""
+        ticks = int(self._energy_j / RAPL_ENERGY_UNIT_J)
+        return ticks % RAPL_COUNTER_MODULUS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RaplDomain(socket={self.socket}, energy_j={self._energy_j:.3f})"

@@ -1,0 +1,66 @@
+"""Node topology: sockets and cores.
+
+Cores are identified both by a flat global index (0..15 on the paper's
+blade) and by a ``(socket, local_index)`` pair.  The scheduler's shepherd
+mapping and the memory model's per-socket contention both key off the
+socket, so the helpers here are used everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, order=True)
+class CoreId:
+    """Identity of one core within the node."""
+
+    socket: int
+    local: int
+
+    def flat(self, cores_per_socket: int) -> int:
+        """Flat global index of this core."""
+        return self.socket * cores_per_socket + self.local
+
+
+class Topology:
+    """Socket/core layout of the node."""
+
+    def __init__(self, sockets: int, cores_per_socket: int) -> None:
+        if sockets <= 0 or cores_per_socket <= 0:
+            raise ConfigError("topology dimensions must be positive")
+        self.sockets = sockets
+        self.cores_per_socket = cores_per_socket
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def core_id(self, flat: int) -> CoreId:
+        """CoreId for a flat index."""
+        if not (0 <= flat < self.total_cores):
+            raise ConfigError(
+                f"core index {flat} out of range 0..{self.total_cores - 1}"
+            )
+        return CoreId(flat // self.cores_per_socket, flat % self.cores_per_socket)
+
+    def socket_of(self, flat: int) -> int:
+        """Socket number of a flat core index."""
+        return self.core_id(flat).socket
+
+    def cores_in_socket(self, socket: int) -> range:
+        """Flat indices of all cores in ``socket``."""
+        if not (0 <= socket < self.sockets):
+            raise ConfigError(f"socket {socket} out of range 0..{self.sockets - 1}")
+        start = socket * self.cores_per_socket
+        return range(start, start + self.cores_per_socket)
+
+    def all_cores(self) -> Iterator[int]:
+        """Flat indices of every core."""
+        return iter(range(self.total_cores))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Topology({self.sockets}x{self.cores_per_socket})"

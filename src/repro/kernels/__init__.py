@@ -1,0 +1,48 @@
+"""Reference sequential implementations of the benchmark algorithms.
+
+Every application in the evaluation corresponds to a genuine algorithm.
+The simulator runs *task graphs* whose shapes come from these algorithms;
+the kernels here are the real computations, used to:
+
+* validate the task-graph structure (a task-parallel mergesort must sort;
+  a task-parallel n-queens must count the right number of solutions);
+* give the example programs real payloads;
+* provide ground truth for the property-based test suite.
+
+They are deliberately straightforward (the paper's micro-benchmarks "are
+not tuned and represent default implementations of generic algorithms"),
+but correct, and vectorised with numpy where the algorithm allows.
+"""
+
+from repro.kernels.alignment import align_pair, pairwise_alignment_scores
+from repro.kernels.fib import fib, fib_task_counts
+from repro.kernels.graphs import dijkstra_sssp, random_graph
+from repro.kernels.health import HealthVillage, make_village, simulate_step
+from repro.kernels.hydro import HydroState, hydro_advance, make_sedov_state, total_energy
+from repro.kernels.linalg import sparse_lu, strassen_matmul
+from repro.kernels.nqueens import count_nqueens
+from repro.kernels.reduction import array_reduction
+from repro.kernels.sorting import merge_sorted, mergesort, is_sorted
+
+__all__ = [
+    "HealthVillage",
+    "HydroState",
+    "align_pair",
+    "array_reduction",
+    "count_nqueens",
+    "dijkstra_sssp",
+    "fib",
+    "fib_task_counts",
+    "hydro_advance",
+    "is_sorted",
+    "make_sedov_state",
+    "make_village",
+    "merge_sorted",
+    "mergesort",
+    "pairwise_alignment_scores",
+    "random_graph",
+    "simulate_step",
+    "sparse_lu",
+    "strassen_matmul",
+    "total_energy",
+]

@@ -1,0 +1,59 @@
+"""Fibonacci: the canonical task-parallel stress test.
+
+The paper runs it in two forms: the untuned micro-benchmark (full binary
+recursion, one task per call — millions of two-line tasks) and BOTS
+``fib`` with a cutoff that stops spawning below a depth so tasks are
+coarse enough to amortise scheduling (Section II).
+
+``fib_task_counts`` gives the exact subtree sizes, which the simulated
+task graphs use to distribute calibrated work in proportion to the real
+computation each subtree represents.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+def fib(n: int) -> int:
+    """The n-th Fibonacci number (fib(0)=0, fib(1)=1), iteratively."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n!r}")
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+@lru_cache(maxsize=None)
+def fib_call_count(n: int) -> int:
+    """Number of calls the naive recursion makes for fib(n).
+
+    ``calls(n) = calls(n-1) + calls(n-2) + 1``; equals ``2*fib(n+1) - 1``.
+    This is the task count of the uncut task-parallel version and the
+    work weight of a subtree rooted at ``n``.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n!r}")
+    if n < 2:
+        return 1
+    return fib_call_count(n - 1) + fib_call_count(n - 2) + 1
+
+
+def fib_task_counts(n: int, cutoff_depth: int) -> tuple[int, int]:
+    """(spawned task count, leaf count) for recursion with a depth cutoff.
+
+    Spawning stops at ``cutoff_depth``; below it the computation runs
+    inline.  ``cutoff_depth=0`` means fully serial (1 task, 1 leaf).
+    """
+    if n < 0 or cutoff_depth < 0:
+        raise ValueError("n and cutoff_depth must be non-negative")
+
+    def walk(m: int, depth: int) -> tuple[int, int]:
+        if m < 2 or depth >= cutoff_depth:
+            return 1, 1
+        t1, l1 = walk(m - 1, depth + 1)
+        t2, l2 = walk(m - 2, depth + 1)
+        return t1 + t2 + 1, l1 + l2
+
+    return walk(n, 0)

@@ -1,0 +1,71 @@
+"""Dijkstra single-source shortest paths and graph generation.
+
+The micro-benchmark's algorithm: a binary-heap Dijkstra over an adjacency
+structure.  ``random_graph`` produces the connected sparse graphs the
+examples and tests run it on (deterministic per seed).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Optional
+
+import numpy as np
+
+#: Adjacency list type: node -> list of (neighbor, weight).
+Adjacency = list[list[tuple[int, float]]]
+
+
+def random_graph(
+    n: int,
+    avg_degree: float = 4.0,
+    *,
+    seed: int = 0,
+    max_weight: float = 10.0,
+) -> Adjacency:
+    """Connected undirected random graph with weighted edges.
+
+    A random spanning path guarantees connectivity; the remaining edges
+    are sampled uniformly.  Weights are uniform in (0, max_weight].
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n!r}")
+    rng = np.random.default_rng(seed)
+    adj: Adjacency = [[] for _ in range(n)]
+
+    def add_edge(u: int, v: int, w: float) -> None:
+        adj[u].append((v, w))
+        adj[v].append((u, w))
+
+    order = rng.permutation(n)
+    for i in range(1, n):
+        add_edge(int(order[i - 1]), int(order[i]), float(rng.uniform(0.1, max_weight)))
+    extra = max(0, int(n * avg_degree / 2) - (n - 1))
+    for _ in range(extra):
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u != v:
+            add_edge(u, v, float(rng.uniform(0.1, max_weight)))
+    return adj
+
+
+def dijkstra_sssp(adj: Adjacency, source: int = 0) -> np.ndarray:
+    """Shortest-path distances from ``source`` (inf for unreachable)."""
+    n = len(adj)
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range for {n} nodes")
+    dist = np.full(n, math.inf)
+    dist[source] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    settled = np.zeros(n, dtype=bool)
+    while heap:
+        d, u = heapq.heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        for v, w in adj[u]:
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist

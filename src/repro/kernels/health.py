@@ -1,0 +1,105 @@
+"""BOTS ``health``: a multilevel health-system simulation.
+
+The benchmark models a hierarchy of villages; each timestep, every
+village processes its patient queues (new arrivals, assessment,
+treatment, referral up the hierarchy).  Parallelism follows the village
+tree: a task per sub-village per step.
+
+The reference here keeps the same structure with simplified dynamics:
+patients arrive at leaf villages with a fixed probability, are treated
+locally with probability proportional to the village level, and are
+otherwise referred to the parent.  Determinism comes from a per-village
+counter-based arrival rule rather than shared RNG state, so the parallel
+task version computes the identical result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class HealthVillage:
+    """One node of the village hierarchy."""
+
+    vid: int
+    level: int
+    children: list["HealthVillage"] = field(default_factory=list)
+    #: Patients currently waiting at this village.
+    waiting: int = 0
+    #: Patients treated here over the whole simulation.
+    treated: int = 0
+    #: Patients referred to the parent over the whole simulation.
+    referred: int = 0
+
+    def subtree_size(self) -> int:
+        """Number of villages in this subtree (including self)."""
+        return 1 + sum(c.subtree_size() for c in self.children)
+
+
+def make_village(levels: int, branching: int = 4, *, _vid: list[int] | None = None,
+                 level: Optional[int] = None) -> HealthVillage:
+    """Build a village tree of ``levels`` levels with ``branching`` fan-out."""
+    if levels <= 0:
+        raise ValueError(f"levels must be positive, got {levels!r}")
+    counter = _vid if _vid is not None else [0]
+    lvl = levels if level is None else level
+    village = HealthVillage(vid=counter[0], level=lvl)
+    counter[0] += 1
+    if lvl > 1:
+        village.children = [
+            make_village(levels, branching, _vid=counter, level=lvl - 1)
+            for _ in range(branching)
+        ]
+    return village
+
+
+def simulate_step(village: HealthVillage, step: int, *, is_root: bool = True) -> int:
+    """Advance one timestep bottom-up; returns patients referred upward.
+
+    Children are processed first (their referrals arrive this step), then
+    this village treats what it can.  Arrival rule: a leaf receives a
+    patient when ``(step + vid) % 3 == 0`` — deterministic and
+    village-local, so any parallel schedule over disjoint subtrees gives
+    identical results.
+    """
+    incoming = 0
+    for child in village.children:
+        incoming += simulate_step(child, step, is_root=False)
+    village.waiting += incoming
+    if not village.children and (step + village.vid) % 3 == 0:
+        village.waiting += 1
+    # Treatment capacity grows with the level of the facility; leaf
+    # villages (level 1) have none and refer every patient upward.
+    capacity = village.level - 1
+    treated_now = min(village.waiting, capacity)
+    village.treated += treated_now
+    village.waiting -= treated_now
+    # Untreated patients are referred up; the root hospital keeps its queue.
+    if not is_root:
+        referred_now = village.waiting
+        village.referred += referred_now
+        village.waiting = 0
+        return referred_now
+    return 0
+
+
+def simulate(village: HealthVillage, steps: int) -> tuple[int, int]:
+    """Run ``steps`` timesteps from the root; returns (treated, referred)."""
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps!r}")
+    for step in range(steps):
+        simulate_step(village, step)
+    return totals(village)
+
+
+def totals(village: HealthVillage) -> tuple[int, int]:
+    """(treated, referred) summed over the subtree."""
+    treated = village.treated
+    referred = village.referred
+    for child in village.children:
+        t, r = totals(child)
+        treated += t
+        referred += r
+    return treated, referred

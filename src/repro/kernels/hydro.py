@@ -1,0 +1,137 @@
+"""A Lagrangian shock-hydrodynamics kernel (the LULESH reference).
+
+LULESH solves the Sedov blast-wave problem with a Lagrangian method: a
+mesh whose nodes move with the material, advanced by a leapfrog of
+(1) force/stress computation, (2) node position/velocity update, and
+(3) an equation-of-state/constraint evaluation that also yields the next
+stable timestep.  Those three phases — with their distinct memory
+characters — are exactly the per-iteration parallel loops of the
+simulated application.
+
+The reference here is a 1-D spherical-symmetry Lagrangian scheme (the
+Sedov problem is spherically symmetric, so 1-D radial captures the
+physics) with an ideal-gas EOS and artificial viscosity.  It is small,
+real, conservative, and testable: total energy is conserved to
+integration tolerance and the shock propagates outward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class HydroState:
+    """Lagrangian 1-D radial mesh state (SI-free normalised units).
+
+    ``r`` holds the n+1 node radii; density/energy/pressure live on the
+    n zones between them.
+    """
+
+    r: np.ndarray          # node positions, shape (n+1,)
+    v: np.ndarray          # node velocities, shape (n+1,)
+    rho: np.ndarray        # zone densities, shape (n,)
+    e: np.ndarray          # zone specific internal energies, shape (n,)
+    m: np.ndarray          # zone masses (constant), shape (n,)
+    gamma: float = 1.4
+    time: float = 0.0
+
+    @property
+    def zones(self) -> int:
+        return self.rho.size
+
+    def pressure(self) -> np.ndarray:
+        """Ideal-gas EOS: p = (gamma - 1) rho e."""
+        return (self.gamma - 1.0) * self.rho * self.e
+
+
+def make_sedov_state(zones: int = 64, *, e0: float = 1.0, gamma: float = 1.4) -> HydroState:
+    """Initial Sedov setup: cold uniform gas, energy deposited at centre."""
+    if zones <= 2:
+        raise ValueError(f"need at least 3 zones, got {zones!r}")
+    r = np.linspace(0.0, 1.0, zones + 1)
+    v = np.zeros(zones + 1)
+    vol = _zone_volumes(r)
+    rho = np.ones(zones)
+    m = rho * vol
+    e = np.full(zones, 1e-6)
+    # Deposit the blast energy in the innermost zone.
+    e[0] = e0 / m[0]
+    return HydroState(r=r, v=v, rho=rho, e=e, m=m, gamma=gamma)
+
+
+def _zone_volumes(r: np.ndarray) -> np.ndarray:
+    """Spherical shell volumes between consecutive radii."""
+    return (4.0 / 3.0) * np.pi * (r[1:] ** 3 - r[:-1] ** 3)
+
+
+def hydro_advance(state: HydroState, dt: float, *, q_coeff: float = 2.0) -> HydroState:
+    """Advance one explicit Lagrangian step in place; returns the state.
+
+    Phase 1 (stress/force): zone pressures + artificial viscosity q give
+    nodal forces.  Phase 2 (motion): velocities and positions update.
+    Phase 3 (EOS/quality): densities from the moved mesh, internal energy
+    from pdV work — the phase whose reduction also picks the next dt in
+    the application.
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt!r}")
+    n = state.zones
+    # --- phase 1: forces ------------------------------------------------
+    p = state.pressure()
+    # artificial viscosity on compressing zones
+    dv = state.v[1:] - state.v[:-1]
+    compressing = dv < 0
+    q = np.where(compressing, q_coeff * state.rho * dv * dv, 0.0)
+    ptot = p + q
+    areas = 4.0 * np.pi * state.r ** 2
+    force = np.zeros(n + 1)
+    # Interior nodes feel the pressure difference of adjacent zones.
+    force[1:-1] = (ptot[:-1] - ptot[1:]) * areas[1:-1]
+    # Outer boundary: ambient (free) — zone pressure pushes outward.
+    force[-1] = ptot[-1] * areas[-1]
+    # Nodal masses: half of each adjacent zone.
+    nodal_m = np.zeros(n + 1)
+    nodal_m[:-1] += 0.5 * state.m
+    nodal_m[1:] += 0.5 * state.m
+    # --- phase 2: motion --------------------------------------------------
+    old_vol = _zone_volumes(state.r)
+    state.v += dt * force / nodal_m
+    state.v[0] = 0.0  # symmetry at the origin
+    state.r += dt * state.v
+    # Lagrangian meshes must stay untangled for the scheme to be valid.
+    if np.any(np.diff(state.r) <= 0.0):
+        raise FloatingPointError("mesh tangled: timestep too large")
+    # --- phase 3: EOS / energy -------------------------------------------
+    new_vol = _zone_volumes(state.r)
+    state.rho = state.m / new_vol
+    # pdV work with the total (pressure + viscosity) stress.
+    state.e -= ptot * (new_vol - old_vol) / state.m
+    np.clip(state.e, 1e-12, None, out=state.e)
+    state.time += dt
+    return state
+
+
+def stable_dt(state: HydroState, *, cfl: float = 0.25) -> float:
+    """CFL-limited timestep from zone sound speeds (the dt reduction)."""
+    cs = np.sqrt(state.gamma * np.maximum(state.pressure(), 1e-12) / state.rho)
+    widths = np.diff(state.r)
+    return float(cfl * np.min(widths / (cs + np.abs(state.v[1:]) + 1e-12)))
+
+
+def total_energy(state: HydroState) -> float:
+    """Internal + kinetic energy of the whole mesh (conserved quantity)."""
+    internal = float(np.sum(state.m * state.e))
+    nodal_m = np.zeros(state.zones + 1)
+    nodal_m[:-1] += 0.5 * state.m
+    nodal_m[1:] += 0.5 * state.m
+    kinetic = float(np.sum(0.5 * nodal_m * state.v ** 2))
+    return internal + kinetic
+
+
+def shock_radius(state: HydroState) -> float:
+    """Radius of the density peak — the expanding Sedov shock front."""
+    idx = int(np.argmax(state.rho))
+    return float(0.5 * (state.r[idx] + state.r[idx + 1]))

@@ -1,0 +1,148 @@
+"""Strassen matrix multiplication and blocked sparse LU decomposition.
+
+The BOTS references:
+
+* ``strassen_matmul`` — Strassen's seven-multiplication recursion with a
+  cutoff to the classical algorithm.  The recursion's structure (seven
+  child multiplies per node, submatrix additions around them) is exactly
+  the task graph the simulated application generates, including its
+  compute-bound (leaf multiply) and memory-bound (addition) phases;
+* ``sparse_lu`` — the BOTS sparselu pattern: a block matrix where some
+  blocks are absent; per step k, factor the diagonal block, solve the
+  row/column panels, then update the trailing submatrix (the bmod bulk).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _split(m: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    h = m.shape[0] // 2
+    return m[:h, :h], m[:h, h:], m[h:, :h], m[h:, h:]
+
+
+def strassen_matmul(a: np.ndarray, b: np.ndarray, *, cutoff: int = 64) -> np.ndarray:
+    """Multiply square power-of-two matrices with Strassen's recursion."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n, n):
+        raise ValueError(f"expected square matrices of equal size, got {a.shape} x {b.shape}")
+    if n & (n - 1):
+        raise ValueError(f"size must be a power of two, got {n}")
+    if n <= cutoff:
+        return a @ b
+    a11, a12, a21, a22 = _split(a)
+    b11, b12, b21, b22 = _split(b)
+    # The seven products (each a child task in the parallel version).
+    m1 = strassen_matmul(a11 + a22, b11 + b22, cutoff=cutoff)
+    m2 = strassen_matmul(a21 + a22, b11, cutoff=cutoff)
+    m3 = strassen_matmul(a11, b12 - b22, cutoff=cutoff)
+    m4 = strassen_matmul(a22, b21 - b11, cutoff=cutoff)
+    m5 = strassen_matmul(a11 + a12, b22, cutoff=cutoff)
+    m6 = strassen_matmul(a21 - a11, b11 + b12, cutoff=cutoff)
+    m7 = strassen_matmul(a12 - a22, b21 + b22, cutoff=cutoff)
+    out = np.empty_like(a)
+    h = n // 2
+    out[:h, :h] = m1 + m4 - m5 + m7
+    out[:h, h:] = m3 + m5
+    out[h:, :h] = m2 + m4
+    out[h:, h:] = m1 - m2 + m3 + m6
+    return out
+
+
+def strassen_task_counts(n: int, cutoff: int) -> tuple[int, int]:
+    """(multiply leaves, internal nodes) of the Strassen recursion tree."""
+    if n <= cutoff:
+        return 1, 0
+    leaves, internal = strassen_task_counts(n // 2, cutoff)
+    return 7 * leaves, 7 * internal + 1
+
+
+def sparse_lu(
+    blocks: list[list[Optional[np.ndarray]]],
+) -> list[list[Optional[np.ndarray]]]:
+    """In-place blocked LU of a block-sparse matrix (BOTS sparselu).
+
+    ``blocks[i][j]`` is a dense block or None (structural zero).  Returns
+    the block grid holding L (strict lower, unit diagonal implied) and U.
+    Fill-in allocates new blocks, exactly as BOTS does.  No pivoting —
+    the generator guarantees diagonally dominant diagonal blocks.
+    """
+    nb = len(blocks)
+    for row in blocks:
+        if len(row) != nb:
+            raise ValueError("block grid must be square")
+    for k in range(nb):
+        akk = blocks[k][k]
+        if akk is None:
+            raise ValueError(f"diagonal block ({k},{k}) is structurally zero")
+        # lu0: factor the diagonal block in place (Doolittle).
+        bs = akk.shape[0]
+        for i in range(1, bs):
+            for j in range(i):
+                akk[i, j] /= akk[j, j]
+                akk[i, j + 1:] -= akk[i, j] * akk[j, j + 1:]
+        # fwd: row panel  (U blocks right of the diagonal)
+        lower = np.tril(akk, -1) + np.eye(bs)
+        upper = np.triu(akk)
+        for j in range(k + 1, nb):
+            if blocks[k][j] is not None:
+                blocks[k][j] = np.linalg.solve(lower, blocks[k][j])
+        # bdiv: column panel (L blocks below the diagonal)
+        for i in range(k + 1, nb):
+            if blocks[i][k] is not None:
+                blocks[i][k] = np.linalg.solve(upper.T, blocks[i][k].T).T
+        # bmod: trailing update (the parallel bulk)
+        for i in range(k + 1, nb):
+            if blocks[i][k] is None:
+                continue
+            for j in range(k + 1, nb):
+                if blocks[k][j] is None:
+                    continue
+                if blocks[i][j] is None:
+                    blocks[i][j] = np.zeros_like(akk)
+                blocks[i][j] -= blocks[i][k] @ blocks[k][j]
+    return blocks
+
+
+def make_sparse_blocks(
+    nb: int,
+    block_size: int,
+    *,
+    density: float = 0.75,
+    seed: int = 0,
+) -> list[list[Optional[np.ndarray]]]:
+    """Random block-sparse SPD-ish matrix for sparse_lu (deterministic)."""
+    if not (0.0 < density <= 1.0):
+        raise ValueError(f"density must be in (0,1], got {density!r}")
+    rng = np.random.default_rng(seed)
+    grid: list[list[Optional[np.ndarray]]] = []
+    for i in range(nb):
+        row: list[Optional[np.ndarray]] = []
+        for j in range(nb):
+            if i == j or rng.random() < density:
+                block = rng.standard_normal((block_size, block_size))
+                if i == j:
+                    # Diagonal dominance keeps the pivot-free LU stable.
+                    block += np.eye(block_size) * (block_size * 4.0)
+                row.append(block)
+            else:
+                row.append(None)
+        grid.append(row)
+    return grid
+
+
+def blocks_to_dense(blocks: list[list[Optional[np.ndarray]]]) -> np.ndarray:
+    """Assemble a block grid into a dense matrix (zeros for None)."""
+    nb = len(blocks)
+    bs = next(b.shape[0] for row in blocks for b in row if b is not None)
+    out = np.zeros((nb * bs, nb * bs))
+    for i in range(nb):
+        for j in range(nb):
+            if blocks[i][j] is not None:
+                out[i * bs:(i + 1) * bs, j * bs:(j + 1) * bs] = blocks[i][j]
+    return out

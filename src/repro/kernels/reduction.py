@@ -1,0 +1,28 @@
+"""Array reduction: the simplest OpenMP pattern in the suite.
+
+The micro-benchmark repeatedly reduces a large array with an OpenMP
+``reduction(+:sum)`` loop.  The reference is a chunked sum with explicit
+partials, mirroring how the parallel version decomposes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def array_reduction(values: np.ndarray, *, chunks: int = 1) -> float:
+    """Sum ``values`` via ``chunks`` partial sums (chunks=1: plain sum).
+
+    Splitting into partials is how the OpenMP reduction actually
+    computes; exposing it lets tests verify the task-parallel version
+    combines identically (up to float association differences, which is
+    why tests compare with a tolerance, as OpenMP users must).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if chunks <= 0:
+        raise ValueError(f"chunks must be positive, got {chunks!r}")
+    if chunks == 1 or values.size == 0:
+        return float(values.sum())
+    bounds = np.linspace(0, values.size, chunks + 1, dtype=int)
+    partials = [float(values[lo:hi].sum()) for lo, hi in zip(bounds[:-1], bounds[1:])]
+    return float(sum(partials))

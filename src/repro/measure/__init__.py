@@ -1,0 +1,18 @@
+"""Measurement utilities: wrap-aware RAPL energy reading and reports.
+
+These are the *client-side* pieces any real RAPL tooling needs and the
+paper's measurement infrastructure implements: accumulating a 32-bit
+wrapping energy counter into a monotonic Joule total
+(:class:`~repro.measure.energy.EnergyReader`), and formatting region
+reports (:mod:`repro.measure.report`).
+"""
+
+from repro.measure.energy import EnergyReader, MultiSocketEnergyReader
+from repro.measure.report import MeasurementRow, format_measurement_table
+
+__all__ = [
+    "EnergyReader",
+    "MultiSocketEnergyReader",
+    "MeasurementRow",
+    "format_measurement_table",
+]

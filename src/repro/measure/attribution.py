@@ -1,0 +1,70 @@
+"""Per-tag energy attribution reporting.
+
+When a node is created with ``track_tag_energy=True``, the sync loop
+attributes each busy core's instantaneous power to the tag of the segment
+it is executing.  This module turns that raw map into a report: energy by
+tag, sorted, with shares — the per-phase breakdown the paper's region API
+cannot provide (regions measure wall-clock windows; tags follow the
+*work*, interleaved however the scheduler likes).
+
+Only active-core power is attributed; uncore/idle/bandwidth power is
+reported as the unattributed remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.node import Node
+
+
+@dataclass(frozen=True)
+class TagEnergy:
+    """Energy attributed to one segment tag."""
+
+    tag: str
+    joules: float
+    share: float
+
+
+def tag_energy_report(node: Node) -> list[TagEnergy]:
+    """Sorted per-tag attribution, largest first.
+
+    Shares are of the *attributed* (active-core) energy; compare
+    ``sum(joules)`` against ``node.total_energy_j()`` to see the
+    static/uncore remainder.
+    """
+    node.refresh()
+    total = sum(node.tag_energy_j.values())
+    if total <= 0.0:
+        return []
+    return sorted(
+        (
+            TagEnergy(tag=tag, joules=joules, share=joules / total)
+            for tag, joules in node.tag_energy_j.items()
+        ),
+        key=lambda t: t.joules,
+        reverse=True,
+    )
+
+
+def format_tag_energy(node: Node, *, top: int = 15) -> str:
+    """Human-readable attribution table."""
+    rows = tag_energy_report(node)
+    if not rows:
+        return "(no tagged energy recorded; was track_tag_energy enabled?)"
+    attributed = sum(r.joules for r in rows)
+    total = node.total_energy_j()
+    lines = [f"{'tag':<28} {'Joules':>10} {'share':>7}"]
+    lines.append("-" * 47)
+    for row in rows[:top]:
+        lines.append(f"{row.tag:<28} {row.joules:>10.1f} {row.share:>6.1%}")
+    if len(rows) > top:
+        rest = sum(r.joules for r in rows[top:])
+        lines.append(f"{'(other tags)':<28} {rest:>10.1f}")
+    lines.append("-" * 47)
+    lines.append(
+        f"{'active cores (attributed)':<28} {attributed:>10.1f} "
+        f"{attributed / total:>6.1%} of node total {total:.1f} J"
+    )
+    return "\n".join(lines)

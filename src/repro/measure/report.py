@@ -1,0 +1,55 @@
+"""Measurement-row formatting: the paper's Time / Total Joules / Ave Watts shape.
+
+Every table in the paper reports rows of (configuration, execution time,
+total Joules, average Watts).  :class:`MeasurementRow` is that record, and
+:func:`format_measurement_table` renders a list of them in the same
+column layout, so harness output is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class MeasurementRow:
+    """One (configuration, time, Joules, Watts) measurement."""
+
+    label: str
+    time_s: float
+    energy_j: float
+    avg_watts: float
+
+    @classmethod
+    def from_region(cls, label: str, elapsed_s: float, energy_j: float) -> "MeasurementRow":
+        """Build a row from raw time/energy (Watts derived)."""
+        watts = energy_j / elapsed_s if elapsed_s > 0 else 0.0
+        return cls(label=label, time_s=elapsed_s, energy_j=energy_j, avg_watts=watts)
+
+    def as_tuple(self) -> tuple[str, float, float, float]:
+        return (self.label, self.time_s, self.energy_j, self.avg_watts)
+
+
+def format_measurement_table(
+    rows: Iterable[MeasurementRow],
+    *,
+    title: str = "",
+    headers: Sequence[str] = ("Configuration", "Time", "Total Joules", "Ave Watts"),
+) -> str:
+    """Render rows in the paper's table layout."""
+    rows = list(rows)
+    label_w = max([len(headers[0])] + [len(r.label) for r in rows])
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{headers[0]:<{label_w}}  {headers[1]:>8}  {headers[2]:>12}  {headers[3]:>10}"
+    )
+    lines.append("-" * (label_w + 36))
+    for row in rows:
+        lines.append(
+            f"{row.label:<{label_w}}  {row.time_s:>8.2f}  {row.energy_j:>12.1f}  "
+            f"{row.avg_watts:>10.1f}"
+        )
+    return "\n".join(lines)

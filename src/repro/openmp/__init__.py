@@ -1,0 +1,35 @@
+"""OpenMP constructs lowered onto the Qthreads runtime.
+
+In the paper's stack, OpenMP programs are compiled by the ROSE
+source-to-source compiler whose XOMP interface maps directives onto
+Qthreads: explicit tasks and chunks of loop iterations become qthreads
+(Section III).  This package is the same layer in Python: applications are
+written against OpenMP-shaped constructs (``parallel_for``, ``omp_task``,
+``taskwait``, reductions, parallel regions), which expand into the task
+operations of :mod:`repro.qthreads.api`.
+
+All constructs are generators meant to be driven with ``yield from``
+inside a task body::
+
+    def program(env):
+        total = yield from parallel_reduce(
+            env, 0, n, body=chunk_sum, combine=operator.add, init=0.0)
+        return total
+"""
+
+from repro.openmp.env import OmpEnv
+from repro.openmp.loops import parallel_for, static_chunks
+from repro.openmp.reduction import parallel_reduce
+from repro.openmp.region import parallel_region
+from repro.openmp.tasks import omp_single, omp_task, omp_taskwait
+
+__all__ = [
+    "OmpEnv",
+    "omp_single",
+    "omp_task",
+    "omp_taskwait",
+    "parallel_for",
+    "parallel_reduce",
+    "parallel_region",
+    "static_chunks",
+]

@@ -1,0 +1,45 @@
+"""OpenMP environment: the ICVs (internal control variables) we model.
+
+Mirrors the subset of the OpenMP environment the paper exercises:
+``OMP_NUM_THREADS`` (the thread-count experiments of Section II-C.4) and
+the loop scheduling defaults.  ``wait_policy`` is recorded for fidelity —
+the runtime's idle workers behave like ``passive`` waiters (they park at
+idle power), which matches the measured near-idle wattage of serial
+phases in the paper (e.g. mergesort at ~60 W on 16 threads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class OmpEnv:
+    """Internal control variables visible to OpenMP-level constructs."""
+
+    num_threads: int = 16
+    #: Default schedule for parallel loops: "static" or "dynamic".
+    schedule: str = "static"
+    #: Default chunks per thread for dynamic scheduling.
+    dynamic_chunks_per_thread: int = 4
+    #: OMP_WAIT_POLICY; informational (idle workers always park).
+    wait_policy: str = "passive"
+
+    def __post_init__(self) -> None:
+        if self.num_threads <= 0:
+            raise ConfigError(f"num_threads must be positive, got {self.num_threads!r}")
+        if self.schedule not in ("static", "dynamic"):
+            raise ConfigError(f"unknown schedule {self.schedule!r}")
+        if self.dynamic_chunks_per_thread <= 0:
+            raise ConfigError("dynamic_chunks_per_thread must be positive")
+
+    def default_chunk(self, iterations: int) -> int:
+        """Chunk size the selected schedule would use for a loop."""
+        if iterations <= 0:
+            return 1
+        if self.schedule == "static":
+            return -(-iterations // self.num_threads)  # ceil div
+        per = self.num_threads * self.dynamic_chunks_per_thread
+        return max(1, -(-iterations // per))

@@ -1,0 +1,69 @@
+"""``#pragma omp parallel for`` — worksharing loops as chunk tasks.
+
+A parallel loop chunks its iteration space, spawns one qthread per chunk,
+waits for all of them (the implicit barrier at the end of a worksharing
+construct), and signals the region boundary so throttled workers can
+re-check the gate (one of the paper's four spin-exit conditions).
+
+``body(lo, hi)`` must return a task generator covering iterations
+``[lo, hi)``.  The construct returns the per-chunk results in iteration
+order, which the reduction layer folds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Generator, Iterator, Optional
+
+from repro.errors import ConfigError
+from repro.openmp.env import OmpEnv
+from repro.qthreads.api import RegionBoundary, Spawn, TaskGen, Taskwait
+
+
+def static_chunks(start: int, stop: int, chunk: int) -> Iterator[tuple[int, int]]:
+    """Split ``[start, stop)`` into ``[lo, hi)`` chunks of size ``chunk``."""
+    if chunk <= 0:
+        raise ConfigError(f"chunk must be positive, got {chunk!r}")
+    lo = start
+    while lo < stop:
+        hi = min(stop, lo + chunk)
+        yield lo, hi
+        lo = hi
+
+
+def parallel_for(
+    env: OmpEnv,
+    start: int,
+    stop: int,
+    body: Callable[[int, int], TaskGen],
+    *,
+    chunk: Optional[int] = None,
+    label: str = "for",
+) -> Generator[Any, Any, list[Any]]:
+    """Run ``body`` over ``[start, stop)`` as parallel chunk tasks.
+
+    Yields runtime operations; drive with ``yield from`` inside a task.
+    Returns the chunk results in iteration order.
+    """
+    n = stop - start
+    if n <= 0:
+        yield RegionBoundary(kind="loop")
+        return []
+    size = chunk if chunk is not None else env.default_chunk(n)
+    if size <= 0:
+        raise ConfigError(f"chunk must be positive, got {size!r}")
+    handles = []
+    for lo, hi in static_chunks(start, stop, size):
+        handle = yield Spawn(body(lo, hi), label=f"{label}[{lo}:{hi}]")
+        handles.append(handle)
+    yield Taskwait()
+    yield RegionBoundary(kind="loop")
+    return [h.result for h in handles]
+
+
+def loop_chunk_count(env: OmpEnv, iterations: int, chunk: Optional[int] = None) -> int:
+    """Number of chunk tasks a loop of ``iterations`` will generate."""
+    if iterations <= 0:
+        return 0
+    size = chunk if chunk is not None else env.default_chunk(iterations)
+    return math.ceil(iterations / size)

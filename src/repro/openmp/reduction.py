@@ -1,0 +1,51 @@
+"""``reduction(...)`` clauses: parallel loops with a serial combine tail.
+
+OpenMP reductions compute thread-private partials in parallel and combine
+them at the barrier.  The combine is genuinely serial work performed by
+the encountering thread; it is charged as a (small) work segment so that
+reductions over many chunks show the serial tail the paper's *reduction*
+micro-benchmark suffers from at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.hw.core import Segment
+from repro.openmp.env import OmpEnv
+from repro.openmp.loops import parallel_for
+from repro.qthreads.api import TaskGen
+
+#: Cost of combining one partial result, seconds (a handful of cache-hot
+#: arithmetic ops plus the flush/fence OpenMP implies).
+_COMBINE_COST_S = 2.0e-8
+
+
+def parallel_reduce(
+    env: OmpEnv,
+    start: int,
+    stop: int,
+    body: Callable[[int, int], TaskGen],
+    combine: Callable[[Any, Any], Any],
+    init: Any,
+    *,
+    chunk: Optional[int] = None,
+    label: str = "reduce",
+    combine_cost_s: float = _COMBINE_COST_S,
+) -> Generator[Any, Any, Any]:
+    """Parallel loop whose chunk results are folded with ``combine``.
+
+    ``body(lo, hi)`` is a task generator returning the chunk partial.
+    Returns the folded value.
+    """
+    partials = yield from parallel_for(env, start, stop, body, chunk=chunk, label=label)
+    acc = init
+    for part in partials:
+        acc = combine(acc, part)
+    if partials and combine_cost_s > 0:
+        yield Segment(
+            solo_seconds=combine_cost_s * len(partials),
+            mem_fraction=0.3,
+            tag=f"{label}-combine",
+        )
+    return acc

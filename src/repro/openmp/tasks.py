@@ -1,0 +1,39 @@
+"""``#pragma omp task`` / ``taskwait`` / ``single`` sugar.
+
+Explicit OpenMP tasks map one-to-one onto qthreads (Section III of the
+paper: "Explicit tasks and chunks of loop iterations are implemented as
+qthreads").  These helpers keep application code looking like its OpenMP
+original while expanding to :mod:`repro.qthreads.api` operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.qthreads.api import Spawn, TaskGen, Taskwait
+
+
+def omp_task(gen: TaskGen, *, label: str = "task") -> Spawn:
+    """``#pragma omp task`` — yield this to spawn a child qthread.
+
+    The spawned handle is sent back: ``h = yield omp_task(child())``.
+    """
+    return Spawn(gen, label=label)
+
+
+def omp_taskwait() -> Taskwait:
+    """``#pragma omp taskwait`` — yield this to join direct children."""
+    return Taskwait()
+
+
+def omp_single(gen: TaskGen) -> Generator[Any, Any, Any]:
+    """``#pragma omp single`` — execute ``gen`` in the encountering task.
+
+    In the BOTS ``-single`` variants one thread generates all tasks while
+    the team executes them; in our lowering the encountering qthread plays
+    that role, so ``single`` simply inlines the body::
+
+        result = yield from omp_single(generate_everything())
+    """
+    result = yield from gen
+    return result

@@ -1,0 +1,98 @@
+"""XOMP-style lowering veneer.
+
+The ROSE research compiler outlines OpenMP directives into calls on the
+XOMP interface, which the Qthreads library implements (Liao et al. [7];
+paper Section III).  This module exposes that *function-call shape* so
+that code translated mechanically from an outlined OpenMP program reads
+like its C counterpart:
+
+    XOMP_parallel_start / XOMP_parallel_end
+    XOMP_loop_default       (static chunking of [lower, upper))
+    XOMP_task / XOMP_taskwait
+    XOMP_barrier
+
+Each function returns either an operation to ``yield`` or a generator to
+``yield from``; they are thin aliases over :mod:`repro.openmp` and
+:mod:`repro.qthreads.api`, kept separate so the idiomatic layer stays
+clean while the translation layer stays faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.openmp.env import OmpEnv
+from repro.openmp.loops import parallel_for, static_chunks
+from repro.openmp.region import parallel_region
+from repro.qthreads.api import RegionBoundary, Spawn, TaskGen, Taskwait
+
+
+def XOMP_parallel_start(
+    env: OmpEnv,
+    outlined: Callable[[int], TaskGen],
+    *,
+    num_threads: int | None = None,
+) -> Generator[Any, Any, list[Any]]:
+    """Begin a parallel region running the outlined function per thread."""
+    result = yield from parallel_region(env, outlined, num_threads=num_threads)
+    return result
+
+
+def XOMP_parallel_end() -> RegionBoundary:
+    """End of a parallel region (yield this).
+
+    In the C interface this also joins the team; in the generator
+    translation the join already happened inside
+    :func:`XOMP_parallel_start`, so this only signals the boundary.
+    """
+    return RegionBoundary(kind="region")
+
+
+def XOMP_loop_default(
+    env: OmpEnv,
+    lower: int,
+    upper: int,
+    body: Callable[[int, int], TaskGen],
+) -> Generator[Any, Any, list[Any]]:
+    """Default-scheduled worksharing loop over ``[lower, upper)``."""
+    result = yield from parallel_for(env, lower, upper, body)
+    return result
+
+
+def XOMP_task(gen: TaskGen, *, if_clause: bool = True) -> Generator[Any, Any, Any]:
+    """``#pragma omp task [if(...)]``.
+
+    With a false ``if`` clause the task executes immediately in the
+    encountering thread (undeferred), exactly as OpenMP specifies — this
+    is how BOTS implements its cutoff thresholds.
+    """
+    if if_clause:
+        handle = yield Spawn(gen, label="xomp-task")
+        return handle
+    result = yield from gen
+    return result
+
+
+def XOMP_taskwait() -> Taskwait:
+    """``#pragma omp taskwait`` (yield this)."""
+    return Taskwait()
+
+
+def XOMP_barrier() -> RegionBoundary:
+    """Worksharing barrier marker (yield this).
+
+    The join itself is a Taskwait in the fork-join translation; the
+    boundary signal is what matters to the throttle spin loop.
+    """
+    return RegionBoundary(kind="barrier")
+
+
+__all__ = [
+    "XOMP_barrier",
+    "XOMP_loop_default",
+    "XOMP_parallel_end",
+    "XOMP_parallel_start",
+    "XOMP_task",
+    "XOMP_taskwait",
+    "static_chunks",
+]

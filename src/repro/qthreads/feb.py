@@ -1,0 +1,77 @@
+"""Full/empty-bit (FEB) synchronisation.
+
+Qthreads' signature synchronisation primitive: every FEB word carries a
+full/empty bit.  Writers can wait for empty (``writeEF``) or write
+unconditionally (``writeF``); readers wait for full and either leave the
+bit full (``readFF``) or consume it to empty (``readFE``).
+
+Blocked tasks are parked on the FEB and re-enqueued by the scheduler when
+the state transition they wait for occurs.  Wake order is FIFO per
+operation class, with a ``readFE`` consuming the value exclusively: one
+fill wakes all pending ``readFF`` readers but only the first ``readFE``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.qthreads.task import Task
+
+
+class Feb:
+    """One full/empty-bit synchronised word."""
+
+    __slots__ = ("_value", "_full", "waiting_readers", "waiting_writers", "name")
+
+    def __init__(self, *, name: str = "", value: Any = None, full: bool = False) -> None:
+        self.name = name
+        self._value = value
+        self._full = full
+        #: Parked (task, consume) pairs waiting for full.
+        self.waiting_readers: Deque[tuple["Task", bool]] = deque()
+        #: Parked (task, value) pairs waiting for empty (writeEF).
+        self.waiting_writers: Deque[tuple["Task", Any]] = deque()
+
+    @property
+    def full(self) -> bool:
+        """Current state of the full/empty bit."""
+        return self._full
+
+    @property
+    def value(self) -> Any:
+        """Stored value (meaningful only while full)."""
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Non-blocking primitive transitions.  The *scheduler* decides what to
+    # do when these return None/False (park the task); the FEB itself only
+    # holds state and wait queues.
+    # ------------------------------------------------------------------
+    def try_write(self, value: Any, *, require_empty: bool) -> bool:
+        """Attempt a write; returns False if it must wait for empty."""
+        if require_empty and self._full:
+            return False
+        self._value = value
+        self._full = True
+        return True
+
+    def try_read(self, *, consume: bool) -> tuple[bool, Any]:
+        """Attempt a read; returns (ok, value).  Empties the bit if consuming."""
+        if not self._full:
+            return False, None
+        value = self._value
+        if consume:
+            self._full = False
+            self._value = None
+        return True, value
+
+    def purge(self) -> None:
+        """qthread_purge: force-empty the word.  Waiting readers stay parked."""
+        self._full = False
+        self._value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "full" if self._full else "empty"
+        return f"Feb({self.name or id(self):}, {state}, readers={len(self.waiting_readers)})"

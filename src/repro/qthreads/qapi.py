@@ -1,0 +1,97 @@
+"""C-API-shaped Qthreads veneer.
+
+For code translated from programs written against the real Qthreads
+library (Wheeler et al. [2]), this module mirrors its call names on top
+of the generator operations:
+
+    qthread_fork(func_gen)            -> Spawn
+    qthread_readFF(feb) / readFE(feb) -> blocking FEB reads
+    qthread_writeEF(feb, v)/writeF    -> FEB writes
+    qthread_fill(feb, v)/empty(feb)   -> state control
+    qthread_yield()                   -> cooperative yield
+    qt_sinc-style joins               -> Taskwait
+
+All of them either *return an operation to yield* or are generators to
+``yield from`` — the translation of a C call `qthread_readFF(&v, &feb)`
+is `v = yield qthread_readFF(feb)`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.qthreads.api import (
+    FebReadFE,
+    FebReadFF,
+    FebWriteEF,
+    FebWriteF,
+    Spawn,
+    TaskGen,
+    Taskwait,
+    YieldTask,
+)
+from repro.qthreads.feb import Feb
+
+
+def qthread_fork(gen: TaskGen, *, label: str = "qthread") -> Spawn:
+    """qthread_fork(): spawn a lightweight thread; yields its handle."""
+    return Spawn(gen, label=label)
+
+
+def qthread_readFF(feb: Feb) -> FebReadFF:
+    """qthread_readFF(): wait for full, read, leave full."""
+    return FebReadFF(feb)
+
+
+def qthread_readFE(feb: Feb) -> FebReadFE:
+    """qthread_readFE(): wait for full, read, mark empty."""
+    return FebReadFE(feb)
+
+
+def qthread_writeEF(feb: Feb, value: Any) -> FebWriteEF:
+    """qthread_writeEF(): wait for empty, write, mark full."""
+    return FebWriteEF(feb, value)
+
+
+def qthread_writeF(feb: Feb, value: Any) -> FebWriteF:
+    """qthread_writeF(): write and mark full unconditionally."""
+    return FebWriteF(feb, value)
+
+
+def qthread_fill(feb: Feb, value: Any = None) -> FebWriteF:
+    """qthread_fill(): mark full (optionally with a value)."""
+    return FebWriteF(feb, value)
+
+
+def qthread_empty(feb: Feb) -> None:
+    """qthread_empty(): force the word empty.  Immediate, never blocks."""
+    feb.purge()
+
+
+def qthread_yield() -> YieldTask:
+    """qthread_yield(): let other work run on this worker."""
+    return YieldTask()
+
+
+def qthread_join_children() -> Taskwait:
+    """qt_sinc/taskwait idiom: wait for all children spawned so far."""
+    return Taskwait()
+
+
+def qthread_feb(*, name: str = "") -> Feb:
+    """Allocate an aligned FEB word (qthread_feb_* allocation idiom)."""
+    return Feb(name=name)
+
+
+__all__ = [
+    "qthread_empty",
+    "qthread_feb",
+    "qthread_fill",
+    "qthread_fork",
+    "qthread_join_children",
+    "qthread_readFE",
+    "qthread_readFF",
+    "qthread_writeEF",
+    "qthread_writeF",
+    "qthread_yield",
+]

@@ -1,0 +1,64 @@
+"""Shepherd work queues.
+
+The Sherwood scheduler [1] gives each shepherd a LIFO queue shared by the
+workers of that locality domain: LIFO execution of freshly-spawned tasks
+exploits constructive cache sharing (the child's working set is hot in the
+cache the parent just touched), while *steals take the oldest task* (FIFO
+end), which tends to grab the largest untouched subtree and minimises
+steal frequency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.qthreads.task import Task
+
+
+class WorkQueue:
+    """LIFO local queue with FIFO stealing, as in the Sherwood scheduler."""
+
+    __slots__ = ("_deque", "pushes", "pops", "steals_out")
+
+    def __init__(self) -> None:
+        self._deque: Deque["Task"] = deque()
+        self.pushes = 0
+        self.pops = 0
+        self.steals_out = 0
+
+    def __len__(self) -> int:
+        return len(self._deque)
+
+    @property
+    def empty(self) -> bool:
+        return not self._deque
+
+    def push(self, task: "Task") -> None:
+        """Push a task at the hot (LIFO) end."""
+        self._deque.append(task)
+        self.pushes += 1
+
+    def push_cold(self, task: "Task") -> None:
+        """Push a task at the cold (FIFO) end.
+
+        Used for cooperatively-yielding tasks: a yielder must go behind
+        the local work or a LIFO pop would hand it straight back.
+        """
+        self._deque.appendleft(task)
+        self.pushes += 1
+
+    def pop_local(self) -> Optional["Task"]:
+        """Pop from the hot end — the queue's own workers call this."""
+        if not self._deque:
+            return None
+        self.pops += 1
+        return self._deque.pop()
+
+    def pop_steal(self) -> Optional["Task"]:
+        """Pop from the cold (FIFO) end — thieves call this."""
+        if not self._deque:
+            return None
+        self.steals_out += 1
+        return self._deque.popleft()

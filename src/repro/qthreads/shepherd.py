@@ -1,0 +1,76 @@
+"""Shepherds: locality domains of the hierarchical scheduler.
+
+A shepherd groups the workers that share a last-level cache and local
+memory (by default one shepherd per socket, matching the Sherwood
+configuration used in the paper).  Each shepherd owns:
+
+* a LIFO work queue with FIFO stealing (:mod:`repro.qthreads.queues`);
+* the set of idle workers available for wake-up;
+* the MAESTRO throttling state: a counter of active (non-spinning)
+  workers and a shepherd-local throttling limit.  "When a worker thread
+  looks for work ..., if the active thread count for this shepherd is
+  greater than the shepherd-local throttling limit, then that worker
+  thread is placed in a spin loop" (Section IV).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.qthreads.queues import WorkQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.qthreads.task import Task
+    from repro.qthreads.worker import Worker
+
+
+class Shepherd:
+    """One locality domain: queue + workers + throttle state."""
+
+    def __init__(self, sid: int, socket: int) -> None:
+        self.sid = sid
+        self.socket = socket
+        self.queue = WorkQueue()
+        self.workers: list["Worker"] = []
+        #: Workers currently parked with nothing to do.
+        self.idle_workers: set["Worker"] = set()
+        #: Workers currently in the throttled spin loop.
+        self.spinning_workers: set["Worker"] = set()
+        #: Max active workers while throttling is engaged (set by the
+        #: throttle controller; ignored while throttling is inactive).
+        self.throttle_limit: int = 0
+
+    def attach(self, worker: "Worker") -> None:
+        """Register a worker with this shepherd (wiring, at startup)."""
+        self.workers.append(worker)
+        self.throttle_limit = len(self.workers)
+
+    @property
+    def active_count(self) -> int:
+        """Workers not in the spin loop (the paper's 'active' counter)."""
+        return len(self.workers) - len(self.spinning_workers)
+
+    @property
+    def over_limit(self) -> bool:
+        """True when more workers are active than the throttle limit allows."""
+        return self.active_count > self.throttle_limit
+
+    def enqueue(self, task: "Task", *, cold: bool = False) -> None:
+        """Push a task onto this shepherd's queue (hot end by default)."""
+        task.shepherd_hint = self.sid
+        if cold:
+            self.queue.push_cold(task)
+        else:
+            self.queue.push(task)
+
+    def pop_local(self) -> Optional["Task"]:
+        return self.queue.pop_local()
+
+    def pop_steal(self) -> Optional["Task"]:
+        return self.queue.pop_steal()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Shepherd({self.sid}, socket={self.socket}, queue={len(self.queue)}, "
+            f"idle={len(self.idle_workers)}, spin={len(self.spinning_workers)})"
+        )

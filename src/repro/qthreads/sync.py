@@ -1,0 +1,82 @@
+"""Higher-level synchronisation built on FEBs.
+
+Qthreads composes its synchronisation out of full/empty bits; we do the
+same.  Only the pieces the OpenMP layer and tests need are provided:
+
+* :class:`Barrier` — single-generation barrier for a known party count;
+* :class:`Future` — a write-once value a task can block on (sugar over a
+  single FEB, mirroring qthreads' common writeEF/readFF idiom).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import SchedulerError
+from repro.qthreads.api import FebReadFF, FebWriteF
+from repro.qthreads.feb import Feb
+
+
+class Barrier:
+    """Single-generation barrier: the last of ``parties`` arrivals releases all.
+
+    Usage inside a task generator::
+
+        yield from barrier.wait()
+
+    Call :meth:`reset` between generations (all waiters must have left).
+    """
+
+    def __init__(self, parties: int, *, name: str = "") -> None:
+        if parties <= 0:
+            raise SchedulerError(f"barrier parties must be positive, got {parties!r}")
+        self.parties = parties
+        self.name = name
+        self._arrived = 0
+        self._gate = Feb(name=f"{name}-gate")
+
+    @property
+    def arrived(self) -> int:
+        """Arrivals so far in this generation."""
+        return self._arrived
+
+    def wait(self) -> Generator[Any, Any, None]:
+        """Generator to ``yield from``: blocks until all parties arrive."""
+        self._arrived += 1
+        if self._arrived > self.parties:
+            raise SchedulerError(
+                f"barrier {self.name!r} overfilled: {self._arrived} > {self.parties}"
+            )
+        if self._arrived == self.parties:
+            yield FebWriteF(self._gate, True)
+        else:
+            yield FebReadFF(self._gate)
+
+    def reset(self) -> None:
+        """Start a new generation.  Only valid once all waiters released."""
+        if self._gate.waiting_readers:
+            raise SchedulerError(f"barrier {self.name!r} reset with waiters parked")
+        self._arrived = 0
+        self._gate = Feb(name=f"{self.name}-gate")
+
+
+class Future:
+    """Write-once value with blocking read (a named FEB idiom)."""
+
+    def __init__(self, *, name: str = "") -> None:
+        self._feb = Feb(name=name)
+
+    @property
+    def resolved(self) -> bool:
+        return self._feb.full
+
+    def set(self, value: Any) -> Generator[Any, Any, None]:
+        """Generator to ``yield from``: resolve the future (must be first)."""
+        if self._feb.full:
+            raise SchedulerError("future already resolved")
+        yield FebWriteF(self._feb, value)
+
+    def get(self) -> Generator[Any, Any, Any]:
+        """Generator to ``yield from``: blocks until resolved, returns value."""
+        value = yield FebReadFF(self._feb)
+        return value

@@ -1,0 +1,33 @@
+"""Resource Centric Reflection (RCR) — the measurement daemon stack.
+
+The RCRdaemon (paper Section II-B) runs at supervisor level, samples
+hardware counters, and publishes them through a self-describing
+hierarchical data structure in shared memory.  Clients — the measurement
+API and the MAESTRO throttle controller — read the blackboard instead of
+touching MSRs themselves.
+
+Components:
+
+* :class:`~repro.rcr.blackboard.Blackboard` — the shared-memory analog: a
+  hierarchical, versioned meter store;
+* :mod:`repro.rcr.meters` — the meter names/schema the daemon publishes;
+* :class:`~repro.rcr.daemon.RCRDaemon` — samples RAPL energy (handling
+  32-bit counter wrap), temperature, and memory concurrency every 0.1 s;
+* :class:`~repro.rcr.client.RegionClient` — the start/end measurement API
+  the paper adds to each test program, reporting elapsed time, Joules,
+  average Watts and chip temperature per region.
+"""
+
+from repro.rcr.blackboard import Blackboard, MeterRecord
+from repro.rcr.client import RegionClient, RegionReport
+from repro.rcr.daemon import RCRDaemon
+from repro.rcr import meters
+
+__all__ = [
+    "Blackboard",
+    "MeterRecord",
+    "RCRDaemon",
+    "RegionClient",
+    "RegionReport",
+    "meters",
+]

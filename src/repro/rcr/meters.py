@@ -1,0 +1,48 @@
+"""Meter schema: the paths the RCRdaemon publishes.
+
+Kept in one place so the daemon (writer) and all clients (the measurement
+API, the MAESTRO throttle controller, experiments) cannot drift apart on
+naming.  The hierarchy mirrors the hardware: per-core meters under the
+owning socket, socket-shared resources (L3, memory, RAPL) at socket
+level, node-shared resources at node level — the same "resources within a
+core / shared by cores / shared by sockets" structure RCRTool defines.
+"""
+
+from __future__ import annotations
+
+
+def socket_energy_j(socket: int) -> str:
+    """Cumulative energy of a socket since daemon start, Joules."""
+    return f"node.socket.{socket}.energy_j"
+
+
+def socket_power_w(socket: int) -> str:
+    """Average power of a socket over the last daemon window, Watts."""
+    return f"node.socket.{socket}.power_w"
+
+
+def socket_temp_degc(socket: int) -> str:
+    """Most recent die temperature of a socket, deg C."""
+    return f"node.socket.{socket}.temp_degc"
+
+
+def socket_mem_concurrency(socket: int) -> str:
+    """Average outstanding memory references over the last window."""
+    return f"node.socket.{socket}.mem_concurrency"
+
+
+def socket_bw_util(socket: int) -> str:
+    """Average memory-bandwidth utilisation (0-1) over the last window."""
+    return f"node.socket.{socket}.bw_util"
+
+
+def socket_wraps(socket: int) -> str:
+    """RAPL counter wraps observed by the daemon for a socket."""
+    return f"node.socket.{socket}.rapl_wraps"
+
+
+NODE_POWER_W = "node.power_w"
+NODE_ENERGY_J = "node.energy_j"
+DAEMON_TICKS = "rcr.daemon.ticks"
+DAEMON_PERIOD_S = "rcr.daemon.period_s"
+DAEMON_TIMESTAMP = "rcr.daemon.timestamp"

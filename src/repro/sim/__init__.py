@@ -1,0 +1,24 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately small: a time-ordered event heap with
+deterministic tie-breaking, a simulation clock, an event trace, and seeded
+random-number streams.  All hardware and runtime behaviour in
+:mod:`repro.hw` and :mod:`repro.qthreads` is built as callbacks scheduled on
+this engine.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.engine import Engine
+from repro.sim.events import EventHandle, Priority
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "Clock",
+    "Engine",
+    "EventHandle",
+    "Priority",
+    "RngStreams",
+    "Trace",
+    "TraceRecord",
+]

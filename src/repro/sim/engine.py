@@ -1,0 +1,190 @@
+"""The discrete-event engine.
+
+A classic event-heap design: :meth:`Engine.schedule` pushes a callback at an
+absolute or relative time; :meth:`Engine.run` pops events in
+``(time, priority, seq)`` order, advances the clock, and invokes callbacks.
+Everything else in the simulator — core execution, daemon ticks, throttle
+actuation — is expressed as these callbacks.
+
+Design notes
+------------
+* Events firing at identical timestamps are ordered by the
+  :class:`~repro.sim.events.Priority` band, then insertion order, so runs
+  are fully deterministic.
+* Cancellation is lazy (see :class:`~repro.sim.events.EventHandle`): the
+  heap may hold dead entries which are skipped on pop.  A compaction pass
+  runs when dead entries dominate, keeping memory bounded for long runs.
+* Callbacks may schedule further events, including at the current time.
+  A callback scheduling an event in the past is an error.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.events import EventHandle, Priority, ScheduledEvent
+from repro.sim.trace import Trace
+
+#: Compact the heap when more than this fraction of entries are cancelled
+#: (and the heap is big enough for the O(n) pass to be worth amortising).
+_COMPACT_RATIO = 0.5
+_COMPACT_MIN_SIZE = 1024
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine."""
+
+    def __init__(self, *, trace: Optional[Trace] = None, start_time: float = 0.0) -> None:
+        self.clock = Clock(start_time)
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._cancelled = 0
+        self._fired = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._fired
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = Priority.USER,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay!r}")
+        return self.schedule_at(self.clock.now + delay, callback, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = Priority.USER,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time!r} < now={self.clock.now!r}"
+            )
+        event = ScheduledEvent(time=time, priority=int(priority), seq=self._seq,
+                               callback=callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return _TrackingHandle(event, self)
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_SIZE
+            and self._cancelled > _COMPACT_RATIO * len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.  O(n)."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        self._skip_dead()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def _skip_dead(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._cancelled -= 1
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if the queue was empty."""
+        self._skip_dead()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.clock.advance_to(event.time)
+        self._fired += 1
+        if self.trace.enabled:
+            self.trace.record(event.time, "event", event.label)
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, *, max_events: Optional[int] = None) -> float:
+        """Run events until the queue empties, ``until`` is reached, or stop().
+
+        Returns the simulation time at exit.  When ``until`` is given and the
+        queue drains earlier, the clock is advanced to ``until`` so that
+        integrations (energy, temperature) cover the full requested window.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant: run() called from a callback")
+        self._running = True
+        self._stop_requested = False
+        budget = max_events
+        try:
+            while not self._stop_requested:
+                if budget is not None:
+                    if budget <= 0:
+                        break
+                self._skip_dead()
+                if not self._heap:
+                    break
+                if until is not None and self._heap[0].time > until:
+                    break
+                self.step()
+                if budget is not None:
+                    budget -= 1
+            if until is not None and self.clock.now < until and not self._stop_requested:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+        return self.clock.now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current callback."""
+        self._stop_requested = True
+
+
+class _TrackingHandle(EventHandle):
+    """EventHandle that informs the engine of cancellations for compaction."""
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, event: ScheduledEvent, engine: Engine) -> None:
+        super().__init__(event)
+        self._engine = engine
+
+    def cancel(self) -> None:
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            self._engine._note_cancel()

@@ -1,0 +1,74 @@
+"""Event records and handles for the discrete-event engine.
+
+Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
+insertion counter, so two events at the same time and priority fire in the
+order they were scheduled — this makes every simulation run bit-for-bit
+deterministic, which the test suite relies on heavily.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class Priority(enum.IntEnum):
+    """Tie-break priority for events that fire at the same instant.
+
+    Lower values fire first.  The distinct bands matter at phase
+    boundaries: when a work segment completes at exactly the same instant a
+    daemon tick fires, the completion must be processed first so the tick
+    observes the post-completion machine state (the real RCRdaemon samples
+    hardware counters that have already committed).
+    """
+
+    #: Machine-state updates: segment completions, duty-cycle commits.
+    MACHINE = 0
+    #: Runtime scheduler actions: task dispatch, steal retries.
+    SCHEDULER = 10
+    #: Measurement and control daemons (RCRdaemon, throttle controller).
+    DAEMON = 20
+    #: User/experiment callbacks (simulation-end hooks, probes).
+    USER = 30
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at an absolute simulation time."""
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Cancellation handle returned by :meth:`repro.sim.engine.Engine.schedule`.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when
+    popped.  This keeps cancellation O(1), which matters because the fluid
+    execution model cancels and reschedules the "next segment completion"
+    event on almost every state change.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute time the event is (or was) scheduled to fire."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not cancelled, not fired)."""
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True

@@ -1,0 +1,80 @@
+"""Lightweight simulation tracing.
+
+The trace is a bounded, append-only log of ``(time, category, detail)``
+records.  It exists for three consumers:
+
+* tests, which assert on ordering and occurrence of machine/runtime events;
+* the experiment harness, which extracts per-phase timelines for
+  EXPERIMENTS.md;
+* debugging, via :meth:`Trace.format`.
+
+Tracing is disabled by default: the engine checks ``trace.enabled`` before
+formatting anything, so a disabled trace costs one attribute read per event.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    detail: str
+
+
+class Trace:
+    """Bounded in-memory event trace."""
+
+    def __init__(self, *, enabled: bool = True, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.enabled = enabled
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def record(self, time: float, category: str, detail: str = "") -> None:
+        """Append a record if tracing is enabled."""
+        if not self.enabled:
+            return
+        if len(self._records) == self._records.maxlen:
+            self._dropped += 1
+        self._records.append(TraceRecord(time, category, detail))
+
+    @property
+    def dropped(self) -> int:
+        """Number of records evicted because the buffer filled."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(self, category: str) -> list[TraceRecord]:
+        """All records in ``category``, oldest first."""
+        return [r for r in self._records if r.category == category]
+
+    def last(self, category: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent record, optionally restricted to one category."""
+        if category is None:
+            return self._records[-1] if self._records else None
+        for record in reversed(self._records):
+            if record.category == category:
+                return record
+        return None
+
+    def clear(self) -> None:
+        """Drop all records (does not reset the dropped counter)."""
+        self._records.clear()
+
+    def format(self, limit: int = 50) -> str:
+        """Human-readable tail of the trace for debugging."""
+        tail = list(self._records)[-limit:]
+        return "\n".join(f"[{r.time:12.6f}s] {r.category:20s} {r.detail}" for r in tail)

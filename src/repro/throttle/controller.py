@@ -1,0 +1,128 @@
+"""The user-level throttle daemon inside the runtime (Section IV).
+
+"Automatic throttling for Qthreads is implemented using two daemons: the
+system RCRdaemon ... and, inside the Qthreads runtime, a user-level
+daemon that reads the shared memory region updated by RCRdaemon.  The
+latter daemon activates every 0.1 seconds and uses very little CPU time."
+
+Each activation reads the per-socket power and memory-concurrency meters
+from the blackboard, applies :class:`~repro.throttle.policy.ThrottlePolicy`,
+and — on a state change — engages or releases the scheduler's
+shepherd-local active-thread limits.  Workers observe the limits at their
+next thread-initiation point and spin at reduced duty; nothing is
+preempted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import ThrottleConfig
+from repro.errors import MeasurementError
+from repro.qthreads.scheduler import Scheduler
+from repro.rcr import meters
+from repro.rcr.blackboard import Blackboard
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+from repro.throttle.policy import ThrottleDecision, ThrottlePolicy
+
+
+class ThrottleController:
+    """Periodic policy evaluation driving the scheduler's throttle gate."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        scheduler: Scheduler,
+        blackboard: Blackboard,
+        config: ThrottleConfig,
+    ) -> None:
+        config.validate()
+        self.engine = engine
+        self.scheduler = scheduler
+        self.blackboard = blackboard
+        self.config = config
+        self.policy = ThrottlePolicy(config, scheduler.machine.memory)
+        self._sockets = scheduler.machine.sockets
+        self._running = False
+        self._next_event = None
+        self._flag = False
+        #: Decision history for experiments/tests (bounded).
+        self.decisions: list[ThrottleDecision] = []
+        self.max_history = 100_000
+
+    @property
+    def throttling(self) -> bool:
+        """Current state of the throttle flag."""
+        return self._flag
+
+    def start(self) -> None:
+        """Begin periodic evaluation (first tick one period from now).
+
+        The controller must be started *after* the RCRdaemon so that at
+        equal timestamps the daemon's fresh sample is published before the
+        controller reads it (the engine orders same-priority events by
+        scheduling sequence).
+        """
+        if self._running:
+            raise MeasurementError("throttle controller already running")
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop evaluating; leaves the current throttle state in place."""
+        self._running = False
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+
+    def _schedule_next(self) -> None:
+        self._next_event = self.engine.schedule(
+            self.config.period_s, self._tick, priority=Priority.DAEMON,
+            label="throttle-tick",
+        )
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.evaluate_once()
+        self._schedule_next()
+
+    def evaluate_once(self) -> ThrottleDecision:
+        """Read meters, apply the policy, actuate on a flag change."""
+        powers = [
+            self.blackboard.read_value(meters.socket_power_w(s), default=0.0)
+            for s in range(self._sockets)
+        ]
+        concurrency = [
+            self.blackboard.read_value(meters.socket_mem_concurrency(s), default=0.0)
+            for s in range(self._sockets)
+        ]
+        decision = self.policy.update(
+            self._flag, powers, concurrency, time_s=self.engine.now
+        )
+        if len(self.decisions) < self.max_history:
+            self.decisions.append(decision)
+        if decision.throttle != self._flag:
+            self._flag = decision.throttle
+            if self._flag:
+                self.scheduler.apply_throttle(self.config.throttled_threads)
+            else:
+                self.scheduler.release_throttle()
+        return decision
+
+    # ------------------------------------------------------------------
+    # experiment support
+    # ------------------------------------------------------------------
+    @property
+    def time_throttled_s(self) -> float:
+        """Total simulated time the flag was set (from decision history)."""
+        total = 0.0
+        prev_time: Optional[float] = None
+        prev_flag = False
+        for decision in self.decisions:
+            if prev_time is not None and prev_flag:
+                total += decision.time_s - prev_time
+            prev_time = decision.time_s
+            prev_flag = decision.throttle
+        return total

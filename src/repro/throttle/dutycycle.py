@@ -1,0 +1,110 @@
+"""Low-power actuators: duty-cycle modulation, DVFS, OS idle.
+
+The paper argues for per-core duty-cycle modulation over DVFS
+(Section IV): DVFS "requires tens of thousands of cycles to adjust
+voltage" and "could only slow all cores or none, whereas our duty cycle
+changes are per-core"; duty-cycle modification "takes only the amount of
+time equivalent to approximately 250 memory operations".  It also
+compares against turning threads off at the OS level, which saves more
+power but is slower to reverse (Table IV discussion).
+
+These three actuators expose that design space for the ablation benches.
+The duty-cycle actuator is the one the MAESTRO runtime itself uses
+(workers call the MSR directly; see :mod:`repro.qthreads.worker`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.hw.msr import IA32_CLOCK_MODULATION, encode_clock_modulation
+from repro.hw.node import Node
+from repro.sim.events import Priority
+
+#: DVFS voltage transition cost, seconds ("tens of thousands of cycles";
+#: ~50k cycles at 2.7 GHz, plus OS overhead).
+DVFS_TRANSITION_S = 30e-6
+
+
+class DutyCycleActuator:
+    """Per-core clock modulation via IA32_CLOCK_MODULATION.
+
+    Fast (≈250 memory operations, modelled by the node's MSR commit
+    delay) and per-core — the properties the paper's throttler needs.
+    """
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+        self.writes = 0
+
+    def set_duty(self, core: int, duty: float) -> None:
+        """Request ``duty`` on one core (commits after actuation latency)."""
+        self.node.msr.write_core(
+            core,
+            IA32_CLOCK_MODULATION,
+            encode_clock_modulation(duty),
+            privileged=True,
+        )
+        self.writes += 1
+
+    def restore(self, core: int) -> None:
+        """Restore full-speed operation on one core."""
+        self.set_duty(core, 1.0)
+
+
+class DvfsActuator:
+    """Chip-global frequency scaling — the paper's unfavourable comparator.
+
+    Two modelled drawbacks: the transition stalls (applies after a long
+    latency), and the setting is *global* to the socket — every core slows,
+    including the ones doing useful work.  Frequency scaling is modelled
+    through the same per-core duty mechanism (a frequency ratio and a duty
+    ratio stretch compute identically in the rate model), applied to all
+    cores of the socket at once.
+    """
+
+    def __init__(self, node: Node, *, transition_s: float = DVFS_TRANSITION_S) -> None:
+        self.node = node
+        self.transition_s = transition_s
+        self.transitions = 0
+
+    def set_frequency_ratio(self, socket: int, ratio: float) -> None:
+        """Scale every core of ``socket`` to ``ratio`` of nominal frequency."""
+        if not (0.0 < ratio <= 1.0):
+            raise SimulationError(f"frequency ratio must be in (0,1], got {ratio!r}")
+        self.transitions += 1
+        cores = list(self.node.topology.cores_in_socket(socket))
+
+        def commit() -> None:
+            for core in cores:
+                self.node.set_duty(core, ratio)
+
+        self.node.engine.schedule(
+            self.transition_s, commit, priority=Priority.MACHINE,
+            label=f"dvfs-commit socket={socket}",
+        )
+
+    def restore(self, socket: int) -> None:
+        """Return the socket to nominal frequency (after transition cost)."""
+        self.set_frequency_ratio(socket, 1.0)
+
+
+class OsIdleActuator:
+    """OS-level thread parking (deep C-state) — the most-savings comparator.
+
+    "The execution time matched the 12 thread case, but turning the
+    threads off at the OS level saved an additional 10.2 W and 519 J"
+    (Table IV discussion).  Parking is cheap to model but in reality takes
+    an OS scheduling round-trip, so the runtime cannot flicker it the way
+    it can a duty cycle; experiments use it only for fixed configurations.
+    """
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+
+    def park(self, core: int) -> None:
+        """Take a core offline (zero power)."""
+        self.node.set_off(core)
+
+    def unpark(self, core: int) -> None:
+        """Bring a core back online (idle state)."""
+        self.node.set_idle(core)

@@ -1,0 +1,114 @@
+"""A DVFS-based energy controller — the paper's road not taken.
+
+Most prior work (Section V) reduces power by scaling chip frequency.  To
+make the paper's argument quantitative, this controller applies the SAME
+dual-metric High/Medium/Low policy as MAESTRO but actuates through
+chip-global DVFS instead of per-core concurrency throttling:
+
+* both High  ⇒ scale *every* core of *every* socket to ``ratio``;
+* both Low   ⇒ restore nominal frequency;
+* Medium     ⇒ hold (hysteresis), as in the paper.
+
+The two modelled DVFS drawbacks from Section IV apply: the transition
+takes tens of microseconds, and the slowdown hits the threads doing
+useful work, not just the excess ones.  The ablation benchmark shows the
+consequence: for the same power reduction, DVFS costs more time than
+concurrency throttling on contention-limited programs, because slowing
+*all* cores does nothing to relieve the memory-system oversubscription
+that was the real bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.config import ThrottleConfig
+from repro.errors import MeasurementError
+from repro.qthreads.scheduler import Scheduler
+from repro.rcr import meters
+from repro.rcr.blackboard import Blackboard
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+from repro.throttle.dutycycle import DvfsActuator
+from repro.throttle.policy import ThrottleDecision, ThrottlePolicy
+
+
+class DvfsEnergyController:
+    """MAESTRO's policy with chip-global frequency scaling as actuator."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        scheduler: Scheduler,
+        blackboard: Blackboard,
+        config: ThrottleConfig,
+        *,
+        ratio: float = 0.75,
+    ) -> None:
+        config.validate()
+        if not (0.0 < ratio < 1.0):
+            raise MeasurementError(f"DVFS ratio must be in (0,1), got {ratio!r}")
+        self.engine = engine
+        self.scheduler = scheduler
+        self.blackboard = blackboard
+        self.config = config
+        self.ratio = ratio
+        self.policy = ThrottlePolicy(config, scheduler.machine.memory)
+        self.actuator = DvfsActuator(scheduler.node)
+        self._sockets = scheduler.machine.sockets
+        self._flag = False
+        self._running = False
+        self._next_event = None
+        self.decisions: list[ThrottleDecision] = []
+
+    @property
+    def scaled_down(self) -> bool:
+        """True while the chip runs at the reduced frequency."""
+        return self._flag
+
+    def start(self) -> None:
+        if self._running:
+            raise MeasurementError("DVFS controller already running")
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+        if self._flag:
+            self._flag = False
+            for socket in range(self._sockets):
+                self.actuator.restore(socket)
+
+    def _schedule_next(self) -> None:
+        self._next_event = self.engine.schedule(
+            self.config.period_s, self._tick, priority=Priority.DAEMON,
+            label="dvfs-tick",
+        )
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.evaluate_once()
+        self._schedule_next()
+
+    def evaluate_once(self) -> ThrottleDecision:
+        powers = [
+            self.blackboard.read_value(meters.socket_power_w(s), default=0.0)
+            for s in range(self._sockets)
+        ]
+        concurrency = [
+            self.blackboard.read_value(meters.socket_mem_concurrency(s), default=0.0)
+            for s in range(self._sockets)
+        ]
+        decision = self.policy.update(self._flag, powers, concurrency,
+                                      time_s=self.engine.now)
+        self.decisions.append(decision)
+        if decision.throttle != self._flag:
+            self._flag = decision.throttle
+            for socket in range(self._sockets):
+                if self._flag:
+                    self.actuator.set_frequency_ratio(socket, self.ratio)
+                else:
+                    self.actuator.restore(socket)
+        return decision

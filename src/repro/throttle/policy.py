@@ -1,0 +1,124 @@
+"""The throttling decision rule (paper Section IV-A).
+
+Two metrics, each classified into three bands:
+
+* **power** — the average power drawn per socket over the last daemon
+  window.  "Since only a few applications exceeded 150 W for their
+  entire execution, we chose 75 W per socket as our metric for high
+  energy usage ... 50 W per socket was chosen as our low power point."
+* **memory concurrency** — outstanding memory references in the memory
+  subsystem.  "Each processor was found to have an effective maximum
+  outstanding memory references count ... The high value is chosen to be
+  75% of the maximum achievable number and the low is 25%."
+
+Decision: both High ⇒ enable throttling at the next opportunity; both
+Low ⇒ disable; anything else keeps the current state — "The Medium range
+does not toggle throttling, but avoids hysteresis effects that occur
+when observed values hover near the threshold."
+
+Power alone is deliberately insufficient: "When only average power is
+used to determine throttling, it often limits thread count for programs
+running at high efficiency and increased overall energy consumption."
+The dual-metric rule is what the ablation bench compares against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import MemoryConfig, ThrottleConfig
+
+
+class Band(enum.Enum):
+    """Classification band of an observed metric."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+
+def classify(value: float, low: float, high: float) -> Band:
+    """Classify ``value`` against a (low, high) threshold pair."""
+    if low > high:
+        raise ValueError(f"low threshold {low!r} exceeds high {high!r}")
+    if value >= high:
+        return Band.HIGH
+    if value <= low:
+        return Band.LOW
+    return Band.MEDIUM
+
+
+@dataclass(frozen=True)
+class ThrottleDecision:
+    """One evaluation of the policy (kept for the controller's log)."""
+
+    time_s: float
+    power_band: Band
+    memory_band: Band
+    throttle: bool
+    #: The per-socket observations that produced the bands.
+    max_socket_power_w: float = 0.0
+    max_socket_concurrency: float = 0.0
+
+
+class ThrottlePolicy:
+    """Stateless band arithmetic + the flag-update rule."""
+
+    def __init__(self, config: ThrottleConfig, memory: MemoryConfig) -> None:
+        config.validate()
+        memory.validate()
+        self.config = config
+        #: Maximum achievable outstanding references — the knee of the
+        #: socket's concurrency curve (Mandel et al. [10]).
+        self.max_concurrency = memory.knee_refs
+        self.mem_high = config.mem_high_frac * self.max_concurrency
+        self.mem_low = config.mem_low_frac * self.max_concurrency
+
+    def power_band(self, socket_power_w: float) -> Band:
+        """Band of one socket's average power."""
+        return classify(socket_power_w, self.config.power_low_w, self.config.power_high_w)
+
+    def memory_band(self, concurrency: float) -> Band:
+        """Band of one socket's average outstanding-reference count."""
+        return classify(concurrency, self.mem_low, self.mem_high)
+
+    def update(
+        self,
+        current: bool,
+        socket_powers_w: list[float],
+        socket_concurrency: list[float],
+        time_s: float = 0.0,
+    ) -> ThrottleDecision:
+        """Evaluate the rule against the hottest socket.
+
+        The paper throttles when the node is burning power *and*
+        contended; the binding constraint is the most-loaded socket, so
+        bands are computed from the per-socket maxima.
+        """
+        max_power = max(socket_powers_w) if socket_powers_w else 0.0
+        max_conc = max(socket_concurrency) if socket_concurrency else 0.0
+        p_band = self.power_band(max_power)
+        m_band = self.memory_band(max_conc)
+        if self.config.power_only:
+            # Ablation: the power-only rule the paper rejects.
+            if p_band is Band.HIGH:
+                throttle = True
+            elif p_band is Band.LOW:
+                throttle = False
+            else:
+                throttle = current
+        elif p_band is Band.HIGH and m_band is Band.HIGH:
+            throttle = True
+        elif p_band is Band.LOW and m_band is Band.LOW:
+            throttle = False
+        else:
+            throttle = current
+        return ThrottleDecision(
+            time_s=time_s,
+            power_band=p_band,
+            memory_band=m_band,
+            throttle=throttle,
+            max_socket_power_w=max_power,
+            max_socket_concurrency=max_conc,
+        )

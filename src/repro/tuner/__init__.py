@@ -1,0 +1,26 @@
+"""Energy autotuning (extension).
+
+Section II-C.3 concludes that "finding the optimal compiler optimizations
+for any given application will require autotuning", and Section II-C.4
+shows the energy-optimal thread count sits below the performance-optimal
+one for contention-limited programs.  This package is that autotuner: it
+sweeps configurations through the full measurement stack and picks the
+optimum under an explicit objective (time, energy, or energy-delay
+product).
+"""
+
+from repro.tuner.autotuner import (
+    Objective,
+    SweepPoint,
+    TuneResult,
+    tune_optlevel,
+    tune_threads,
+)
+
+__all__ = [
+    "Objective",
+    "SweepPoint",
+    "TuneResult",
+    "tune_optlevel",
+    "tune_threads",
+]

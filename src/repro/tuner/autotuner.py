@@ -1,0 +1,142 @@
+"""Configuration search for minimum time / energy / energy-delay.
+
+The tuner is deliberately brute-force over small, discrete spaces (thread
+counts; -O levels): that is what the paper means by autotuning for these
+knobs, and every probe is a full measured execution, so the result table
+doubles as the data behind the energy/performance trade-off plots.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.experiments.runner import run_measurement
+
+
+class Objective(enum.Enum):
+    """What the tuner minimises."""
+
+    TIME = "time"
+    ENERGY = "energy"
+    #: Energy-delay product — the usual compromise metric.
+    EDP = "edp"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One probed configuration."""
+
+    threads: int
+    optlevel: str
+    time_s: float
+    energy_j: float
+
+    @property
+    def edp(self) -> float:
+        return self.energy_j * self.time_s
+
+    def score(self, objective: Objective) -> float:
+        if objective is Objective.TIME:
+            return self.time_s
+        if objective is Objective.ENERGY:
+            return self.energy_j
+        return self.edp
+
+
+@dataclass
+class TuneResult:
+    """Outcome of a tuning sweep."""
+
+    app: str
+    compiler: str
+    objective: Objective
+    points: list[SweepPoint] = field(default_factory=list)
+
+    @property
+    def best(self) -> SweepPoint:
+        if not self.points:
+            raise ConfigError("tuning produced no points")
+        return min(self.points, key=lambda p: p.score(self.objective))
+
+    def best_for(self, objective: Objective) -> SweepPoint:
+        """Re-rank the same sweep under a different objective."""
+        if not self.points:
+            raise ConfigError("tuning produced no points")
+        return min(self.points, key=lambda p: p.score(objective))
+
+    def format(self) -> str:
+        lines = [
+            f"autotune {self.app} ({self.compiler}) minimizing {self.objective.value}:",
+            f"{'threads':>8} {'level':>6} {'time':>9} {'energy':>10} {'EDP':>12}",
+        ]
+        best = self.best
+        for point in self.points:
+            mark = "  <-- best" if point is best else ""
+            lines.append(
+                f"{point.threads:>8d} {point.optlevel:>6} {point.time_s:>9.2f} "
+                f"{point.energy_j:>10.1f} {point.edp:>12.1f}{mark}"
+            )
+        return "\n".join(lines)
+
+
+def tune_threads(
+    app: str,
+    compiler: str = "gcc",
+    optlevel: str = "O2",
+    *,
+    objective: Objective = Objective.ENERGY,
+    threads: Sequence[int] = (1, 2, 4, 8, 12, 16),
+) -> TuneResult:
+    """Sweep thread counts; return the measured table and the optimum.
+
+    For contention-limited programs the energy optimum lands below the
+    time optimum — the thread count a static installation of the paper's
+    throttling would pick.
+    """
+    if not threads:
+        raise ConfigError("at least one thread count is required")
+    result = TuneResult(app=app, compiler=compiler, objective=objective)
+    for p in threads:
+        measured = run_measurement(app, compiler, optlevel, threads=p)
+        result.points.append(
+            SweepPoint(
+                threads=p,
+                optlevel=optlevel,
+                time_s=measured.time_s,
+                energy_j=measured.energy_j,
+            )
+        )
+    return result
+
+
+def tune_optlevel(
+    app: str,
+    compiler: str = "gcc",
+    *,
+    objective: Objective = Objective.ENERGY,
+    levels: Sequence[str] = ("O0", "O1", "O2", "O3"),
+    threads: int = 16,
+) -> TuneResult:
+    """Sweep optimization levels at a fixed thread count.
+
+    Section II-C.3: "there is no simple relationship between increasing
+    optimization level and energy use" — the sweep finds the per-app
+    winner instead of assuming one.
+    """
+    if not levels:
+        raise ConfigError("at least one optimization level is required")
+    result = TuneResult(app=app, compiler=compiler, objective=objective)
+    for level in levels:
+        measured = run_measurement(app, compiler, level, threads=threads)
+        result.points.append(
+            SweepPoint(
+                threads=threads,
+                optlevel=level,
+                time_s=measured.time_s,
+                energy_j=measured.energy_j,
+            )
+        )
+    return result

@@ -1,0 +1,88 @@
+"""Unit helpers and physical constants used throughout the simulator.
+
+The simulator keeps everything in SI base units internally:
+
+* time — seconds (``float``)
+* energy — Joules
+* power — Watts
+* frequency — Hertz
+* temperature — degrees Celsius (RAPL-adjacent MSRs report Celsius offsets)
+
+The only non-SI unit in the system is the RAPL energy counter unit.  On
+Sandybridge, ``MSR_PKG_ENERGY_STATUS`` counts in units of 15.3 microJoules
+(the paper, Section II-A) and is only 32 bits wide, so it wraps every few
+minutes at full load.  The constants and conversion helpers for that live
+here so measurement code and hardware code cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Size of one RAPL energy counter tick, in Joules (15.3 microJoules).
+RAPL_ENERGY_UNIT_J: float = 15.3e-6
+
+#: RAPL energy counters are 32 bits wide and wrap around.
+RAPL_COUNTER_BITS: int = 32
+RAPL_COUNTER_MODULUS: int = 1 << RAPL_COUNTER_BITS
+
+#: Nominal clock frequency of the modelled Xeon E5-2680 (TurboBoost disabled).
+NOMINAL_FREQUENCY_HZ: float = 2.7e9
+
+#: Finest duty-cycle step on Sandybridge clock modulation (1/32 of nominal).
+MIN_DUTY_CYCLE: float = 1.0 / 32.0
+
+#: Convenience aliases for readability in configuration code.
+MICROSECOND: float = 1e-6
+MILLISECOND: float = 1e-3
+
+
+def joules_to_rapl_ticks(joules: float) -> int:
+    """Convert Joules to whole RAPL counter ticks (truncating)."""
+    if joules < 0:
+        raise ValueError(f"energy must be non-negative, got {joules!r}")
+    return int(joules / RAPL_ENERGY_UNIT_J)
+
+
+def rapl_ticks_to_joules(ticks: int) -> float:
+    """Convert a RAPL tick count to Joules."""
+    return ticks * RAPL_ENERGY_UNIT_J
+
+
+def wrap_rapl_counter(ticks: int) -> int:
+    """Reduce a monotonically-increasing tick count to the 32-bit register value."""
+    return ticks % RAPL_COUNTER_MODULUS
+
+
+def rapl_delta(before: int, after: int) -> int:
+    """Tick delta between two raw 32-bit register reads, assuming ≤ 1 wrap.
+
+    This is the arithmetic every RAPL client must implement: the register is
+    read often enough that at most one wrap occurs between reads, and the
+    delta is computed modulo 2**32.
+    """
+    return (after - before) % RAPL_COUNTER_MODULUS
+
+
+def watts(energy_j: float, seconds: float) -> float:
+    """Average power of ``energy_j`` Joules spent over ``seconds`` seconds."""
+    if seconds <= 0:
+        raise ValueError(f"duration must be positive, got {seconds!r}")
+    return energy_j / seconds
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float = NOMINAL_FREQUENCY_HZ) -> float:
+    """Wall time for ``cycles`` clock cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float = NOMINAL_FREQUENCY_HZ) -> float:
+    """Clock cycles elapsed in ``seconds`` at ``frequency_hz``."""
+    return seconds * frequency_hz
+
+
+def approx_equal(a: float, b: float, rel: float = 1e-9, abs_tol: float = 1e-12) -> bool:
+    """Tolerant float comparison used by simulator invariant checks."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_tol)

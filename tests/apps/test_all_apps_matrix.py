@@ -1,0 +1,73 @@
+"""Matrix checks over all fifteen applications.
+
+These are the broad guarantees a downstream user relies on for *every*
+benchmark, parameterized across the registry: determinism, measurement
+consistency, ICC-profile availability, and sane scaling direction.
+"""
+
+import pytest
+
+from repro.apps import APP_REGISTRY, build_app, list_apps
+from repro.calibration.paper_data import TABLE3_ICC
+from repro.openmp import OmpEnv
+from tests.conftest import make_runtime
+
+ALL_APPS = list_apps()
+
+
+def _compiler_for(app, prefer="gcc"):
+    if app == "bots-sparselu-for":
+        return "icc"
+    return prefer
+
+
+@pytest.mark.parametrize("app", ALL_APPS)
+def test_every_app_is_deterministic(app):
+    def once():
+        rt = make_runtime(16, seed=7)
+        env = OmpEnv(num_threads=16)
+        res = rt.run(build_app(app, env, compiler=_compiler_for(app), optlevel="O2"))
+        return (res.elapsed_s, res.energy_j, res.tasks_completed, res.steals)
+
+    assert once() == once()
+
+
+@pytest.mark.parametrize("app", ALL_APPS)
+def test_every_app_has_icc_profile(app):
+    """Table III covers all fifteen rows; every app must run under ICC."""
+    assert app in TABLE3_ICC
+    rt = make_runtime(16)
+    env = OmpEnv(num_threads=16)
+    res = rt.run(build_app(app, env, compiler="icc", optlevel="O2"))
+    paper = TABLE3_ICC[app]["O2"]
+    assert res.elapsed_s == pytest.approx(paper.time_s, rel=0.06)
+
+
+@pytest.mark.parametrize("app", ["bots-sort", "bots-health", "lulesh", "nqueens"])
+def test_energy_time_positive_and_consistent(app):
+    rt = make_runtime(16)
+    env = OmpEnv(num_threads=16)
+    res = rt.run(build_app(app, env, compiler="gcc", optlevel="O2"))
+    assert res.elapsed_s > 0
+    assert res.energy_j > 0
+    assert res.avg_power_w == pytest.approx(res.energy_j / res.elapsed_s)
+    assert res.tasks_completed == res.tasks_spawned + 1
+
+
+@pytest.mark.parametrize("app", ["bots-alignment-single", "bots-sparselu-single"])
+def test_single_variants_spawn_from_one_generator(app):
+    """-single variants: every worker task originates from the master's
+    single construct, so stealing must move most of the work off the
+    master's shepherd."""
+    rt = make_runtime(16)
+    env = OmpEnv(num_threads=16)
+    res = rt.run(build_app(app, env, compiler="gcc" if "alignment" in app else "gcc",
+                           optlevel="O2"))
+    assert res.steals > 50
+
+
+def test_registry_builders_reject_bad_kwargs():
+    env = OmpEnv(num_threads=4)
+    with pytest.raises(TypeError):
+        rt = make_runtime(4)
+        rt.run(build_app("mergesort", env, compiler="gcc", bogus_kwarg=1))

@@ -1,0 +1,142 @@
+"""Every application's task graph computes what the real algorithm computes.
+
+These tests run each benchmark with ``payload=True`` so leaf tasks execute
+the genuine kernels, then compare against an independent sequential oracle.
+This is the evidence that the simulated task graphs are *real programs*,
+not just work-shape generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_app
+from repro.kernels.fib import fib
+from repro.kernels.graphs import dijkstra_sssp, random_graph
+from repro.kernels.health import make_village, simulate
+from repro.kernels.linalg import blocks_to_dense, make_sparse_blocks, sparse_lu
+from repro.kernels.nqueens import count_nqueens
+from repro.kernels.sorting import is_sorted
+from repro.openmp import OmpEnv
+from tests.conftest import make_runtime
+
+
+def run_payload(app, threads=16, **kwargs):
+    rt = make_runtime(threads)
+    env = OmpEnv(num_threads=threads)
+    program = build_app(app, env, compiler="gcc" if app != "bots-sparselu-for" else "icc",
+                        optlevel="O2", payload=True, **kwargs)
+    return rt.run(program)
+
+
+def test_reduction_payload_sums_array():
+    res = run_payload("reduction", seed=5)
+    # Oracle: regenerate the same array.
+    from repro.calibration.profiles import get_profile
+
+    chunks = get_profile("reduction", "gcc", "O2").tasks
+    data = np.random.default_rng(5).standard_normal(chunks * 64)
+    assert res.result == pytest.approx(float(data.sum()), rel=1e-9)
+
+
+def test_nqueens_payload_counts_solutions():
+    res = run_payload("nqueens")
+    assert res.result == count_nqueens(10)  # 724
+
+
+def test_mergesort_payload_sorts():
+    res = run_payload("mergesort", seed=3)
+    out = res.result
+    assert isinstance(out, np.ndarray)
+    assert out.size == 4096
+    assert is_sorted(out)
+    data = np.random.default_rng(3).integers(0, 10_000, 4096)
+    assert np.array_equal(out, np.sort(data))
+
+
+def test_fibonacci_payload():
+    res = run_payload("fibonacci")
+    assert res.result == fib(20)
+
+
+def test_dijkstra_payload_distances():
+    res = run_payload("dijkstra", seed=4)
+    expected = dijkstra_sssp(random_graph(300, seed=4), 0)
+    assert np.allclose(res.result, expected)
+
+
+def test_bots_fib_payload():
+    res = run_payload("bots-fib")
+    assert res.result == fib(26)
+
+
+@pytest.mark.parametrize("app", ["bots-alignment-for", "bots-alignment-single"])
+def test_alignment_payload_total_score(app):
+    res = run_payload(app, seed=7)
+    from repro.kernels.alignment import pairwise_alignment_scores, random_sequences
+
+    seqs = random_sequences(46, 12, seed=7)
+    expected = float(pairwise_alignment_scores(seqs).sum())
+    assert res.result == pytest.approx(expected)
+
+
+def test_bots_nqueens_payload():
+    res = run_payload("bots-nqueens")
+    assert res.result == count_nqueens(10)
+
+
+def test_bots_sort_payload():
+    res = run_payload("bots-sort", seed=9)
+    out = res.result
+    assert is_sorted(out)
+    data = np.random.default_rng(9).integers(0, 1_000_000, 4096)
+    assert np.array_equal(out, np.sort(data))
+
+
+@pytest.mark.parametrize("variant_app", ["bots-sparselu-single", "bots-sparselu-for"])
+def test_sparselu_payload_factors(variant_app):
+    res = run_payload(variant_app, seed=2, nb=6)
+    lu = res.result
+    reference = sparse_lu(
+        [
+            [b.copy() if b is not None else None for b in row]
+            for row in make_sparse_blocks(6, 8, density=0.7, seed=2)
+        ]
+    )
+    got = blocks_to_dense(lu)
+    want = blocks_to_dense(reference)
+    assert np.allclose(got, want, atol=1e-8)
+
+
+def test_strassen_payload_multiplies():
+    res = run_payload("bots-strassen", seed=1, n=32, cutoff=8)
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((32, 32))
+    b = rng.standard_normal((32, 32))
+    assert np.allclose(res.result, a @ b, atol=1e-8)
+
+
+def test_health_payload_matches_sequential_kernel():
+    res = run_payload("bots-health")
+    village = make_village(5, 4)
+    expected = simulate(village, 3)
+    assert res.result == expected
+
+
+def test_lulesh_payload_physics():
+    res = run_payload("lulesh")
+    final_time, shock_r, energy = res.result
+    assert final_time > 0
+    assert 0.0 < shock_r < 1.0
+    assert energy > 0
+
+
+def test_payload_independent_of_thread_count():
+    """Parallel schedules must not change results (determinism under
+    different interleavings — the strongest correctness property)."""
+    a = run_payload("bots-health", threads=16).result
+    b = run_payload("bots-health", threads=3).result
+    assert a == b
+
+    x = run_payload("nqueens", threads=16).result
+    y = run_payload("nqueens", threads=5).result
+    assert x == y

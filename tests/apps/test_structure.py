@@ -1,0 +1,102 @@
+"""Task-graph structure: counts, variants, determinism, registry."""
+
+import pytest
+
+from repro.apps import APP_REGISTRY, build_app, list_apps
+from repro.errors import UnknownApplicationError
+from repro.openmp import OmpEnv
+from tests.conftest import make_runtime
+
+
+def run_app(app, threads=16, compiler=None, **kwargs):
+    if compiler is None:
+        compiler = "icc" if app == "bots-sparselu-for" else "gcc"
+    rt = make_runtime(threads)
+    env = OmpEnv(num_threads=threads)
+    res = rt.run(build_app(app, env, compiler=compiler, optlevel="O2", **kwargs))
+    return res
+
+
+def test_registry_covers_all_fifteen_benchmarks():
+    apps = list_apps()
+    assert len(apps) == 15
+    assert list_apps(group="micro") == [
+        "dijkstra", "fibonacci", "mergesort", "nqueens", "reduction",
+    ]
+    assert len(list_apps(group="bots")) == 9
+    assert list_apps(group="mini-app") == ["lulesh"]
+
+
+def test_unknown_app_raises():
+    with pytest.raises(UnknownApplicationError):
+        build_app("does-not-exist", OmpEnv())
+
+
+def test_registry_descriptions_nonempty():
+    for info in APP_REGISTRY.values():
+        assert info.description
+        assert info.group in ("micro", "bots", "mini-app")
+
+
+def test_mergesort_spawns_exactly_two_sort_tasks():
+    res = run_app("mergesort")
+    # 2 sort halves + root = 3 completions.
+    assert res.tasks_completed == 3
+
+
+def test_alignment_variants_differ_in_spawner_structure():
+    """-for spawns pair tasks from loop chunks; -single from one task."""
+    for_res = run_app("bots-alignment-for")
+    single_res = run_app("bots-alignment-single")
+    pairs = 46 * 45 // 2
+    # Both execute one task per pair...
+    assert for_res.tasks_completed > pairs
+    assert single_res.tasks_completed > pairs
+    # ...but the -for variant adds a task per loop chunk.
+    assert for_res.tasks_spawned > single_res.tasks_spawned
+
+
+def test_sparselu_variants_complete():
+    single = run_app("bots-sparselu-single", compiler="gcc")
+    loop = run_app("bots-sparselu-for", compiler="icc")
+    assert single.result > 500  # panel + update tasks
+    assert loop.result > 500
+
+
+def test_fibonacci_task_count_matches_recursion():
+    from repro.kernels.fib import fib_task_counts
+    from repro.apps.micro.fibonacci import FIB_N, SPAWN_DEPTH
+
+    res = run_app("fibonacci")
+    tasks, _ = fib_task_counts(FIB_N, SPAWN_DEPTH)
+    # Spawned = recursion nodes (every fib_task call except the root's
+    # inline execution by `yield from`); +1 for the program root task.
+    assert res.tasks_spawned == tasks - 1
+
+
+def test_scale_parameter_scales_time():
+    small = run_app("bots-sort", scale=0.5)
+    full = run_app("bots-sort", scale=1.0)
+    assert full.elapsed_s == pytest.approx(2 * small.elapsed_s, rel=0.1)
+
+
+def test_app_determinism():
+    a = run_app("bots-health")
+    b = run_app("bots-health")
+    assert (a.elapsed_s, a.energy_j, a.steals) == (b.elapsed_s, b.energy_j, b.steals)
+
+
+def test_lulesh_iterations_structure():
+    from repro.apps.lulesh.app import CHUNKS_PER_PHASE, ITERATIONS
+
+    res = run_app("lulesh")
+    profile_phases = 3
+    expected_chunks = ITERATIONS * profile_phases * CHUNKS_PER_PHASE
+    # chunk tasks + root; parallel_for spawns exactly one task per chunk.
+    assert res.tasks_spawned == expected_chunks
+
+
+def test_all_apps_run_at_odd_thread_counts():
+    for app in ("reduction", "bots-strassen", "lulesh"):
+        res = run_app(app, threads=7)
+        assert res.elapsed_s > 0

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig, RuntimeConfig
+from repro.hw.node import Node
+from repro.openmp import OmpEnv
+from repro.qthreads import Runtime
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def node(engine: Engine) -> Node:
+    return Node(engine)
+
+
+@pytest.fixture
+def cold_node(engine: Engine) -> Node:
+    return Node(engine, warm=False)
+
+
+def make_runtime(threads: int = 16, *, seed: int = 0, warm: bool = True) -> Runtime:
+    """Construct a runtime with the paper's machine and given threads."""
+    return Runtime(
+        MachineConfig(), RuntimeConfig(num_threads=threads), seed=seed, warm=warm
+    )
+
+
+@pytest.fixture
+def runtime() -> Runtime:
+    return make_runtime()
+
+
+@pytest.fixture
+def env16() -> OmpEnv:
+    return OmpEnv(num_threads=16)

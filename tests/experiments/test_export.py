@@ -1,0 +1,66 @@
+"""CSV/JSON export of experiment artifacts."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    export_figure_csv,
+    export_optlevels_csv,
+    export_table1_csv,
+    export_throttle_json,
+)
+from repro.experiments.figures import run_figure
+from repro.experiments.table1 import run_table1
+from repro.experiments.table23 import run_opt_levels
+from repro.experiments.throttling import run_throttle_table
+
+
+def _rows(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def test_export_figure_csv(tmp_path):
+    result = run_figure("fig1", threads=(1, 16), apps=("mergesort", "nqueens"))
+    out = tmp_path / "fig1.csv"
+    text = export_figure_csv(result, out)
+    assert out.read_text() == text
+    rows = _rows(text)
+    assert rows[0][:4] == ["figure", "compiler", "app", "threads"]
+    assert len(rows) == 1 + 2 * 2  # header + 2 apps x 2 thread counts
+    # Baseline rows have speedup exactly 1.
+    base = [r for r in rows[1:] if r[3] == "1"]
+    assert all(float(r[7]) == pytest.approx(1.0) for r in base)
+
+
+def test_export_table1_csv():
+    result = run_table1(apps=("mergesort",))
+    rows = _rows(export_table1_csv(result))
+    assert len(rows) == 3  # header + GCC + ICC
+    gcc = next(r for r in rows[1:] if r[1] == "GCC")
+    assert float(gcc[2]) == pytest.approx(22.5, rel=0.05)
+    assert float(gcc[5]) == pytest.approx(22.5)  # paper reference column
+
+
+def test_export_optlevels_csv():
+    result = run_opt_levels("gcc", apps=("nqueens",), levels=("O0", "O2"))
+    rows = _rows(export_optlevels_csv(result))
+    assert len(rows) == 3
+    o0 = next(r for r in rows[1:] if r[2] == "O0")
+    assert float(o0[3]) > float(rows[2][3]) or float(rows[1][3]) > 0
+
+
+def test_export_throttle_json(tmp_path):
+    result = run_throttle_table("bots-health")
+    out = tmp_path / "table6.json"
+    text = export_throttle_json(result, out)
+    payload = json.loads(out.read_text())
+    assert payload["app"] == "bots-health"
+    assert set(payload["configurations"]) == {"dynamic16", "fixed16", "fixed12"}
+    assert set(payload["paper"]) == {"dynamic16", "fixed16", "fixed12"}
+    assert payload["throttle_activations"] >= 1
+    assert len(payload["decisions"]) >= 5
+    bands = {d["power_band"] for d in payload["decisions"]}
+    assert bands <= {"low", "medium", "high"}

@@ -1,0 +1,117 @@
+"""Tables I-III reproduction: measured 16-thread rows match the paper."""
+
+import pytest
+
+from repro.calibration.paper_data import TABLE1_GCC, TABLE1_ICC, TABLE2_GCC, TABLE3_ICC
+from repro.experiments.runner import run_measurement
+
+#: Calibration is exact at O2 (the residual-corrected level); other levels
+#: share structural corrections and land within a few percent.
+TOL_TIME = 0.05
+TOL_WATTS = 0.05
+
+
+@pytest.mark.parametrize("app", sorted(TABLE1_GCC))
+def test_table1_gcc_rows(app):
+    result = run_measurement(app, "gcc", "O2")
+    # The paper's Table I fibonacci/GCC row (77.0 s) contradicts its own
+    # Table II O2 cell (141.6 s) — Table I evidently printed the O3
+    # numbers for that row.  We calibrate against the per-level table.
+    paper = TABLE2_GCC[app]["O2"] if app == "fibonacci" else TABLE1_GCC[app]
+    assert result.time_s == pytest.approx(paper.time_s, rel=TOL_TIME)
+    assert result.watts == pytest.approx(paper.watts, rel=TOL_WATTS)
+    assert result.energy_j == pytest.approx(paper.joules, rel=0.08)
+
+
+@pytest.mark.parametrize(
+    "app", ["mergesort", "fibonacci", "bots-fib", "bots-strassen", "lulesh"]
+)
+def test_table1_icc_key_rows(app):
+    result = run_measurement(app, "icc", "O2")
+    paper = TABLE1_ICC[app]
+    assert result.time_s == pytest.approx(paper.time_s, rel=TOL_TIME)
+    assert result.watts == pytest.approx(paper.watts, rel=TOL_WATTS)
+
+
+def test_table1_compiler_winners_flip():
+    """No compiler dominates: GCC wins fib-with-cutoff energy despite
+    being slower; ICC wins fibonacci outright (Section II-C.1)."""
+    gcc_fib = run_measurement("bots-fib", "gcc", "O2")
+    icc_fib = run_measurement("bots-fib", "icc", "O2")
+    assert gcc_fib.time_s > icc_fib.time_s          # ICC faster
+    assert gcc_fib.energy_j < icc_fib.energy_j      # GCC cheaper
+    assert gcc_fib.watts < icc_fib.watts - 30       # 96.5 W vs 157 W
+
+    gcc_fibo = run_measurement("fibonacci", "gcc", "O2")
+    icc_fibo = run_measurement("fibonacci", "icc", "O2")
+    assert icc_fibo.time_s < gcc_fibo.time_s / 5    # 13.5 s vs 141.6 s
+    assert icc_fibo.energy_j < gcc_fibo.energy_j
+
+
+@pytest.mark.parametrize("level", ["O0", "O1", "O2", "O3"])
+def test_table2_lulesh_all_levels(level):
+    result = run_measurement("lulesh", "gcc", level)
+    paper = TABLE2_GCC["lulesh"][level]
+    assert result.time_s == pytest.approx(paper.time_s, rel=0.06)
+    assert result.watts == pytest.approx(paper.watts, rel=0.06)
+
+
+@pytest.mark.parametrize("app", ["nqueens", "bots-sparselu-single", "mergesort"])
+def test_table2_o0_is_most_expensive(app):
+    o0 = run_measurement(app, "gcc", "O0")
+    o2 = run_measurement(app, "gcc", "O2")
+    assert o0.time_s > o2.time_s
+    assert o0.energy_j > o2.energy_j
+
+
+def test_optimization_energy_reduction_factor():
+    """Optimization cuts energy 'typically a factor of 2 or 3' from O0."""
+    o0 = run_measurement("bots-sparselu-single", "gcc", "O0")
+    o2 = run_measurement("bots-sparselu-single", "gcc", "O2")
+    assert 2.0 < o0.energy_j / o2.energy_j < 8.0
+
+
+def test_no_single_best_level():
+    """GCC nqueens: O2 beats O3 (649 J vs 846 J) — Section II-C.3."""
+    o2 = run_measurement("nqueens", "gcc", "O2")
+    o3 = run_measurement("nqueens", "gcc", "O3")
+    assert o2.energy_j < o3.energy_j
+
+
+def test_gcc_fibonacci_o2_anomaly_inherited():
+    """GCC fibonacci at O2 is ~2x slower than O3 (141.6 s vs 77.1 s)."""
+    o2 = run_measurement("fibonacci", "gcc", "O2")
+    o3 = run_measurement("fibonacci", "gcc", "O3")
+    assert o2.time_s > 1.5 * o3.time_s
+
+
+@pytest.mark.parametrize("app", ["mergesort", "dijkstra", "bots-strassen"])
+def test_table3_icc_o3_rows(app):
+    result = run_measurement(app, "icc", "O3")
+    paper = TABLE3_ICC[app][app in TABLE3_ICC[app] and "O3" or "O3"]
+    paper = TABLE3_ICC[app]["O3"]
+    assert result.time_s == pytest.approx(paper.time_s, rel=0.06)
+    assert result.watts == pytest.approx(paper.watts, rel=0.06)
+
+
+def test_icc_fibonacci_constant_across_levels():
+    """ICC fibonacci: 13.5 s at every optimization level (Table III)."""
+    times = [run_measurement("fibonacci", "icc", lvl).time_s for lvl in
+             ("O0", "O1", "O2", "O3")]
+    assert max(times) / min(times) < 1.05
+
+
+def test_power_range_matches_paper_extremes():
+    """Section II-C.2: power spans ~59-159 W; mergesort is the floor."""
+    merge = run_measurement("mergesort", "gcc", "O2")
+    strassen = run_measurement("bots-strassen", "gcc", "O2")
+    assert merge.watts < 65.0
+    assert strassen.watts > 145.0
+
+
+def test_measurement_path_matches_ground_truth():
+    """The RCR/RAPL measurement equals the simulator's energy ground
+    truth within counter quantization."""
+    result = run_measurement("bots-sort", "gcc", "O2")
+    assert result.energy_j == pytest.approx(result.run.energy_j, rel=1e-3)
+    assert result.time_s == pytest.approx(result.run.elapsed_s, rel=1e-9)

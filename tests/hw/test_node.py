@@ -1,0 +1,237 @@
+"""The Node's fluid execution model: invariants and behaviours."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.hw.core import CoreState, Segment
+from repro.hw.msr import (
+    IA32_CLOCK_MODULATION,
+    IA32_THERM_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+    encode_clock_modulation,
+)
+from repro.hw.node import Node
+from repro.sim.engine import Engine
+from repro.units import RAPL_ENERGY_UNIT_J
+
+
+def test_single_compute_segment_takes_solo_time(engine, node):
+    done = []
+    node.assign(0, Segment(2.5, 0.0), on_complete=lambda: done.append(engine.now))
+    engine.run()
+    assert done == [pytest.approx(2.5)]
+
+
+def test_zero_length_segment_completes_via_event(engine, node):
+    done = []
+    node.assign(0, Segment(0.0), on_complete=lambda: done.append(engine.now))
+    assert done == []  # never synchronous
+    engine.run()
+    assert done == [0.0]
+
+
+def test_cannot_double_assign(engine, node):
+    node.assign(0, Segment(1.0))
+    with pytest.raises(SimulationError):
+        node.assign(0, Segment(1.0))
+
+
+def test_cannot_assign_to_off_core(engine, node):
+    node.set_off(5)
+    with pytest.raises(SimulationError):
+        node.assign(5, Segment(1.0))
+    node.set_idle(5)
+    node.assign(5, Segment(1.0))  # back online
+
+
+def test_work_conservation(engine, node):
+    """Total work executed equals total work assigned."""
+    total = 0.0
+    for i in range(16):
+        seg = Segment(0.5 + 0.1 * i, mem_fraction=0.05 * (i % 10))
+        total += seg.solo_seconds
+        node.assign(i, seg)
+    engine.run()
+    done = sum(c.work_done_solo_seconds for c in node.cores)
+    assert done == pytest.approx(total)
+
+
+def test_memory_contention_stretches_execution(engine, node):
+    """16 memory-bound cores finish far later than solo time."""
+    for i in range(16):
+        node.assign(i, Segment(1.0, mem_fraction=0.9))
+    engine.run()
+    assert engine.now > 2.0  # solo would be 1.0
+
+
+def test_compute_bound_cores_do_not_interfere(engine, node):
+    for i in range(16):
+        node.assign(i, Segment(1.0, mem_fraction=0.0))
+    engine.run()
+    assert engine.now == pytest.approx(1.0)
+
+
+def test_contention_is_per_socket(engine, node):
+    """Memory-bound work on socket 0 does not slow socket 1."""
+    done = {}
+    for i in range(8):
+        node.assign(i, Segment(1.0, mem_fraction=0.9))
+    node.assign(8, Segment(1.0, mem_fraction=0.2),
+                on_complete=lambda: done.setdefault("s1", engine.now))
+    engine.run()
+    assert done["s1"] == pytest.approx(1.0)
+
+
+def test_segment_contention_exponent_override(engine):
+    times = {}
+    for alpha in (1.0, 3.0):
+        eng = Engine()
+        nd = Node(eng)
+        for i in range(8):
+            nd.assign(i, Segment(1.0, mem_fraction=0.9, contention_exponent=alpha))
+        eng.run()
+        times[alpha] = eng.now
+    assert times[3.0] > times[1.0]
+
+
+def test_duty_cycle_slows_compute(engine, node):
+    done = []
+    node.set_duty(0, 0.5)
+    node.assign(0, Segment(1.0, 0.0), on_complete=lambda: done.append(engine.now))
+    engine.run()
+    assert done == [pytest.approx(2.0)]
+
+
+def test_duty_change_mid_segment(engine, node):
+    done = []
+    node.assign(0, Segment(1.0, 0.0), on_complete=lambda: done.append(engine.now))
+    engine.schedule(0.5, lambda: node.set_duty(0, 0.25))
+    engine.run()
+    # 0.5 solo-seconds at full speed + 0.5 at quarter speed = 0.5 + 2.0.
+    assert done == [pytest.approx(2.5)]
+
+
+def test_energy_equals_power_integral(engine, node):
+    """RAPL accumulation matches the perfctr power integral exactly."""
+    for i in range(10):
+        node.assign(i, Segment(0.7, mem_fraction=0.4))
+    engine.run(until=2.0)
+    node.refresh()
+    for s in range(2):
+        assert node.rapl[s].energy_j == pytest.approx(
+            node.counters[s].power_integral_j, rel=1e-9
+        )
+
+
+def test_idle_node_accumulates_idle_energy(engine, node):
+    engine.run(until=10.0)
+    energy = node.total_energy_j()
+    power = energy / 10.0
+    assert power == pytest.approx(47.0, abs=6.0)
+
+
+def test_rapl_msr_readout_matches_ground_truth(engine, node):
+    node.assign(0, Segment(1.0, 0.0))
+    engine.run()
+    raw = node.msr.read_package(0, MSR_PKG_ENERGY_STATUS, privileged=True)
+    assert raw == pytest.approx(node.energy_j(0) / RAPL_ENERGY_UNIT_J, abs=1.0)
+
+
+def test_clock_modulation_msr_commits_after_latency(engine, node):
+    node.msr.write_core(
+        0, IA32_CLOCK_MODULATION, encode_clock_modulation(1 / 32), privileged=True
+    )
+    # Architecturally visible immediately, physically after the delay.
+    assert node.cores[0].duty == 1.0
+    engine.run()
+    assert node.cores[0].duty == pytest.approx(1 / 32)
+    expected_delay = node.config.msr_write_mem_ops * node.config.memory.base_latency_s
+    assert engine.now == pytest.approx(expected_delay)
+
+
+def test_therm_status_msr(engine, node):
+    raw = node.msr.read_core(0, IA32_THERM_STATUS, privileged=True)
+    assert raw > 0
+
+
+def test_spin_state_and_power(engine, node):
+    node.refresh()
+    idle_power = node.total_power_w()
+    node.set_spin(3, duty=1 / 32)
+    assert node.cores[3].state is CoreState.SPIN
+    spin_power = node.total_power_w()
+    assert 1.5 < spin_power - idle_power < 4.0
+    node.set_idle(3)
+    assert node.total_power_w() == pytest.approx(idle_power)
+
+
+def test_spin_time_accounted(engine, node):
+    node.set_spin(2)
+    engine.run(until=3.0)
+    node.refresh()
+    assert node.cores[2].spin_seconds == pytest.approx(3.0)
+
+
+def test_counters_window_averages(engine, node):
+    snap = node.counters_snapshot(0)
+    for i in range(8):
+        node.assign(i, Segment(1.0, mem_fraction=1.0))
+    engine.run(until=1.0)
+    window = node.window(0, snap)
+    assert window.elapsed_s == pytest.approx(1.0)
+    assert window.avg_demand == pytest.approx(80.0, rel=0.05)
+    assert window.avg_bw_util == pytest.approx(1.0, rel=0.05)
+    assert window.avg_power_w > 40.0
+
+
+def test_busy_core_count(engine, node):
+    assert node.busy_core_count == 0
+    node.assign(0, Segment(1.0))
+    node.assign(1, Segment(1.0))
+    assert node.busy_core_count == 2
+    node.set_spin(2)
+    assert node.spinning_core_count == 1
+
+
+def test_chained_segments_via_callbacks(engine, node):
+    finished = []
+
+    def chain(n):
+        if n < 3:
+            node.assign(0, Segment(0.5), on_complete=lambda: chain(n + 1))
+        else:
+            finished.append(engine.now)
+
+    chain(0)
+    engine.run()
+    assert finished == [pytest.approx(1.5)]
+
+
+def test_temperature_rises_under_load_from_cold(engine, cold_node):
+    start = cold_node.temp_degc(0)
+    for i in range(16):
+        cold_node.assign(i, Segment(30.0, mem_fraction=0.0))
+    engine.run()
+    assert cold_node.temp_degc(0) > start + 10.0
+
+
+def test_warm_node_starts_hot(node):
+    assert node.temp_degc(0) > 55.0
+
+
+def test_node_determinism():
+    def run_once():
+        eng = Engine()
+        nd = Node(eng)
+        order = []
+        for i in range(16):
+            nd.assign(
+                i,
+                Segment(0.1 + (i * 37 % 7) / 10, mem_fraction=(i % 5) / 5.0),
+                on_complete=lambda i=i: order.append((i, eng.now)),
+            )
+        eng.run()
+        return order, nd.total_energy_j()
+
+    assert run_once() == run_once()

@@ -1,0 +1,319 @@
+"""Reference kernels: correctness against independent oracles."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.alignment import align_pair, pairwise_alignment_scores, random_sequences
+from repro.kernels.fib import fib, fib_call_count, fib_task_counts
+from repro.kernels.graphs import dijkstra_sssp, random_graph
+from repro.kernels.health import make_village, simulate, totals
+from repro.kernels.hydro import (
+    hydro_advance,
+    make_sedov_state,
+    shock_radius,
+    stable_dt,
+    total_energy,
+)
+from repro.kernels.linalg import (
+    blocks_to_dense,
+    make_sparse_blocks,
+    sparse_lu,
+    strassen_matmul,
+    strassen_task_counts,
+)
+from repro.kernels.nqueens import (
+    KNOWN_SOLUTIONS,
+    count_nqueens,
+    count_nqueens_from_prefix,
+)
+from repro.kernels.reduction import array_reduction
+from repro.kernels.sorting import is_sorted, merge_sorted, mergesort
+
+
+# ---------------------------------------------------------------- sorting
+@given(st.lists(st.integers(-1000, 1000), max_size=300))
+def test_mergesort_matches_sorted(values):
+    arr = np.array(values, dtype=np.int64)
+    assert np.array_equal(mergesort(arr), np.sort(arr))
+
+
+@given(
+    st.lists(st.integers(0, 100), max_size=50),
+    st.lists(st.integers(0, 100), max_size=50),
+)
+def test_merge_sorted_property(a, b):
+    left = np.sort(np.array(a, dtype=np.int64))
+    right = np.sort(np.array(b, dtype=np.int64))
+    merged = merge_sorted(left, right)
+    assert is_sorted(merged)
+    assert sorted(merged.tolist()) == sorted(a + b)
+
+
+def test_mergesort_rejects_2d():
+    with pytest.raises(ValueError):
+        mergesort(np.zeros((2, 2)))
+
+
+def test_is_sorted():
+    assert is_sorted(np.array([1, 2, 2, 3]))
+    assert not is_sorted(np.array([2, 1]))
+    assert is_sorted(np.array([]))
+
+
+# ----------------------------------------------------------------- graphs
+def test_dijkstra_vs_networkx():
+    nx = pytest.importorskip("networkx")
+    adj = random_graph(150, seed=11)
+    dist = dijkstra_sssp(adj, 0)
+    g = nx.Graph()
+    for u, nbrs in enumerate(adj):
+        for v, w in nbrs:
+            if g.has_edge(u, v):
+                if w < g[u][v]["weight"]:
+                    g[u][v]["weight"] = w
+            else:
+                g.add_edge(u, v, weight=w)
+    ref = nx.single_source_dijkstra_path_length(g, 0)
+    for node_id, d in ref.items():
+        assert dist[node_id] == pytest.approx(d)
+
+
+def test_random_graph_is_connected():
+    adj = random_graph(60, seed=5)
+    dist = dijkstra_sssp(adj, 0)
+    assert np.all(np.isfinite(dist))
+
+
+def test_dijkstra_source_distance_zero():
+    adj = random_graph(20, seed=2)
+    assert dijkstra_sssp(adj, 3)[3] == 0.0
+    with pytest.raises(ValueError):
+        dijkstra_sssp(adj, 99)
+
+
+@given(st.integers(2, 40), st.integers(0, 10))
+@settings(max_examples=20, deadline=None)
+def test_dijkstra_triangle_inequality(n, seed):
+    adj = random_graph(n, seed=seed)
+    dist = dijkstra_sssp(adj, 0)
+    for u, nbrs in enumerate(adj):
+        for v, w in nbrs:
+            assert dist[v] <= dist[u] + w + 1e-9
+
+
+# -------------------------------------------------------------------- fib
+def test_fib_values():
+    assert [fib(i) for i in range(10)] == [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+    with pytest.raises(ValueError):
+        fib(-1)
+
+
+def test_fib_call_count_closed_form():
+    for n in range(2, 20):
+        assert fib_call_count(n) == 2 * fib(n + 1) - 1
+
+
+def test_fib_task_counts():
+    tasks, leaves = fib_task_counts(10, 0)
+    assert (tasks, leaves) == (1, 1)
+    tasks, leaves = fib_task_counts(10, 3)
+    assert tasks > leaves > 1
+
+
+# ---------------------------------------------------------------- nqueens
+@pytest.mark.parametrize("n", [4, 5, 6, 7, 8])
+def test_nqueens_known_counts(n):
+    assert count_nqueens(n) == KNOWN_SOLUTIONS[n]
+
+
+def test_nqueens_prefix_partition():
+    """Summing over all first-row placements recovers the total."""
+    n = 8
+    assert sum(count_nqueens_from_prefix(n, (c,)) for c in range(n)) == 92
+
+
+def test_nqueens_conflicting_prefix_is_zero():
+    assert count_nqueens_from_prefix(8, (0, 0)) == 0
+    assert count_nqueens_from_prefix(8, (0, 1)) == 0  # diagonal
+
+
+# ----------------------------------------------------------------- linalg
+def test_strassen_matches_numpy():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((64, 64))
+    b = rng.standard_normal((64, 64))
+    assert np.allclose(strassen_matmul(a, b, cutoff=8), a @ b)
+
+
+def test_strassen_validates_shapes():
+    with pytest.raises(ValueError):
+        strassen_matmul(np.zeros((3, 3)), np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        strassen_matmul(np.zeros((4, 4)), np.zeros((8, 8)))
+
+
+def test_strassen_task_counts():
+    leaves, internal = strassen_task_counts(64, 8)
+    assert leaves == 7**3
+    assert internal == 1 + 7 + 49
+
+
+def test_sparse_lu_reconstructs():
+    blocks = make_sparse_blocks(6, 8, density=0.6, seed=3)
+    dense = blocks_to_dense(blocks)
+    lu = sparse_lu([[b.copy() if b is not None else None for b in row] for row in blocks])
+    lud = blocks_to_dense(lu)
+    n = lud.shape[0]
+    lower = np.tril(lud, -1) + np.eye(n)
+    upper = np.triu(lud)
+    assert np.allclose(lower @ upper, dense, atol=1e-8)
+
+
+def test_sparse_lu_requires_diagonal():
+    blocks = make_sparse_blocks(3, 4, seed=0)
+    blocks[1][1] = None
+    with pytest.raises(ValueError):
+        sparse_lu(blocks)
+
+
+# -------------------------------------------------------------- alignment
+def test_alignment_identity_scores_maximally():
+    seq = "ACDEFGHIKL"
+    self_score = align_pair(seq, seq)
+    assert self_score == 2.0 * len(seq)
+    other = align_pair(seq, "LMNPQRSTVW")
+    assert other < self_score
+
+
+def test_alignment_is_symmetric():
+    a, b = random_sequences(2, 15, seed=9)
+    assert align_pair(a, b) == pytest.approx(align_pair(b, a))
+
+
+def test_alignment_empty_sequences():
+    assert align_pair("", "AC") == -4.0  # two gap penalties
+
+
+def test_pairwise_matrix_upper_triangle():
+    seqs = random_sequences(4, 8, seed=1)
+    scores = pairwise_alignment_scores(seqs)
+    assert scores.shape == (4, 4)
+    assert np.all(np.tril(scores) == 0)
+
+
+def test_alignment_gap_dominates_short():
+    # One deletion: score = matches - gap.
+    assert align_pair("ACDEF", "ACDE") == 4 * 2.0 - 2.0
+
+
+# ----------------------------------------------------------------- health
+def test_health_deterministic():
+    a = simulate(make_village(4, 3), 12)
+    b = simulate(make_village(4, 3), 12)
+    assert a == b
+
+
+def test_health_treats_and_refers():
+    treated, referred = simulate(make_village(4, 3), 20)
+    assert treated > 0
+    assert referred > 0
+
+
+def test_health_tree_shape():
+    village = make_village(3, 4)
+    assert village.subtree_size() == 1 + 4 + 16
+    with pytest.raises(ValueError):
+        make_village(0)
+
+
+def test_health_conservation():
+    """Patients are conserved: arrived = treated + waiting(+in transit none)."""
+    village = make_village(3, 3)
+    steps = 15
+    simulate(village, steps)
+    # Arrivals happen at leaves when (step + vid) % 3 == 0.
+    leaves = []
+
+    def collect(v):
+        if not v.children:
+            leaves.append(v)
+        for c in v.children:
+            collect(c)
+
+    collect(village)
+    arrived = sum(
+        1 for leaf in leaves for s in range(steps) if (s + leaf.vid) % 3 == 0
+    )
+    treated, _ = totals(village)
+    waiting = []
+
+    def collect_waiting(v):
+        waiting.append(v.waiting)
+        for c in v.children:
+            collect_waiting(c)
+
+    collect_waiting(village)
+    assert treated + sum(waiting) == arrived
+
+
+# ------------------------------------------------------------------ hydro
+def test_hydro_energy_approximately_conserved():
+    state = make_sedov_state(64)
+    e0 = total_energy(state)
+    for _ in range(150):
+        hydro_advance(state, stable_dt(state))
+    assert total_energy(state) == pytest.approx(e0, rel=0.15)
+
+
+def test_hydro_shock_expands_monotonically():
+    state = make_sedov_state(96)
+    radii = []
+    for _ in range(30):
+        for _ in range(10):
+            hydro_advance(state, stable_dt(state))
+        radii.append(shock_radius(state))
+    assert radii[-1] > radii[0]
+    # Mostly monotone (discrete peak detection can plateau).
+    increases = sum(1 for a, b in zip(radii, radii[1:]) if b >= a)
+    assert increases >= len(radii) - 4
+
+
+def test_hydro_density_positive():
+    state = make_sedov_state(64)
+    for _ in range(100):
+        hydro_advance(state, stable_dt(state))
+    assert np.all(state.rho > 0)
+    assert np.all(state.e > 0)
+    assert np.all(np.diff(state.r) > 0)  # untangled mesh
+
+
+def test_hydro_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        make_sedov_state(2)
+    state = make_sedov_state(16)
+    with pytest.raises(ValueError):
+        hydro_advance(state, 0.0)
+
+
+def test_hydro_large_timestep_tangles():
+    state = make_sedov_state(32)
+    with pytest.raises(FloatingPointError):
+        for _ in range(100):
+            hydro_advance(state, 1.0)  # way beyond CFL
+
+
+# -------------------------------------------------------------- reduction
+@given(st.lists(st.floats(-1e6, 1e6), max_size=200), st.integers(1, 16))
+def test_reduction_chunking_invariant(values, chunks):
+    arr = np.array(values, dtype=np.float64)
+    assert array_reduction(arr, chunks=chunks) == pytest.approx(
+        float(arr.sum()), rel=1e-9, abs=1e-6
+    )
+
+
+def test_reduction_rejects_bad_chunks():
+    with pytest.raises(ValueError):
+        array_reduction(np.arange(4.0), chunks=0)

@@ -1,0 +1,102 @@
+"""The C-API-shaped Qthreads veneer: a producer/consumer in paper style."""
+
+import pytest
+
+from repro.qthreads import Work
+from repro.qthreads.qapi import (
+    qthread_empty,
+    qthread_feb,
+    qthread_fill,
+    qthread_fork,
+    qthread_join_children,
+    qthread_readFE,
+    qthread_readFF,
+    qthread_writeEF,
+    qthread_yield,
+)
+from tests.conftest import make_runtime
+
+
+def test_fork_and_join():
+    rt = make_runtime(4)
+
+    def worker(i):
+        yield Work(0.001)
+        return i * i
+
+    def main():
+        handles = []
+        for i in range(6):
+            handle = yield qthread_fork(worker(i))
+            handles.append(handle)
+        yield qthread_join_children()
+        return sum(h.result for h in handles)
+
+    assert rt.run(main()).result == sum(i * i for i in range(6))
+
+
+def test_feb_pipeline():
+    """Classic FEB producer/consumer: each slot written EF, consumed FE."""
+    rt = make_runtime(4)
+    slot = qthread_feb(name="slot")
+    consumed = []
+
+    def producer():
+        for i in range(5):
+            yield qthread_writeEF(slot, i)
+        return "done"
+
+    def consumer():
+        for _ in range(5):
+            value = yield qthread_readFE(slot)
+            consumed.append(value)
+        return len(consumed)
+
+    def main():
+        yield qthread_fork(producer())
+        handle = yield qthread_fork(consumer())
+        yield qthread_join_children()
+        return handle.result
+
+    assert rt.run(main()).result == 5
+    assert consumed == [0, 1, 2, 3, 4]
+
+
+def test_fill_empty_and_readff():
+    rt = make_runtime(2)
+    gate = qthread_feb(name="gate")
+
+    def waiter():
+        value = yield qthread_readFF(gate)
+        return value
+
+    def main():
+        handle = yield qthread_fork(waiter())
+        yield Work(0.005)
+        yield qthread_fill(gate, 42)
+        yield qthread_join_children()
+        return handle.result
+
+    assert rt.run(main()).result == 42
+    # qthread_empty is immediate and unconditional.
+    qthread_empty(gate)
+    assert not gate.full
+
+
+def test_yield_cooperates():
+    rt = make_runtime(1)
+    order = []
+
+    def child():
+        yield Work(0.001)
+        order.append("child")
+        return None
+
+    def main():
+        yield qthread_fork(child())
+        yield qthread_yield()
+        order.append("main")
+        yield qthread_join_children()
+        return order
+
+    assert rt.run(main()).result == ["child", "main"]

@@ -1,0 +1,70 @@
+"""RCRdaemon CPU-overhead modelling (paper: ~16% of one core)."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.rcr import Blackboard, RCRDaemon
+from tests.conftest import make_runtime
+
+
+def _run_idle(model_overhead, seconds=2.0, fraction=0.16):
+    rt = make_runtime(4)  # workers on cores 0..3; core 15 is daemon-free
+    bb = Blackboard()
+    daemon = RCRDaemon(
+        rt.engine, rt.node, bb,
+        model_overhead=model_overhead, overhead_fraction=fraction,
+    )
+    daemon.start()
+    rt.engine.run(until=seconds)
+    rt.node.refresh()
+    return rt, daemon
+
+
+def test_overhead_disabled_by_default():
+    rt, daemon = _run_idle(model_overhead=False)
+    assert daemon.overhead_ticks_run == 0
+    assert rt.node.cores[15].busy_seconds == 0.0
+
+
+def test_overhead_consumes_sixteen_percent_of_one_core():
+    rt, daemon = _run_idle(model_overhead=True)
+    core = rt.node.cores[15]
+    assert daemon.overhead_ticks_run >= 15
+    # 16% of 2 s, within the slack of tick alignment.
+    assert core.work_done_solo_seconds == pytest.approx(0.16 * 2.0, rel=0.15)
+
+
+def test_overhead_shows_up_in_energy():
+    rt_with, _ = _run_idle(model_overhead=True)
+    rt_off, _ = _run_idle(model_overhead=False)
+    assert rt_with.node.total_energy_j() > rt_off.node.total_energy_j() + 1.0
+
+
+def test_overhead_skips_busy_core():
+    from repro.hw.core import Segment
+
+    rt = make_runtime(4)
+    bb = Blackboard()
+    daemon = RCRDaemon(rt.engine, rt.node, bb, model_overhead=True)
+    daemon.start()
+    rt.node.assign(15, Segment(5.0, 0.0))  # occupy the daemon's core
+    rt.engine.run(until=1.0)
+    assert daemon.overhead_ticks_skipped >= 8
+    assert daemon.overhead_ticks_run == 0
+
+
+def test_overhead_fraction_validated():
+    rt = make_runtime(2)
+    with pytest.raises(MeasurementError):
+        RCRDaemon(rt.engine, rt.node, Blackboard(), overhead_fraction=1.5)
+
+
+def test_overhead_core_selectable():
+    rt = make_runtime(2)
+    bb = Blackboard()
+    daemon = RCRDaemon(rt.engine, rt.node, bb, model_overhead=True,
+                       overhead_core=9)
+    daemon.start()
+    rt.engine.run(until=1.0)
+    rt.node.refresh()
+    assert rt.node.cores[9].work_done_solo_seconds > 0.1

@@ -1,0 +1,102 @@
+"""Clock, trace and RNG stream behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock
+from repro.sim.rng import RngStreams
+from repro.sim.trace import Trace
+
+
+# ---------------------------------------------------------------- clock
+def test_clock_starts_at_zero_by_default():
+    assert Clock().now == 0.0
+
+
+def test_clock_advances_monotonically():
+    clock = Clock()
+    clock.advance_to(1.5)
+    clock.advance_to(1.5)  # staying put is fine
+    assert clock.now == 1.5
+    with pytest.raises(SimulationError):
+        clock.advance_to(1.0)
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(SimulationError):
+        Clock(-1.0)
+
+
+# ---------------------------------------------------------------- trace
+def test_trace_records_and_filters():
+    trace = Trace()
+    trace.record(1.0, "a", "first")
+    trace.record(2.0, "b", "second")
+    trace.record(3.0, "a", "third")
+    assert len(trace) == 3
+    assert [r.detail for r in trace.filter("a")] == ["first", "third"]
+    assert trace.last().detail == "third"
+    assert trace.last("b").detail == "second"
+    assert trace.last("missing") is None
+
+
+def test_trace_disabled_records_nothing():
+    trace = Trace(enabled=False)
+    trace.record(1.0, "a")
+    assert len(trace) == 0
+
+
+def test_trace_bounded_capacity_drops_oldest():
+    trace = Trace(capacity=3)
+    for i in range(5):
+        trace.record(float(i), "x", str(i))
+    assert len(trace) == 3
+    assert [r.detail for r in trace] == ["2", "3", "4"]
+    assert trace.dropped == 2
+
+
+def test_trace_format_is_readable():
+    trace = Trace()
+    trace.record(1.25, "event", "hello")
+    assert "hello" in trace.format()
+
+
+def test_trace_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        Trace(capacity=0)
+
+
+# ------------------------------------------------------------------ rng
+def test_rng_streams_are_reproducible_by_seed():
+    a = RngStreams(42).stream("steal").integers(0, 1000, 10)
+    b = RngStreams(42).stream("steal").integers(0, 1000, 10)
+    assert np.array_equal(a, b)
+
+
+def test_rng_streams_differ_by_name():
+    streams = RngStreams(0)
+    a = streams.stream("one").integers(0, 1_000_000, 8)
+    b = streams.stream("two").integers(0, 1_000_000, 8)
+    assert not np.array_equal(a, b)
+
+
+def test_rng_stream_independent_of_creation_order():
+    fwd = RngStreams(7)
+    fwd.stream("a")
+    x = fwd.stream("b").integers(0, 10**9)
+    rev = RngStreams(7)
+    y = rev.stream("b").integers(0, 10**9)  # created first this time
+    assert x == y
+
+
+def test_rng_stream_name_must_be_nonempty():
+    with pytest.raises(SimulationError):
+        RngStreams(0).stream("")
+
+
+def test_rng_names_listing():
+    streams = RngStreams(0)
+    streams.stream("b")
+    streams.stream("a")
+    assert streams.names() == ["a", "b"]

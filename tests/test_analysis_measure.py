@@ -1,0 +1,119 @@
+"""Analysis helpers (tables, curves, stats) and measurement reports."""
+
+import math
+
+import pytest
+
+from repro.analysis.curves import ScalingPoint, ScalingSeries, ascii_chart
+from repro.analysis.stats import geometric_mean, relative_error, summarize_errors
+from repro.analysis.tables import render_grid_table, render_side_by_side
+from repro.calibration.paper_data import PaperRow
+from repro.measure.report import MeasurementRow, format_measurement_table
+
+
+# ----------------------------------------------------------------- curves
+def _series():
+    return ScalingSeries(
+        app="demo",
+        compiler="gcc",
+        points=[
+            ScalingPoint(16, 2.0, 300.0),
+            ScalingPoint(1, 10.0, 500.0),
+            ScalingPoint(8, 2.5, 250.0),
+        ],
+    )
+
+
+def test_series_sorts_points_and_computes_speedup():
+    series = _series()
+    assert series.thread_counts == [1, 8, 16]
+    assert series.speedup(8) == pytest.approx(4.0)
+    assert series.speedup(16) == pytest.approx(5.0)
+    assert series.normalized_energy(16) == pytest.approx(0.6)
+
+
+def test_series_energy_minimum_and_rise():
+    series = _series()
+    assert series.min_energy_threads == 8
+    assert series.energy_rise_at_max_threads == pytest.approx(300 / 250 - 1)
+
+
+def test_series_requires_baseline():
+    with pytest.raises(ValueError):
+        ScalingSeries("x", "gcc", [ScalingPoint(4, 1.0, 10.0)])
+    with pytest.raises(ValueError):
+        ScalingSeries("x", "gcc", [])
+
+
+def test_series_point_watts():
+    point = ScalingPoint(4, 2.0, 100.0)
+    assert point.watts == pytest.approx(50.0)
+
+
+def test_ascii_chart_renders():
+    chart = ascii_chart([_series()], value="speedup")
+    assert "demo" in chart
+    chart_e = ascii_chart([_series()], value="energy")
+    assert "energy" in chart_e
+    assert ascii_chart([]) == "(no series)"
+    with pytest.raises(ValueError):
+        ascii_chart([_series()], value="wattage")
+
+
+# ------------------------------------------------------------------ stats
+def test_relative_error():
+    assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+    assert relative_error(0.0, 0.0) == 0.0
+    assert math.isinf(relative_error(1.0, 0.0))
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -1.0])
+
+
+def test_summarize_errors():
+    text = summarize_errors({"a": 0.1, "b": -0.3})
+    assert "max |err| 30.0% (b)" in text
+    assert summarize_errors({}) == "no comparisons"
+
+
+# ----------------------------------------------------------------- tables
+def test_render_grid_table_with_missing_cells():
+    cells = {("app1", "GCC"): PaperRow(1.5, 200.0, 133.3)}
+    text = render_grid_table("T", ["app1", "app2"], ["GCC", "ICC"], cells)
+    assert "app1" in text and "app2" in text
+    assert "200" in text
+    assert "-" in text  # missing cells rendered as dashes
+
+
+def test_render_side_by_side_errors():
+    rows = [("x", PaperRow(2.0, 100.0, 50.0), PaperRow(1.0, 100.0, 100.0))]
+    text = render_side_by_side("cmp", rows)
+    assert "+100.0%" in text   # time error
+    assert "+0.0%" in text     # energy error
+    assert "-50.0%" in text    # watts error
+
+
+# ------------------------------------------------------------------ report
+def test_measurement_row_from_region():
+    row = MeasurementRow.from_region("r", 2.0, 300.0)
+    assert row.avg_watts == pytest.approx(150.0)
+    assert MeasurementRow.from_region("z", 0.0, 10.0).avg_watts == 0.0
+    assert row.as_tuple()[0] == "r"
+
+
+def test_format_measurement_table():
+    rows = [
+        MeasurementRow("16 Threads - Dynamic", 48.4, 6860.0, 141.7),
+        MeasurementRow("16 Threads - Fixed", 45.5, 7089.0, 155.9),
+    ]
+    text = format_measurement_table(rows, title="TABLE IV")
+    assert "TABLE IV" in text
+    assert "Total Joules" in text
+    assert "141.7" in text
+    lines = text.splitlines()
+    assert len(lines) == 5  # title + header + rule + 2 rows

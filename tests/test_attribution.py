@@ -1,0 +1,109 @@
+"""Per-tag energy attribution."""
+
+import pytest
+
+from repro.apps import build_app
+from repro.config import MachineConfig, RuntimeConfig
+from repro.measure.attribution import format_tag_energy, tag_energy_report
+from repro.openmp import OmpEnv
+from repro.qthreads import Runtime, Spawn, Taskwait, Work
+
+
+def _runtime(track=True, threads=8):
+    return Runtime(
+        MachineConfig(), RuntimeConfig(num_threads=threads),
+        track_tag_energy=track,
+    )
+
+
+def test_attribution_disabled_by_default():
+    rt = _runtime(track=False)
+
+    def program():
+        yield Work(0.1, tag="x")
+        return 1
+
+    rt.run(program())
+    assert rt.node.tag_energy_j == {}
+    assert "track_tag_energy" in format_tag_energy(rt.node)
+
+
+def test_attribution_splits_by_tag():
+    rt = _runtime()
+
+    def program():
+        yield Work(1.0, tag="phase-a")
+        yield Work(2.0, tag="phase-b")
+        return 1
+
+    rt.run(program())
+    report = {r.tag: r for r in tag_energy_report(rt.node)}
+    assert set(report) >= {"phase-a", "phase-b"}
+    # Twice the work at the same character = twice the energy.
+    assert report["phase-b"].joules == pytest.approx(
+        2 * report["phase-a"].joules, rel=0.02
+    )
+    assert sum(r.share for r in report.values()) == pytest.approx(1.0)
+
+
+def test_attribution_accounts_for_power_character():
+    """A memory-stalled second is cheaper than a compute second."""
+    rt = _runtime()
+
+    def program():
+        yield Work(1.0, mem_fraction=0.0, tag="compute")
+        yield Work(1.0, mem_fraction=0.95, tag="memory")
+        return 1
+
+    rt.run(program())
+    report = {r.tag: r for r in tag_energy_report(rt.node)}
+    assert report["memory"].joules < report["compute"].joules
+
+
+def test_attribution_sums_to_active_energy_share():
+    """Attributed Joules stay below node total (static power remains)."""
+    rt = _runtime()
+
+    def leaf(tag):
+        yield Work(0.05, tag=tag)
+        return 1
+
+    def program():
+        handles = []
+        for i in range(64):
+            handle = yield Spawn(leaf(f"tag{i % 4}"))
+            handles.append(handle)
+        yield Taskwait()
+        return len(handles)
+
+    rt.run(program())
+    attributed = sum(r.joules for r in tag_energy_report(rt.node))
+    total = rt.node.total_energy_j()
+    assert 0.0 < attributed < total
+    # With 8 busy cores, the active share is substantial.
+    assert attributed / total > 0.3
+
+
+def test_attribution_on_real_app():
+    """LULESH's three phases show up with sensible shares."""
+    rt = _runtime(threads=16)
+    env = OmpEnv(num_threads=16)
+    rt.run(build_app("lulesh", env, compiler="gcc", optlevel="O2"))
+    rows = tag_energy_report(rt.node)
+    tags = {r.tag for r in rows}
+    assert {"lulesh-p0", "lulesh-p1", "lulesh-p2"} <= tags
+    text = format_tag_energy(rt.node)
+    assert "lulesh-p0" in text
+    assert "of node total" in text
+
+
+def test_untagged_segments_grouped():
+    rt = _runtime()
+
+    def program():
+        yield Work(0.2)  # no tag
+        return 1
+
+    rt.run(program())
+    tags = {r.tag for r in tag_energy_report(rt.node)}
+    assert "(untagged)" in tags

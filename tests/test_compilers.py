@@ -1,0 +1,69 @@
+"""Toolchain models and the compile step."""
+
+import pytest
+
+from repro.calibration.paper_data import TABLE2_GCC, TABLE3_ICC
+from repro.compilers import GCC, ICC, MAESTRO, Toolchain, compile_app, toolchain
+from repro.errors import CalibrationError, UnknownCompilerError
+
+
+def test_toolchain_lookup():
+    assert toolchain("gcc") is GCC
+    assert toolchain("icc") is ICC
+    assert toolchain("maestro") is MAESTRO
+    with pytest.raises(UnknownCompilerError):
+        toolchain("clang")
+
+
+def test_flag_spellings():
+    assert "-O2" in GCC.flags("O2")
+    assert "-fopenmp" in GCC.flags("O0")
+    assert "-qopenmp" in ICC.flags("O3")
+    # Table I/III: "-ipo for sparselu" under ICC.
+    assert "-ipo" in ICC.flags("O2", app="bots-sparselu-single")
+    assert "-ipo" not in ICC.flags("O2", app="lulesh")
+    with pytest.raises(CalibrationError):
+        GCC.flags("O4")
+
+
+def test_supports_mirrors_the_tables():
+    for app in TABLE2_GCC:
+        assert GCC.supports(app)
+    assert not GCC.supports("bots-sparselu-for")
+    assert ICC.supports("bots-sparselu-for")
+    assert MAESTRO.supports("lulesh")
+    assert not MAESTRO.supports("mergesort")
+
+
+def test_quirks_recorded():
+    assert "141.6" in GCC.quirk("fibonacci")
+    assert "13.5" in ICC.quirk("fibonacci")
+    assert GCC.quirk("lulesh") is None
+
+
+def test_compile_app_resolves_profile():
+    profile = compile_app("lulesh", GCC, "O2")
+    assert profile.app == "lulesh"
+    assert profile.compiler == "gcc"
+    # String keys work too.
+    assert compile_app("lulesh", "icc", "O3").compiler == "icc"
+
+
+def test_compile_app_refuses_unreported_combinations():
+    with pytest.raises(CalibrationError):
+        compile_app("bots-sparselu-for", GCC)
+    with pytest.raises(CalibrationError):
+        compile_app("mergesort", MAESTRO, "O3")
+
+
+def test_compiled_profiles_differ_between_toolchains():
+    """The compiler axis is real: same source, different binary behaviour
+    (ICC's lulesh is 3.3x faster than GCC's at -O2, per Table I)."""
+    gcc_profile = compile_app("lulesh", GCC, "O2")
+    icc_profile = compile_app("lulesh", ICC, "O2")
+    assert gcc_profile.total_work_s > 2.5 * icc_profile.total_work_s
+
+
+def test_openmp_runtime_identity():
+    assert GCC.openmp_runtime == "libgomp"
+    assert MAESTRO.openmp_runtime == "qthreads"

@@ -1,0 +1,123 @@
+"""Cross-validation: the simulator against its analytic twin.
+
+The calibration fits run against the closed-form model in
+`calibration.fit`; the experiments run against the simulator.  These
+property tests pin the two to each other on randomized workload shapes —
+if they drift apart, fitted profiles stop meaning what the calibration
+says they mean.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration.fit import ShapeParams, predicted_time
+from repro.openmp import OmpEnv, parallel_for
+from repro.qthreads import Work
+from tests.conftest import make_runtime
+
+
+def _flat_program(env, total_work, mu, alpha, coherence, chunks=320):
+    """Perfectly divisible parallel work of one character."""
+    per_chunk = total_work / chunks
+
+    def body(lo, hi):
+        yield Work(per_chunk * (hi - lo), mem_fraction=mu,
+                   contention_exponent=alpha, coherence_penalty=coherence)
+        return hi - lo
+
+    def program():
+        done = yield from parallel_for(env, 0, chunks, body, chunk=1)
+        return sum(done)
+
+    return program()
+
+
+@given(
+    mu=st.floats(min_value=0.0, max_value=0.95),
+    alpha=st.floats(min_value=1.0, max_value=2.5),
+    threads=st.sampled_from([2, 4, 8, 12, 16]),
+)
+@settings(max_examples=25, deadline=None)
+def test_sim_matches_analytic_time(mu, alpha, threads):
+    """Simulated wall time of divisible work lands within a few percent
+    of the analytic prediction across the (mu, alpha, p) space."""
+    total_work = 4.0
+    shape = ShapeParams(serial_frac=0.0, mu_serial=0.0,
+                        phases=((1.0, mu),), alpha=alpha)
+    expected = predicted_time(shape, threads, work_s=total_work)
+
+    rt = make_runtime(threads)
+    env = OmpEnv(num_threads=threads)
+    res = rt.run(_flat_program(env, total_work, mu, alpha, 0.0))
+    assert res.elapsed_s == pytest.approx(expected, rel=0.06)
+
+
+@given(
+    coherence=st.floats(min_value=0.0, max_value=3.0),
+    threads=st.sampled_from([2, 8, 16]),
+)
+@settings(max_examples=15, deadline=None)
+def test_sim_matches_analytic_coherence(coherence, threads):
+    mu = 0.8
+    total_work = 2.0
+    shape = ShapeParams(serial_frac=0.0, mu_serial=0.0,
+                        phases=((1.0, mu),), alpha=1.5, coherence=coherence)
+    expected = predicted_time(shape, threads, work_s=total_work)
+    rt = make_runtime(threads)
+    env = OmpEnv(num_threads=threads)
+    res = rt.run(_flat_program(env, total_work, mu, 1.5, coherence))
+    assert res.elapsed_s == pytest.approx(expected, rel=0.06)
+
+
+@given(mu=st.floats(min_value=0.0, max_value=0.9))
+@settings(max_examples=10, deadline=None)
+def test_energy_increases_with_threads_only_via_power(mu):
+    """Energy accounting sanity on random intensity: E = avg_power * T
+    exactly, and both sides come from independent accumulators."""
+    rt = make_runtime(8)
+    env = OmpEnv(num_threads=8)
+    res = rt.run(_flat_program(env, 1.0, mu, 1.5, 0.0, chunks=64))
+    assert res.energy_j == pytest.approx(res.avg_power_w * res.elapsed_s, rel=1e-9)
+    assert res.energy_j > 0
+
+
+@given(
+    threads_a=st.sampled_from([1, 2, 4, 8]),
+    threads_b=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=10, deadline=None)
+def test_compute_bound_work_scales_ideally(threads_a, threads_b):
+    """Pure compute on <=8 threads is embarrassingly parallel in both the
+    model and the simulator: T(p) ~ W/p."""
+    times = {}
+    for p in {threads_a, threads_b}:
+        rt = make_runtime(p)
+        env = OmpEnv(num_threads=p)
+        res = rt.run(_flat_program(env, 2.0, 0.0, 1.5, 0.0, chunks=64))
+        times[p] = res.elapsed_s
+    for p, t in times.items():
+        assert t == pytest.approx(2.0 / p, rel=0.05)
+
+
+def test_serial_section_adds_analytically():
+    """A program with an explicit serial head matches shape prediction."""
+    shape = ShapeParams(serial_frac=0.25, mu_serial=0.2,
+                        phases=((1.0, 0.4),), alpha=1.5)
+    work = 4.0
+    expected = predicted_time(shape, 16, work_s=work)
+
+    rt = make_runtime(16)
+    env = OmpEnv(num_threads=16)
+
+    def body(lo, hi):
+        yield Work(work * 0.75 / 128 * (hi - lo), mem_fraction=0.4,
+                   contention_exponent=1.5)
+        return 1
+
+    def program():
+        yield Work(work * 0.25, mem_fraction=0.2, contention_exponent=1.5)
+        done = yield from parallel_for(env, 0, 128, body, chunk=1)
+        return sum(done)
+
+    res = rt.run(program())
+    assert res.elapsed_s == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,175 @@
+"""Timeline probe, APERF/MPERF counters, and the DVFS energy controller."""
+
+import pytest
+
+from repro.analysis.timeline import Timeline, TimelineProbe, TimelineSample
+from repro.config import ThrottleConfig
+from repro.errors import MeasurementError
+from repro.hw.core import Segment
+from repro.hw.msr import IA32_APERF, IA32_MPERF
+from repro.qthreads import Spawn, Taskwait, Work
+from repro.rcr import Blackboard, RCRDaemon
+from repro.throttle import DvfsEnergyController, ThrottleController
+from tests.conftest import make_runtime
+
+
+# ------------------------------------------------------------ APERF/MPERF
+def test_aperf_equals_mperf_at_full_duty(engine, node):
+    node.assign(0, Segment(1.0))
+    engine.run()
+    aperf = node.msr.read_core(0, IA32_APERF, privileged=True)
+    mperf = node.msr.read_core(0, IA32_MPERF, privileged=True)
+    assert mperf == pytest.approx(2.7e9, rel=1e-6)
+    assert aperf == mperf
+
+
+def test_aperf_tracks_duty_modulation(engine, node):
+    node.set_spin(3, duty=1 / 32)
+    engine.run(until=2.0)
+    node.refresh()
+    aperf = node.msr.read_core(3, IA32_APERF, privileged=True)
+    mperf = node.msr.read_core(3, IA32_MPERF, privileged=True)
+    assert mperf > 0
+    assert aperf / mperf == pytest.approx(1 / 32, rel=1e-3)
+
+
+def test_idle_core_counters_do_not_tick(engine, node):
+    engine.run(until=1.0)
+    node.refresh()
+    assert node.msr.read_core(5, IA32_MPERF, privileged=True) == 0
+
+
+# --------------------------------------------------------------- timeline
+def _probe_run(threads=16, chunks=200):
+    rt = make_runtime(threads)
+    probe = TimelineProbe(rt.engine, rt.node, period_s=0.02)
+    probe.start()
+
+    def body():
+        yield Work(0.01, mem_fraction=0.2)
+        return 1
+
+    def program():
+        handles = []
+        for _ in range(chunks):
+            handle = yield Spawn(body())
+            handles.append(handle)
+        yield Taskwait()
+        return len(handles)
+
+    res = rt.run(program())
+    probe.stop()
+    return rt, probe, res
+
+
+def test_timeline_samples_power_and_activity():
+    rt, probe, res = _probe_run()
+    timeline = probe.timeline
+    assert len(timeline) >= 5
+    assert timeline.peak_power_w > 100.0
+    assert timeline.mean_power_w > 50.0
+    busy = timeline.column("busy_cores")
+    assert max(busy) == 16
+    temps = timeline.column_socket("temp_degc", 0)
+    assert all(30.0 < t < 95.0 for t in temps)
+
+
+def test_timeline_ascii_and_csv():
+    rt, probe, res = _probe_run(chunks=100)
+    strip = probe.timeline.ascii_strip("node_power_w")
+    assert "node_power_w" in strip
+    csv = probe.timeline.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0].startswith("time_s,node_power_w")
+    assert len(lines) == len(probe.timeline) + 1
+
+
+def test_timeline_column_errors():
+    timeline = Timeline(period_s=0.1, samples=[
+        TimelineSample(0.0, 50.0, (25.0, 25.0), 0, 0, (40.0, 40.0)),
+    ])
+    with pytest.raises(MeasurementError):
+        timeline.column("nonexistent")
+    with pytest.raises(MeasurementError):
+        timeline.column("socket_power_w")  # per-socket needs column_socket
+    assert timeline.column_socket("socket_power_w", 1) == [25.0]
+    assert Timeline(period_s=0.1).ascii_strip() == "(empty timeline)"
+
+
+def test_probe_lifecycle_errors():
+    rt = make_runtime(2)
+    probe = TimelineProbe(rt.engine, rt.node)
+    probe.start()
+    with pytest.raises(MeasurementError):
+        probe.start()
+    probe.stop()
+    with pytest.raises(MeasurementError):
+        TimelineProbe(rt.engine, rt.node, period_s=0.0)
+
+
+# ------------------------------------------------------ DVFS controller
+def _hot_contended_program(chunks=600):
+    def body():
+        yield Work(0.01, mem_fraction=0.55, power_scale=1.5)
+        return 1
+
+    def program():
+        handles = []
+        for _ in range(chunks):
+            handle = yield Spawn(body())
+            handles.append(handle)
+        yield Taskwait()
+        return len(handles)
+
+    return program()
+
+
+def _run_with(controller_cls, **kwargs):
+    rt = make_runtime(16)
+    bb = Blackboard()
+    daemon = RCRDaemon(rt.engine, rt.node, bb)
+    daemon.start()
+    controller = controller_cls(
+        rt.engine, rt.scheduler, bb, ThrottleConfig(enabled=True), **kwargs
+    )
+    controller.start()
+    res = rt.run(_hot_contended_program())
+    controller.stop()
+    return res, controller
+
+
+def test_dvfs_controller_engages_and_scales_all_cores():
+    res, controller = _run_with(DvfsEnergyController)
+    assert any(d.throttle for d in controller.decisions)
+    assert controller.actuator.transitions >= 2  # down and (at stop) up
+
+
+def test_dvfs_controller_saves_power_but_costs_more_time_than_maestro():
+    """The paper's argument, quantified: same policy, different actuator.
+    Chip-global DVFS slows the useful threads too, so for a comparable
+    power cut it pays more time than concurrency throttling."""
+    rt = make_runtime(16)
+    baseline = rt.run(_hot_contended_program())
+
+    duty_res, duty_ctrl = _run_with(ThrottleController)
+    dvfs_res, dvfs_ctrl = _run_with(DvfsEnergyController)
+
+    assert duty_res.avg_power_w < baseline.avg_power_w
+    assert dvfs_res.avg_power_w < baseline.avg_power_w
+    assert dvfs_res.elapsed_s > duty_res.elapsed_s
+    # Energy-delay: concurrency throttling dominates.
+    assert (duty_res.energy_j * duty_res.elapsed_s
+            < dvfs_res.energy_j * dvfs_res.elapsed_s)
+
+
+def test_dvfs_controller_validation():
+    rt = make_runtime(2)
+    bb = Blackboard()
+    with pytest.raises(MeasurementError):
+        DvfsEnergyController(rt.engine, rt.scheduler, bb,
+                             ThrottleConfig(enabled=True), ratio=1.5)
+    controller = DvfsEnergyController(rt.engine, rt.scheduler, bb,
+                                      ThrottleConfig(enabled=True))
+    controller.start()
+    with pytest.raises(MeasurementError):
+        controller.start()

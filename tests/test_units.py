@@ -1,0 +1,73 @@
+"""Unit helpers: RAPL conversions and wrap arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_rapl_unit_is_paper_value():
+    # Section II-A: the counter "counts in 15.3 microJoule units".
+    assert units.RAPL_ENERGY_UNIT_J == pytest.approx(15.3e-6)
+
+
+def test_rapl_counter_is_32_bits():
+    assert units.RAPL_COUNTER_MODULUS == 2**32
+
+
+def test_joules_ticks_roundtrip():
+    joules = 123.456
+    ticks = units.joules_to_rapl_ticks(joules)
+    back = units.rapl_ticks_to_joules(ticks)
+    assert back == pytest.approx(joules, abs=units.RAPL_ENERGY_UNIT_J)
+
+
+def test_joules_to_ticks_rejects_negative():
+    with pytest.raises(ValueError):
+        units.joules_to_rapl_ticks(-1.0)
+
+
+def test_wrap_period_is_minutes_at_typical_power():
+    # Sanity for the paper's "wraps in a few minutes": at 150 W the
+    # period is ~7.3 minutes per socket.
+    period_s = units.RAPL_COUNTER_MODULUS * units.RAPL_ENERGY_UNIT_J / 150.0
+    assert 60.0 < period_s < 15 * 60.0
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_wrap_is_modular(ticks):
+    assert 0 <= units.wrap_rapl_counter(ticks) < units.RAPL_COUNTER_MODULUS
+    assert units.wrap_rapl_counter(ticks) == ticks % 2**32
+
+
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_rapl_delta_recovers_increment_with_single_wrap(start, increment):
+    """The delta of two raw reads equals the true increment as long as at
+    most one wrap occurred — the contract every RAPL client relies on."""
+    after = (start + increment) % 2**32
+    assert units.rapl_delta(start, after) == increment
+
+
+def test_watts():
+    assert units.watts(100.0, 10.0) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        units.watts(1.0, 0.0)
+
+
+def test_cycles_seconds_roundtrip():
+    s = units.cycles_to_seconds(units.NOMINAL_FREQUENCY_HZ)
+    assert s == pytest.approx(1.0)
+    assert units.seconds_to_cycles(s) == pytest.approx(units.NOMINAL_FREQUENCY_HZ)
+    with pytest.raises(ValueError):
+        units.cycles_to_seconds(100, 0.0)
+
+
+def test_min_duty_cycle_is_one_thirty_second():
+    # Section IV: "the effective frequency of the clock can be reduced
+    # to 1/32nd of the actual frequency".
+    assert units.MIN_DUTY_CYCLE == pytest.approx(1.0 / 32.0)
