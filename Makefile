@@ -2,13 +2,23 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce recalibrate examples clean
+.PHONY: install test test-faults smoke-faults bench reproduce recalibrate examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Robustness suite: fault injection + degraded-mode behaviour only.
+test-faults:
+	$(PYTHON) -m pytest tests/ -m faults
+
+# End-to-end degraded-mode smoke: the fault-sweep experiment with a fixed
+# seed (one app, three profiles), exercising retry, interpolation, the
+# daemon watchdog and the controller fail-safe on every run.
+smoke-faults:
+	$(PYTHON) -m repro.cli faultsweep --quick --seed 0
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

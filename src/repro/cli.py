@@ -8,6 +8,7 @@ Subcommands map one-to-one to the paper's evaluation artifacts:
     repro-paper table2 / table3            # Tables II / III
     repro-paper figure fig1..fig4          # Figures 1-4
     repro-paper throttle [APP]             # Tables IV-VII
+    repro-paper faultsweep                 # robustness: savings under faults
     repro-paper coldstart                  # footnote 2
     repro-paper reproduce [-o FILE]        # full EXPERIMENTS.md
     repro-paper recalibrate                # refresh residual corrections
@@ -28,9 +29,21 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_spec(text: str):
+    """argparse type for --faults: parse eagerly, fail as a usage error."""
+    from repro.errors import FaultConfigError
+    from repro.faults import parse_fault_spec
+
+    try:
+        return parse_fault_spec(text)
+    except FaultConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_measurement
 
+    faults = args.faults  # parsed by argparse (_fault_spec)
     result = run_measurement(
         args.app,
         compiler=args.compiler,
@@ -38,6 +51,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         threads=args.threads,
         throttle=args.throttle,
         payload=args.payload,
+        seed=args.seed,
+        faults=faults,
     )
     print(result.region)
     run = result.run
@@ -46,8 +61,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"spins: {run.spin_entries}  throttle on/off: "
         f"{run.throttle_activations}/{run.throttle_deactivations}"
     )
+    if result.faults is not None:
+        from repro.measure.energy import SampleQuality
+
+        injected = ", ".join(
+            f"{kind}={count}" for kind, count in result.faults.stats.items() if count
+        )
+        quality = result.daemon.quality_counts
+        qtext = ", ".join(f"{q.name}={quality[q]}" for q in SampleQuality)
+        print(f"faults injected: {injected or 'none'}")
+        print(f"sample quality: {qtext}  "
+              f"late/missed ticks: {result.daemon.late_ticks}/"
+              f"{result.daemon.missed_ticks}")
     if args.payload:
         print(f"result: {run.result!r}")
+    return 0
+
+
+def _cmd_faultsweep(args: argparse.Namespace) -> int:
+    from repro.errors import FaultConfigError, UnknownApplicationError
+    from repro.experiments.faultsweep import (
+        DEFAULT_APPS,
+        DEFAULT_PROFILES,
+        run_fault_sweep,
+    )
+
+    apps = tuple(args.apps.split(",")) if args.apps else DEFAULT_APPS
+    profiles = tuple(args.profiles.split(",")) if args.profiles else DEFAULT_PROFILES
+    if args.quick:
+        apps = apps[:1]
+        profiles = tuple(p for p in profiles if p in ("none", "stall", "default"))
+    try:
+        result = run_fault_sweep(apps, profiles, seed=args.seed)
+    except (FaultConfigError, UnknownApplicationError) as exc:
+        print(f"repro-paper faultsweep: error: {exc}", file=sys.stderr)
+        return 2
+    print(result.format())
     return 0
 
 
@@ -180,7 +229,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable MAESTRO dynamic concurrency throttling")
     run_p.add_argument("--payload", action="store_true",
                        help="run the real algorithm payloads in leaf tasks")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--faults", default=None, metavar="SPEC", type=_fault_spec,
+        help="inject sensor-path faults: a profile name (e.g. 'default', "
+             "'flaky-msr', 'stall') and/or comma-separated field=value "
+             "overrides (see repro.faults)",
+    )
     run_p.set_defaults(func=_cmd_run)
+
+    fs_p = sub.add_parser(
+        "faultsweep",
+        help="rerun the throttling comparison under each fault profile",
+    )
+    fs_p.add_argument("--apps", default=None,
+                      help="comma-separated throttling apps (default: lulesh,dijkstra)")
+    fs_p.add_argument("--profiles", default=None,
+                      help="comma-separated fault profiles (default: all)")
+    fs_p.add_argument("--seed", type=int, default=0)
+    fs_p.add_argument("--quick", action="store_true",
+                      help="one app, three profiles — the CI smoke configuration")
+    fs_p.set_defaults(func=_cmd_faultsweep)
 
     sub.add_parser("table1", help="Table I (GCC vs ICC)").set_defaults(func=_cmd_table1)
     sub.add_parser("table2", help="Table II (GCC -O levels)").set_defaults(func=_cmd_table2)

@@ -230,6 +230,16 @@ class ThrottleConfig:
     mem_low_frac: float = 0.25
     #: Total active threads allowed while throttled (paper compares to 12).
     throttled_threads: int = 12
+    #: Fail-safe: meter age beyond which the controller *holds* its current
+    #: throttle state instead of acting on stale data.  2.5 daemon periods
+    #: by default — normal operation republishes every period, so anything
+    #: older means the measurement path is misbehaving.
+    stale_after_s: float = 0.25
+    #: Fail-safe: meter age beyond which the controller releases throttling
+    #: entirely and returns the node to full concurrency (the paper's safe
+    #: default — an unthrottled run is always correct, just possibly less
+    #: efficient).  Must exceed ``stale_after_s``.
+    failsafe_release_s: float = 1.0
     #: Ablation: decide on power alone, ignoring memory concurrency.
     #: The paper rejects this: "When only average power is used to
     #: determine throttling, it often limits thread count for programs
@@ -246,3 +256,85 @@ class ThrottleConfig:
             raise ConfigError("memory thresholds must satisfy 0<=low<high<=1")
         if self.throttled_threads <= 0:
             raise ConfigError("throttled_threads must be positive")
+        if self.stale_after_s <= 0:
+            raise ConfigError("stale_after_s must be positive")
+        if self.failsafe_release_s <= self.stale_after_s:
+            raise ConfigError("failsafe_release_s must exceed stale_after_s")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic sensor/daemon fault-injection parameters.
+
+    Models the failure modes the measurement-reliability literature
+    documents for the RAPL/MSR path (reads returning ``EIO``, counters
+    repeating stale values, sampling cadence drift, sampler stalls long
+    enough to miss a 32-bit wrap).  All injection is driven by a named
+    seeded RNG stream, so a given (seed, config) pair replays the exact
+    same fault sequence.  The zero-valued default — and any config with
+    ``enabled=False`` — is provably inert: no injector is consulted and
+    every code path is bit-identical to a build without the fault layer.
+    """
+
+    enabled: bool = False
+    #: Probability that one privileged RAPL energy read raises
+    #: :class:`~repro.errors.MSRReadError` (per read attempt).
+    msr_read_fail_p: float = 0.0
+    #: Consecutive failed reads per failure event.  A burst longer than the
+    #: reader's retry budget forces interpolation.
+    msr_read_fail_burst: int = 1
+    #: Probability that one RAPL energy read starts returning a stuck
+    #: (repeated) value for ``stuck_duration_reads`` reads.
+    stuck_p: float = 0.0
+    #: Number of consecutive reads that repeat the stuck value.
+    stuck_duration_reads: int = 3
+    #: Bounded uniform noise on the IA32_THERM_STATUS digital readout,
+    #: degrees Celsius (the encoding quantises to whole degrees).
+    therm_noise_degc: float = 0.0
+    #: Bounded relative noise on the uncore concurrency/bandwidth counters
+    #: (fraction; each window is scaled by U[1-f, 1+f]).
+    counter_noise_frac: float = 0.0
+    #: Bounded relative jitter on the daemon tick period (fraction; each
+    #: tick is scheduled at period * (1 + U[-f, +f])).
+    tick_jitter_frac: float = 0.0
+    #: One-shot daemon stall: the first tick scheduled at or after this
+    #: simulation time is delayed by ``stall_duration_s``.  ``None``
+    #: disables the stall.
+    stall_at_s: float | None = None
+    #: Length of the one-shot stall, seconds.  Long stalls violate the
+    #: "at most one wrap between polls" contract on purpose.
+    stall_duration_s: float = 0.0
+
+    def validate(self) -> None:
+        for name in ("msr_read_fail_p", "stuck_p"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigError(f"{name} must be in [0, 1], got {value!r}")
+        if self.msr_read_fail_burst < 1:
+            raise ConfigError("msr_read_fail_burst must be >= 1")
+        if self.stuck_duration_reads < 1:
+            raise ConfigError("stuck_duration_reads must be >= 1")
+        for name in ("therm_noise_degc", "counter_noise_frac",
+                     "tick_jitter_frac", "stall_duration_s"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if self.tick_jitter_frac >= 1.0:
+            raise ConfigError("tick_jitter_frac must be below 1")
+        if self.stall_at_s is not None and self.stall_at_s < 0:
+            raise ConfigError("stall_at_s must be non-negative")
+
+    @property
+    def inert(self) -> bool:
+        """True when this config can never perturb anything."""
+        return not self.enabled or (
+            self.msr_read_fail_p == 0.0
+            and self.stuck_p == 0.0
+            and self.therm_noise_degc == 0.0
+            and self.counter_noise_frac == 0.0
+            and self.tick_jitter_frac == 0.0
+            and (self.stall_at_s is None or self.stall_duration_s == 0.0)
+        )
+
+    def with_changes(self, **kwargs: object) -> "FaultConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

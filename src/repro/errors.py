@@ -40,8 +40,24 @@ class MSRAddressError(ReproError):
     """Raised when reading or writing an unmapped MSR address."""
 
 
+class MSRReadError(ReproError):
+    """Raised when an MSR read transiently fails.
+
+    The analog of ``read()`` on ``/dev/cpu/*/msr`` returning ``EIO``: the
+    register exists and the caller is privileged, but this particular
+    access did not complete.  Transient by definition — clients are
+    expected to retry, and the hardened measurement path does (see
+    :class:`repro.measure.energy.EnergyReader`).  Only the fault-injection
+    layer raises this; a fault-free simulation never does.
+    """
+
+
 class ConfigError(ReproError):
     """Raised for invalid machine or experiment configuration."""
+
+
+class FaultConfigError(ConfigError):
+    """Raised for an invalid fault-injection configuration or spec string."""
 
 
 class CalibrationError(ReproError):

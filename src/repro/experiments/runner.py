@@ -20,11 +20,13 @@ from typing import Optional
 from repro.apps import build_app
 from repro.calibration.profiles import WorkloadProfile, get_profile
 from repro.config import (
+    FaultConfig,
     MachineConfig,
     PAPER_MACHINE,
     RuntimeConfig,
     ThrottleConfig,
 )
+from repro.faults import FaultInjector
 from repro.measure.report import MeasurementRow
 from repro.openmp import OmpEnv
 from repro.qthreads import Runtime
@@ -48,6 +50,11 @@ class MeasurementResult:
     run: RunResult
     #: Throttle decision log (None when the controller was off).
     controller: Optional[ThrottleController] = None
+    #: The sampling daemon (exposes watchdog counters and the per-sample
+    #: quality histogram for robustness experiments).
+    daemon: Optional[RCRDaemon] = None
+    #: Fault injector (None when no faults were enabled for the run).
+    faults: Optional[FaultInjector] = None
 
     @property
     def time_s(self) -> float:
@@ -85,9 +92,15 @@ def run_measurement(
     payload: bool = False,
     scale: float = 1.0,
     seed: int = 0,
+    faults: Optional[FaultConfig] = None,
     app_kwargs: Optional[dict] = None,
 ) -> MeasurementResult:
-    """Run one application through the full measurement stack."""
+    """Run one application through the full measurement stack.
+
+    ``faults`` optionally injects deterministic sensor-path faults (see
+    :mod:`repro.faults`); an absent or inert config leaves the pipeline
+    bit-identical to a fault-free build.
+    """
     if profile is None:
         profile = get_profile(app, compiler, optlevel, machine)
     runtime = Runtime(
@@ -96,8 +109,15 @@ def run_measurement(
         seed=seed,
         warm=warm,
     )
+    injector = None
+    if faults is not None and not faults.inert:
+        injector = FaultInjector(
+            faults,
+            runtime.rng.stream("faults"),
+            now_fn=lambda: runtime.engine.now,
+        )
     blackboard = Blackboard()
-    daemon = RCRDaemon(runtime.engine, runtime.node, blackboard)
+    daemon = RCRDaemon(runtime.engine, runtime.node, blackboard, faults=injector)
     daemon.start()
     client = RegionClient(runtime.engine, blackboard, machine.sockets, daemon=daemon)
     controller = None
@@ -126,4 +146,6 @@ def run_measurement(
         region=report,
         run=run,
         controller=controller,
+        daemon=daemon,
+        faults=injector,
     )

@@ -1,0 +1,34 @@
+"""Fault injection for the measurement/throttling pipeline.
+
+The paper's control loop hangs off one sensor chain — RAPL MSR reads →
+RCRdaemon samples → blackboard meters → throttle decisions — and real
+deployments of that chain are noisy: reads fail or stall, counters repeat
+stale values, sampling cadence drifts, and a stalled sampler can miss a
+32-bit counter wrap outright.  This package injects exactly those faults,
+deterministically, so the hardened consumers (wrap-aware energy reader,
+daemon watchdog, fail-safe throttle controller) can be stressed and the
+surviving energy-saving signal quantified (``repro.experiments.faultsweep``).
+
+Components:
+
+* :class:`~repro.faults.injector.FaultInjector` — the seed-driven fault
+  source; wraps an :class:`~repro.hw.msr.MSRFile` and perturbs daemon
+  scheduling and counter windows;
+* :class:`~repro.faults.injector.FaultyMSRFile` — the MSR proxy;
+* :data:`~repro.faults.profiles.PROFILES` /
+  :func:`~repro.faults.profiles.parse_fault_spec` — named profiles and the
+  CLI ``--faults`` spec parser;
+* :class:`repro.config.FaultConfig` — the parameters themselves.
+"""
+
+from repro.config import FaultConfig
+from repro.faults.injector import FaultInjector, FaultyMSRFile
+from repro.faults.profiles import PROFILES, parse_fault_spec
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultyMSRFile",
+    "PROFILES",
+    "parse_fault_spec",
+]

@@ -1,0 +1,196 @@
+"""Deterministic fault injection for the measurement path.
+
+The injector sits between the RCRdaemon and the hardware it samples.  It
+wraps the node's :class:`~repro.hw.msr.MSRFile` in a faulty proxy (so RAPL
+energy reads can fail transiently, stick at a repeated value, and thermal
+readouts can carry bounded noise) and exposes hooks the daemon calls to
+perturb its own scheduling (tick jitter, a one-shot stall) and its uncore
+counter windows (bounded relative noise).
+
+Design rules:
+
+* **Deterministic** — every decision is drawn from one seeded
+  ``numpy`` generator handed in by the caller (normally the runtime's
+  named ``"faults"`` stream), so a (seed, config) pair replays the exact
+  same fault sequence regardless of what else the simulation does.
+* **Zero-cost when off** — an inert config never wraps the MSR file and
+  every hook returns its input unchanged without drawing from the RNG, so
+  a run with faults disabled is bit-identical to one without the layer.
+* **Observable** — every injected event is counted in :attr:`stats` so
+  experiments can report exactly how much abuse the pipeline absorbed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.config import FaultConfig
+from repro.errors import MSRReadError
+from repro.hw.msr import IA32_THERM_STATUS, MSR_PKG_ENERGY_STATUS, MSRFile
+
+
+class FaultInjector:
+    """Seed-driven fault source shared by the faulty MSR proxy and daemon."""
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        rng: np.random.Generator,
+        *,
+        now_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.rng = rng
+        self.now_fn = now_fn if now_fn is not None else (lambda: 0.0)
+        #: Injected-event counters, keyed by event kind.
+        self.stats: dict[str, int] = {
+            "read_failures": 0,
+            "stuck_reads": 0,
+            "therm_noise": 0,
+            "counter_noise": 0,
+            "jittered_ticks": 0,
+            "stalls": 0,
+        }
+        # Per-socket transient state for the energy-read fault machinery.
+        self._fail_remaining: dict[int, int] = {}
+        self._stuck_remaining: dict[int, int] = {}
+        self._stuck_value: dict[int, int] = {}
+        self._stall_armed = (
+            config.enabled
+            and config.stall_at_s is not None
+            and config.stall_duration_s > 0.0
+        )
+
+    @property
+    def active(self) -> bool:
+        """True when this injector can perturb anything at all."""
+        return not self.config.inert
+
+    # ------------------------------------------------------------------
+    # MSR-side hooks (called by FaultyMSRFile)
+    # ------------------------------------------------------------------
+    def on_energy_read(self, socket: int, real_value: int) -> int:
+        """Perturb one RAPL energy-counter read; may raise MSRReadError."""
+        cfg = self.config
+        # Continue an in-progress failure burst before anything else.
+        remaining = self._fail_remaining.get(socket, 0)
+        if remaining > 0:
+            self._fail_remaining[socket] = remaining - 1
+            self.stats["read_failures"] += 1
+            raise MSRReadError(
+                f"injected EIO on RAPL read, socket {socket} "
+                f"(burst, {remaining - 1} left)"
+            )
+        # Continue an in-progress stuck window.
+        stuck = self._stuck_remaining.get(socket, 0)
+        if stuck > 0:
+            self._stuck_remaining[socket] = stuck - 1
+            self.stats["stuck_reads"] += 1
+            return self._stuck_value[socket]
+        # Roll for a fresh failure event.
+        if cfg.msr_read_fail_p > 0.0 and self.rng.random() < cfg.msr_read_fail_p:
+            self._fail_remaining[socket] = cfg.msr_read_fail_burst - 1
+            self.stats["read_failures"] += 1
+            raise MSRReadError(f"injected EIO on RAPL read, socket {socket}")
+        # Roll for a fresh stuck window: the *current* value is frozen and
+        # repeated on subsequent reads, like a latched sensor register.
+        if cfg.stuck_p > 0.0 and self.rng.random() < cfg.stuck_p:
+            self._stuck_value[socket] = real_value
+            self._stuck_remaining[socket] = cfg.stuck_duration_reads - 1
+            self.stats["stuck_reads"] += 1
+            return real_value
+        return real_value
+
+    def on_therm_read(self, core: int, raw: int) -> int:
+        """Apply bounded noise to an IA32_THERM_STATUS readout."""
+        noise = self.config.therm_noise_degc
+        if noise <= 0.0:
+            return raw
+        offset = (raw >> 16) & 0x7F
+        delta = int(round(self.rng.uniform(-noise, noise)))
+        if delta == 0:
+            return raw
+        self.stats["therm_noise"] += 1
+        perturbed = min(0x7F, max(0, offset + delta))
+        return (raw & ~(0x7F << 16)) | (perturbed << 16)
+
+    # ------------------------------------------------------------------
+    # daemon-side hooks
+    # ------------------------------------------------------------------
+    def perturb_counters(self, demand: float, bw_util: float) -> tuple[float, float]:
+        """Bounded relative noise on one uncore counter window."""
+        frac = self.config.counter_noise_frac
+        if frac <= 0.0:
+            return demand, bw_util
+        self.stats["counter_noise"] += 1
+        demand = max(0.0, demand * (1.0 + self.rng.uniform(-frac, frac)))
+        bw_util = min(1.0, max(0.0, bw_util * (1.0 + self.rng.uniform(-frac, frac))))
+        return demand, bw_util
+
+    def perturb_period(self, period_s: float) -> float:
+        """Jitter (and possibly stall) the delay to the next daemon tick."""
+        delay = period_s
+        if self._stall_armed and self.now_fn() >= self.config.stall_at_s:
+            self._stall_armed = False
+            self.stats["stalls"] += 1
+            delay += self.config.stall_duration_s
+        frac = self.config.tick_jitter_frac
+        if frac > 0.0:
+            self.stats["jittered_ticks"] += 1
+            delay *= 1.0 + self.rng.uniform(-frac, frac)
+        return delay
+
+    # ------------------------------------------------------------------
+    # MSR wrapping
+    # ------------------------------------------------------------------
+    def wrap_msr(self, msr: MSRFile) -> MSRFile:
+        """Return a fault-injecting view of ``msr``.
+
+        Inert configs get the original object back, making the layer
+        provably zero-cost when off (same object, same reads, same floats).
+        """
+        if not self.active:
+            return msr
+        return FaultyMSRFile(msr, self)
+
+
+class FaultyMSRFile(MSRFile):
+    """MSRFile proxy that routes sampled registers through the injector.
+
+    Only the registers the measurement path *reads* are perturbed
+    (``MSR_PKG_ENERGY_STATUS``, ``IA32_THERM_STATUS``); control-path writes
+    (duty cycle, power limits) pass straight through — the paper's fault
+    surface is the sensor chain, not the actuators.
+    """
+
+    def __init__(self, inner: MSRFile, injector: FaultInjector) -> None:
+        self._inner = inner
+        self._injector = injector
+
+    # Registration delegates so a wrapped file stays a drop-in MSRFile.
+    def map_core(self, core, address, reader=None, writer=None):  # type: ignore[override]
+        self._inner.map_core(core, address, reader, writer)
+
+    def map_package(self, socket, address, reader=None, writer=None):  # type: ignore[override]
+        self._inner.map_package(socket, address, reader, writer)
+
+    def read_core(self, core, address, *, privileged=False):  # type: ignore[override]
+        value = self._inner.read_core(core, address, privileged=privileged)
+        if address == IA32_THERM_STATUS:
+            return self._injector.on_therm_read(core, value)
+        return value
+
+    def write_core(self, core, address, value, *, privileged=False):  # type: ignore[override]
+        self._inner.write_core(core, address, value, privileged=privileged)
+
+    def read_package(self, socket, address, *, privileged=False):  # type: ignore[override]
+        value = self._inner.read_package(socket, address, privileged=privileged)
+        if address == MSR_PKG_ENERGY_STATUS:
+            return self._injector.on_energy_read(socket, value)
+        return value
+
+    def write_package(self, socket, address, value, *, privileged=False):  # type: ignore[override]
+        self._inner.write_package(socket, address, value, privileged=privileged)

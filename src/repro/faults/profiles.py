@@ -1,0 +1,115 @@
+"""Named fault profiles and the ``--faults`` spec mini-language.
+
+A spec is either a profile name (``flaky-msr``) or a comma-separated list
+of ``field=value`` overrides applied on top of a profile (a bare override
+list starts from the enabled-but-inert config)::
+
+    --faults default
+    --faults flaky-msr
+    --faults "stall,stall_at_s=0.5,stall_duration_s=2"
+    --faults "msr_read_fail_p=0.05,tick_jitter_frac=0.3"
+
+Profiles are intentionally moderate: each one exercises a single failure
+mode the measurement-reliability literature documents, and ``default``
+combines them at levels a production sensor path plausibly sees, so the
+fault-sweep experiment measures graceful degradation rather than collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.config import FaultConfig
+from repro.errors import ConfigError, FaultConfigError
+
+#: The named fault profiles, in sweep order.
+PROFILES: dict[str, FaultConfig] = {
+    # Inert baseline: the injection layer wired up but doing nothing.
+    "none": FaultConfig(enabled=False),
+    # Transient EIO on ~2% of RAPL reads, single-read bursts: the retry
+    # path absorbs these completely.
+    "flaky-msr": FaultConfig(enabled=True, msr_read_fail_p=0.02),
+    # Longer outages: bursts of 5 failed reads exceed the retry budget and
+    # force interpolation.
+    "msr-outage": FaultConfig(
+        enabled=True, msr_read_fail_p=0.01, msr_read_fail_burst=5
+    ),
+    # Latched sensor: ~1% of reads freeze the counter for 3 reads.
+    "stuck": FaultConfig(enabled=True, stuck_p=0.01, stuck_duration_reads=3),
+    # Bounded sensor noise on temperature and the uncore counters.
+    "noisy": FaultConfig(
+        enabled=True, therm_noise_degc=2.0, counter_noise_frac=0.15
+    ),
+    # Sampling cadence drift: ±30% tick jitter.
+    "jitter": FaultConfig(enabled=True, tick_jitter_frac=0.3),
+    # One-shot mid-run sampler stall (2 s at t=1 s — long enough to starve
+    # the controller past its fail-safe deadline).
+    "stall": FaultConfig(enabled=True, stall_at_s=1.0, stall_duration_s=2.0),
+    # Everything at once, at moderate levels.
+    "default": FaultConfig(
+        enabled=True,
+        msr_read_fail_p=0.01,
+        msr_read_fail_burst=2,
+        stuck_p=0.005,
+        stuck_duration_reads=3,
+        therm_noise_degc=1.0,
+        counter_noise_frac=0.1,
+        tick_jitter_frac=0.2,
+    ),
+}
+
+_FIELD_TYPES = {f.name: f.type for f in fields(FaultConfig)}
+
+
+def _parse_value(name: str, text: str) -> object:
+    """Parse one override value to the field's type."""
+    if name == "enabled":
+        return text.lower() in ("1", "true", "yes", "on")
+    if name in ("msr_read_fail_burst", "stuck_duration_reads"):
+        return int(text)
+    if name == "stall_at_s" and text.lower() in ("none", "off"):
+        return None
+    return float(text)
+
+
+def parse_fault_spec(spec: str) -> FaultConfig:
+    """Parse a ``--faults`` spec string into a validated FaultConfig."""
+    spec = spec.strip()
+    if not spec:
+        raise FaultConfigError("empty fault spec")
+    config = FaultConfig(enabled=True)
+    parts = [p.strip() for p in spec.split(",") if p.strip()]
+    for i, part in enumerate(parts):
+        if "=" not in part:
+            if i != 0:
+                raise FaultConfigError(
+                    f"profile name {part!r} must come first in a fault spec"
+                )
+            if part not in PROFILES:
+                raise FaultConfigError(
+                    f"unknown fault profile {part!r}; "
+                    f"one of {', '.join(sorted(PROFILES))}"
+                )
+            config = PROFILES[part]
+            continue
+        name, _, value = part.partition("=")
+        name = name.strip().replace("-", "_")
+        if name not in _FIELD_TYPES:
+            raise FaultConfigError(
+                f"unknown fault field {name!r}; "
+                f"one of {', '.join(sorted(_FIELD_TYPES))}"
+            )
+        try:
+            parsed = _parse_value(name, value.strip())
+        except ValueError as exc:
+            raise FaultConfigError(
+                f"bad value for fault field {name!r}: {value.strip()!r}"
+            ) from exc
+        config = config.with_changes(**{name: parsed})
+    try:
+        config.validate()
+    except FaultConfigError:
+        raise
+    except ConfigError as exc:
+        raise FaultConfigError(f"invalid fault spec {spec!r}: {exc}") from exc
+    return config

@@ -7,12 +7,19 @@ wrapping energy counter into a monotonic Joule total
 reports (:mod:`repro.measure.report`).
 """
 
-from repro.measure.energy import EnergyReader, MultiSocketEnergyReader
+from repro.measure.energy import (
+    EnergyReader,
+    EnergySample,
+    MultiSocketEnergyReader,
+    SampleQuality,
+)
 from repro.measure.report import MeasurementRow, format_measurement_table
 
 __all__ = [
     "EnergyReader",
+    "EnergySample",
     "MultiSocketEnergyReader",
+    "SampleQuality",
     "MeasurementRow",
     "format_measurement_table",
 ]

@@ -63,6 +63,30 @@ class Blackboard:
         """True if a meter has ever been published at ``path``."""
         return path in self._meters
 
+    # ------------------------------------------------------------------
+    # staleness (client-side health checks)
+    # ------------------------------------------------------------------
+    def last_update_s(self, path: str) -> Optional[float]:
+        """Timestamp of the last publish at ``path``, or None if absent."""
+        record = self._meters.get(path)
+        return None if record is None else record.timestamp
+
+    def staleness_s(self, path: str, now: float) -> float:
+        """Age of the record at ``path`` relative to ``now``, seconds.
+
+        A meter that was never published is infinitely stale; a record
+        published at or after ``now`` has zero staleness (the daemon and a
+        client can share a timestamp within one engine tick).
+        """
+        record = self._meters.get(path)
+        if record is None:
+            return float("inf")
+        return max(0.0, now - record.timestamp)
+
+    def is_stale(self, path: str, now: float, max_age_s: float) -> bool:
+        """True when the record at ``path`` is older than ``max_age_s``."""
+        return self.staleness_s(path, now) > max_age_s
+
     def paths(self, prefix: str = "") -> list[str]:
         """All published paths under ``prefix`` (self-description)."""
         return sorted(p for p in self._meters if p.startswith(prefix))

@@ -16,21 +16,35 @@ Every tick the daemon:
 The 0.1 s period is the paper's choice, "to allow fluctuations in the
 energy counters to dissipate"; it is configurable to trade overhead for
 responsiveness, exactly as described.
+
+The daemon is hardened against a misbehaving sensor path (optionally
+stressed via :mod:`repro.faults`): a watchdog counts late and missed
+ticks, every published power sample carries a quality flag, and degraded
+samples (failed/stuck/wrap-suspect reads) carry forward the last-known-
+good power with an explicit staleness stamp instead of publishing garbage
+derived from a corrupt window.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import MeasurementError
 from repro.hw.msr import IA32_THERM_STATUS
 from repro.hw.node import Node
 from repro.hw.thermal import ThermalState
-from repro.measure.energy import MultiSocketEnergyReader
+from repro.measure.energy import MultiSocketEnergyReader, SampleQuality
 from repro.rcr import meters
 from repro.rcr.blackboard import Blackboard
 from repro.sim.engine import Engine
 from repro.sim.events import Priority
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> config)
+    from repro.faults.injector import FaultInjector
+
+#: Watchdog tolerance: a tick later than this multiple of the period is
+#: counted late (jitter profiles stay inside it; stalls do not).
+_WATCHDOG_LATE_FACTOR = 1.5
 
 
 class RCRDaemon:
@@ -46,6 +60,7 @@ class RCRDaemon:
         model_overhead: bool = False,
         overhead_fraction: float = 0.16,
         overhead_core: Optional[int] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         """``model_overhead=True`` charges the daemon's own CPU cost.
 
@@ -78,7 +93,11 @@ class RCRDaemon:
         self.overhead_ticks_run = 0
         self.overhead_ticks_skipped = 0
         self._sockets = node.config.sockets
-        self._energy = MultiSocketEnergyReader(node.msr, self._sockets)
+        #: Fault injector (None or inert = provably untouched sensor path:
+        #: wrap_msr returns the node's own MSRFile in that case).
+        self.faults = faults if (faults is not None and faults.active) else None
+        self._msr = self.faults.wrap_msr(node.msr) if self.faults else node.msr
+        self._energy = MultiSocketEnergyReader(self._msr, self._sockets)
         self._prev_joules = [0.0] * self._sockets
         self._counter_snaps = [
             node.counters_snapshot(s) for s in range(self._sockets)
@@ -87,6 +106,16 @@ class RCRDaemon:
         self._running = False
         self._next_event = None
         self._last_sample_s = engine.now
+        # Watchdog + degraded-mode state.
+        self._last_tick_s = engine.now
+        self.late_ticks = 0
+        self.missed_ticks = 0
+        self._last_good_power_w = [0.0] * self._sockets
+        self._last_good_ts = [engine.now] * self._sockets
+        #: Per-socket quality of the most recent sample.
+        self.last_qualities: list[SampleQuality] = (
+            [SampleQuality.OK] * self._sockets
+        )
 
     @property
     def ticks(self) -> int:
@@ -97,11 +126,21 @@ class RCRDaemon:
     def running(self) -> bool:
         return self._running
 
+    @property
+    def quality_counts(self) -> dict[SampleQuality, int]:
+        """Aggregate per-sample quality histogram across all sockets."""
+        totals: dict[SampleQuality, int] = {q: 0 for q in SampleQuality}
+        for reader in self._energy.readers:
+            for quality, count in reader.quality_counts.items():
+                totals[quality] += count
+        return totals
+
     def start(self) -> None:
         """Begin sampling; the first tick fires one period from now."""
         if self._running:
             raise MeasurementError("daemon already running")
         self._running = True
+        self._last_tick_s = self.engine.now
         self.blackboard.publish(meters.DAEMON_PERIOD_S, self.period_s, self.engine.now)
         self._publish_sample(initial=True)
         self._schedule_next()
@@ -114,17 +153,37 @@ class RCRDaemon:
             self._next_event = None
 
     def _schedule_next(self) -> None:
+        delay = self.period_s
+        if self.faults is not None:
+            delay = self.faults.perturb_period(delay)
         self._next_event = self.engine.schedule(
-            self.period_s, self._tick, priority=Priority.DAEMON, label="rcr-tick"
+            delay, self._tick, priority=Priority.DAEMON, label="rcr-tick"
         )
 
     def _tick(self) -> None:
         if not self._running:
             return
+        self._watchdog_check()
         self._publish_sample(initial=False)
         if self.model_overhead:
             self._charge_overhead()
         self._schedule_next()
+
+    def _watchdog_check(self) -> None:
+        """Detect late and missed ticks from the inter-tick gap.
+
+        The daemon cannot observe its own stall while stalled; what it can
+        do — and does — is notice on the next tick that the gap was wrong,
+        count the damage, and let the sample-quality path decide how much
+        of the window is trustworthy.  Clients needing *live* stall
+        detection use blackboard record age (the stamps stop advancing).
+        """
+        now = self.engine.now
+        gap = now - self._last_tick_s
+        self._last_tick_s = now
+        if gap > _WATCHDOG_LATE_FACTOR * self.period_s:
+            self.late_ticks += 1
+        self.missed_ticks += max(0, round(gap / self.period_s) - 1)
 
     def _charge_overhead(self) -> None:
         """Run this window's daemon work on the overhead core if free.
@@ -159,8 +218,12 @@ class RCRDaemon:
         schedule is not disturbed; the next periodic window is simply
         shorter.  A call within a microsecond of the previous sample is a
         no-op: the published data is already fresh, and a near-zero window
-        would make the derived power meaningless.
+        would make the derived power meaningless.  A *stopped* daemon is
+        also a no-op — a stopped sampler must never publish, otherwise a
+        region ending after ``stop()`` silently revives stale meters.
         """
+        if not self._running:
+            return
         if self.engine.now - self._last_sample_s < 1e-6:
             return
         self._publish_sample(initial=False)
@@ -172,13 +235,18 @@ class RCRDaemon:
         bb = self.blackboard
         total_power = 0.0
         total_energy = 0.0
+        good_sockets = 0
         for s in range(self._sockets):
-            joules = self._energy.readers[s].poll()
+            sample = self._energy.readers[s].poll_sample(
+                window_s if (not initial and window_s > 0) else None
+            )
+            self.last_qualities[s] = sample.quality
+            joules = sample.total_joules
             window_j = joules - self._prev_joules[s]
             self._prev_joules[s] = joules
             power_w = (window_j / window_s) if (not initial and window_s > 0) else 0.0
 
-            raw_therm = self.node.msr.read_core(
+            raw_therm = self._msr.read_core(
                 self._first_core(s), IA32_THERM_STATUS, privileged=True
             )
             temp = ThermalState.decode_therm_status(
@@ -187,13 +255,34 @@ class RCRDaemon:
 
             window = self.node.window(s, self._counter_snaps[s])
             self._counter_snaps[s] = self.node.counters_snapshot(s)
+            avg_demand, avg_bw_util = window.avg_demand, window.avg_bw_util
+            if self.faults is not None:
+                avg_demand, avg_bw_util = self.faults.perturb_counters(
+                    avg_demand, avg_bw_util
+                )
+
+            # Degraded mode: a sample whose window is estimated rather than
+            # measured must not produce a power meter — the derived Watts
+            # would be garbage (a stuck window reads as 0 W, a missed wrap
+            # as -650 kW).  Carry the last-known-good value forward and say
+            # so with an explicit staleness stamp.
+            if sample.good:
+                good_sockets += 1
+                self._last_good_power_w[s] = power_w
+                self._last_good_ts[s] = now
+                stale_s = 0.0
+            else:
+                power_w = self._last_good_power_w[s]
+                stale_s = now - self._last_good_ts[s]
 
             bb.publish(meters.socket_energy_j(s), joules, now)
             bb.publish(meters.socket_power_w(s), power_w, now)
             bb.publish(meters.socket_temp_degc(s), temp, now)
-            bb.publish(meters.socket_mem_concurrency(s), window.avg_demand, now)
-            bb.publish(meters.socket_bw_util(s), window.avg_bw_util, now)
+            bb.publish(meters.socket_mem_concurrency(s), avg_demand, now)
+            bb.publish(meters.socket_bw_util(s), avg_bw_util, now)
             bb.publish(meters.socket_wraps(s), self._energy.readers[s].wraps, now)
+            bb.publish(meters.socket_sample_quality(s), int(sample.quality), now)
+            bb.publish(meters.socket_stale_s(s), stale_s, now)
             total_power += power_w
             total_energy += joules
         bb.publish(meters.NODE_POWER_W, total_power, now)
@@ -201,6 +290,9 @@ class RCRDaemon:
         self._ticks += 1
         bb.publish(meters.DAEMON_TICKS, self._ticks, now)
         bb.publish(meters.DAEMON_TIMESTAMP, now, now)
+        bb.publish(meters.DAEMON_HEALTH, good_sockets / self._sockets, now)
+        bb.publish(meters.DAEMON_LATE_TICKS, self.late_ticks, now)
+        bb.publish(meters.DAEMON_MISSED_TICKS, self.missed_ticks, now)
 
     def _first_core(self, socket: int) -> int:
         """A core of ``socket`` through which package MSRs are read."""

@@ -41,8 +41,35 @@ def socket_wraps(socket: int) -> str:
     return f"node.socket.{socket}.rapl_wraps"
 
 
+def socket_sample_quality(socket: int) -> str:
+    """Quality flag of a socket's last energy sample.
+
+    Value is the :class:`~repro.measure.energy.SampleQuality` code:
+    0 = OK, 1 = RETRIED, 2 = INTERPOLATED, 3 = WRAP_SUSPECT.
+    """
+    return f"node.socket.{socket}.sample_quality"
+
+
+def socket_stale_s(socket: int) -> str:
+    """Age of a socket's last *good* power sample at publish time, seconds.
+
+    0 while the sensor path is healthy; grows while the daemon is carrying
+    forward last-known-good values in degraded mode.  A client's effective
+    staleness is this value plus the blackboard record's own age
+    (:meth:`~repro.rcr.blackboard.Blackboard.staleness_s`), which also
+    covers the daemon not publishing at all.
+    """
+    return f"node.socket.{socket}.stale_s"
+
+
 NODE_POWER_W = "node.power_w"
 NODE_ENERGY_J = "node.energy_j"
 DAEMON_TICKS = "rcr.daemon.ticks"
 DAEMON_PERIOD_S = "rcr.daemon.period_s"
 DAEMON_TIMESTAMP = "rcr.daemon.timestamp"
+#: Fraction of sockets whose last sample was measured (not estimated).
+DAEMON_HEALTH = "rcr.daemon.health"
+#: Ticks that arrived later than the watchdog tolerance allows.
+DAEMON_LATE_TICKS = "rcr.daemon.late_ticks"
+#: Periods the watchdog believes were skipped outright (stalls).
+DAEMON_MISSED_TICKS = "rcr.daemon.missed_ticks"

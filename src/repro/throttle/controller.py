@@ -50,6 +50,11 @@ class ThrottleController:
         #: Decision history for experiments/tests (bounded).
         self.decisions: list[ThrottleDecision] = []
         self.max_history = 100_000
+        #: Fail-safe counters: evaluations held on stale meters, and
+        #: full releases forced by meters staying unhealthy past the
+        #: deadline.
+        self.held_stale_count = 0
+        self.failsafe_releases = 0
 
     @property
     def throttling(self) -> bool:
@@ -88,8 +93,41 @@ class ThrottleController:
         self.evaluate_once()
         self._schedule_next()
 
+    def meter_staleness_s(self) -> float:
+        """Effective age of the freshest *good* power data, seconds.
+
+        Two components add up per socket: the blackboard record's own age
+        (covers a daemon that stopped publishing — a stall freezes the
+        timestamps) plus the staleness the daemon stamped at publish time
+        (covers a daemon that keeps ticking but is carrying forward
+        last-known-good values in degraded mode).  The most-stale socket
+        governs, matching the policy's hottest-socket rule.  Sockets whose
+        meters were never published are ignored so the controller keeps
+        its legacy behaviour when run without a daemon.
+        """
+        now = self.engine.now
+        worst = 0.0
+        for s in range(self._sockets):
+            path = meters.socket_power_w(s)
+            if not self.blackboard.has(path):
+                continue
+            age = self.blackboard.staleness_s(path, now)
+            stamped = self.blackboard.read_value(meters.socket_stale_s(s), default=0.0)
+            worst = max(worst, age + stamped)
+        return worst
+
     def evaluate_once(self) -> ThrottleDecision:
-        """Read meters, apply the policy, actuate on a flag change."""
+        """Read meters, apply the policy (or the fail-safe), actuate.
+
+        Fail-safe policy: on meters older than ``config.stale_after_s``
+        the controller *holds* its current throttle state — stale data
+        must not toggle anything.  If the meters stay unhealthy past
+        ``config.failsafe_release_s``, throttling is released entirely
+        and the node returns to full concurrency: an unthrottled run is
+        the paper's safe default (always correct, possibly less
+        efficient), whereas staying throttled on dead meters could pin
+        the machine at reduced concurrency forever.
+        """
         powers = [
             self.blackboard.read_value(meters.socket_power_w(s), default=0.0)
             for s in range(self._sockets)
@@ -98,9 +136,15 @@ class ThrottleController:
             self.blackboard.read_value(meters.socket_mem_concurrency(s), default=0.0)
             for s in range(self._sockets)
         ]
-        decision = self.policy.update(
-            self._flag, powers, concurrency, time_s=self.engine.now
-        )
+        stale_s = self.meter_staleness_s()
+        if stale_s > self.config.stale_after_s:
+            decision = self._failsafe_decision(
+                stale_s, max(powers, default=0.0), max(concurrency, default=0.0)
+            )
+        else:
+            decision = self.policy.update(
+                self._flag, powers, concurrency, time_s=self.engine.now
+            )
         if len(self.decisions) < self.max_history:
             self.decisions.append(decision)
         if decision.throttle != self._flag:
@@ -110,6 +154,26 @@ class ThrottleController:
             else:
                 self.scheduler.release_throttle()
         return decision
+
+    def _failsafe_decision(
+        self, stale_s: float, max_power: float, max_conc: float
+    ) -> ThrottleDecision:
+        """Hold on stale meters; release past the fail-safe deadline."""
+        release = stale_s > self.config.failsafe_release_s
+        if release:
+            self.failsafe_releases += 1
+        else:
+            self.held_stale_count += 1
+        return ThrottleDecision(
+            time_s=self.engine.now,
+            power_band=self.policy.power_band(max_power),
+            memory_band=self.policy.memory_band(max_conc),
+            throttle=False if release else self._flag,
+            max_socket_power_w=max_power,
+            max_socket_concurrency=max_conc,
+            held_stale=not release,
+            failsafe_release=release,
+        )
 
     # ------------------------------------------------------------------
     # experiment support

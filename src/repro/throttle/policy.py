@@ -60,6 +60,12 @@ class ThrottleDecision:
     #: The per-socket observations that produced the bands.
     max_socket_power_w: float = 0.0
     max_socket_concurrency: float = 0.0
+    #: Fail-safe bookkeeping: the controller held its previous state
+    #: because the meters were stale (no policy evaluation happened) ...
+    held_stale: bool = False
+    #: ... or released throttling entirely because the meters stayed
+    #: unhealthy past the fail-safe deadline.
+    failsafe_release: bool = False
 
 
 class ThrottlePolicy:

@@ -64,6 +64,21 @@ def rapl_delta(before: int, after: int) -> int:
     return (after - before) % RAPL_COUNTER_MODULUS
 
 
+def rapl_delta_and_wrap(before: int, after: int) -> tuple[int, bool]:
+    """Tick delta *and* wrap flag between two raw reads, one code path.
+
+    The delta is modular (``rapl_delta``) and the wrap flag is the single
+    authoritative statement of "the register value went backwards", so
+    clients cannot disagree with their own delta arithmetic by re-deriving
+    it.  The exact-wrap edge case — ``after == before`` because exactly one
+    full counter period elapsed — yields ``(0, False)``: at the register
+    level a full-period wrap is indistinguishable from no progress at all,
+    which is precisely why clients must poll well inside one period (or
+    carry a rate estimate; see ``EnergyReader.poll_sample``).
+    """
+    return (after - before) % RAPL_COUNTER_MODULUS, after < before
+
+
 def watts(energy_j: float, seconds: float) -> float:
     """Average power of ``energy_j`` Joules spent over ``seconds`` seconds."""
     if seconds <= 0:

@@ -1,0 +1,63 @@
+"""End-to-end fault-sweep experiment: completes, flags, signal survival."""
+
+import math
+
+import pytest
+
+from repro.experiments.faultsweep import run_fault_sweep
+from repro.measure.energy import SampleQuality
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # One app, fault-free baseline + the combined default profile: the
+    # smallest sweep that exercises retry, interpolation and noise paths.
+    return run_fault_sweep(apps=("dijkstra",), profiles=("none", "default"), seed=0)
+
+
+def test_sweep_completes_with_finite_savings(sweep):
+    assert set(sweep.cells) == {("none", "dijkstra"), ("default", "dijkstra")}
+    for cell in sweep.cells.values():
+        assert math.isfinite(cell.savings)
+        assert cell.dynamic.energy_j > 0
+        assert cell.fixed.energy_j > 0
+
+
+def test_baseline_cell_is_fault_free(sweep):
+    cell = sweep.cells[("none", "dijkstra")]
+    assert cell.dynamic.faults is None
+    assert cell.fixed.faults is None
+    assert cell.fault_events == 0
+    counts = cell.quality_counts()
+    assert counts[SampleQuality.OK] == sum(counts.values())
+
+
+def test_default_profile_injects_and_pipeline_absorbs(sweep):
+    cell = sweep.cells[("default", "dijkstra")]
+    assert cell.fault_events > 0
+    counts = cell.quality_counts()
+    # Faults were visible in the quality flags, not silently swallowed.
+    assert counts[SampleQuality.RETRIED] + counts[SampleQuality.INTERPOLATED] > 0
+
+
+def test_every_sample_carries_a_quality_flag(sweep):
+    """Acceptance: each daemon poll of each socket is flagged exactly once."""
+    for cell in sweep.cells.values():
+        for result in (cell.dynamic, cell.fixed):
+            daemon = result.daemon
+            total = sum(daemon.quality_counts.values())
+            assert total == daemon.ticks * 2  # paper machine: two sockets
+
+
+def test_signal_survival_and_report(sweep):
+    assert sweep.baseline_savings("dijkstra") != 0.0
+    survival = sweep.survival("default", "dijkstra")
+    assert math.isfinite(survival)
+    # The default profile is moderate by design: most of the savings
+    # signal must survive it (the headline robustness claim).
+    assert survival > 0.5
+    text = sweep.format()
+    assert "worst-case signal survival" in text
+    assert "default" in text and "dijkstra" in text

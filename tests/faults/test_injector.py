@@ -1,0 +1,205 @@
+"""Fault injector: determinism, profiles, spec parsing, MSR proxy."""
+
+import numpy as np
+import pytest
+
+from repro.config import FaultConfig
+from repro.errors import ConfigError, FaultConfigError, MSRReadError
+from repro.faults import PROFILES, FaultInjector, FaultyMSRFile, parse_fault_spec
+from repro.hw.msr import (
+    IA32_CLOCK_MODULATION,
+    IA32_THERM_STATUS,
+    MSR_PKG_ENERGY_STATUS,
+    MSRFile,
+)
+
+pytestmark = pytest.mark.faults
+
+
+def _rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def _energy_msr(value_holder):
+    msr = MSRFile()
+    msr.map_package(0, MSR_PKG_ENERGY_STATUS, reader=lambda: value_holder["v"])
+    return msr
+
+
+# ------------------------------------------------------------- config/spec
+def test_fault_config_validation():
+    with pytest.raises(ConfigError):
+        FaultConfig(msr_read_fail_p=1.5).validate()
+    with pytest.raises(ConfigError):
+        FaultConfig(msr_read_fail_burst=0).validate()
+    with pytest.raises(ConfigError):
+        FaultConfig(tick_jitter_frac=1.0).validate()
+    with pytest.raises(ConfigError):
+        FaultConfig(stall_at_s=-1.0).validate()
+    FaultConfig().validate()  # defaults are valid
+
+
+def test_inert_detection():
+    assert FaultConfig().inert
+    assert FaultConfig(enabled=False, msr_read_fail_p=0.5).inert
+    assert FaultConfig(enabled=True).inert
+    assert not FaultConfig(enabled=True, msr_read_fail_p=0.01).inert
+    # A stall time without a duration is still inert.
+    assert FaultConfig(enabled=True, stall_at_s=1.0).inert
+
+
+def test_parse_profile_names():
+    for name, expected in PROFILES.items():
+        assert parse_fault_spec(name) == expected
+
+
+def test_parse_overrides_on_profile():
+    config = parse_fault_spec("stall,stall_at_s=0.5,stall_duration_s=3")
+    assert config.stall_at_s == 0.5
+    assert config.stall_duration_s == 3.0
+    bare = parse_fault_spec("msr_read_fail_p=0.05,msr_read_fail_burst=4")
+    assert bare.enabled
+    assert bare.msr_read_fail_p == 0.05
+    assert bare.msr_read_fail_burst == 4
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(FaultConfigError):
+        parse_fault_spec("")
+    with pytest.raises(FaultConfigError):
+        parse_fault_spec("no-such-profile")
+    with pytest.raises(FaultConfigError):
+        parse_fault_spec("no_such_field=1")
+    with pytest.raises(FaultConfigError):
+        parse_fault_spec("msr_read_fail_p=banana")
+    with pytest.raises(FaultConfigError):
+        parse_fault_spec("msr_read_fail_p=0.1,stall")  # profile not first
+    with pytest.raises(FaultConfigError):
+        parse_fault_spec("msr_read_fail_p=7")  # fails validation
+
+
+# ------------------------------------------------------------ determinism
+def test_same_seed_same_fault_sequence():
+    config = FaultConfig(
+        enabled=True, msr_read_fail_p=0.2, stuck_p=0.1, therm_noise_degc=3.0
+    )
+
+    def run(seed):
+        holder = {"v": 0}
+        injector = FaultInjector(config, _rng(seed))
+        msr = injector.wrap_msr(_energy_msr(holder))
+        events = []
+        for i in range(200):
+            holder["v"] = i * 100
+            try:
+                events.append(msr.read_package(0, MSR_PKG_ENERGY_STATUS,
+                                               privileged=True))
+            except MSRReadError:
+                events.append("EIO")
+        return events, dict(injector.stats)
+
+    events_a, stats_a = run(7)
+    events_b, stats_b = run(7)
+    events_c, stats_c = run(8)
+    assert events_a == events_b
+    assert stats_a == stats_b
+    assert events_a != events_c  # different seed, different faults
+    assert stats_a["read_failures"] > 0
+    assert stats_a["stuck_reads"] > 0
+
+
+# ----------------------------------------------------------- zero-cost off
+def test_inert_config_does_not_wrap_msr():
+    msr = MSRFile()
+    injector = FaultInjector(FaultConfig(enabled=True), _rng())
+    assert not injector.active
+    assert injector.wrap_msr(msr) is msr
+    # Hooks pass values through untouched and never draw from the RNG.
+    state = _rng().bit_generator.state
+    assert injector.perturb_period(0.1) == 0.1
+    assert injector.perturb_counters(12.0, 0.5) == (12.0, 0.5)
+    assert injector.on_therm_read(0, 0x3F0000) == 0x3F0000
+    assert injector.rng.bit_generator.state == state
+
+
+# -------------------------------------------------------------- MSR proxy
+def test_read_failure_bursts():
+    holder = {"v": 42}
+    config = FaultConfig(enabled=True, msr_read_fail_p=1.0, msr_read_fail_burst=3)
+    injector = FaultInjector(config, _rng())
+    msr = injector.wrap_msr(_energy_msr(holder))
+    assert isinstance(msr, FaultyMSRFile)
+    for _ in range(3):
+        with pytest.raises(MSRReadError):
+            msr.read_package(0, MSR_PKG_ENERGY_STATUS, privileged=True)
+    # With p=1.0 a fresh burst starts immediately after the previous one.
+    with pytest.raises(MSRReadError):
+        msr.read_package(0, MSR_PKG_ENERGY_STATUS, privileged=True)
+
+
+def test_stuck_counter_repeats_value():
+    holder = {"v": 1000}
+    config = FaultConfig(enabled=True, stuck_p=1.0, stuck_duration_reads=3)
+    injector = FaultInjector(config, _rng())
+    msr = injector.wrap_msr(_energy_msr(holder))
+    assert msr.read_package(0, MSR_PKG_ENERGY_STATUS, privileged=True) == 1000
+    holder["v"] = 2000
+    # The next two reads repeat the latched value despite real progress.
+    assert msr.read_package(0, MSR_PKG_ENERGY_STATUS, privileged=True) == 1000
+    holder["v"] = 3000
+    assert msr.read_package(0, MSR_PKG_ENERGY_STATUS, privileged=True) == 1000
+    assert injector.stats["stuck_reads"] == 3
+
+
+def test_therm_noise_is_bounded_and_encoded():
+    config = FaultConfig(enabled=True, therm_noise_degc=5.0)
+    injector = FaultInjector(config, _rng())
+    raw = 0x20 << 16  # offset 32 below TjMax
+    for _ in range(100):
+        perturbed = injector.on_therm_read(0, raw)
+        offset = (perturbed >> 16) & 0x7F
+        assert abs(offset - 0x20) <= 5
+        assert perturbed & ~(0x7F << 16) == 0  # other bits untouched
+
+
+def test_counter_noise_is_bounded():
+    config = FaultConfig(enabled=True, counter_noise_frac=0.2)
+    injector = FaultInjector(config, _rng())
+    for _ in range(100):
+        demand, bw = injector.perturb_counters(10.0, 0.95)
+        assert 8.0 <= demand <= 12.0
+        assert 0.0 <= bw <= 1.0
+
+
+def test_tick_jitter_is_bounded():
+    config = FaultConfig(enabled=True, tick_jitter_frac=0.3)
+    injector = FaultInjector(config, _rng())
+    delays = [injector.perturb_period(0.1) for _ in range(200)]
+    assert all(0.07 <= d <= 0.13 for d in delays)
+    assert len(set(delays)) > 1
+
+
+def test_stall_fires_once_at_deadline():
+    config = FaultConfig(enabled=True, stall_at_s=1.0, stall_duration_s=2.0)
+    clock = {"now": 0.0}
+    injector = FaultInjector(config, _rng(), now_fn=lambda: clock["now"])
+    assert injector.perturb_period(0.1) == 0.1  # before the stall point
+    clock["now"] = 1.05
+    assert injector.perturb_period(0.1) == pytest.approx(2.1)
+    assert injector.perturb_period(0.1) == 0.1  # one-shot
+    assert injector.stats["stalls"] == 1
+
+
+def test_non_sampled_registers_pass_through():
+    node_msr = MSRFile()
+    written = {}
+    node_msr.map_core(0, IA32_CLOCK_MODULATION,
+                      reader=lambda: written.get("v", 0),
+                      writer=lambda v: written.__setitem__("v", v))
+    config = FaultConfig(enabled=True, msr_read_fail_p=1.0)
+    injector = FaultInjector(config, _rng())
+    msr = injector.wrap_msr(node_msr)
+    # Control-path writes and reads are never perturbed.
+    msr.write_core(0, IA32_CLOCK_MODULATION, 0x25, privileged=True)
+    assert msr.read_core(0, IA32_CLOCK_MODULATION, privileged=True) == 0x25
+    assert written["v"] == 0x25

@@ -53,6 +53,38 @@ def test_rapl_delta_recovers_increment_with_single_wrap(start, increment):
     assert units.rapl_delta(start, after) == increment
 
 
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_delta_and_wrap_agrees_with_delta(before, after):
+    """The unified helper is the single authoritative wrap code path."""
+    delta, wrapped = units.rapl_delta_and_wrap(before, after)
+    assert delta == units.rapl_delta(before, after)
+    assert wrapped == (after < before)
+
+
+def test_exact_wrap_edge_case():
+    """raw == last_raw after exactly one full period reads as no progress.
+
+    Regression for the wrap-detection unification: the register cannot
+    distinguish a full-period wrap from a flat counter, so the helper must
+    report (0, False) — recovering the lost period is the job of the
+    rate-aware reader, not the modular arithmetic.
+    """
+    for value in (0, 1, 2**31, 2**32 - 1):
+        assert units.rapl_delta_and_wrap(value, value) == (0, False)
+
+
+def test_delta_and_wrap_wrap_flag():
+    delta, wrapped = units.rapl_delta_and_wrap(2**32 - 10, 40)
+    assert delta == 50
+    assert wrapped
+    delta, wrapped = units.rapl_delta_and_wrap(100, 150)
+    assert delta == 50
+    assert not wrapped
+
+
 def test_watts():
     assert units.watts(100.0, 10.0) == pytest.approx(10.0)
     with pytest.raises(ValueError):
