@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults smoke-faults bench reproduce recalibrate examples clean
+.PHONY: install test test-faults test-golden smoke-faults bench bench-engine reproduce recalibrate examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,6 +14,12 @@ test:
 test-faults:
 	$(PYTHON) -m pytest tests/ -m faults
 
+# Golden-trace bit-identity suite: canonical runs vs pinned digests
+# (tests/sim/golden_digests.json).  To intentionally re-pin after a
+# behavior change: python -m repro.perf.golden --update
+test-golden:
+	$(PYTHON) -m pytest tests/ -m golden
+
 # End-to-end degraded-mode smoke: the fault-sweep experiment with a fixed
 # seed (one app, three profiles), exercising retry, interpolation, the
 # daemon watchdog and the controller fail-safe on every run.
@@ -22,6 +28,11 @@ smoke-faults:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Engine hot-path benchmarks vs the committed baseline (read-only; the
+# runner refuses to rewrite BENCH_engine.json without --update).
+bench-engine:
+	$(PYTHON) benchmarks/bench_engine.py
 
 # Regenerate EXPERIMENTS.md (runs the full evaluation, ~5-10 minutes).
 reproduce:

@@ -1,0 +1,144 @@
+"""Benchmark: the simulation engine's hot path (``make bench-engine``).
+
+Times the canonical :mod:`repro.perf.scenarios` — two engine
+microbenchmarks (periodic-timer drain, cancel/reschedule churn) and two
+end-to-end Table I cells — and compares them against the committed
+baseline in ``BENCH_engine.json``.
+
+Usage::
+
+    python benchmarks/bench_engine.py              # run + compare, no writes
+    python benchmarks/bench_engine.py --update     # write current results
+    python benchmarks/bench_engine.py --update --record-baseline
+                                                   # re-stamp the baseline too
+
+``BENCH_engine.json`` is the repo's perf trajectory: ``baseline`` holds
+the numbers recorded from the pre-optimization seed code and is only
+re-stamped deliberately; ``current`` tracks the tip.  The runner refuses
+to write anything unless ``--update`` is passed, so a stray run cannot
+silently move the goalposts.
+
+The file is also collected by ``make bench`` (pytest-benchmark); the
+pytest entry points time the two microbenchmarks only, since the
+end-to-end cells are already covered by ``bench_table1.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:  # script mode: no PYTHONPATH needed
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+#: Committed perf-trajectory file, at the repo root.
+BENCH_PATH = _REPO_ROOT / "BENCH_engine.json"
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (make bench)
+# ----------------------------------------------------------------------
+def test_bench_engine_event_drain(bench_once):
+    from repro.perf.scenarios import BENCH_SCENARIOS
+
+    meta = bench_once(BENCH_SCENARIOS["event-drain"])
+    assert meta["events"] > 0 and meta["pending"] == 0
+
+
+def test_bench_engine_cancel_churn(bench_once):
+    from repro.perf.scenarios import BENCH_SCENARIOS
+
+    meta = bench_once(BENCH_SCENARIOS["cancel-churn"])
+    assert meta["events"] > 0 and meta["pending"] == 0
+
+
+# ----------------------------------------------------------------------
+# standalone runner
+# ----------------------------------------------------------------------
+def _load(path: Path) -> dict:
+    if not path.exists():
+        return {}
+    return json.loads(path.read_text())
+
+
+def _format_row(name: str, current: dict, baseline: dict | None) -> str:
+    wall = current["wall_s"]
+    line = f"{name:<18}{wall * 1e3:>10.1f} ms"
+    rate = current.get("events_per_s")
+    if rate:
+        line += f"{rate / 1e3:>12.1f}k ev/s"
+    else:
+        line += " " * 18
+    if baseline:
+        speedup = baseline["wall_s"] / wall if wall > 0 else float("inf")
+        line += f"   baseline {baseline['wall_s'] * 1e3:>8.1f} ms   speedup {speedup:>5.2f}x"
+    return line
+
+
+def run(argv: list[str] | None = None) -> int:
+    from repro.perf.scenarios import run_bench_scenarios
+
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_engine.py",
+        description="engine hot-path benchmarks vs the committed baseline",
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="write results to BENCH_engine.json "
+                             "(without this flag nothing is written)")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="with --update: re-stamp the baseline section "
+                             "from this run (intentional goalpost move)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N repeats per scenario (default 3)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="run only this scenario (repeatable)")
+    parser.add_argument("--json", type=Path, default=BENCH_PATH,
+                        help=f"results file (default: {BENCH_PATH})")
+    args = parser.parse_args(argv)
+
+    if args.record_baseline and not args.update:
+        parser.error("--record-baseline requires --update "
+                     "(refusing to overwrite BENCH_engine.json)")
+
+    timings = run_bench_scenarios(args.scenario, repeats=args.repeats)
+    current = {name: t.as_record() for name, t in timings.items()}
+
+    stored = _load(args.json)
+    baseline = stored.get("baseline", {}).get("scenarios", {})
+
+    print(f"engine benchmarks (best of {args.repeats}):")
+    for name, record in current.items():
+        print("  " + _format_row(name, record, baseline.get(name)))
+
+    speedups = {
+        name: baseline[name]["wall_s"] / record["wall_s"]
+        for name, record in current.items()
+        if name in baseline and record["wall_s"] > 0
+    }
+    if speedups:
+        worst = min(speedups, key=speedups.get)
+        print(f"  worst speedup vs baseline: {speedups[worst]:.2f}x ({worst})")
+
+    if not args.update:
+        if args.json.exists():
+            print(f"(read-only run; pass --update to rewrite {args.json.name})")
+        return 0
+
+    if args.record_baseline or "baseline" not in stored:
+        stored["baseline"] = {"scenarios": dict(current)}
+        print(f"baseline re-stamped from this run -> {args.json.name}")
+    stored["schema"] = 1
+    stored["current"] = {"scenarios": current}
+    stored["speedup_vs_baseline"] = {
+        name: round(value, 3) for name, value in sorted(speedups.items())
+    }
+    args.json.write_text(json.dumps(stored, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

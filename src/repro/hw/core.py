@@ -34,7 +34,7 @@ class CoreState(enum.Enum):
     SPIN = "spin"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Segment:
     """One contiguous piece of work executed by a core.
 
@@ -90,9 +90,14 @@ class Segment:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class Core:
-    """Mutable per-core state owned by the node."""
+    """Mutable per-core state owned by the node.
+
+    ``slots=True`` matters here: every field is read in the node's
+    per-event sync/recompute loops, and slot access skips the instance
+    ``__dict__`` lookup on each of them.
+    """
 
     index: int
     socket: int

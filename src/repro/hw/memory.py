@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from repro.config import MemoryConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class SocketMemoryState:
     """Mutable per-socket contention state, updated on every rate change."""
 

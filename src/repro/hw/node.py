@@ -93,6 +93,26 @@ class Node:
         self._pkg_power_limit_raw: list[int] = [0] * config.sockets
         self._last_sync = engine.now
         self._completion = None
+        #: Cores grouped by socket, in core-index order — the same order
+        #: the recompute/power sums have always iterated in.
+        self._socket_cores: list[list[Core]] = [
+            [self.cores[i] for i in self.topology.cores_in_socket(s)]
+            for s in range(config.sockets)
+        ]
+        # --- recompute memo ------------------------------------------------
+        # A socket's demand/stretch/per-core rates only change when one of
+        # its cores changes state, segment or duty — plus, for cores that
+        # carry a coherence penalty, when the *node-wide* busy count moves.
+        # Mutators mark the affected sockets dirty; _recompute() only
+        # re-derives dirty sockets and re-prices power where either the
+        # rates or the (continuously drifting) temperature changed.  All
+        # recomputed values use the exact arithmetic of the full pass, so
+        # memoized runs are bit-identical to recomputing everything.
+        self._rate_dirty: list[bool] = [True] * config.sockets
+        self._busy_in_socket: list[int] = [0] * config.sockets
+        self._coh_in_socket: list[int] = [0] * config.sockets
+        self._power_temp: list[Optional[float]] = [None] * config.sockets
+        self._recompute_now: Optional[float] = None
         #: Optional attribution of active-core energy to segment tags
         #: (profiling aid; off by default to keep the sync loop lean).
         self.track_tag_energy = track_tag_energy
@@ -205,7 +225,13 @@ class Node:
     # fluid model core
     # ------------------------------------------------------------------
     def _sync(self) -> None:
-        """Integrate state forward to the current simulation time."""
+        """Integrate state forward to the current simulation time.
+
+        Runs on every MSR read and before every mutation, so the loop
+        bodies are written flat: state constants and per-interval products
+        are hoisted, and each core takes exactly one state dispatch.  The
+        arithmetic (and its order) is unchanged.
+        """
         now = self.engine.now
         dt = now - self._last_sync
         if dt <= 0.0:
@@ -216,64 +242,151 @@ class Node:
             self.rapl[s].add_energy(power * dt)
             self.counters[s].accumulate(mem.demand, mem.bw_util, power, dt)
             self.thermal[s].advance(power, dt)
-        freq = self.config.frequency_hz
+        # dt * freq is the same product for every core; aperf's
+        # ``dt * freq * duty`` associates left, so ``dtf * duty`` is the
+        # identical float.
+        dtf = dt * self.config.frequency_hz
+        busy = CoreState.BUSY
+        spin = CoreState.SPIN
+        track = self.track_tag_energy
         for core in self.cores:
-            if core.state is CoreState.BUSY:
-                core.remaining -= core.speed * dt
-                if core.remaining < 0.0:
-                    core.remaining = 0.0
+            state = core.state
+            if state is busy:
+                remaining = core.remaining - core.speed * dt
+                core.remaining = remaining if remaining >= 0.0 else 0.0
                 core.busy_seconds += dt
-                if self.track_tag_energy and core.segment is not None:
+                if track and core.segment is not None:
                     leak = self.power_model.leakage_factor(
                         self.thermal[core.socket].temp_degc
                     )
                     joules = self.power_model.core_power_w(core, leak) * dt
                     tag = core.segment.tag or "(untagged)"
                     self.tag_energy_j[tag] = self.tag_energy_j.get(tag, 0.0) + joules
-            elif core.state is CoreState.SPIN:
+            elif state is spin:
                 core.spin_seconds += dt
-            if core.state in (CoreState.BUSY, CoreState.SPIN):
-                # APERF/MPERF tick only in C0; APERF at the modulated rate.
-                core.mperf_cycles += dt * freq
-                core.aperf_cycles += dt * freq * core.duty
+            else:
+                continue
+            # APERF/MPERF tick only in C0; APERF at the modulated rate.
+            core.mperf_cycles += dtf
+            core.aperf_cycles += dtf * core.duty
         self._last_sync = now
 
+    def _mark_rates_dirty(self, socket: int, *, busy_changed: bool = False) -> None:
+        """Flag a socket for re-derivation on the next :meth:`_recompute`.
+
+        ``busy_changed`` means the node-wide busy count moved (a core
+        entered or left ``BUSY``): sockets hosting coherence-penalty
+        segments must then be re-derived too, because their cores' latency
+        stretch depends on that node-wide count.
+        """
+        dirty = self._rate_dirty
+        dirty[socket] = True
+        if busy_changed:
+            coh = self._coh_in_socket
+            for t in range(len(coh)):
+                if coh[t]:
+                    dirty[t] = True
+
     def _recompute(self) -> None:
-        """Recompute contention, rates and power; reschedule completion."""
-        mm = self.memory_model
-        busy_total = 0
-        for s in range(self.config.sockets):
-            demand = 0.0
-            for i in self.topology.cores_in_socket(s):
-                core = self.cores[i]
-                if core.state is CoreState.BUSY and core.segment is not None:
-                    demand += mm.core_demand(core.segment.mem_fraction)
-                    busy_total += 1
-            self._mem_state[s] = mm.evaluate(demand)
-        for core in self.cores:
-            if core.state is CoreState.BUSY and core.segment is not None:
-                sigma = mm.stretch(
-                    self._mem_state[core.socket].demand,
-                    core.segment.contention_exponent,
-                )
-                # Coherence ping-pong is node-wide and knee-free: every
-                # other busy core adds sharing latency.
-                if core.segment.coherence_penalty > 0.0 and busy_total > 1:
-                    sigma += core.segment.coherence_penalty * (busy_total - 1)
-                mu = core.segment.mem_fraction
-                stretch = mm.execution_stretch(mu, core.duty, sigma)
-                core.speed = 1.0 / stretch
-                core.mem_wall_fraction = mm.memory_wall_fraction(mu, core.duty, sigma)
+        """Recompute contention, rates and power; reschedule completion.
+
+        Memoized: only sockets marked dirty by a mutator re-derive demand
+        and per-core rates; socket power re-prices when the rates changed
+        *or* the die temperature moved since it was last priced (exact
+        float comparison).  A clean socket's cached values are exactly what
+        a full pass would recompute from the unchanged inputs, so skipping
+        it cannot change a single bit of simulator output.  The inlined
+        arithmetic below reproduces the :class:`~repro.hw.memory.MemoryModel`
+        methods operation for operation (validation checks elided — every
+        input was validated when the segment/duty was accepted).
+        """
+        now = self.engine.now
+        dirty = self._rate_dirty
+        thermal = self.thermal
+        power_temp = self._power_temp
+        sockets = self.config.sockets
+        if now == self._recompute_now and True not in dirty:
+            # Nothing mutated and time has not advanced; power is still
+            # current unless something (warm_up, a test) moved a
+            # temperature out from under us.
+            for s in range(sockets):
+                if thermal[s].temp_degc != power_temp[s]:
+                    break
             else:
-                core.speed = 0.0
-                core.mem_wall_fraction = 0.0
-        for s in range(self.config.sockets):
-            socket_cores = (self.cores[i] for i in self.topology.cores_in_socket(s))
-            self._socket_power[s] = self.power_model.socket_power_w(
-                socket_cores,
-                self._mem_state[s].bw_util,
-                self.thermal[s].temp_degc,
+                return
+        mm = self.memory_model
+        mcfg = mm.config
+        mlp = mcfg.mlp_per_core
+        knee = mcfg.knee_refs
+        default_alpha = mcfg.contention_exponent
+        busy_state = CoreState.BUSY
+        mem_state = self._mem_state
+        busy_in = self._busy_in_socket
+        coh_in = self._coh_in_socket
+        for s in range(sockets):
+            if not dirty[s]:
+                continue
+            demand = 0.0
+            busy = 0
+            coh = 0
+            for core in self._socket_cores[s]:
+                if core.state is busy_state and core.segment is not None:
+                    demand += mlp * core.segment.mem_fraction
+                    busy += 1
+                    if core.segment.coherence_penalty > 0.0:
+                        coh += 1
+            busy_in[s] = busy
+            coh_in[s] = coh
+            if demand <= knee:
+                stretch = 1.0
+            else:
+                stretch = (demand / knee) ** default_alpha
+            mem_state[s] = SocketMemoryState(
+                demand=demand,
+                stretch=stretch,
+                bw_util=0.0 if demand <= 0 else min(1.0, demand / knee),
             )
+        busy_total = sum(busy_in)
+        for s in range(sockets):
+            if not dirty[s]:
+                continue
+            demand_s = mem_state[s].demand
+            stretch_s = mem_state[s].stretch
+            for core in self._socket_cores[s]:
+                if core.state is busy_state and core.segment is not None:
+                    seg = core.segment
+                    exponent = seg.contention_exponent
+                    if demand_s <= knee:
+                        sigma = 1.0
+                    elif exponent is None:
+                        sigma = stretch_s
+                    else:
+                        sigma = (demand_s / knee) ** exponent
+                    # Coherence ping-pong is node-wide and knee-free: every
+                    # other busy core adds sharing latency.
+                    if seg.coherence_penalty > 0.0 and busy_total > 1:
+                        sigma += seg.coherence_penalty * (busy_total - 1)
+                    mu = seg.mem_fraction
+                    wall_stretch = (1.0 - mu) / core.duty + mu * sigma
+                    core.speed = 1.0 / wall_stretch
+                    core.mem_wall_fraction = (
+                        (mu * sigma) / wall_stretch if wall_stretch > 0 else 0.0
+                    )
+                else:
+                    core.speed = 0.0
+                    core.mem_wall_fraction = 0.0
+        pm = self.power_model
+        for s in range(sockets):
+            temp = thermal[s].temp_degc
+            if dirty[s] or temp != power_temp[s]:
+                self._socket_power[s] = pm.socket_power_w(
+                    self._socket_cores[s],
+                    mem_state[s].bw_util,
+                    temp,
+                )
+                power_temp[s] = temp
+            dirty[s] = False
+        self._recompute_now = now
         self._schedule_completion()
 
     def _schedule_completion(self) -> None:
@@ -281,8 +394,9 @@ class Node:
             self._completion.cancel()
             self._completion = None
         dt_min = math.inf
+        busy = CoreState.BUSY
         for core in self.cores:
-            if core.state is CoreState.BUSY and core.speed > 0.0:
+            if core.state is busy and core.speed > 0.0:
                 dt = core.remaining / core.speed
                 if dt < dt_min:
                     dt_min = dt
@@ -314,6 +428,7 @@ class Node:
             core.on_complete = None
             core.remaining = 0.0
             core.state = CoreState.IDLE
+            self._mark_rates_dirty(core.socket, busy_changed=True)
         # Recompute before callbacks so any state the callbacks observe
         # (power, contention) reflects the completions.
         self._recompute()
@@ -345,6 +460,7 @@ class Node:
         core.segment = segment
         core.remaining = segment.solo_seconds
         core.on_complete = on_complete
+        self._mark_rates_dirty(core.socket, busy_changed=True)
         self._recompute()
 
     def _set_state(self, core_index: int, state: CoreState) -> None:
@@ -355,6 +471,7 @@ class Node:
             )
         self._sync()
         core.state = state
+        self._mark_rates_dirty(core.socket)
         self._recompute()
 
     def set_idle(self, core_index: int) -> None:
@@ -370,6 +487,7 @@ class Node:
         core.state = CoreState.SPIN
         if duty is not None:
             core.duty = duty
+        self._mark_rates_dirty(core.socket)
         self._recompute()
 
     def set_off(self, core_index: int) -> None:
@@ -385,7 +503,9 @@ class Node:
         if not (0.0 < duty <= 1.0):
             raise SimulationError(f"duty must be in (0,1], got {duty!r}")
         self._sync()
-        self.cores[core_index].duty = duty
+        core = self.cores[core_index]
+        core.duty = duty
+        self._mark_rates_dirty(core.socket)
         self._recompute()
 
     # ------------------------------------------------------------------

@@ -25,20 +25,35 @@ from repro.hw.core import Core, CoreState
 
 
 class PowerModel:
-    """Stateless power arithmetic for one socket."""
+    """Stateless power arithmetic for one socket.
+
+    The only state is a one-entry memo on :meth:`leakage_factor`: callers
+    evaluate it repeatedly at the *same* temperature (once per core during
+    a sync or a socket-power sum), and socket temperature only moves when
+    simulated time does, so the last ``(temp, factor)`` pair hits almost
+    every call within one integration step.  The memo returns the exact
+    float the formula would produce, so results are bit-identical.
+    """
 
     def __init__(self, config: PowerConfig) -> None:
         config.validate()
         self.config = config
+        self._leak_temp: float | None = None
+        self._leak_factor: float = 1.0
 
     def leakage_factor(self, temp_degc: float) -> float:
         """Leakage multiplier on static power at ``temp_degc``."""
+        if temp_degc == self._leak_temp:
+            return self._leak_factor
         factor = 1.0 + self.config.leakage_per_degc * (
             temp_degc - self.config.leakage_ref_degc
         )
         # Leakage cannot make static power negative no matter how cold the
         # model is driven in tests.
-        return max(0.1, factor)
+        factor = max(0.1, factor)
+        self._leak_temp = temp_degc
+        self._leak_factor = factor
+        return factor
 
     def core_power_w(self, core: Core, leak: float) -> float:
         """Instantaneous power of one core given the leakage factor."""
@@ -66,10 +81,36 @@ class PowerModel:
         bw_util: float,
         temp_degc: float,
     ) -> float:
-        """Total package power of one socket."""
+        """Total package power of one socket.
+
+        Inlines :meth:`core_power_w` with the same per-core expressions and
+        the same accumulation order, so the sum is bit-identical to calling
+        it in a loop — this method runs once per socket on every machine
+        rate change, which makes it one of the simulator's hottest sums.
+        """
+        cfg = self.config
         leak = self.leakage_factor(temp_degc)
-        total = self.config.uncore_w * leak
+        total = cfg.uncore_w * leak
+        idle_w = cfg.core_idle_w
+        base_w = cfg.core_active_base_w
+        cpu_w = cfg.core_cpu_w
+        stall_w = cfg.core_stall_w
+        busy = CoreState.BUSY
+        idle = CoreState.IDLE
+        spin = CoreState.SPIN
         for core in cores:
-            total += self.core_power_w(core, leak)
-        total += self.config.bandwidth_w * max(0.0, min(1.0, bw_util))
+            state = core.state
+            if state is busy:
+                segment = core.segment
+                scale = segment.power_scale if segment is not None else 1.0
+                mu_wall = core.mem_wall_fraction
+                dynamic = cpu_w * core.duty * (1.0 - mu_wall) + stall_w * mu_wall
+                total += scale * (base_w * leak + dynamic)
+            elif state is idle:
+                total += idle_w * leak
+            elif state is spin:
+                total += base_w * leak + cpu_w * core.duty
+            # OFF contributes exactly 0.0; skipping the add leaves the
+            # (strictly positive) total bit-identical.
+        total += cfg.bandwidth_w * max(0.0, min(1.0, bw_util))
         return total

@@ -172,8 +172,14 @@ class EnergyReader:
         would sleep through has no power cost worth modelling); the retry
         *count* is what matters for quality accounting.
         """
-        retries = 0
-        for _attempt in range(self.retry_limit + 1):
+        # Fast path: with no faults injected the first read always
+        # succeeds, so the common case is one try and no loop setup.
+        try:
+            return self._read_raw(), 0
+        except MSRReadError:
+            retries = 1
+            self.retries_total += 1
+        for _attempt in range(self.retry_limit):
             try:
                 return self._read_raw(), retries
             except MSRReadError:

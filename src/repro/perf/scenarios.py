@@ -1,0 +1,256 @@
+"""Canonical benchmark scenarios for the simulation engine.
+
+Two families:
+
+* **microbenchmarks** exercising the discrete-event engine alone
+  (``event-drain``, ``cancel-churn``) — these isolate the per-event cost
+  of the heap, the handles and the run loop, with no hardware model in
+  the way;
+* **end-to-end scenarios** running the full paper stack (node + runtime +
+  RCRdaemon + region measurement) for one Table I cell — these measure
+  what an experiment sweep actually pays per run.
+
+Every scenario is deterministic, so wall time is the only thing that
+varies between runs; :mod:`repro.perf.timing` takes the best of N.
+
+The same full-stack builder (:func:`run_stack`) also powers the
+golden-trace digests (:mod:`repro.perf.golden`), so the configuration
+being benchmarked and the configuration being pinned for bit-identity are
+one and the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+from repro.sim.trace import Trace
+
+
+# ----------------------------------------------------------------------
+# full paper stack (shared by benches and golden digests)
+# ----------------------------------------------------------------------
+@dataclass
+class StackResult:
+    """Everything a digest or a benchmark needs from one full-stack run."""
+
+    engine: Engine
+    node: Any
+    runtime: Any
+    daemon: Any
+    report: Any  # RegionReport
+    run: Any  # RunResult
+
+
+def run_stack(
+    app: str,
+    *,
+    compiler: str = "gcc",
+    optlevel: str = "O2",
+    threads: int = 16,
+    throttle: bool = False,
+    faults: Optional[Any] = None,
+    seed: int = 0,
+    scale: float = 1.0,
+    trace: bool = False,
+    trace_capacity: int = 300_000,
+) -> StackResult:
+    """Run one application through the full measurement stack.
+
+    Mirrors :func:`repro.experiments.runner.run_measurement` exactly, with
+    one addition: the engine can carry an *enabled* trace so golden tests
+    can hash the complete event timeline.  Imports are deferred so the
+    engine microbenchmarks do not pay for the full stack's import graph.
+    """
+    from repro.calibration.profiles import get_profile
+    from repro.config import PAPER_MACHINE, RuntimeConfig, ThrottleConfig
+    from repro.faults import FaultInjector
+    from repro.apps import build_app
+    from repro.openmp import OmpEnv
+    from repro.qthreads import Runtime
+    from repro.rcr import Blackboard, RCRDaemon, RegionClient
+    from repro.throttle import ThrottleController
+
+    machine = PAPER_MACHINE
+    engine = Engine(trace=Trace(enabled=trace, capacity=trace_capacity))
+    profile = get_profile(app, compiler, optlevel, machine)
+    runtime = Runtime(
+        machine,
+        RuntimeConfig(num_threads=threads),
+        engine=engine,
+        seed=seed,
+        warm=True,
+    )
+    injector = None
+    if faults is not None and not faults.inert:
+        injector = FaultInjector(
+            faults,
+            runtime.rng.stream("faults"),
+            now_fn=lambda: runtime.engine.now,
+        )
+    blackboard = Blackboard()
+    daemon = RCRDaemon(runtime.engine, runtime.node, blackboard, faults=injector)
+    daemon.start()
+    client = RegionClient(runtime.engine, blackboard, machine.sockets, daemon=daemon)
+    controller = None
+    if throttle:
+        controller = ThrottleController(
+            runtime.engine, runtime.scheduler, blackboard, ThrottleConfig(enabled=True)
+        )
+        controller.start()
+
+    env = OmpEnv(num_threads=threads)
+    program = build_app(app, env, profile=profile, payload=False, scale=scale)
+    client.start(app)
+    run = runtime.run(program, label=app)
+    report = client.end(app)
+    daemon.stop()
+    if controller is not None:
+        controller.stop()
+    return StackResult(
+        engine=engine,
+        node=runtime.node,
+        runtime=runtime,
+        daemon=daemon,
+        report=report,
+        run=run,
+    )
+
+
+# ----------------------------------------------------------------------
+# engine microbenchmarks
+# ----------------------------------------------------------------------
+def _scenario_event_drain(
+    timers: int = 64,
+    ticks_per_timer: int = 2_000,
+) -> dict[str, Any]:
+    """Periodic-timer drain: the RCRdaemon/controller shape of load.
+
+    ``timers`` self-rescheduling callbacks with staggered periods across
+    all priority bands; several timers share periods, so same-timestamp
+    batches occur constantly — exactly the pattern the engine sees from
+    daemon ticks, throttle evaluations and segment completions.
+    """
+    engine = Engine()
+    priorities = (Priority.MACHINE, Priority.SCHEDULER, Priority.DAEMON, Priority.USER)
+    remaining = [ticks_per_timer] * timers
+
+    def make_tick(idx: int, period: float, priority: int) -> Callable[[], None]:
+        def tick() -> None:
+            remaining[idx] -= 1
+            if remaining[idx] > 0:
+                engine.schedule(period, tick, priority=priority, label="tick")
+        return tick
+
+    for i in range(timers):
+        period = 0.001 * (1 + i % 8)  # 8 distinct periods -> heavy ties
+        priority = priorities[i % len(priorities)]
+        engine.schedule(period, make_tick(i, period, priority), priority=priority)
+    engine.run()
+    return {
+        "events": engine.fired,
+        "simulated_s": engine.now,
+        "pending": engine.pending,
+    }
+
+
+def _scenario_cancel_churn(
+    chains: int = 32,
+    steps: int = 2_000,
+) -> dict[str, Any]:
+    """Cancel/reschedule churn: the fluid-model completion shape of load.
+
+    Every fired event schedules a handful of future events and immediately
+    cancels all but one — the node's ``_schedule_completion`` does exactly
+    this on every machine-state change, so dead-entry skipping and heap
+    compaction dominate here.
+    """
+    engine = Engine()
+    fired = [0]
+
+    def make_step(step_idx: int) -> Callable[[], None]:
+        def step() -> None:
+            fired[0] += 1
+            if step_idx >= steps:
+                return
+            keeper = engine.schedule(0.001, make_step(step_idx + 1),
+                                     priority=Priority.MACHINE)
+            doomed = [
+                engine.schedule(0.002 + 0.001 * k, lambda: None,
+                                priority=Priority.MACHINE)
+                for k in range(7)
+            ]
+            for handle in doomed:
+                handle.cancel()
+            assert keeper.active
+        return step
+
+    for c in range(chains):
+        engine.schedule(0.001 * (c + 1), make_step(1), priority=Priority.MACHINE)
+    engine.run()
+    return {
+        "events": engine.fired,
+        "simulated_s": engine.now,
+        "pending": engine.pending,
+    }
+
+
+# ----------------------------------------------------------------------
+# end-to-end scenarios (paper-table cells)
+# ----------------------------------------------------------------------
+def _scenario_table1_fib() -> dict[str, Any]:
+    """One Table I cell end to end: BOTS fib (cutoff), GCC -O2, 16 threads."""
+    result = run_stack("bots-fib", compiler="gcc", optlevel="O2", threads=16)
+    return {
+        "events": result.engine.fired,
+        "simulated_s": result.run.elapsed_s,
+        "energy_j": result.run.energy_j,
+        "daemon_ticks": result.daemon.ticks,
+    }
+
+
+def _scenario_table1_lulesh() -> dict[str, Any]:
+    """A heavier Table I cell: the LULESH mini-app, GCC -O2, 16 threads."""
+    result = run_stack("lulesh", compiler="gcc", optlevel="O2", threads=16)
+    return {
+        "events": result.engine.fired,
+        "simulated_s": result.run.elapsed_s,
+        "energy_j": result.run.energy_j,
+        "daemon_ticks": result.daemon.ticks,
+    }
+
+
+#: Scenario registry: name -> zero-argument callable returning metadata.
+BENCH_SCENARIOS: dict[str, Callable[[], dict[str, Any]]] = {
+    "event-drain": _scenario_event_drain,
+    "cancel-churn": _scenario_cancel_churn,
+    "table1-bots-fib": _scenario_table1_fib,
+    "table1-lulesh": _scenario_table1_lulesh,
+}
+
+
+def run_bench_scenarios(
+    names: Optional[list[str]] = None,
+    *,
+    repeats: int = 3,
+) -> dict[str, "Any"]:
+    """Time the named scenarios (all of them by default).
+
+    Returns ``{name: ScenarioTiming}`` in registry order.
+    """
+    from repro.perf.timing import time_scenario
+
+    if names is None:
+        names = list(BENCH_SCENARIOS)
+    unknown = [n for n in names if n not in BENCH_SCENARIOS]
+    if unknown:
+        raise KeyError(
+            f"unknown scenario(s) {', '.join(unknown)}; "
+            f"one of {', '.join(BENCH_SCENARIOS)}"
+        )
+    return {
+        name: time_scenario(name, BENCH_SCENARIOS[name], repeats=repeats)
+        for name in names
+    }

@@ -1,0 +1,100 @@
+"""Wall-clock timing primitives for simulator benchmarks.
+
+Everything here measures *host* time (``time.perf_counter_ns``), never
+simulation time: the question is how fast the simulator turns simulated
+seconds into results, which is what bounds experiment sweeps.
+
+Methodology
+-----------
+* each scenario is run ``repeats`` times and the **best** wall time is
+  reported — the minimum is the standard estimator for "how fast can this
+  code go" because every source of interference (GC, scheduler, cache
+  state) only ever adds time;
+* the garbage collector is disabled around each timed run (and a full
+  collection is forced between runs) so allocation-heavy scenarios are
+  not charged a nondeterministic collection that happened to fall inside
+  their window;
+* scenarios return a metadata dict; when it contains an ``events`` count
+  the timing derives an events-per-second rate, which is the number the
+  engine microbenchmarks track across PRs.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass
+class ScenarioTiming:
+    """Result of timing one benchmark scenario."""
+
+    name: str
+    #: Best-of-N wall time, seconds.
+    wall_s: float
+    #: Wall time of every run, seconds (diagnostics; len == repeats).
+    runs_s: list[float] = field(default_factory=list)
+    #: Scenario metadata (event counts, simulated seconds, energies...).
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def events(self) -> Optional[int]:
+        """Events processed per run, when the scenario reports them."""
+        value = self.meta.get("events")
+        return int(value) if value is not None else None
+
+    @property
+    def events_per_s(self) -> Optional[float]:
+        """Throughput in events/second, when the scenario reports events."""
+        if self.events is None or self.wall_s <= 0:
+            return None
+        return self.events / self.wall_s
+
+    def as_record(self) -> dict[str, Any]:
+        """JSON-ready record for ``BENCH_engine.json``."""
+        record: dict[str, Any] = {
+            "wall_s": self.wall_s,
+            "runs_s": self.runs_s,
+        }
+        if self.events is not None:
+            record["events"] = self.events
+            record["events_per_s"] = self.events_per_s
+        for key, value in self.meta.items():
+            if key not in record and isinstance(value, (int, float, str, bool)):
+                record[key] = value
+        return record
+
+
+def time_scenario(
+    name: str,
+    fn: Callable[[], dict[str, Any]],
+    *,
+    repeats: int = 3,
+) -> ScenarioTiming:
+    """Time ``fn`` (a zero-argument scenario) ``repeats`` times.
+
+    ``fn`` builds *and runs* one scenario instance and returns its
+    metadata dict; construction cost is part of the measurement on
+    purpose — experiment sweeps pay it on every run too.
+    """
+    if repeats <= 0:
+        raise ValueError(f"repeats must be positive, got {repeats!r}")
+    runs: list[float] = []
+    meta: dict[str, Any] = {}
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            gc.disable()
+            start = time.perf_counter_ns()
+            meta = fn()
+            elapsed = time.perf_counter_ns() - start
+            if gc_was_enabled:
+                gc.enable()
+            runs.append(elapsed / 1e9)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return ScenarioTiming(name=name, wall_s=min(runs), runs_s=runs, meta=meta)

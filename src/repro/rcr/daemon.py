@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.errors import MeasurementError
 from repro.hw.msr import IA32_THERM_STATUS
 from repro.hw.node import Node
+from repro.hw.perfctr import window_average
 from repro.hw.thermal import ThermalState
 from repro.measure.energy import MultiSocketEnergyReader, SampleQuality
 from repro.rcr import meters
@@ -93,6 +94,11 @@ class RCRDaemon:
         self.overhead_ticks_run = 0
         self.overhead_ticks_skipped = 0
         self._sockets = node.config.sockets
+        #: Core through which each socket's package MSRs are read (fixed
+        #: topology — resolved once instead of per tick).
+        self._first_cores = [
+            node.topology.cores_in_socket(s).start for s in range(self._sockets)
+        ]
         #: Fault injector (None or inert = provably untouched sensor path:
         #: wrap_msr returns the node's own MSRFile in that case).
         self.faults = faults if (faults is not None and faults.active) else None
@@ -253,8 +259,11 @@ class RCRDaemon:
                 raw_therm, self.node.config.thermal.tjmax_degc
             )
 
-            window = self.node.window(s, self._counter_snaps[s])
-            self._counter_snaps[s] = self.node.counters_snapshot(s)
+            # One snapshot serves both the window average and the next
+            # window's baseline (it used to be taken twice per socket).
+            snap_now = self.node.counters_snapshot(s)
+            window = window_average(self._counter_snaps[s], snap_now)
+            self._counter_snaps[s] = snap_now
             avg_demand, avg_bw_util = window.avg_demand, window.avg_bw_util
             if self.faults is not None:
                 avg_demand, avg_bw_util = self.faults.perturb_counters(
@@ -296,4 +305,4 @@ class RCRDaemon:
 
     def _first_core(self, socket: int) -> int:
         """A core of ``socket`` through which package MSRs are read."""
-        return self.node.topology.cores_in_socket(socket).start
+        return self._first_cores[socket]

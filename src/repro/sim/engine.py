@@ -11,11 +11,22 @@ Design notes
 * Events firing at identical timestamps are ordered by the
   :class:`~repro.sim.events.Priority` band, then insertion order, so runs
   are fully deterministic.
+* The heap holds ``(time, priority, seq, event)`` tuples (see
+  :mod:`repro.sim.events`): comparisons stay in C and never touch the
+  event objects, which is the single biggest per-event cost saving.
 * Cancellation is lazy (see :class:`~repro.sim.events.EventHandle`): the
   heap may hold dead entries which are skipped on pop.  A compaction pass
   runs when dead entries dominate, keeping memory bounded for long runs.
+  Firing an event marks it consumed, so a late ``cancel()`` on an
+  already-fired handle cannot skew the dead-entry count (that skew
+  previously made :attr:`Engine.pending` drift negative and triggered
+  compaction passes over heaps with nothing to compact).
 * Callbacks may schedule further events, including at the current time.
   A callback scheduling an event in the past is an error.
+* :meth:`Engine.run` drains same-timestamp batches without touching the
+  clock between them: the clock only advances when the next event's time
+  actually differs, so completion bursts and daemon phase boundaries (many
+  events at one instant) pay one clock update per instant, not per event.
 """
 
 from __future__ import annotations
@@ -40,7 +51,8 @@ class Engine:
     def __init__(self, *, trace: Optional[Trace] = None, start_time: float = 0.0) -> None:
         self.clock = Clock(start_time)
         self.trace = trace if trace is not None else Trace(enabled=False)
-        self._heap: list[ScheduledEvent] = []
+        #: Min-heap of ``(time, priority, seq, ScheduledEvent)`` tuples.
+        self._heap: list[tuple[float, int, int, ScheduledEvent]] = []
         self._seq = 0
         self._cancelled = 0
         self._fired = 0
@@ -91,10 +103,11 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule into the past: t={time!r} < now={self.clock.now!r}"
             )
-        event = ScheduledEvent(time=time, priority=int(priority), seq=self._seq,
-                               callback=callback, label=label)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        prio = int(priority)
+        event = ScheduledEvent(time, prio, seq, callback, label)
+        heapq.heappush(self._heap, (time, prio, seq, event))
         return _TrackingHandle(event, self)
 
     def _note_cancel(self) -> None:
@@ -106,9 +119,22 @@ class Engine:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify.  O(n)."""
-        self._heap = [e for e in self._heap if not e.cancelled]
-        heapq.heapify(self._heap)
+        """Drop cancelled entries and re-heapify.  O(n).
+
+        Heapify over the surviving ``(time, priority, seq, event)`` tuples
+        restores a valid heap under the same total order the entries were
+        pushed with, so same-timestamp events keep their exact
+        ``(priority, seq)`` firing order across a compaction.
+
+        The list is mutated *in place* (slice assignment), never rebound:
+        :meth:`run` holds a local alias to it across callbacks, and a
+        callback's ``cancel()`` can trigger compaction mid-run.  Rebinding
+        would strand the run loop on a stale list while new events land in
+        the fresh one.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapq.heapify(heap)
         self._cancelled = 0
 
     # ------------------------------------------------------------------
@@ -119,11 +145,12 @@ class Engine:
         self._skip_dead()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def _skip_dead(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
             self._cancelled -= 1
 
     def step(self) -> bool:
@@ -131,11 +158,12 @@ class Engine:
         self._skip_dead()
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
-        self.clock.advance_to(event.time)
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        self.clock.advance_to(time)
         self._fired += 1
+        event.cancelled = True  # consumed: late cancel() is now a no-op
         if self.trace.enabled:
-            self.trace.record(event.time, "event", event.label)
+            self.trace.record(time, "event", event.label)
         event.callback()
         return True
 
@@ -145,30 +173,60 @@ class Engine:
         Returns the simulation time at exit.  When ``until`` is given and the
         queue drains earlier, the clock is advanced to ``until`` so that
         integrations (energy, temperature) cover the full requested window.
+
+        This is the simulator's innermost loop; it inlines dead-entry
+        skipping and batches same-timestamp drains (one clock advance per
+        distinct timestamp) rather than delegating to :meth:`step`.
         """
         if self._running:
             raise SimulationError("engine is not reentrant: run() called from a callback")
         self._running = True
         self._stop_requested = False
-        budget = max_events
+        if max_events is None:
+            budget = -1  # negative: unlimited
+        else:
+            budget = max_events if max_events > 0 else 0
+        heap = self._heap
+        heappop = heapq.heappop
+        clock = self.clock
+        trace = self.trace
+        fired = self._fired
+        now = clock.now
         try:
             while not self._stop_requested:
-                if budget is not None:
-                    if budget <= 0:
+                head = None
+                while heap:
+                    head = heap[0]
+                    if head[3].cancelled:
+                        heappop(heap)
+                        self._cancelled -= 1
+                        head = None
+                    else:
                         break
-                self._skip_dead()
-                if not self._heap:
+                if head is None:
                     break
-                if until is not None and self._heap[0].time > until:
+                time = head[0]
+                if until is not None and time > until:
                     break
-                self.step()
-                if budget is not None:
-                    budget -= 1
-            if until is not None and self.clock.now < until and not self._stop_requested:
-                self.clock.advance_to(until)
+                if budget == 0:
+                    break
+                budget -= 1
+                heappop(heap)
+                event = head[3]
+                if time != now:
+                    clock.advance_to(time)
+                    now = time
+                fired += 1
+                event.cancelled = True  # consumed: late cancel() is a no-op
+                if trace.enabled:
+                    trace.record(time, "event", event.label)
+                event.callback()
+            if until is not None and now < until and not self._stop_requested:
+                clock.advance_to(until)
         finally:
+            self._fired = fired
             self._running = False
-        return self.clock.now
+        return clock.now
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current callback."""

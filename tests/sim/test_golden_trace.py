@@ -1,0 +1,66 @@
+"""Golden-trace regression suite: optimized code must be bit-identical.
+
+The digests in ``golden_digests.json`` were recorded from the seed-state
+(pre-optimization) simulator with ``python -m repro.perf.golden --update``.
+Every hot-path change since must reproduce them exactly: per-socket energy
+to the last ULP, event counts, the final wrapped MSR registers, a hash of
+every core's APERF/MPERF counters, and a SHA-256 over the full event
+trace.  A failure here means an "optimization" changed behavior.
+
+These runs take a few hundred milliseconds each, so they carry the
+``golden`` marker (``make test-golden`` / ``pytest -m golden``) — but they
+are NOT excluded from the default run: bit-identity is this repo's
+definition of correct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.golden import (
+    DEFAULT_DIGEST_PATH,
+    GOLDEN_SCENARIOS,
+    compute_digest,
+    load_pinned,
+)
+
+pytestmark = pytest.mark.golden
+
+
+@pytest.fixture(scope="module")
+def pinned() -> dict:
+    digests = load_pinned()
+    assert digests, (
+        f"no pinned digests at {DEFAULT_DIGEST_PATH}; "
+        "record them with: python -m repro.perf.golden --update"
+    )
+    return digests
+
+
+def test_every_scenario_is_pinned(pinned: dict) -> None:
+    assert set(pinned) == set(GOLDEN_SCENARIOS)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SCENARIOS))
+def test_golden_digest_bit_identical(name: str, pinned: dict) -> None:
+    digest = compute_digest(name)
+    expected = pinned[name]
+    # Compare key by key so a drift names exactly what moved (one ULP of
+    # energy reads very differently from a reordered trace).
+    drifted = {
+        key: (expected.get(key), digest.get(key))
+        for key in set(digest) | set(expected)
+        if digest.get(key) != expected.get(key)
+    }
+    assert not drifted, f"golden drift in {name}: {drifted}"
+
+
+def test_digest_is_reproducible_within_build() -> None:
+    """Two runs of the same scenario in one process agree exactly.
+
+    This guards the guard: if the simulator were nondeterministic, the
+    pinned comparison above would be meaningless noise.
+    """
+    a = compute_digest("faultsweep-inert")
+    b = compute_digest("faultsweep-inert")
+    assert a == b

@@ -1,0 +1,186 @@
+"""Property-based tests for the wrap/clamp arithmetic (no hypothesis).
+
+Randomized inputs from a deterministically seeded ``random.Random`` —
+every run exercises the same cases, so a failure is always reproducible,
+while the case count (hundreds per property) covers the space far beyond
+the handful of hand-picked examples in ``test_units.py``.
+
+Properties covered:
+
+* ``rapl_delta_and_wrap`` over randomized 32-bit wrap points — the
+  modular delta reconstructs the underlying monotonic counter and the
+  wrap flag fires exactly when the register goes backwards;
+* ``EnergyReader`` monotonic accumulation — polling a wrapping register
+  never loses or double-counts energy, across many wraps;
+* ``encode/decode_clock_modulation`` — decode∘encode is idempotent
+  (a round-tripped duty re-encodes to the same register value) and always
+  lands on a representable 1/32 step;
+* ``encode/decode_power_limit`` — same fixpoint property for the
+  power-clamp register, including the enable bit.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hw.msr import decode_clock_modulation, encode_clock_modulation
+from repro.measure.energy import EnergyReader, SampleQuality
+from repro.throttle.clamp import decode_power_limit, encode_power_limit
+from repro.units import (
+    RAPL_COUNTER_MODULUS,
+    rapl_delta,
+    rapl_delta_and_wrap,
+    rapl_ticks_to_joules,
+    wrap_rapl_counter,
+)
+
+_CASES = 500
+
+
+# ----------------------------------------------------------------------
+# rapl_delta_and_wrap
+# ----------------------------------------------------------------------
+def test_rapl_delta_recovers_any_sub_period_increment() -> None:
+    rng = random.Random(0xC0FFEE)
+    for _ in range(_CASES):
+        before = rng.randrange(RAPL_COUNTER_MODULUS)
+        true_delta = rng.randrange(RAPL_COUNTER_MODULUS)  # < one full period
+        after = (before + true_delta) % RAPL_COUNTER_MODULUS
+        delta, wrapped = rapl_delta_and_wrap(before, after)
+        assert delta == true_delta
+        assert wrapped == (after < before)
+        assert wrapped == (before + true_delta >= RAPL_COUNTER_MODULUS and true_delta > 0)
+        # The two public delta entry points must never disagree.
+        assert delta == rapl_delta(before, after)
+
+
+def test_rapl_wrap_points_around_the_modulus_boundary() -> None:
+    """Deltas straddling the wrap boundary itself, at every distance 1..64."""
+    for distance in range(1, 65):
+        before = RAPL_COUNTER_MODULUS - distance
+        for true_delta in (distance - 1, distance, distance + 1):
+            after = (before + true_delta) % RAPL_COUNTER_MODULUS
+            delta, wrapped = rapl_delta_and_wrap(before, after)
+            assert delta == true_delta
+            assert wrapped == (true_delta >= distance)
+
+
+def test_rapl_exact_full_period_is_invisible() -> None:
+    """after == before is (0, False): a full-period wrap is undetectable."""
+    rng = random.Random(7)
+    for _ in range(64):
+        value = rng.randrange(RAPL_COUNTER_MODULUS)
+        assert rapl_delta_and_wrap(value, value) == (0, False)
+
+
+def test_rapl_delta_accumulation_reconstructs_monotonic_counter() -> None:
+    """Summing modular deltas over a random walk equals the true total."""
+    rng = random.Random(42)
+    underlying = 0
+    accumulated = 0
+    wraps_seen = 0
+    for _ in range(_CASES):
+        step = rng.randrange(RAPL_COUNTER_MODULUS // 2)
+        before = wrap_rapl_counter(underlying)
+        underlying += step
+        after = wrap_rapl_counter(underlying)
+        delta, wrapped = rapl_delta_and_wrap(before, after)
+        accumulated += delta
+        wraps_seen += wrapped
+        assert accumulated == underlying  # never loses, never double-counts
+    assert wraps_seen == underlying // RAPL_COUNTER_MODULUS
+
+
+# ----------------------------------------------------------------------
+# EnergyReader accumulation over a wrapping register
+# ----------------------------------------------------------------------
+class _FakeWrappedMSR:
+    """Stands in for MSRFile: a 32-bit register over a monotonic counter."""
+
+    def __init__(self) -> None:
+        self.total_ticks = 0
+
+    def advance(self, ticks: int) -> None:
+        self.total_ticks += ticks
+
+    def read_package(self, socket: int, address: int, *, privileged: bool = False) -> int:
+        return wrap_rapl_counter(self.total_ticks)
+
+
+def test_energy_reader_accumulation_is_monotonic_and_exact() -> None:
+    rng = random.Random(2026)
+    msr = _FakeWrappedMSR()
+    reader = EnergyReader(msr, 0)  # baseline read at counter == 0
+    previous_joules = 0.0
+    for _ in range(_CASES):
+        msr.advance(rng.randrange(RAPL_COUNTER_MODULUS // 2))
+        sample = reader.poll_sample()
+        assert sample.quality is SampleQuality.OK
+        assert sample.total_joules >= previous_joules  # monotonic
+        previous_joules = sample.total_joules
+        # Exact: the reader's total is the underlying counter, un-wrapped.
+        assert sample.total_joules == rapl_ticks_to_joules(msr.total_ticks)
+    assert reader.wraps == msr.total_ticks // RAPL_COUNTER_MODULUS
+    assert reader.wraps > 0, "the walk should have wrapped at least once"
+
+
+# ----------------------------------------------------------------------
+# clock-modulation codec (duty-cycle clamp math)
+# ----------------------------------------------------------------------
+def test_clock_modulation_roundtrip_is_idempotent() -> None:
+    """encode(decode(encode(d))) == encode(d): one clamp, then a fixpoint."""
+    rng = random.Random(11)
+    for _ in range(_CASES):
+        duty = rng.uniform(1e-6, 1.5)
+        raw = encode_clock_modulation(duty)
+        decoded = decode_clock_modulation(raw)
+        assert 1 / 32 <= decoded <= 1.0
+        assert encode_clock_modulation(decoded) == raw
+        assert decode_clock_modulation(encode_clock_modulation(decoded)) == decoded
+
+
+def test_clock_modulation_representable_steps_roundtrip_exactly() -> None:
+    """Every architecturally representable level survives the round trip."""
+    for level in range(1, 33):
+        duty = level / 32
+        decoded = decode_clock_modulation(encode_clock_modulation(duty))
+        assert decoded == duty
+
+
+def test_clock_modulation_clamps_into_range() -> None:
+    rng = random.Random(13)
+    for _ in range(_CASES):
+        duty = rng.uniform(1e-9, 4.0)
+        decoded = decode_clock_modulation(encode_clock_modulation(duty))
+        assert 1 / 32 <= decoded <= 1.0
+        # Never further than one step from the (clamped) request.
+        clamped = min(1.0, max(1 / 32, duty))
+        assert abs(decoded - clamped) <= 1 / 32 + 1e-12
+
+
+# ----------------------------------------------------------------------
+# power-limit codec (clamp.py)
+# ----------------------------------------------------------------------
+def test_power_limit_roundtrip_is_idempotent() -> None:
+    rng = random.Random(17)
+    for _ in range(_CASES):
+        watts = rng.uniform(0.0, 5000.0)
+        enabled = rng.random() < 0.5
+        raw = encode_power_limit(watts, enabled=enabled)
+        decoded_w, decoded_en = decode_power_limit(raw)
+        assert decoded_en == enabled
+        # Fixpoint: a decoded value re-encodes to the identical register.
+        assert encode_power_limit(decoded_w, enabled=decoded_en) == raw
+        # Quantization never moves an in-range request by more than half
+        # a 1/8-W step.
+        if watts <= 0x7FFF * 0.125:
+            assert abs(decoded_w - watts) <= 0.125 / 2 + 1e-12
+
+
+def test_power_limit_rejects_negative_inputs() -> None:
+    with pytest.raises(ValueError):
+        encode_power_limit(-1.0)
+    with pytest.raises(ValueError):
+        decode_power_limit(-1)
