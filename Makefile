@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-golden smoke-faults bench bench-engine reproduce recalibrate examples clean
+.PHONY: install test test-faults test-golden test-harness sweep-smoke smoke-faults bench bench-engine bench-sweep reproduce recalibrate examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test:
+test: sweep-smoke
 	$(PYTHON) -m pytest tests/
 
 # Robustness suite: fault injection + degraded-mode behaviour only.
@@ -19,6 +19,16 @@ test-faults:
 # behavior change: python -m repro.perf.golden --update
 test-golden:
 	$(PYTHON) -m pytest tests/ -m golden
+
+# Harness suite: run specs, executor, result cache, telemetry.
+test-harness:
+	$(PYTHON) -m pytest tests/ -m harness
+
+# End-to-end harness smoke: a tiny 4-spec parallel sweep into a throwaway
+# cache, run twice — the first pass must execute everything, the second
+# must be served entirely from the cache with bit-identical records.
+sweep-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.harness.smoke
 
 # End-to-end degraded-mode smoke: the fault-sweep experiment with a fixed
 # seed (one app, three profiles), exercising retry, interpolation, the
@@ -33,6 +43,11 @@ bench:
 # runner refuses to rewrite BENCH_engine.json without --update).
 bench-engine:
 	$(PYTHON) benchmarks/bench_engine.py
+
+# Serial-vs-parallel sweep benchmark vs the committed baseline
+# (read-only; refuses to rewrite BENCH_sweep.json without --update).
+bench-sweep:
+	$(PYTHON) benchmarks/bench_sweep.py
 
 # Regenerate EXPERIMENTS.md (runs the full evaluation, ~5-10 minutes).
 reproduce:

@@ -1,0 +1,148 @@
+"""Benchmark: serial vs process-parallel sweep execution (``make bench-sweep``).
+
+Times one fixed 8-spec sweep — four fast Table I applications under both
+compilers — through :class:`repro.harness.BatchExecutor` twice: serially
+(``workers=0``, the deterministic reference path) and fanned out over a
+process pool (``workers=min(4, cores)``), with the cache and all sinks
+disabled so the numbers are pure execution.  Results are compared against
+the committed baseline in ``BENCH_sweep.json``.
+
+Usage::
+
+    python benchmarks/bench_sweep.py               # run + compare, no writes
+    python benchmarks/bench_sweep.py --update      # write current results
+    python benchmarks/bench_sweep.py --update --record-baseline
+                                                   # re-stamp the baseline too
+
+The parallel path can only win wall-clock on a multi-core host; the
+``cores`` field records what the run had to work with, so a 1.0x ratio
+on a single-core box reads as environment, not regression.  Correctness
+is pinned separately: the runner asserts the parallel records are
+bit-identical to the serial ones on every invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:  # script mode: no PYTHONPATH needed
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+#: Committed perf-trajectory file, at the repo root.
+BENCH_PATH = _REPO_ROOT / "BENCH_sweep.json"
+
+#: The fixed sweep: fast Table I cells, both compilers.
+SWEEP_APPS = ("reduction", "mergesort", "nqueens", "fibonacci")
+
+
+def _sweep_specs():
+    from repro.harness import RunSpec
+
+    return [
+        RunSpec(app, compiler=compiler, optlevel="O2", threads=16)
+        for app in SWEEP_APPS
+        for compiler in ("gcc", "icc")
+    ]
+
+
+def _time_sweep(workers: int, repeats: int):
+    from repro.harness import BatchExecutor
+
+    specs = _sweep_specs()
+    best = float("inf")
+    records = None
+    for _ in range(repeats):
+        harness = BatchExecutor(workers=workers)
+        t0 = time.perf_counter()
+        records = harness.run(specs, sweep=f"bench-w{workers}")
+        best = min(best, time.perf_counter() - t0)
+    return best, records
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_sweep.py",
+        description="serial vs parallel sweep benchmark vs the committed baseline",
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="write results to BENCH_sweep.json "
+                             "(without this flag nothing is written)")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="with --update: re-stamp the baseline section "
+                             "from this run (intentional goalpost move)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N repeats per mode (default 3)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel worker count "
+                             "(default: min(4, cores), at least 2 so the "
+                             "pool path always runs)")
+    parser.add_argument("--json", type=Path, default=BENCH_PATH,
+                        help=f"results file (default: {BENCH_PATH})")
+    args = parser.parse_args(argv)
+
+    if args.record_baseline and not args.update:
+        parser.error("--record-baseline requires --update "
+                     "(refusing to overwrite BENCH_sweep.json)")
+
+    cores = os.cpu_count() or 1
+    workers = args.workers if args.workers is not None else max(2, min(4, cores))
+
+    serial_s, serial_records = _time_sweep(0, args.repeats)
+    parallel_s, parallel_records = _time_sweep(workers, args.repeats)
+    if parallel_records != serial_records:
+        print("FAIL: parallel records differ from serial records",
+              file=sys.stderr)
+        return 1
+
+    ratio = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    current = {
+        "specs": len(serial_records),
+        "cores": cores,
+        "workers": workers,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "parallel_speedup": round(ratio, 3),
+        "bit_identical": True,
+    }
+
+    stored = json.loads(args.json.read_text()) if args.json.exists() else {}
+    baseline = stored.get("baseline")
+
+    print(f"sweep benchmark ({current['specs']} specs, best of {args.repeats}, "
+          f"{cores} core(s)):")
+    print(f"  serial            {serial_s * 1e3:>10.1f} ms")
+    print(f"  parallel (w={workers})    {parallel_s * 1e3:>10.1f} ms   "
+          f"speedup {ratio:>5.2f}x")
+    print("  parallel records bit-identical to serial: yes")
+    if baseline:
+        print(f"  baseline: serial {baseline['serial_s'] * 1e3:.1f} ms, "
+              f"parallel {baseline['parallel_s'] * 1e3:.1f} ms "
+              f"({baseline['parallel_speedup']:.2f}x on "
+              f"{baseline['cores']} core(s))")
+    if cores == 1:
+        print("  (single-core host: parallel cannot beat serial here; "
+          "the speedup column is environment, not regression)")
+
+    if not args.update:
+        if args.json.exists():
+            print(f"(read-only run; pass --update to rewrite {args.json.name})")
+        return 0
+
+    if args.record_baseline or "baseline" not in stored:
+        stored["baseline"] = dict(current)
+        print(f"baseline re-stamped from this run -> {args.json.name}")
+    stored["schema"] = 1
+    stored["current"] = current
+    args.json.write_text(json.dumps(stored, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -30,17 +30,17 @@ def main() -> None:
     for config, row in paper.items():
         print(f"  {config:10s} {row.time_s:7.2f} s  {row.joules:8.1f} J  {row.watts:6.1f} W")
 
-    controller = result.dynamic16.controller
+    dynamic = result.dynamic16
     print(
-        f"\nThrottle engaged {result.dynamic16.run.throttle_activations}x, "
-        f"released {result.dynamic16.run.throttle_deactivations}x; "
-        f"throttled for {controller.time_throttled_s:.2f} s of "
-        f"{result.dynamic16.time_s:.2f} s."
+        f"\nThrottle engaged {dynamic.run.throttle_activations}x, "
+        f"released {dynamic.run.throttle_deactivations}x; "
+        f"throttled for {dynamic.time_throttled_s:.2f} s of "
+        f"{dynamic.time_s:.2f} s."
     )
 
     print("\nDecision trace (one line per 0.1 s controller tick):")
     previous = None
-    for decision in controller.decisions:
+    for decision in dynamic.decisions:
         flag = "ON " if decision.throttle else "off"
         marker = "  <-- toggled" if previous is not None and decision.throttle != previous else ""
         print(

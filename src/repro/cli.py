@@ -8,20 +8,73 @@ Subcommands map one-to-one to the paper's evaluation artifacts:
     repro-paper table2 / table3            # Tables II / III
     repro-paper figure fig1..fig4          # Figures 1-4
     repro-paper throttle [APP]             # Tables IV-VII
+    repro-paper sensitivity [APP]          # policy-threshold sweep
     repro-paper faultsweep                 # robustness: savings under faults
     repro-paper coldstart                  # footnote 2
     repro-paper reproduce [-o FILE]        # full EXPERIMENTS.md
+    repro-paper cache info|clear           # the harness result cache
     repro-paper recalibrate                # refresh residual corrections
+
+Every sweep command accepts the shared harness flags: ``--workers N``
+(process-parallel execution), ``--no-cache`` / ``--cache-dir DIR``
+(digest-keyed result cache), ``--events FILE`` (JSONL telemetry log)
+and ``--quiet`` (suppress the progress renderer).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
+from typing import Iterator
 
 from repro.apps import APP_REGISTRY, list_apps
 
 
+# ----------------------------------------------------------------- harness
+def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    """The harness flags shared by every sweep subcommand."""
+    group = parser.add_argument_group("harness")
+    group.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (default: 1, serial)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result-cache root (default: ~/.cache/repro-harness "
+                            "or $REPRO_CACHE_DIR)")
+    group.add_argument("--events", default=None, metavar="FILE",
+                       help="append structured telemetry events to FILE (JSONL)")
+    group.add_argument("--quiet", action="store_true",
+                       help="suppress the per-run progress renderer")
+
+
+@contextlib.contextmanager
+def _make_harness(args: argparse.Namespace) -> Iterator["BatchExecutor"]:
+    """Build the BatchExecutor an argparse namespace describes."""
+    from repro.harness import (
+        BatchExecutor,
+        JsonlSink,
+        ProgressSink,
+        ResultCache,
+        TelemetryBus,
+    )
+
+    bus = TelemetryBus()
+    if not args.quiet:
+        bus.subscribe(ProgressSink())
+    jsonl = None
+    if args.events:
+        jsonl = JsonlSink(args.events)
+        bus.subscribe(jsonl)
+    cache = None if args.no_cache else ResultCache(root=args.cache_dir)
+    try:
+        yield BatchExecutor(workers=args.workers, cache=cache, bus=bus)
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+
+
+# ------------------------------------------------------------ subcommands
 def _cmd_list(args: argparse.Namespace) -> int:
     for name in list_apps():
         info = APP_REGISTRY[name]
@@ -41,10 +94,9 @@ def _fault_spec(text: str):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.experiments.runner import run_measurement
+    from repro.harness import RunSpec, execute_spec
 
-    faults = args.faults  # parsed by argparse (_fault_spec)
-    result = run_measurement(
+    spec = RunSpec(
         args.app,
         compiler=args.compiler,
         optlevel=args.optlevel,
@@ -52,29 +104,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         throttle=args.throttle,
         payload=args.payload,
         seed=args.seed,
-        faults=faults,
+        faults=args.faults,  # parsed by argparse (_fault_spec)
     )
-    print(result.region)
-    run = result.run
+    record = execute_spec(spec)
+    print(record.region)
+    run = record.run
     print(
         f"tasks: {run.tasks_completed}  steals: {run.steals}  "
         f"spins: {run.spin_entries}  throttle on/off: "
         f"{run.throttle_activations}/{run.throttle_deactivations}"
     )
-    if result.faults is not None:
+    if record.fault_stats is not None:
         from repro.measure.energy import SampleQuality
 
         injected = ", ".join(
-            f"{kind}={count}" for kind, count in result.faults.stats.items() if count
+            f"{kind}={count}" for kind, count in record.fault_stats.items() if count
         )
-        quality = result.daemon.quality_counts
-        qtext = ", ".join(f"{q.name}={quality[q]}" for q in SampleQuality)
+        quality = record.quality_counts
+        qtext = ", ".join(f"{q.name}={quality.get(q, 0)}" for q in SampleQuality)
         print(f"faults injected: {injected or 'none'}")
         print(f"sample quality: {qtext}  "
-              f"late/missed ticks: {result.daemon.late_ticks}/"
-              f"{result.daemon.missed_ticks}")
+              f"late/missed ticks: {record.late_ticks}/{record.missed_ticks}")
     if args.payload:
-        print(f"result: {run.result!r}")
+        print(f"result: {record.result_repr}")
     return 0
 
 
@@ -92,7 +144,8 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
         apps = apps[:1]
         profiles = tuple(p for p in profiles if p in ("none", "stall", "default"))
     try:
-        result = run_fault_sweep(apps, profiles, seed=args.seed)
+        with _make_harness(args) as harness:
+            result = run_fault_sweep(apps, profiles, seed=args.seed, harness=harness)
     except (FaultConfigError, UnknownApplicationError) as exc:
         print(f"repro-paper faultsweep: error: {exc}", file=sys.stderr)
         return 2
@@ -103,58 +156,96 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.table1 import run_table1
 
-    print(run_table1().format())
+    with _make_harness(args) as harness:
+        print(run_table1(harness=harness).format())
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.experiments.table23 import run_table2
 
-    print(run_table2().format())
+    with _make_harness(args) as harness:
+        print(run_table2(harness=harness).format())
     return 0
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
     from repro.experiments.table23 import run_table3
 
-    print(run_table3().format())
+    with _make_harness(args) as harness:
+        print(run_table3(harness=harness).format())
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.figures import run_figure
 
-    print(run_figure(args.figure).format())
+    with _make_harness(args) as harness:
+        print(run_figure(args.figure, harness=harness).format())
     return 0
 
 
 def _cmd_throttle(args: argparse.Namespace) -> int:
     from repro.experiments.throttling import run_all_throttle_tables, run_throttle_table
 
-    if args.app:
-        print(run_throttle_table(args.app).format())
-    else:
-        for result in run_all_throttle_tables().values():
-            print(result.format())
-            print()
+    with _make_harness(args) as harness:
+        if args.app:
+            print(run_throttle_table(args.app, harness=harness).format())
+        else:
+            for result in run_all_throttle_tables(harness=harness).values():
+                print(result.format())
+                print()
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import run_sensitivity
+
+    with _make_harness(args) as harness:
+        print(run_sensitivity(args.app, harness=harness).format())
     return 0
 
 
 def _cmd_coldstart(args: argparse.Namespace) -> int:
     from repro.experiments.coldstart import run_cold_start
+    from repro.harness import telemetry as tel
 
-    print(run_cold_start().format())
+    bus = tel.TelemetryBus() if args.quiet else tel.stderr_bus()
+    print(run_cold_start(bus=bus).format())
     return 0
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.compare import generate_experiments_report
 
-    text = generate_experiments_report(output=args.output, quick=args.quick)
+    with _make_harness(args) as harness:
+        text = generate_experiments_report(
+            output=args.output, quick=args.quick, harness=harness
+        )
     if args.output:
         print(f"wrote {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.harness import ResultCache
+
+    cache = ResultCache(root=args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    info = cache.info()
+    print(f"root:           {info['root']}")
+    print(f"code stamp:     {info['stamp']}")
+    print(f"entries:        {info['entries']} "
+          f"({info['current_stamp_entries']} under the current stamp)")
+    print(f"size:           {info['bytes']} bytes")
+    for stamp, count in sorted(info["stamps"].items()):
+        marker = "  <-- current" if stamp == info["stamp"] else ""
+        print(f"  stamp {stamp}: {count} entries{marker}")
     return 0
 
 
@@ -168,29 +259,32 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
     what = args.artifact
     out = args.output
-    if what.startswith("fig"):
-        from repro.experiments.figures import run_figure
+    with _make_harness(args) as harness:
+        if what.startswith("fig"):
+            from repro.experiments.figures import run_figure
 
-        text = export_figure_csv(run_figure(what), out)
-    elif what == "table1":
-        from repro.experiments.table1 import run_table1
+            text = export_figure_csv(run_figure(what, harness=harness), out)
+        elif what == "table1":
+            from repro.experiments.table1 import run_table1
 
-        text = export_table1_csv(run_table1(), out)
-    elif what in ("table2", "table3"):
-        from repro.experiments.table23 import run_opt_levels
+            text = export_table1_csv(run_table1(harness=harness), out)
+        elif what in ("table2", "table3"):
+            from repro.experiments.table23 import run_opt_levels
 
-        compiler = "gcc" if what == "table2" else "icc"
-        text = export_optlevels_csv(run_opt_levels(compiler), out)
-    else:
-        from repro.experiments.throttling import run_throttle_table
+            compiler = "gcc" if what == "table2" else "icc"
+            text = export_optlevels_csv(
+                run_opt_levels(compiler, harness=harness), out
+            )
+        else:
+            from repro.experiments.throttling import run_throttle_table
 
-        app = {
-            "table4": "lulesh",
-            "table5": "dijkstra",
-            "table6": "bots-health",
-            "table7": "bots-strassen",
-        }[what]
-        text = export_throttle_json(run_throttle_table(app), out)
+            app = {
+                "table4": "lulesh",
+                "table5": "dijkstra",
+                "table6": "bots-health",
+                "table7": "bots-strassen",
+            }[what]
+            text = export_throttle_json(run_throttle_table(app, harness=harness), out)
     if out:
         print(f"wrote {out}")
     else:
@@ -249,27 +343,45 @@ def build_parser() -> argparse.ArgumentParser:
     fs_p.add_argument("--seed", type=int, default=0)
     fs_p.add_argument("--quick", action="store_true",
                       help="one app, three profiles — the CI smoke configuration")
+    _add_sweep_args(fs_p)
     fs_p.set_defaults(func=_cmd_faultsweep)
 
-    sub.add_parser("table1", help="Table I (GCC vs ICC)").set_defaults(func=_cmd_table1)
-    sub.add_parser("table2", help="Table II (GCC -O levels)").set_defaults(func=_cmd_table2)
-    sub.add_parser("table3", help="Table III (ICC -O levels)").set_defaults(func=_cmd_table3)
+    t1_p = sub.add_parser("table1", help="Table I (GCC vs ICC)")
+    _add_sweep_args(t1_p)
+    t1_p.set_defaults(func=_cmd_table1)
+    t2_p = sub.add_parser("table2", help="Table II (GCC -O levels)")
+    _add_sweep_args(t2_p)
+    t2_p.set_defaults(func=_cmd_table2)
+    t3_p = sub.add_parser("table3", help="Table III (ICC -O levels)")
+    _add_sweep_args(t3_p)
+    t3_p.set_defaults(func=_cmd_table3)
 
     fig_p = sub.add_parser("figure", help="Figures 1-4 (scaling sweeps)")
     fig_p.add_argument("figure", choices=["fig1", "fig2", "fig3", "fig4"])
+    _add_sweep_args(fig_p)
     fig_p.set_defaults(func=_cmd_figure)
 
     thr_p = sub.add_parser("throttle", help="Tables IV-VII (dynamic throttling)")
     thr_p.add_argument("app", nargs="?", default=None)
+    _add_sweep_args(thr_p)
     thr_p.set_defaults(func=_cmd_throttle)
 
-    sub.add_parser("coldstart", help="footnote 2 (cold-system effect)").set_defaults(
-        func=_cmd_coldstart
+    sen_p = sub.add_parser(
+        "sensitivity", help="policy sweep over the High-power threshold"
     )
+    sen_p.add_argument("app", nargs="?", default="lulesh")
+    _add_sweep_args(sen_p)
+    sen_p.set_defaults(func=_cmd_sensitivity)
+
+    cold_p = sub.add_parser("coldstart", help="footnote 2 (cold-system effect)")
+    cold_p.add_argument("--quiet", action="store_true",
+                        help="suppress the progress renderer")
+    cold_p.set_defaults(func=_cmd_coldstart)
 
     rep_p = sub.add_parser("reproduce", help="full paper-vs-measured report")
     rep_p.add_argument("-o", "--output", default=None)
     rep_p.add_argument("--quick", action="store_true")
+    _add_sweep_args(rep_p)
     rep_p.set_defaults(func=_cmd_reproduce)
 
     exp_p = sub.add_parser("export", help="export an artifact as CSV/JSON")
@@ -279,7 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
                  "table7", "fig1", "fig2", "fig3", "fig4"],
     )
     exp_p.add_argument("-o", "--output", default=None)
+    _add_sweep_args(exp_p)
     exp_p.set_defaults(func=_cmd_export)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache_p.add_argument("action", choices=["info", "clear"])
+    cache_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache root (default: ~/.cache/repro-harness "
+                              "or $REPRO_CACHE_DIR)")
+    cache_p.set_defaults(func=_cmd_cache)
 
     sub.add_parser("recalibrate", help="refresh empirical residuals").set_defaults(
         func=_cmd_recalibrate

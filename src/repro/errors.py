@@ -74,3 +74,12 @@ class UnknownApplicationError(ReproError):
 
 class UnknownCompilerError(ReproError):
     """Raised when a compiler/optimization profile is not available."""
+
+
+class HarnessError(ReproError):
+    """Raised when the experiment harness cannot complete a sweep.
+
+    Carries the first underlying failure as ``__cause__``; individual
+    worker failures below the retry budget are reported as telemetry
+    events instead of exceptions.
+    """

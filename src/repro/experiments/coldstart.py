@@ -15,10 +15,13 @@ workload in the suite) stands in for NAS BT.C.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.apps import build_app
 from repro.config import PAPER_MACHINE, RuntimeConfig
+from repro.harness import telemetry as tel
 from repro.openmp import OmpEnv
 from repro.qthreads import Runtime
 from repro.qthreads.runtime import RunResult
@@ -59,19 +62,37 @@ def run_cold_start(
     compiler: str = "gcc",
     optlevel: str = "O2",
     threads: int = 16,
+    *,
+    bus: Optional[tel.TelemetryBus] = None,
 ) -> ColdStartResult:
-    """Run a workload twice on an initially cold node."""
+    """Run a workload twice on an initially cold node.
+
+    The two runs share one node (the first must warm it for the second),
+    so this experiment is inherently serial and uncacheable — it reports
+    through the harness telemetry bus but cannot fan out.
+    """
+    bus = bus if bus is not None else tel.TelemetryBus()
     runtime = Runtime(
         PAPER_MACHINE, RuntimeConfig(num_threads=threads), warm=False
     )
     env = OmpEnv(num_threads=threads)
-    cold = runtime.run(build_app(app, env, compiler=compiler, optlevel=optlevel))
-    warm = runtime.run(build_app(app, env, compiler=compiler, optlevel=optlevel))
-    return ColdStartResult(cold=cold, warm=warm)
+    results: list[RunResult] = []
+    for index, phase in enumerate(("cold", "warm")):
+        bus.emit(tel.RunStarted(sweep="coldstart", index=index, total=2,
+                                label=f"{app} {phase}"))
+        t0 = time.perf_counter()
+        run = runtime.run(build_app(app, env, compiler=compiler, optlevel=optlevel))
+        results.append(run)
+        bus.emit(tel.RunFinished(
+            sweep="coldstart", index=index, total=2, label=f"{app} {phase}",
+            time_s=run.elapsed_s, energy_j=run.energy_j,
+            watts=run.avg_power_w, wall_s=time.perf_counter() - t0,
+        ))
+    return ColdStartResult(cold=results[0], warm=results[1])
 
 
 def main() -> None:  # pragma: no cover - CLI glue
-    print(run_cold_start().format())
+    print(run_cold_start(bus=tel.stderr_bus()).format())
 
 
 if __name__ == "__main__":  # pragma: no cover

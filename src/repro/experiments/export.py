@@ -102,7 +102,7 @@ def export_optlevels_csv(result: OptLevelResult, path: PathLike | None = None) -
 
 def export_throttle_json(result: ThrottleTableResult, path: PathLike | None = None) -> str:
     """One Table IV-VII as JSON, including the controller decision trace."""
-    controller = result.dynamic16.controller
+    dynamic = result.dynamic16
     payload = {
         "app": result.app,
         "configurations": {
@@ -123,8 +123,8 @@ def export_throttle_json(result: ThrottleTableResult, path: PathLike | None = No
         },
         "dynamic_energy_savings": result.dynamic_energy_savings,
         "dynamic_power_savings_w": result.dynamic_power_savings_w,
-        "throttle_activations": result.dynamic16.run.throttle_activations,
-        "time_throttled_s": controller.time_throttled_s if controller else 0.0,
+        "throttle_activations": dynamic.run.throttle_activations,
+        "time_throttled_s": dynamic.time_throttled_s,
         "decisions": [
             {
                 "time_s": d.time_s,
@@ -134,7 +134,7 @@ def export_throttle_json(result: ThrottleTableResult, path: PathLike | None = No
                 "memory_band": d.memory_band.value,
                 "throttle": d.throttle,
             }
-            for d in (controller.decisions if controller else [])
+            for d in dynamic.decisions
         ],
     }
     text = json.dumps(payload, indent=2)

@@ -23,11 +23,12 @@ Reported per (profile, application):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.config import FaultConfig
 from repro.faults import PROFILES
+from repro.harness import BatchExecutor, MeasurementRecord, RunSpec, default_executor
 from repro.measure.energy import SampleQuality
-from repro.experiments.runner import MeasurementResult, run_measurement
 
 #: The throttling applications whose power curves admit savings (the
 #: paper's Tables IV-VII).  The sweep defaults to the two strongest.
@@ -52,8 +53,8 @@ class FaultSweepCell:
 
     profile: str
     app: str
-    dynamic: MeasurementResult
-    fixed: MeasurementResult
+    dynamic: MeasurementRecord
+    fixed: MeasurementRecord
 
     @property
     def savings(self) -> float:
@@ -64,18 +65,17 @@ class FaultSweepCell:
     def fault_events(self) -> int:
         """Total injected events across both runs of this cell."""
         total = 0
-        for result in (self.dynamic, self.fixed):
-            if result.faults is not None:
-                total += sum(result.faults.stats.values())
+        for record in (self.dynamic, self.fixed):
+            if record.fault_stats is not None:
+                total += sum(record.fault_stats.values())
         return total
 
     def quality_counts(self) -> dict[SampleQuality, int]:
         """Aggregate sample-quality histogram across both runs."""
         totals: dict[SampleQuality, int] = {q: 0 for q in SampleQuality}
-        for result in (self.dynamic, self.fixed):
-            if result.daemon is not None:
-                for quality, count in result.daemon.quality_counts.items():
-                    totals[quality] += count
+        for record in (self.dynamic, self.fixed):
+            for quality, count in record.quality_counts.items():
+                totals[quality] += count
         return totals
 
 
@@ -145,6 +145,7 @@ def run_fault_sweep(
     *,
     threads: int = 16,
     seed: int = 0,
+    harness: Optional[BatchExecutor] = None,
 ) -> FaultSweepResult:
     """Run the throttling comparison under each fault profile.
 
@@ -161,26 +162,35 @@ def run_fault_sweep(
         )
     if "none" not in profiles:
         profiles = ("none", *profiles)
-    result = FaultSweepResult(seed=seed)
-    for profile_name in profiles:
+    harness = harness if harness is not None else default_executor()
+    cells = [(profile_name, app) for profile_name in profiles for app in apps]
+    specs: list[RunSpec] = []
+    for profile_name, app in cells:
         config: FaultConfig = PROFILES[profile_name]
-        for app in apps:
-            dynamic = run_measurement(
-                app, "maestro", "O3", threads=threads,
-                throttle=True, seed=seed, faults=config,
-            )
-            fixed = run_measurement(
-                app, "maestro", "O3", threads=threads,
-                seed=seed, faults=config,
-            )
-            result.cells[(profile_name, app)] = FaultSweepCell(
-                profile=profile_name, app=app, dynamic=dynamic, fixed=fixed,
-            )
+        specs.append(
+            RunSpec(app, "maestro", "O3", threads=threads, throttle=True,
+                    seed=seed, faults=config,
+                    label=f"{app} [{profile_name}] dynamic")
+        )
+        specs.append(
+            RunSpec(app, "maestro", "O3", threads=threads,
+                    seed=seed, faults=config,
+                    label=f"{app} [{profile_name}] fixed")
+        )
+    records = harness.run(specs, sweep="faultsweep")
+    result = FaultSweepResult(seed=seed)
+    for k, (profile_name, app) in enumerate(cells):
+        result.cells[(profile_name, app)] = FaultSweepCell(
+            profile=profile_name, app=app,
+            dynamic=records[2 * k], fixed=records[2 * k + 1],
+        )
     return result
 
 
 def main() -> None:  # pragma: no cover - CLI glue
-    print(run_fault_sweep().format())
+    from repro.harness import stderr_bus
+
+    print(run_fault_sweep(harness=BatchExecutor(bus=stderr_bus())).format())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -21,9 +21,10 @@ test suite:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.curves import ScalingPoint, ScalingSeries
-from repro.experiments.runner import run_measurement
+from repro.harness import BatchExecutor, RunSpec, default_executor
 
 #: Default thread sweep (the paper sweeps 1..16; powers of two plus the
 #: 12-thread point keep the harness fast while preserving the shape).
@@ -68,17 +69,36 @@ class FigureResult:
         return "\n".join(lines)
 
 
+def scaling_specs(
+    app: str,
+    compiler: str,
+    optlevel: str = "O2",
+    threads: tuple[int, ...] = SWEEP_THREADS,
+) -> list[RunSpec]:
+    """One spec per thread count of a scaling sweep."""
+    return [
+        RunSpec(app, compiler, optlevel, threads=p,
+                label=f"{app} {compiler} t{p}")
+        for p in threads
+    ]
+
+
 def run_scaling_series(
     app: str,
     compiler: str,
     optlevel: str = "O2",
     threads: tuple[int, ...] = SWEEP_THREADS,
+    *,
+    harness: Optional[BatchExecutor] = None,
 ) -> ScalingSeries:
     """Sweep one application over thread counts."""
-    points = []
-    for p in threads:
-        result = run_measurement(app, compiler, optlevel, threads=p)
-        points.append(ScalingPoint(threads=p, time_s=result.time_s, energy_j=result.energy_j))
+    harness = harness if harness is not None else default_executor()
+    records = harness.run(scaling_specs(app, compiler, optlevel, threads),
+                          sweep=f"scaling-{app}")
+    points = [
+        ScalingPoint(threads=p, time_s=r.time_s, energy_j=r.energy_j)
+        for p, r in zip(threads, records)
+    ]
     return ScalingSeries(app=app, compiler=compiler, points=points)
 
 
@@ -86,20 +106,42 @@ def run_figure(
     figure: str,
     threads: tuple[int, ...] = SWEEP_THREADS,
     apps: tuple[str, ...] | None = None,
+    *,
+    harness: Optional[BatchExecutor] = None,
 ) -> FigureResult:
-    """Regenerate one of Figures 1-4."""
+    """Regenerate one of Figures 1-4 (all apps x threads in one sweep)."""
     if figure not in FIGURES:
         raise KeyError(f"unknown figure {figure!r}; one of {sorted(FIGURES)}")
+    harness = harness if harness is not None else default_executor()
     default_apps, compiler = FIGURES[figure]
+    apps = apps if apps is not None else default_apps
+    specs = [
+        spec
+        for app in apps
+        for spec in scaling_specs(app, compiler, threads=threads)
+    ]
+    records = harness.run(specs, sweep=figure)
     out = FigureResult(figure=figure, compiler=compiler)
-    for app in (apps if apps is not None else default_apps):
-        out.series[app] = run_scaling_series(app, compiler, threads=threads)
+    per_app = len(threads)
+    for k, app in enumerate(apps):
+        chunk = records[k * per_app:(k + 1) * per_app]
+        out.series[app] = ScalingSeries(
+            app=app,
+            compiler=compiler,
+            points=[
+                ScalingPoint(threads=p, time_s=r.time_s, energy_j=r.energy_j)
+                for p, r in zip(threads, chunk)
+            ],
+        )
     return out
 
 
 def main() -> None:  # pragma: no cover - CLI glue
+    from repro.harness import stderr_bus
+
+    harness = BatchExecutor(bus=stderr_bus())
     for figure in FIGURES:
-        print(run_figure(figure).format())
+        print(run_figure(figure, harness=harness).format())
         print()
 
 

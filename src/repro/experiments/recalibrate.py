@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
+from typing import Optional
 
 from repro.calibration import residuals
 from repro.calibration.paper_data import TABLE2_GCC, TABLE3_ICC, THROTTLE_TABLES
 from repro.calibration.profiles import get_profile
-from repro.experiments.runner import run_measurement
+from repro.harness import RunSpec, execute_spec
+from repro.harness import telemetry as tel
 
 #: Reference optimization level used for calibration (corrections are
 #: shared across levels: the task structure does not change with -O).
@@ -37,9 +39,12 @@ def _combos() -> list[tuple[str, str]]:
 
 
 def _simulate(app: str, compiler: str, threads: int = 16) -> tuple[float, float]:
+    # Straight through the harness's one execution path — but never its
+    # cache or process pool: each iteration here depends on the residual
+    # table mutated by the previous one.
     level = _CAL_LEVEL[compiler]
-    result = run_measurement(app, compiler, level, threads=threads)
-    return result.run.elapsed_s, result.run.avg_power_w
+    record = execute_spec(RunSpec(app, compiler, level, threads=threads))
+    return record.run.elapsed_s, record.run.avg_power_w
 
 
 def _set(app: str, compiler: str, work: float, power: float, mu: float) -> None:
@@ -47,7 +52,7 @@ def _set(app: str, compiler: str, work: float, power: float, mu: float) -> None:
     get_profile.cache_clear()
 
 
-def _fit_mu_corr(app: str, verbose: bool) -> float:
+def _fit_mu_corr(app: str, bus: tel.TelemetryBus) -> float:
     """Fit the intensity correction so the *simulated* 12-vs-16-thread
     time ratio matches the paper's (maestro profiles only).
 
@@ -84,22 +89,32 @@ def _fit_mu_corr(app: str, verbose: bool) -> float:
         hi = min(hi, best_mu + span / 8.0)
         if best_err <= 0.003:
             break
-    if verbose and best_err > 0.01:
-        print(f"  [mu fit for {app}: residual ratio error {best_err:.4f}]")
+    if best_err > 0.01:
+        bus.emit(tel.Note(
+            f"  [mu fit for {app}: residual ratio error {best_err:.4f}]"))
     return best_mu
 
 
 def compute_residuals(
     verbose: bool = True,
     combos: list[tuple[str, str]] | None = None,
+    *,
+    bus: Optional[tel.TelemetryBus] = None,
 ) -> dict[tuple[str, str], tuple[float, float, float]]:
-    """Measure corrections for every reported (app, compiler) pair."""
+    """Measure corrections for every reported (app, compiler) pair.
+
+    Progress is narrated as :class:`~repro.harness.telemetry.Note` events
+    on ``bus``; ``verbose=True`` without an explicit bus attaches the
+    stderr progress renderer (the historical printing behaviour).
+    """
+    if bus is None:
+        bus = tel.stderr_bus() if verbose else tel.TelemetryBus()
     corrections: dict[tuple[str, str], tuple[float, float, float]] = {}
     for app, compiler in (combos if combos is not None else _combos()):
         level = _CAL_LEVEL[compiler]
         mu_corr = 1.0
         if compiler == "maestro":
-            mu_corr = _fit_mu_corr(app, verbose)
+            mu_corr = _fit_mu_corr(app, bus)
         _set(app, compiler, 1.0, 1.0, mu_corr)
         target = get_profile(app, compiler, level).target
 
@@ -120,12 +135,11 @@ def compute_residuals(
             else:
                 power_corr = guess
         corrections[(app, compiler)] = (work_corr, power_corr, mu_corr)
-        if verbose:
-            print(
-                f"{app:24s} {compiler:8s} work x{work_corr:.4f}  power x{power_corr:.4f}"
-                f"  mu x{mu_corr:.4f}"
-                f"  (sim {t0:7.2f}s/{p0:6.1f}W vs paper {target.time_s:6.1f}s/{target.watts:5.1f}W)"
-            )
+        bus.emit(tel.Note(
+            f"{app:24s} {compiler:8s} work x{work_corr:.4f}  power x{power_corr:.4f}"
+            f"  mu x{mu_corr:.4f}"
+            f"  (sim {t0:7.2f}s/{p0:6.1f}W vs paper {target.time_s:6.1f}s/{target.watts:5.1f}W)"
+        ))
         _set(app, compiler, *corrections[(app, compiler)])
     return corrections
 

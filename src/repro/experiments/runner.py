@@ -131,12 +131,17 @@ def run_measurement(
         app, env, profile=profile, payload=payload, scale=scale,
         **(app_kwargs or {}),
     )
-    client.start(app)
-    run = runtime.run(program, label=app)
-    report = client.end(app)
-    daemon.stop()
-    if controller is not None:
-        controller.stop()
+    # The daemon and controller hold engine timers; a crash in the run
+    # (or in the region end-read) must still cancel them, or the handles
+    # leak into any later use of the engine.
+    try:
+        client.start(app)
+        run = runtime.run(program, label=app)
+        report = client.end(app)
+    finally:
+        daemon.stop()
+        if controller is not None:
+            controller.stop()
     return MeasurementResult(
         app=app,
         compiler=compiler,

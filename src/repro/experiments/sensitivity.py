@@ -17,11 +17,10 @@ Pareto structure behind the paper's choice:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
-from repro.calibration.profiles import get_profile
 from repro.config import ThrottleConfig
-from repro.experiments.runner import run_measurement
+from repro.harness import BatchExecutor, RunSpec, default_executor
 
 
 @dataclass(frozen=True)
@@ -83,46 +82,54 @@ def run_sensitivity(
     *,
     power_high_values: Sequence[float] = (65.0, 70.0, 75.0, 80.0, 90.0),
     throttled_threads_values: Sequence[int] = (12,),
+    harness: Optional[BatchExecutor] = None,
 ) -> SensitivityResult:
     """Sweep the High-power threshold (and optionally the throttle depth)."""
-    profile = get_profile(app, "maestro", "O3")
-    baseline = run_measurement(app, "maestro", "O3", profile=profile)
+    harness = harness if harness is not None else default_executor()
+    grid = [
+        (limit, high)
+        for limit in throttled_threads_values
+        for high in power_high_values
+    ]
+    specs = [RunSpec(app, "maestro", "O3", label=f"{app} baseline")]
+    for limit, high in grid:
+        config = ThrottleConfig(
+            enabled=True,
+            power_high_w=high,
+            power_low_w=min(50.0, high - 10.0),
+            throttled_threads=limit,
+        )
+        specs.append(
+            RunSpec(app, "maestro", "O3", throttle=True,
+                    throttle_config=config,
+                    label=f"{app} P_high={high:.0f} limit={limit}")
+        )
+    records = harness.run(specs, sweep=f"sensitivity-{app}")
+    baseline = records[0]
     result = SensitivityResult(
         app=app,
         baseline_time_s=baseline.time_s,
         baseline_energy_j=baseline.energy_j,
     )
-    for limit in throttled_threads_values:
-        for high in power_high_values:
-            config = ThrottleConfig(
-                enabled=True,
+    for (limit, high), measured in zip(grid, records[1:]):
+        result.points.append(
+            SensitivityPoint(
                 power_high_w=high,
-                power_low_w=min(50.0, high - 10.0),
                 throttled_threads=limit,
+                time_s=measured.time_s,
+                energy_j=measured.energy_j,
+                watts=measured.watts,
+                activations=measured.run.throttle_activations,
+                time_throttled_s=measured.time_throttled_s,
             )
-            measured = run_measurement(
-                app, "maestro", "O3", profile=profile,
-                throttle=True, throttle_config=config,
-            )
-            controller = measured.controller
-            result.points.append(
-                SensitivityPoint(
-                    power_high_w=high,
-                    throttled_threads=limit,
-                    time_s=measured.time_s,
-                    energy_j=measured.energy_j,
-                    watts=measured.watts,
-                    activations=measured.run.throttle_activations,
-                    time_throttled_s=(
-                        controller.time_throttled_s if controller else 0.0
-                    ),
-                )
-            )
+        )
     return result
 
 
 def main() -> None:  # pragma: no cover - CLI glue
-    print(run_sensitivity().format())
+    from repro.harness import stderr_bus
+
+    print(run_sensitivity(harness=BatchExecutor(bus=stderr_bus())).format())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,10 +14,11 @@ checked by the test suite:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.calibration.paper_data import PaperRow, TABLE1_GCC, TABLE1_ICC
 from repro.analysis.tables import render_grid_table
-from repro.experiments.runner import MeasurementResult, run_measurement
+from repro.harness import BatchExecutor, MeasurementRecord, RunSpec, default_executor
 
 #: Applications in the paper's Table I row order.
 TABLE1_APPS: tuple[str, ...] = tuple(TABLE1_GCC.keys())
@@ -28,7 +29,7 @@ class Table1Result:
     """Measured Table I."""
 
     cells: dict[tuple[str, str], PaperRow] = field(default_factory=dict)
-    results: dict[tuple[str, str], MeasurementResult] = field(default_factory=dict)
+    results: dict[tuple[str, str], MeasurementRecord] = field(default_factory=dict)
 
     def paper_cells(self) -> dict[tuple[str, str], PaperRow]:
         out: dict[tuple[str, str], PaperRow] = {}
@@ -47,23 +48,44 @@ class Table1Result:
         )
 
 
-def run_table1(apps: tuple[str, ...] = TABLE1_APPS, threads: int = 16) -> Table1Result:
-    """Run every (app, compiler) cell of Table I."""
+def table1_specs(
+    apps: tuple[str, ...] = TABLE1_APPS, threads: int = 16
+) -> list[RunSpec]:
+    """One spec per (app, compiler) cell, in the paper's row order."""
+    return [
+        RunSpec(app, compiler, "O2", threads=threads,
+                label=f"{app} {label}")
+        for app in apps
+        for compiler, label in (("gcc", "GCC"), ("icc", "ICC"))
+    ]
+
+
+def run_table1(
+    apps: tuple[str, ...] = TABLE1_APPS,
+    threads: int = 16,
+    *,
+    harness: Optional[BatchExecutor] = None,
+) -> Table1Result:
+    """Run every (app, compiler) cell of Table I through the harness."""
+    harness = harness if harness is not None else default_executor()
+    specs = table1_specs(apps, threads)
+    records = harness.run(specs, sweep="table1")
     out = Table1Result()
-    for app in apps:
-        for compiler, label in (("gcc", "GCC"), ("icc", "ICC")):
-            result = run_measurement(app, compiler, "O2", threads=threads)
-            out.results[(app, label)] = result
-            out.cells[(app, label)] = PaperRow(
-                time_s=result.time_s,
-                joules=result.energy_j,
-                watts=result.watts,
-            )
+    for spec, record in zip(specs, records):
+        label = "GCC" if spec.compiler == "gcc" else "ICC"
+        out.results[(spec.app, label)] = record
+        out.cells[(spec.app, label)] = PaperRow(
+            time_s=record.time_s,
+            joules=record.energy_j,
+            watts=record.watts,
+        )
     return out
 
 
 def main() -> None:  # pragma: no cover - CLI glue
-    result = run_table1()
+    from repro.harness import stderr_bus
+
+    result = run_table1(harness=BatchExecutor(bus=stderr_bus()))
     print(result.format())
 
 

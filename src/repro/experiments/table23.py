@@ -14,10 +14,11 @@ The paper's qualitative findings checked by the test suite:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.analysis.tables import render_grid_table
 from repro.calibration.paper_data import PaperRow, TABLE2_GCC, TABLE3_ICC
-from repro.experiments.runner import MeasurementResult, run_measurement
+from repro.harness import BatchExecutor, MeasurementRecord, RunSpec, default_executor
 
 OPT_LEVELS: tuple[str, ...] = ("O0", "O1", "O2", "O3")
 
@@ -28,7 +29,7 @@ class OptLevelResult:
 
     compiler: str
     cells: dict[tuple[str, str], PaperRow] = field(default_factory=dict)
-    results: dict[tuple[str, str], MeasurementResult] = field(default_factory=dict)
+    results: dict[tuple[str, str], MeasurementRecord] = field(default_factory=dict)
 
     @property
     def apps(self) -> list[str]:
@@ -58,21 +59,29 @@ def run_opt_levels(
     apps: tuple[str, ...] | None = None,
     levels: tuple[str, ...] = OPT_LEVELS,
     threads: int = 16,
+    *,
+    harness: Optional[BatchExecutor] = None,
 ) -> OptLevelResult:
     """Run an optimization-level sweep for one compiler."""
+    harness = harness if harness is not None else default_executor()
     table = TABLE2_GCC if compiler == "gcc" else TABLE3_ICC
     if apps is None:
         apps = tuple(table.keys())
+    specs = [
+        RunSpec(app, compiler, level, threads=threads,
+                label=f"{app} -{level}")
+        for app in apps
+        for level in levels
+    ]
+    records = harness.run(specs, sweep=f"table{'2' if compiler == 'gcc' else '3'}")
     out = OptLevelResult(compiler=compiler)
-    for app in apps:
-        for level in levels:
-            result = run_measurement(app, compiler, level, threads=threads)
-            out.results[(app, level)] = result
-            out.cells[(app, level)] = PaperRow(
-                time_s=result.time_s,
-                joules=result.energy_j,
-                watts=result.watts,
-            )
+    for spec, record in zip(specs, records):
+        out.results[(spec.app, spec.optlevel)] = record
+        out.cells[(spec.app, spec.optlevel)] = PaperRow(
+            time_s=record.time_s,
+            joules=record.energy_j,
+            watts=record.watts,
+        )
     return out
 
 
@@ -87,9 +96,12 @@ def run_table3(**kwargs) -> OptLevelResult:
 
 
 def main() -> None:  # pragma: no cover - CLI glue
-    print(run_table2().format())
+    from repro.harness import stderr_bus
+
+    harness = BatchExecutor(bus=stderr_bus())
+    print(run_table2(harness=harness).format())
     print()
-    print(run_table3().format())
+    print(run_table3(harness=harness).format())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,12 +13,11 @@ throttle and resulted in only minor overheads (up to 0.6%)".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.calibration.paper_data import PaperRow, THROTTLE_TABLES
-from repro.calibration.profiles import get_profile
-from repro.experiments.runner import MeasurementResult, run_measurement
+from repro.harness import BatchExecutor, MeasurementRecord, RunSpec, default_executor
 from repro.measure.report import MeasurementRow, format_measurement_table
 
 #: Table number per application (for display).
@@ -43,9 +42,9 @@ class ThrottleTableResult:
     """One measured Table IV-VII."""
 
     app: str
-    dynamic16: MeasurementResult
-    fixed16: MeasurementResult
-    fixed12: MeasurementResult
+    dynamic16: MeasurementRecord
+    fixed16: MeasurementRecord
+    fixed12: MeasurementRecord
 
     def rows(self) -> list[MeasurementRow]:
         return [
@@ -79,21 +78,45 @@ class ThrottleTableResult:
         )
 
 
-def run_throttle_table(app: str, *, threads: int = 16, throttled_threads: int = 12) -> ThrottleTableResult:
+def throttle_specs(
+    app: str, *, threads: int = 16, throttled_threads: int = 12
+) -> list[RunSpec]:
+    """The three configurations of one Table IV-VII, in row order."""
+    return [
+        RunSpec(app, "maestro", "O3", threads=threads, throttle=True,
+                label=f"{app} dynamic{threads}"),
+        RunSpec(app, "maestro", "O3", threads=threads,
+                label=f"{app} fixed{threads}"),
+        RunSpec(app, "maestro", "O3", threads=throttled_threads,
+                label=f"{app} fixed{throttled_threads}"),
+    ]
+
+
+def _table_from_records(app: str, records: list[MeasurementRecord]) -> ThrottleTableResult:
+    dynamic, fixed16, fixed12 = records
+    return ThrottleTableResult(
+        app=app, dynamic16=dynamic, fixed16=fixed16, fixed12=fixed12
+    )
+
+
+def run_throttle_table(
+    app: str,
+    *,
+    threads: int = 16,
+    throttled_threads: int = 12,
+    harness: Optional[BatchExecutor] = None,
+) -> ThrottleTableResult:
     """Run the three configurations of one Table IV-VII."""
     if app not in THROTTLE_TABLES:
         raise KeyError(
             f"{app!r} is not a throttling application; one of {sorted(THROTTLE_TABLES)}"
         )
-    profile = get_profile(app, "maestro", "O3")
-    dynamic = run_measurement(
-        app, "maestro", "O3", threads=threads, throttle=True, profile=profile
+    harness = harness if harness is not None else default_executor()
+    records = harness.run(
+        throttle_specs(app, threads=threads, throttled_threads=throttled_threads),
+        sweep=f"throttle-{app}",
     )
-    fixed16 = run_measurement(app, "maestro", "O3", threads=threads, profile=profile)
-    fixed12 = run_measurement(
-        app, "maestro", "O3", threads=throttled_threads, profile=profile
-    )
-    return ThrottleTableResult(app=app, dynamic16=dynamic, fixed16=fixed16, fixed12=fixed12)
+    return _table_from_records(app, records)
 
 
 @dataclass
@@ -101,8 +124,8 @@ class OverheadCheckResult:
     """No-throttle overhead on a well-scaling application."""
 
     app: str
-    with_controller: MeasurementResult
-    without_controller: MeasurementResult
+    with_controller: MeasurementRecord
+    without_controller: MeasurementRecord
 
     @property
     def overhead(self) -> float:
@@ -116,24 +139,52 @@ class OverheadCheckResult:
         return self.with_controller.run.throttle_activations > 0
 
 
-def run_overhead_check(app: str, compiler: str = "gcc", optlevel: str = "O3") -> OverheadCheckResult:
+def run_overhead_check(
+    app: str,
+    compiler: str = "gcc",
+    optlevel: str = "O3",
+    *,
+    harness: Optional[BatchExecutor] = None,
+) -> OverheadCheckResult:
     """Verify throttling never triggers (and costs ~nothing) on a scaler."""
-    with_tc = run_measurement(app, compiler, optlevel, threads=16, throttle=True)
-    without_tc = run_measurement(app, compiler, optlevel, threads=16)
-    return OverheadCheckResult(app=app, with_controller=with_tc, without_controller=without_tc)
+    harness = harness if harness is not None else default_executor()
+    with_tc, without_tc = harness.run(
+        [
+            RunSpec(app, compiler, optlevel, threads=16, throttle=True,
+                    label=f"{app} +controller"),
+            RunSpec(app, compiler, optlevel, threads=16,
+                    label=f"{app} baseline"),
+        ],
+        sweep=f"overhead-{app}",
+    )
+    return OverheadCheckResult(
+        app=app, with_controller=with_tc, without_controller=without_tc
+    )
 
 
-def run_all_throttle_tables() -> dict[str, ThrottleTableResult]:
-    """Tables IV-VII in one sweep."""
-    return {app: run_throttle_table(app) for app in THROTTLE_TABLES}
+def run_all_throttle_tables(
+    *, harness: Optional[BatchExecutor] = None
+) -> dict[str, ThrottleTableResult]:
+    """Tables IV-VII in one (parallelizable) sweep."""
+    harness = harness if harness is not None else default_executor()
+    apps = list(THROTTLE_TABLES)
+    specs = [spec for app in apps for spec in throttle_specs(app)]
+    records = harness.run(specs, sweep="throttle-tables")
+    return {
+        app: _table_from_records(app, records[k * 3:(k + 1) * 3])
+        for k, app in enumerate(apps)
+    }
 
 
 def main() -> None:  # pragma: no cover - CLI glue
-    for app, result in run_all_throttle_tables().items():
+    from repro.harness import stderr_bus
+
+    harness = BatchExecutor(bus=stderr_bus())
+    for app, result in run_all_throttle_tables(harness=harness).items():
         print(result.format())
         print()
     for app in WELL_SCALING_APPS:
-        check = run_overhead_check(app)
+        check = run_overhead_check(app, harness=harness)
         print(
             f"overhead check {app}: throttled={check.throttled} "
             f"overhead={check.overhead:+.2%}"

@@ -1,0 +1,185 @@
+"""Digest-keyed on-disk result cache.
+
+Layout under the cache root::
+
+    ledger.jsonl                      # append-only audit trail
+    objects/<stamp>/<digest>.pkl      # one pickled MeasurementRecord each
+
+Entries are keyed by the :class:`~repro.harness.spec.RunSpec` content
+digest *and* a code version stamp, so a cache hit certifies both "same
+configuration" and "same behaviour".  The stamp hashes the pinned
+golden-trace digests (``tests/sim/golden_digests.json`` — the repo's
+behavioural fingerprint, re-pinned on every intentional model change)
+together with the calibration residual table and the package version:
+an unrelated edit leaves the stamp alone (Table I re-runs are cache
+hits), while a recalibration or re-pinned golden invalidates everything
+by construction — stale entries are simply never looked up again.
+
+Reads are defensive: a missing, truncated or unpicklable payload is a
+miss, never an error.  Writes are atomic (temp file + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.harness.record import MeasurementRecord
+from repro.harness.spec import RunSpec
+
+#: Environment override for the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro-harness"
+
+
+def code_stamp() -> str:
+    """Version stamp folded into every cache key (16 hex chars)."""
+    h = hashlib.sha256()
+    try:
+        from repro import __version__
+        h.update(__version__.encode())
+    except ImportError:  # pragma: no cover - repro always has a version
+        pass
+    for path in _stamp_inputs():
+        try:
+            h.update(path.read_bytes())
+        except OSError:
+            h.update(b"<missing>")
+    return h.hexdigest()[:16]
+
+
+def _stamp_inputs() -> list[Path]:
+    from repro.calibration import residuals
+    from repro.perf.golden import DEFAULT_DIGEST_PATH
+
+    return [DEFAULT_DIGEST_PATH, Path(residuals.__file__)]
+
+
+class ResultCache:
+    """Digest-keyed store of :class:`MeasurementRecord` payloads."""
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        *,
+        stamp: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.stamp = stamp if stamp is not None else code_stamp()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _object_path(self, spec: RunSpec) -> Path:
+        return self.root / "objects" / self.stamp / f"{spec.digest}.pkl"
+
+    @property
+    def ledger_path(self) -> Path:
+        return self.root / "ledger.jsonl"
+
+    # ------------------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[MeasurementRecord]:
+        """The cached record for ``spec``, or None (never raises)."""
+        path = self._object_path(spec)
+        try:
+            with path.open("rb") as fh:
+                record = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if not isinstance(record, MeasurementRecord):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, spec: RunSpec, record: MeasurementRecord) -> Path:
+        """Store ``record`` atomically and append a ledger line."""
+        path = self._object_path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(record, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._append_ledger(
+            {
+                "op": "put",
+                "stamp": self.stamp,
+                "digest": spec.digest,
+                "spec": spec.describe(),
+                "app": spec.app,
+                "compiler": spec.compiler,
+                "optlevel": spec.optlevel,
+                "threads": spec.threads,
+                "throttle": spec.throttle,
+                "seed": spec.seed,
+                "time_s": record.time_s,
+                "energy_j": record.energy_j,
+                "watts": record.watts,
+                "wall_s": record.wall_s,
+            }
+        )
+        return path
+
+    def _append_ledger(self, entry: dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.ledger_path.open("a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every stored object (all stamps) and the ledger.
+
+        Returns the number of payload files removed.
+        """
+        objects = self.root / "objects"
+        removed = 0
+        if objects.exists():
+            removed = sum(1 for p in objects.rglob("*.pkl"))
+            shutil.rmtree(objects)
+        try:
+            self.ledger_path.unlink()
+        except OSError:
+            pass
+        return removed
+
+    def info(self) -> dict[str, Any]:
+        """Root, stamp and per-stamp entry counts (for ``cache info``)."""
+        objects = self.root / "objects"
+        stamps: dict[str, int] = {}
+        total_bytes = 0
+        if objects.exists():
+            for stamp_dir in sorted(objects.iterdir()):
+                if not stamp_dir.is_dir():
+                    continue
+                entries = list(stamp_dir.glob("*.pkl"))
+                stamps[stamp_dir.name] = len(entries)
+                total_bytes += sum(p.stat().st_size for p in entries)
+        return {
+            "root": str(self.root),
+            "stamp": self.stamp,
+            "entries": sum(stamps.values()),
+            "current_stamp_entries": stamps.get(self.stamp, 0),
+            "stamps": stamps,
+            "bytes": total_bytes,
+        }

@@ -1,0 +1,285 @@
+"""Spec execution: serial, or fanned out over a process pool.
+
+:func:`execute_spec` is the one code path that turns a
+:class:`~repro.harness.spec.RunSpec` into a
+:class:`~repro.harness.record.MeasurementRecord` — the serial loop, the
+pool workers, the smoke test and the benchmarks all call it, which is
+what makes "parallel is bit-identical to serial" a checkable property
+rather than a hope.
+
+:class:`BatchExecutor` adds the sweep machinery on top:
+
+* result cache lookup before any work is scheduled;
+* ``workers >= 2`` fans cache misses out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (the runs are
+  deterministic, independent and CPU-bound — exactly the shape the GIL
+  starves and process pools rescue); anything less runs serially
+  in-process;
+* results always return in input order, regardless of completion order;
+* bounded retry of worker failures, with a serial in-process fallback
+  when the pool itself breaks (e.g. a worker was OOM-killed);
+* every step narrated as typed telemetry events on the bus.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional, Sequence
+
+from repro.errors import HarnessError
+
+from repro.harness import telemetry as tel
+from repro.harness.cache import ResultCache
+from repro.harness.record import MeasurementRecord
+from repro.harness.spec import RunSpec
+
+
+def execute_spec(spec: RunSpec) -> MeasurementRecord:
+    """Run one spec in-process and project the result onto a record."""
+    from repro.experiments.runner import run_measurement
+
+    t0 = time.perf_counter()
+    result = run_measurement(**spec.to_kwargs())
+    return MeasurementRecord.from_result(
+        spec, result, wall_s=time.perf_counter() - t0
+    )
+
+
+def _pool_initializer(paths: list[str]) -> None:
+    """Make ``repro`` importable in spawned workers (fork inherits it)."""
+    for path in reversed(paths):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def _make_pool(workers: int) -> ProcessPoolExecutor:
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=ctx,
+        initializer=_pool_initializer,
+        initargs=(list(sys.path),),
+    )
+
+
+class BatchExecutor:
+    """Fans :class:`RunSpec` batches out to workers, cache-first.
+
+    ``workers <= 1`` executes serially in-process (the deterministic
+    reference path); ``workers >= 2`` uses a process pool.  ``cache``
+    and ``bus`` are optional — by default nothing is persisted and
+    telemetry is emitted into the void at near-zero cost.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        cache: Optional[ResultCache] = None,
+        bus: Optional[tel.TelemetryBus] = None,
+        retries: int = 2,
+    ) -> None:
+        if retries < 0:
+            raise HarnessError(f"retries must be >= 0, got {retries!r}")
+        self.workers = max(0, int(workers))
+        self.cache = cache
+        self.bus = bus if bus is not None else tel.TelemetryBus()
+        self.retries = retries
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        sweep: str = "sweep",
+    ) -> list[MeasurementRecord]:
+        """Execute every spec; results are in input order.
+
+        Raises :class:`HarnessError` if any spec still fails after the
+        retry budget; the error chains the first underlying exception.
+        """
+        specs = list(specs)
+        bus = self.bus
+        t_start = time.perf_counter()
+        tel_before = bus.overhead_s
+        total = len(specs)
+        records: list[Optional[MeasurementRecord]] = [None] * total
+        self._counts = {"cached": 0, "executed": 0, "failed": 0, "retried": 0}
+        self._errors: dict[int, BaseException] = {}
+
+        bus.emit(tel.SweepStarted(
+            sweep=sweep, total=total, workers=self.workers,
+            cache=self.cache is not None,
+        ))
+
+        pending: list[int] = []
+        for i, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                records[i] = cached
+                self._counts["cached"] += 1
+                bus.emit(tel.RunCached(
+                    sweep=sweep, index=i, total=total, label=spec.describe(),
+                    time_s=cached.time_s, energy_j=cached.energy_j,
+                    watts=cached.watts,
+                ))
+                self._progress(sweep, records)
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.workers >= 2 and len(pending) >= 2:
+                self._run_pool(sweep, specs, pending, records)
+            else:
+                self._run_serial(sweep, specs, pending, records)
+
+        wall_s = time.perf_counter() - t_start
+        bus.emit(tel.SweepFinished(
+            sweep=sweep, total=total,
+            executed=self._counts["executed"],
+            cached=self._counts["cached"],
+            failed=self._counts["failed"],
+            retried=self._counts["retried"],
+            wall_s=wall_s,
+            telemetry_s=bus.overhead_s - tel_before,
+            events=bus.events_emitted,
+        ))
+        if self._errors:
+            index, error = sorted(self._errors.items())[0]
+            raise HarnessError(
+                f"{len(self._errors)} of {total} runs failed in sweep "
+                f"{sweep!r}; first: {specs[index].describe()}: {error!r}"
+            ) from error
+        return records  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _progress(self, sweep: str, records: list) -> None:
+        done = sum(1 for r in records if r is not None) + self._counts["failed"]
+        self.bus.emit(tel.SweepProgress(sweep=sweep, done=done,
+                                        total=len(records)))
+
+    def _finish(self, sweep: str, specs, i: int, record: MeasurementRecord,
+                records: list) -> None:
+        records[i] = record
+        self._counts["executed"] += 1
+        if self.cache is not None:
+            self.cache.put(specs[i], record)
+        self.bus.emit(tel.RunFinished(
+            sweep=sweep, index=i, total=len(specs),
+            label=specs[i].describe(), time_s=record.time_s,
+            energy_j=record.energy_j, watts=record.watts,
+            wall_s=record.wall_s,
+        ))
+        self._progress(sweep, records)
+
+    def _fail(self, sweep: str, specs, i: int, attempts: int,
+              error: BaseException, records: list) -> None:
+        self._counts["failed"] += 1
+        self._errors[i] = error
+        self.bus.emit(tel.RunFailed(
+            sweep=sweep, index=i, total=len(specs),
+            label=specs[i].describe(), attempts=attempts, error=repr(error),
+        ))
+        self._progress(sweep, records)
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, sweep: str, specs, pending: list[int],
+                    records: list) -> None:
+        total = len(specs)
+        for i in pending:
+            self.bus.emit(tel.RunStarted(
+                sweep=sweep, index=i, total=total, label=specs[i].describe(),
+            ))
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    record = execute_spec(specs[i])
+                except Exception as exc:
+                    if attempts <= self.retries:
+                        self._counts["retried"] += 1
+                        self.bus.emit(tel.RunRetried(
+                            sweep=sweep, index=i, total=total,
+                            label=specs[i].describe(), attempt=attempts,
+                            error=repr(exc),
+                        ))
+                        continue
+                    self._fail(sweep, specs, i, attempts, exc, records)
+                    break
+                self._finish(sweep, specs, i, record, records)
+                break
+
+    def _run_pool(self, sweep: str, specs, pending: list[int],
+                  records: list) -> None:
+        total = len(specs)
+        attempts: dict[int, int] = {}
+        try:
+            pool = _make_pool(min(self.workers, len(pending)))
+        except (OSError, ValueError) as exc:
+            self.bus.emit(tel.Note(
+                f"process pool unavailable ({exc!r}); running serially"))
+            self._run_serial(sweep, specs, pending, records)
+            return
+        broken = False
+        with pool:
+            futures: dict[Future, int] = {}
+            for i in pending:
+                self.bus.emit(tel.RunStarted(
+                    sweep=sweep, index=i, total=total,
+                    label=specs[i].describe(),
+                ))
+                attempts[i] = 1
+                futures[pool.submit(execute_spec, specs[i])] = i
+            while futures and not broken:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = futures.pop(future)
+                    try:
+                        record = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        break
+                    except Exception as exc:
+                        if attempts[i] <= self.retries:
+                            self._counts["retried"] += 1
+                            self.bus.emit(tel.RunRetried(
+                                sweep=sweep, index=i, total=total,
+                                label=specs[i].describe(),
+                                attempt=attempts[i], error=repr(exc),
+                            ))
+                            attempts[i] += 1
+                            try:
+                                futures[pool.submit(execute_spec, specs[i])] = i
+                            except (BrokenProcessPool, RuntimeError):
+                                broken = True
+                                break
+                        else:
+                            self._fail(sweep, specs, i, attempts[i], exc,
+                                       records)
+                        continue
+                    self._finish(sweep, specs, i, record, records)
+        if broken:
+            # The pool died under us (worker killed); the failure is
+            # environmental, not the spec's fault — drain the remainder
+            # in-process so the sweep still completes deterministically.
+            remaining = [i for i in pending
+                         if records[i] is None and i not in self._errors]
+            self.bus.emit(tel.Note(
+                f"process pool broke; finishing {len(remaining)} runs "
+                "serially in-process"))
+            self._run_serial(sweep, specs, remaining, records)
+
+    # ------------------------------------------------------------------
+    def run_one(self, spec: RunSpec, *, sweep: str = "run") -> MeasurementRecord:
+        """Single-spec convenience wrapper over :meth:`run`."""
+        return self.run([spec], sweep=sweep)[0]
+
+
+def default_executor() -> BatchExecutor:
+    """Serial, uncached, silent — the library-default harness."""
+    return BatchExecutor(workers=0)

@@ -1,0 +1,180 @@
+"""Picklable measurement records.
+
+:class:`repro.experiments.runner.MeasurementResult` carries live handles
+(daemon, controller, fault injector, the root task's return value) that
+must not cross a process boundary.  :class:`MeasurementRecord` is the
+slim, picklable projection the harness ships back from workers and
+stores in the result cache: the region report, a scalar run summary and
+the diagnostic counters every experiment actually reads.
+
+``wall_s`` (host wall-clock spent executing the run) is excluded from
+equality on purpose: two runs of the same spec are *bit-identical
+measurements* even though they took different amounts of host time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.measure.energy import SampleQuality
+from repro.measure.report import MeasurementRow
+from repro.rcr.client import RegionReport
+
+from repro.harness.spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.runner import MeasurementResult
+    from repro.qthreads.runtime import RunResult
+    from repro.throttle.policy import ThrottleDecision
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Scalar projection of :class:`repro.qthreads.runtime.RunResult`.
+
+    Everything except the root task's return value (arbitrary, possibly
+    unpicklable); lists become tuples so the summary is hashable-ish and
+    immutable.
+    """
+
+    elapsed_s: float
+    energy_j_sockets: tuple[float, ...]
+    avg_power_w: float
+    final_temps_degc: tuple[float, ...]
+    tasks_spawned: int
+    tasks_completed: int
+    steals: int
+    spin_entries: int
+    throttle_activations: int
+    throttle_deactivations: int
+
+    @property
+    def energy_j(self) -> float:
+        return sum(self.energy_j_sockets)
+
+    @classmethod
+    def from_run(cls, run: "RunResult") -> "RunSummary":
+        return cls(
+            elapsed_s=run.elapsed_s,
+            energy_j_sockets=tuple(run.energy_j_sockets),
+            avg_power_w=run.avg_power_w,
+            final_temps_degc=tuple(run.final_temps_degc),
+            tasks_spawned=run.tasks_spawned,
+            tasks_completed=run.tasks_completed,
+            steals=run.steals,
+            spin_entries=run.spin_entries,
+            throttle_activations=run.throttle_activations,
+            throttle_deactivations=run.throttle_deactivations,
+        )
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One application execution, reduced to picklable scalars."""
+
+    spec: RunSpec
+    #: Paper-style measurement (already a frozen scalar dataclass).
+    region: RegionReport
+    #: Simulator ground truth and runtime statistics.
+    run: RunSummary
+    #: Controller diagnostics (zero when throttling was off).  The
+    #: decision trace is scalars + Band enums all the way down, so it
+    #: pickles and survives the cache like everything else here.
+    time_throttled_s: float = 0.0
+    decisions: tuple["ThrottleDecision", ...] = ()
+    #: Fault-injection event counts by kind (None: no injector attached).
+    fault_stats: Optional[dict[str, int]] = None
+    #: Per-sample quality histogram from the daemon's energy readers.
+    quality_counts: dict[SampleQuality, int] = field(default_factory=dict)
+    daemon_ticks: int = 0
+    late_ticks: int = 0
+    missed_ticks: int = 0
+    #: ``repr()`` of the root task's return value when payload mode ran.
+    result_repr: Optional[str] = None
+    #: Host wall-clock seconds spent executing (never part of equality).
+    wall_s: float = field(default=0.0, compare=False)
+
+    # ------------------------------------------------------------- identity
+    @property
+    def app(self) -> str:
+        return self.spec.app
+
+    @property
+    def compiler(self) -> str:
+        return self.spec.compiler
+
+    @property
+    def optlevel(self) -> str:
+        return self.spec.optlevel
+
+    @property
+    def threads(self) -> int:
+        return self.spec.threads
+
+    @property
+    def throttled(self) -> bool:
+        return self.spec.throttle
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    # ---------------------------------------------------------- measurement
+    @property
+    def time_s(self) -> float:
+        return self.region.elapsed_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.region.energy_j
+
+    @property
+    def watts(self) -> float:
+        return self.region.avg_watts
+
+    def row(self, label: Optional[str] = None) -> MeasurementRow:
+        """Render as a paper-style table row."""
+        return MeasurementRow(
+            label=label if label is not None else (self.spec.label or self.app),
+            time_s=self.time_s,
+            energy_j=self.energy_j,
+            avg_watts=self.watts,
+        )
+
+    # --------------------------------------------------------- construction
+    @classmethod
+    def from_result(
+        cls,
+        spec: RunSpec,
+        result: "MeasurementResult",
+        *,
+        wall_s: float = 0.0,
+    ) -> "MeasurementRecord":
+        """Project a live :class:`MeasurementResult` onto scalars."""
+        controller = result.controller
+        daemon = result.daemon
+        return cls(
+            spec=spec,
+            region=result.region,
+            run=RunSummary.from_run(result.run),
+            time_throttled_s=(
+                controller.time_throttled_s if controller is not None else 0.0
+            ),
+            decisions=(
+                tuple(controller.decisions) if controller is not None else ()
+            ),
+            fault_stats=(
+                dict(result.faults.stats) if result.faults is not None else None
+            ),
+            quality_counts=(
+                dict(daemon.quality_counts) if daemon is not None else {}
+            ),
+            daemon_ticks=daemon.ticks if daemon is not None else 0,
+            late_ticks=daemon.late_ticks if daemon is not None else 0,
+            missed_ticks=daemon.missed_ticks if daemon is not None else 0,
+            result_repr=(
+                repr(result.run.result) if spec.payload else None
+            ),
+            wall_s=wall_s,
+        )

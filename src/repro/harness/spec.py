@@ -1,0 +1,131 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` is the hashable, picklable description of one
+measured execution — everything :func:`repro.experiments.runner.run_measurement`
+needs, and nothing it produces.  Because the simulation is deterministic,
+a spec fully determines its result, which is what makes the content
+digest a valid cache key and process-parallel execution safe.
+
+The digest is computed over a canonical JSON rendering of the fields
+(nested ``ThrottleConfig`` / ``FaultConfig`` included), so it is stable
+across processes, Python versions and field declaration order.  The
+display ``label`` is explicitly excluded from digest, equality and hash:
+two sweeps that run the same configuration under different headings
+share one cache entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.config import FaultConfig, ThrottleConfig
+from repro.errors import ConfigError
+
+#: Bump when the spec schema (or run_measurement semantics it maps onto)
+#: changes incompatibly; it is folded into every digest.
+SPEC_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified measured execution."""
+
+    app: str
+    compiler: str = "gcc"
+    optlevel: str = "O2"
+    threads: int = 16
+    throttle: bool = False
+    throttle_config: Optional[ThrottleConfig] = None
+    payload: bool = False
+    scale: float = 1.0
+    seed: int = 0
+    faults: Optional[FaultConfig] = None
+    warm: bool = True
+    #: Display-only heading ("16 Threads - Dynamic"); never part of the
+    #: digest, equality or hash.
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ConfigError(f"threads must be >= 1, got {self.threads!r}")
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale!r}")
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def payload_dict(self) -> dict[str, Any]:
+        """The digestable content: every field that affects the result."""
+        return {
+            "schema": SPEC_SCHEMA,
+            "app": self.app,
+            "compiler": self.compiler,
+            "optlevel": self.optlevel,
+            "threads": self.threads,
+            "throttle": self.throttle,
+            "throttle_config": (
+                dataclasses.asdict(self.throttle_config)
+                if self.throttle_config is not None else None
+            ),
+            "payload": self.payload,
+            "scale": self.scale,
+            "seed": self.seed,
+            "faults": (
+                dataclasses.asdict(self.faults)
+                if self.faults is not None else None
+            ),
+            "warm": self.warm,
+        }
+
+    def canonical(self) -> str:
+        """Canonical JSON rendering (sorted keys, no whitespace)."""
+        return json.dumps(self.payload_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @property
+    def digest(self) -> str:
+        """Stable SHA-256 content digest (hex)."""
+        memo = self.__dict__.get("_digest")
+        if memo is None:
+            memo = hashlib.sha256(self.canonical().encode()).hexdigest()
+            object.__setattr__(self, "_digest", memo)
+        return memo
+
+    # ------------------------------------------------------------------
+    # execution / display
+    # ------------------------------------------------------------------
+    def to_kwargs(self) -> dict[str, Any]:
+        """Keyword arguments for :func:`run_measurement`."""
+        return {
+            "app": self.app,
+            "compiler": self.compiler,
+            "optlevel": self.optlevel,
+            "threads": self.threads,
+            "throttle": self.throttle,
+            "throttle_config": self.throttle_config,
+            "payload": self.payload,
+            "scale": self.scale,
+            "seed": self.seed,
+            "faults": self.faults,
+            "warm": self.warm,
+        }
+
+    def describe(self) -> str:
+        """``label`` if set, else a compact auto-description."""
+        if self.label:
+            return self.label
+        text = f"{self.app} {self.compiler}/{self.optlevel} t{self.threads}"
+        if self.throttle:
+            text += " +throttle"
+        if self.faults is not None and not self.faults.inert:
+            text += " +faults"
+        if self.seed:
+            text += f" seed={self.seed}"
+        return text
+
+    def with_label(self, label: str) -> "RunSpec":
+        return dataclasses.replace(self, label=label)

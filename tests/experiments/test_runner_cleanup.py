@@ -1,0 +1,59 @@
+"""Regression: a crash mid-run must still stop the daemon and controller.
+
+Before the try/finally in :func:`repro.experiments.runner.run_measurement`,
+an exception from ``runtime.run`` (or the region end-read) leaked the
+daemon's and controller's engine timers into any later use of the engine.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_measurement
+from repro.qthreads import Runtime
+from repro.rcr import RCRDaemon, RegionClient
+from repro.throttle import ThrottleController
+
+
+@pytest.fixture
+def stop_spy(monkeypatch):
+    calls: list[str] = []
+    daemon_stop = RCRDaemon.stop
+    controller_stop = ThrottleController.stop
+
+    def spy_daemon(self):
+        calls.append("daemon")
+        return daemon_stop(self)
+
+    def spy_controller(self):
+        calls.append("controller")
+        return controller_stop(self)
+
+    monkeypatch.setattr(RCRDaemon, "stop", spy_daemon)
+    monkeypatch.setattr(ThrottleController, "stop", spy_controller)
+    return calls
+
+
+def test_stops_called_when_run_raises(monkeypatch, stop_spy):
+    def boom(self, program, label=None):
+        raise RuntimeError("app crashed mid-run")
+
+    monkeypatch.setattr(Runtime, "run", boom)
+    with pytest.raises(RuntimeError, match="app crashed mid-run"):
+        run_measurement("lulesh", compiler="maestro", optlevel="O3",
+                        throttle=True)
+    assert stop_spy == ["daemon", "controller"]
+
+
+def test_stops_called_when_region_end_raises(monkeypatch, stop_spy):
+    def boom(self, name):
+        raise RuntimeError("end-read failed")
+
+    monkeypatch.setattr(RegionClient, "end", boom)
+    with pytest.raises(RuntimeError, match="end-read failed"):
+        run_measurement("mergesort", throttle=True)
+    assert stop_spy == ["daemon", "controller"]
+
+
+def test_stops_called_on_success_too(stop_spy):
+    result = run_measurement("mergesort")
+    assert result.time_s > 0
+    assert stop_spy == ["daemon"]  # no controller without throttling

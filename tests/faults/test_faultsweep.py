@@ -27,8 +27,8 @@ def test_sweep_completes_with_finite_savings(sweep):
 
 def test_baseline_cell_is_fault_free(sweep):
     cell = sweep.cells[("none", "dijkstra")]
-    assert cell.dynamic.faults is None
-    assert cell.fixed.faults is None
+    assert cell.dynamic.fault_stats is None
+    assert cell.fixed.fault_stats is None
     assert cell.fault_events == 0
     counts = cell.quality_counts()
     assert counts[SampleQuality.OK] == sum(counts.values())
@@ -45,10 +45,9 @@ def test_default_profile_injects_and_pipeline_absorbs(sweep):
 def test_every_sample_carries_a_quality_flag(sweep):
     """Acceptance: each daemon poll of each socket is flagged exactly once."""
     for cell in sweep.cells.values():
-        for result in (cell.dynamic, cell.fixed):
-            daemon = result.daemon
-            total = sum(daemon.quality_counts.values())
-            assert total == daemon.ticks * 2  # paper machine: two sockets
+        for record in (cell.dynamic, cell.fixed):
+            total = sum(record.quality_counts.values())
+            assert total == record.daemon_ticks * 2  # paper machine: two sockets
 
 
 def test_signal_survival_and_report(sweep):

@@ -1,0 +1,94 @@
+"""ResultCache: digest keying, stamp invalidation, defensive reads."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.harness import ResultCache, RunSpec, code_stamp, execute_spec
+
+pytestmark = pytest.mark.harness
+
+
+@pytest.fixture(scope="module")
+def record():
+    return execute_spec(RunSpec("mergesort"))
+
+
+def test_put_then_get_round_trip(tmp_path, record):
+    cache = ResultCache(root=tmp_path)
+    assert cache.get(record.spec) is None
+    cache.put(record.spec, record)
+    assert cache.get(record.spec) == record
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_different_spec_misses(tmp_path, record):
+    cache = ResultCache(root=tmp_path)
+    cache.put(record.spec, record)
+    assert cache.get(RunSpec("mergesort", seed=1)) is None
+
+
+def test_label_does_not_split_cache_entries(tmp_path, record):
+    cache = ResultCache(root=tmp_path)
+    cache.put(record.spec, record)
+    assert cache.get(record.spec.with_label("under another heading")) == record
+
+
+def test_code_stamp_invalidates(tmp_path, record):
+    old = ResultCache(root=tmp_path, stamp="aaaaaaaaaaaaaaaa")
+    old.put(record.spec, record)
+    new = ResultCache(root=tmp_path, stamp="bbbbbbbbbbbbbbbb")
+    # Same spec, same root — but the code stamp changed, so the entry is
+    # invisible by construction (it lives under the old stamp's prefix).
+    assert new.get(record.spec) is None
+    assert old.get(record.spec) == record
+
+
+def test_default_stamp_is_the_code_stamp(tmp_path):
+    cache = ResultCache(root=tmp_path)
+    assert cache.stamp == code_stamp()
+    assert len(cache.stamp) == 16
+
+
+def test_corrupted_payload_reads_as_miss(tmp_path, record):
+    cache = ResultCache(root=tmp_path)
+    path = cache.put(record.spec, record)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(record.spec) is None
+    # A pickle of the wrong type is rejected too.
+    path.write_bytes(pickle.dumps({"sneaky": "dict"}))
+    assert cache.get(record.spec) is None
+
+
+def test_ledger_is_json_lines(tmp_path, record):
+    cache = ResultCache(root=tmp_path)
+    cache.put(record.spec, record)
+    lines = cache.ledger_path.read_text().splitlines()
+    assert len(lines) == 1
+    entry = json.loads(lines[0])
+    assert entry["digest"] == record.spec.digest
+    assert entry["stamp"] == cache.stamp
+    assert entry["app"] == "mergesort"
+    assert entry["time_s"] == record.time_s
+
+
+def test_clear_and_info(tmp_path, record):
+    cache = ResultCache(root=tmp_path)
+    cache.put(record.spec, record)
+    other = execute_spec(RunSpec("nqueens"))
+    cache.put(other.spec, other)
+    info = cache.info()
+    assert info["entries"] == 2
+    assert info["current_stamp_entries"] == 2
+    assert info["stamps"] == {cache.stamp: 2}
+    assert info["bytes"] > 0
+    assert cache.clear() == 2
+    assert cache.get(record.spec) is None
+    assert cache.info()["entries"] == 0
+
+
+def test_cache_root_from_environment(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-root"))
+    cache = ResultCache()
+    assert cache.root == tmp_path / "env-root"

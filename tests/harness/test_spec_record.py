@@ -1,0 +1,107 @@
+"""RunSpec identity (digest/equality) and MeasurementRecord picklability."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.config import FaultConfig, ThrottleConfig
+from repro.errors import ConfigError
+from repro.harness import MeasurementRecord, RunSpec, execute_spec
+
+pytestmark = pytest.mark.harness
+
+
+# ---------------------------------------------------------------- RunSpec
+def test_digest_is_stable_and_canonical():
+    spec = RunSpec("mergesort", compiler="icc", threads=8, seed=3)
+    again = RunSpec("mergesort", compiler="icc", threads=8, seed=3)
+    assert spec == again
+    assert spec.digest == again.digest
+    assert len(spec.digest) == 64
+    # Canonical form is sorted, compact JSON — digest input is reproducible.
+    payload = json.loads(spec.canonical())
+    assert payload["app"] == "mergesort"
+    assert list(payload) == sorted(payload)
+
+
+def test_digest_distinguishes_every_content_field():
+    base = RunSpec("mergesort")
+    variants = [
+        RunSpec("nqueens"),
+        RunSpec("mergesort", compiler="icc"),
+        RunSpec("mergesort", optlevel="O3"),
+        RunSpec("mergesort", threads=12),
+        RunSpec("mergesort", throttle=True),
+        RunSpec("mergesort", throttle=True,
+                throttle_config=ThrottleConfig(enabled=True, power_high_w=70.0)),
+        RunSpec("mergesort", payload=True),
+        RunSpec("mergesort", scale=2.0),
+        RunSpec("mergesort", seed=1),
+        RunSpec("mergesort", faults=FaultConfig(enabled=True, msr_read_fail_p=0.5)),
+        RunSpec("mergesort", warm=False),
+    ]
+    digests = {base.digest} | {v.digest for v in variants}
+    assert len(digests) == 1 + len(variants)
+
+
+def test_label_is_display_only():
+    plain = RunSpec("mergesort")
+    labeled = plain.with_label("Table I row")
+    assert labeled.label == "Table I row"
+    assert labeled == plain
+    assert labeled.digest == plain.digest
+    assert hash(labeled) == hash(plain)
+    assert labeled.describe() == "Table I row"
+    assert plain.describe() == "mergesort gcc/O2 t16"
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigError):
+        RunSpec("mergesort", threads=0)
+    with pytest.raises(ConfigError):
+        RunSpec("mergesort", scale=0.0)
+
+
+def test_spec_pickles_with_digest_intact():
+    spec = RunSpec("mergesort", faults=FaultConfig(enabled=True, msr_read_fail_p=0.5))
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert clone.digest == spec.digest
+
+
+# ----------------------------------------------------- MeasurementRecord
+@pytest.fixture(scope="module")
+def record() -> MeasurementRecord:
+    return execute_spec(RunSpec("mergesort"))
+
+
+def test_record_round_trips_through_pickle(record):
+    clone = pickle.loads(pickle.dumps(record))
+    assert clone == record
+    assert clone.time_s == record.time_s
+    assert clone.energy_j == record.energy_j
+    assert clone.run.energy_j_sockets == record.run.energy_j_sockets
+    assert clone.quality_counts == record.quality_counts
+
+
+def test_record_equality_ignores_host_wall_clock(record):
+    again = execute_spec(RunSpec("mergesort"))
+    # Determinism: two executions of one spec are the same measurement,
+    # even though the host spent different wall time producing them.
+    assert again == record
+    assert again.wall_s != record.wall_s or again.wall_s >= 0.0
+
+
+def test_record_carries_no_live_handles(record):
+    for attr in ("controller", "daemon", "runtime", "engine"):
+        assert not hasattr(record, attr)
+
+
+def test_throttled_record_keeps_the_decision_trace():
+    rec = execute_spec(RunSpec("bots-health", compiler="maestro",
+                               optlevel="O3", throttle=True))
+    assert rec.time_throttled_s > 0
+    assert len(rec.decisions) >= 5
+    clone = pickle.loads(pickle.dumps(rec))
+    assert clone.decisions == rec.decisions
