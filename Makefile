@@ -2,7 +2,9 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-faults test-golden test-harness sweep-smoke smoke-faults bench bench-engine bench-sweep reproduce recalibrate examples clean
+COV_FAIL_UNDER ?= 80
+
+.PHONY: install test test-faults test-golden test-harness test-validate validate-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep reproduce recalibrate examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -23,6 +25,24 @@ test-golden:
 # Harness suite: run specs, executor, result cache, telemetry.
 test-harness:
 	$(PYTHON) -m pytest tests/ -m harness
+
+# Validation suite: invariant-checker tripwires, ledger audits,
+# expected-violation taxonomy, differential replay.
+test-validate:
+	$(PYTHON) -m pytest tests/ -m validate
+
+# End-to-end sanitizer smoke: the quick validation corpus plus the
+# differential replay, via the CLI exactly as a user would run it.
+validate-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.cli validate --quick --differential --quiet
+
+# Line-coverage over the full suite with a ratcheted floor.  Requires
+# pytest-cov (pip install -e .[cov]); fails fast with a hint otherwise.
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov not installed; run: pip install -e .[cov]"; exit 1; }
+	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing \
+		--cov-fail-under=$(COV_FAIL_UNDER)
 
 # End-to-end harness smoke: a tiny 4-spec parallel sweep into a throwaway
 # cache, run twice — the first pass must execute everything, the second

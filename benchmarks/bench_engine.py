@@ -122,6 +122,18 @@ def run(argv: list[str] | None = None) -> int:
         worst = min(speedups, key=speedups.get)
         print(f"  worst speedup vs baseline: {speedups[worst]:.2f}x ({worst})")
 
+    from repro.perf.scenarios import OVERHEAD_PAIRS
+
+    for checked, unchecked in OVERHEAD_PAIRS:
+        if checked in current and unchecked in current:
+            base_wall = current[unchecked]["wall_s"]
+            overhead = (current[checked]["wall_s"] / base_wall - 1.0) * 100
+            checks = current[checked].get("invariant_checks", 0)
+            print(
+                f"  invariant-checker overhead: {overhead:+.1f}% "
+                f"({checked} vs {unchecked}, {checks} checks)"
+            )
+
     if not args.update:
         if args.json.exists():
             print(f"(read-only run; pass --update to rewrite {args.json.name})")

@@ -10,6 +10,7 @@ Subcommands map one-to-one to the paper's evaluation artifacts:
     repro-paper throttle [APP]             # Tables IV-VII
     repro-paper sensitivity [APP]          # policy-threshold sweep
     repro-paper faultsweep                 # robustness: savings under faults
+    repro-paper validate [--differential]  # physics-invariant sanitizer sweep
     repro-paper coldstart                  # footnote 2
     repro-paper reproduce [-o FILE]        # full EXPERIMENTS.md
     repro-paper cache info|clear           # the harness result cache
@@ -292,6 +293,43 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.harness import JsonlSink, ProgressSink, TelemetryBus
+    from repro.validate import (
+        corpus,
+        differential_specs,
+        differential_sweep,
+        run_validation_sweep,
+    )
+
+    bus = TelemetryBus()
+    if not args.quiet:
+        bus.subscribe(ProgressSink())
+    jsonl = None
+    if args.events:
+        jsonl = JsonlSink(args.events)
+        bus.subscribe(jsonl)
+    ok = True
+    try:
+        if not args.differential_only:
+            sweep = run_validation_sweep(
+                corpus(quick=args.quick), workers=args.workers, bus=bus
+            )
+            print(sweep.format())
+            ok = ok and sweep.ok
+        if args.differential or args.differential_only:
+            diff = differential_sweep(
+                differential_specs(), workers=max(2, args.workers)
+            )
+            print()
+            print(diff.format())
+            ok = ok and diff.ok
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    return 0 if ok else 1
+
+
 def _cmd_recalibrate(args: argparse.Namespace) -> int:
     from repro.experiments.recalibrate import compute_residuals, write_residuals_module
 
@@ -393,6 +431,24 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("-o", "--output", default=None)
     _add_sweep_args(exp_p)
     exp_p.set_defaults(func=_cmd_export)
+
+    val_p = sub.add_parser(
+        "validate",
+        help="sweep the scenario corpus under the physics-invariant sanitizer",
+    )
+    val_p.add_argument("--quick", action="store_true",
+                       help="validate the quick corpus subset (smoke use)")
+    val_p.add_argument("--differential", action="store_true",
+                       help="also run the differential bit-identity replay")
+    val_p.add_argument("--differential-only", action="store_true",
+                       help="run only the differential replay, skip the corpus")
+    val_p.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (default: 1, serial)")
+    val_p.add_argument("--events", default=None, metavar="FILE",
+                       help="append structured telemetry events to FILE (JSONL)")
+    val_p.add_argument("--quiet", action="store_true",
+                       help="suppress the per-run progress renderer")
+    val_p.set_defaults(func=_cmd_validate)
 
     cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=["info", "clear"])

@@ -15,7 +15,7 @@ attached so tests can verify the measurement path against it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.apps import build_app
 from repro.calibration.profiles import WorkloadProfile, get_profile
@@ -33,6 +33,9 @@ from repro.qthreads import Runtime
 from repro.qthreads.runtime import RunResult
 from repro.rcr import Blackboard, RCRDaemon, RegionClient, RegionReport
 from repro.throttle import ThrottleController
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.validate.checker import InvariantChecker
 
 
 @dataclass
@@ -94,12 +97,19 @@ def run_measurement(
     seed: int = 0,
     faults: Optional[FaultConfig] = None,
     app_kwargs: Optional[dict] = None,
+    checker: Optional["InvariantChecker"] = None,
 ) -> MeasurementResult:
     """Run one application through the full measurement stack.
 
     ``faults`` optionally injects deterministic sensor-path faults (see
     :mod:`repro.faults`); an absent or inert config leaves the pipeline
     bit-identical to a fault-free build.
+
+    ``checker`` optionally attaches a :class:`repro.validate.checker.InvariantChecker`
+    for the duration of the run.  The checker observes through read-only
+    probes, so a checked run produces bit-identical results to an
+    unchecked one; it is detached (running its final invariant battery)
+    even if the run raises.
     """
     if profile is None:
         profile = get_profile(app, compiler, optlevel, machine)
@@ -109,6 +119,8 @@ def run_measurement(
         seed=seed,
         warm=warm,
     )
+    if checker is not None:
+        checker.attach(runtime.engine, runtime.node)
     injector = None
     if faults is not None and not faults.inert:
         injector = FaultInjector(
@@ -142,6 +154,8 @@ def run_measurement(
         daemon.stop()
         if controller is not None:
             controller.stop()
+        if checker is not None:
+            checker.detach()
     return MeasurementResult(
         app=app,
         compiler=compiler,

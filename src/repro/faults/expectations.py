@@ -1,0 +1,71 @@
+"""Expected-violation taxonomy for fault-injected runs.
+
+Fault injection (:mod:`repro.faults`) perturbs only the *measurement
+path* — MSR reads, daemon cadence, reported counters — never the
+simulator's ground truth.  The invariant checker therefore partitions
+violations into categories (see :mod:`repro.validate.violations`), and
+this module answers the question: *given this run's fault config, which
+categories can the injected faults legitimately explain?*
+
+A violation whose category is in the expected set is classified
+``expected=True`` by the validation runner: it is evidence the fault
+model is doing its job, not a defect.  Model/engine/ledger categories
+are never expected — faults cannot bend physics — so a strict violation
+always fails validation, fault profile or not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import FaultConfig
+from repro.validate.violations import STRICT_CATEGORIES, Violation
+
+
+def expected_categories(faults: Optional[FaultConfig]) -> frozenset[str]:
+    """Violation categories the fault config can legitimately produce."""
+    if faults is None or faults.inert:
+        return frozenset()
+    expected: set[str] = set()
+    # Anything that corrupts, delays or skips energy reads can push the
+    # measured (RAPL-path) energy away from ground truth, and surfaces as
+    # degraded sample qualities / watchdog counters on the way.
+    if faults.msr_read_fail_p > 0.0 or faults.stuck_p > 0.0:
+        expected.add("measurement-energy")
+        expected.add("measurement-quality")
+    if faults.stall_at_s is not None and faults.stall_duration_s > 0.0:
+        # A long stall can hide a full 32-bit wrap — the worst-case
+        # energy-accounting error the paper's polling contract guards.
+        expected.add("measurement-energy")
+        expected.add("measurement-quality")
+    if faults.tick_jitter_frac > 0.0:
+        # Jittered cadence trips the daemon watchdog (late ticks) and
+        # shifts window boundaries, but reads themselves stay good.
+        expected.add("measurement-quality")
+        expected.add("measurement-energy")
+    if faults.therm_noise_degc > 0.0:
+        expected.add("measurement-temp")
+    if faults.counter_noise_frac > 0.0:
+        expected.add("measurement-counters")
+    return frozenset(expected)
+
+
+def classify_violations(
+    violations: list[Violation] | tuple[Violation, ...],
+    faults: Optional[FaultConfig],
+) -> tuple[Violation, ...]:
+    """Stamp each violation's ``expected`` flag from the fault config.
+
+    Strict categories stay unexpected no matter what; measurement
+    categories become expected exactly when :func:`expected_categories`
+    says the active fault knobs can produce them.
+    """
+    allowed = expected_categories(faults)
+    out = []
+    for violation in violations:
+        expected = (
+            violation.category not in STRICT_CATEGORIES
+            and violation.category in allowed
+        )
+        out.append(violation.classify(expected))
+    return tuple(out)

@@ -21,6 +21,7 @@ from repro.harness.executor import BatchExecutor, default_executor, execute_spec
 from repro.harness.record import MeasurementRecord, RunSummary
 from repro.harness.spec import RunSpec
 from repro.harness.telemetry import (
+    InvariantViolated,
     JsonlSink,
     ListSink,
     Note,
@@ -30,6 +31,7 @@ from repro.harness.telemetry import (
     RunFinished,
     RunRetried,
     RunStarted,
+    RunValidated,
     SweepFinished,
     SweepProgress,
     SweepStarted,
@@ -40,6 +42,7 @@ from repro.harness.telemetry import (
 __all__ = [
     "BatchExecutor",
     "CACHE_DIR_ENV",
+    "InvariantViolated",
     "JsonlSink",
     "ListSink",
     "MeasurementRecord",
@@ -53,6 +56,7 @@ __all__ = [
     "RunSpec",
     "RunStarted",
     "RunSummary",
+    "RunValidated",
     "SweepFinished",
     "SweepProgress",
     "SweepStarted",

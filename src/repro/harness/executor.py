@@ -28,7 +28,7 @@ import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import HarnessError
 
@@ -36,6 +36,9 @@ from repro.harness import telemetry as tel
 from repro.harness.cache import ResultCache
 from repro.harness.record import MeasurementRecord
 from repro.harness.spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.validate.violations import ValidationReport
 
 
 def execute_spec(spec: RunSpec) -> MeasurementRecord:
@@ -47,6 +50,22 @@ def execute_spec(spec: RunSpec) -> MeasurementRecord:
     return MeasurementRecord.from_result(
         spec, result, wall_s=time.perf_counter() - t0
     )
+
+
+def _plain_entry(spec: RunSpec) -> tuple[MeasurementRecord, None]:
+    """Pool/serial entry for normal sweeps (no validation report)."""
+    return execute_spec(spec), None
+
+
+def _validated_entry(spec: RunSpec) -> "tuple[MeasurementRecord, ValidationReport]":
+    """Pool/serial entry for validate-mode sweeps.
+
+    Top-level (picklable) so the process pool can ship it; the report is
+    all scalars, so it crosses the process boundary like the record does.
+    """
+    from repro.validate.runner import validate_spec
+
+    return validate_spec(spec)
 
 
 def _pool_initializer(paths: list[str]) -> None:
@@ -83,6 +102,8 @@ class BatchExecutor:
         cache: Optional[ResultCache] = None,
         bus: Optional[tel.TelemetryBus] = None,
         retries: int = 2,
+        validate: bool = False,
+        max_violation_events: int = 10,
     ) -> None:
         if retries < 0:
             raise HarnessError(f"retries must be >= 0, got {retries!r}")
@@ -90,6 +111,13 @@ class BatchExecutor:
         self.cache = cache
         self.bus = bus if bus is not None else tel.TelemetryBus()
         self.retries = retries
+        #: Run every spec under the invariant checker and collect
+        #: :class:`~repro.validate.violations.ValidationReport` objects in
+        #: :attr:`validation_reports` (keyed by input index).  Cache hits
+        #: skip validation — validate sweeps normally run uncached.
+        self.validate = validate
+        self.max_violation_events = max_violation_events
+        self.validation_reports: dict[int, "ValidationReport"] = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -111,6 +139,8 @@ class BatchExecutor:
         records: list[Optional[MeasurementRecord]] = [None] * total
         self._counts = {"cached": 0, "executed": 0, "failed": 0, "retried": 0}
         self._errors: dict[int, BaseException] = {}
+        self._entry = _validated_entry if self.validate else _plain_entry
+        self.validation_reports = {}
 
         bus.emit(tel.SweepStarted(
             sweep=sweep, total=total, workers=self.workers,
@@ -164,7 +194,7 @@ class BatchExecutor:
                                         total=len(records)))
 
     def _finish(self, sweep: str, specs, i: int, record: MeasurementRecord,
-                records: list) -> None:
+                records: list, report=None) -> None:
         records[i] = record
         self._counts["executed"] += 1
         if self.cache is not None:
@@ -175,6 +205,23 @@ class BatchExecutor:
             energy_j=record.energy_j, watts=record.watts,
             wall_s=record.wall_s,
         ))
+        if report is not None:
+            self.validation_reports[i] = report
+            self.bus.emit(tel.RunValidated(
+                sweep=sweep, index=i, total=len(specs),
+                label=specs[i].describe(), batteries=report.batteries,
+                checks=sum(report.checks.values()),
+                violations=len(report.violations),
+                unexpected=len(report.unexpected),
+            ))
+            for violation in report.violations[: self.max_violation_events]:
+                self.bus.emit(tel.InvariantViolated(
+                    sweep=sweep, index=i, label=specs[i].describe(),
+                    invariant=violation.invariant,
+                    category=violation.category,
+                    message=violation.message, time_s=violation.time_s,
+                    expected=violation.expected,
+                ))
         self._progress(sweep, records)
 
     def _fail(self, sweep: str, specs, i: int, attempts: int,
@@ -199,7 +246,7 @@ class BatchExecutor:
             while True:
                 attempts += 1
                 try:
-                    record = execute_spec(specs[i])
+                    record, report = self._entry(specs[i])
                 except Exception as exc:
                     if attempts <= self.retries:
                         self._counts["retried"] += 1
@@ -211,7 +258,7 @@ class BatchExecutor:
                         continue
                     self._fail(sweep, specs, i, attempts, exc, records)
                     break
-                self._finish(sweep, specs, i, record, records)
+                self._finish(sweep, specs, i, record, records, report)
                 break
 
     def _run_pool(self, sweep: str, specs, pending: list[int],
@@ -234,13 +281,13 @@ class BatchExecutor:
                     label=specs[i].describe(),
                 ))
                 attempts[i] = 1
-                futures[pool.submit(execute_spec, specs[i])] = i
+                futures[pool.submit(self._entry, specs[i])] = i
             while futures and not broken:
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     i = futures.pop(future)
                     try:
-                        record = future.result()
+                        record, report = future.result()
                     except BrokenProcessPool:
                         broken = True
                         break
@@ -254,7 +301,7 @@ class BatchExecutor:
                             ))
                             attempts[i] += 1
                             try:
-                                futures[pool.submit(execute_spec, specs[i])] = i
+                                futures[pool.submit(self._entry, specs[i])] = i
                             except (BrokenProcessPool, RuntimeError):
                                 broken = True
                                 break
@@ -262,7 +309,7 @@ class BatchExecutor:
                             self._fail(sweep, specs, i, attempts[i], exc,
                                        records)
                         continue
-                    self._finish(sweep, specs, i, record, records)
+                    self._finish(sweep, specs, i, record, records, report)
         if broken:
             # The pool died under us (worker killed); the failure is
             # environmental, not the spec's fault — drain the remainder

@@ -53,6 +53,19 @@ class RunSummary:
     def energy_j(self) -> float:
         return sum(self.energy_j_sockets)
 
+    def reconstructed_avg_power_w(self) -> float:
+        """Re-derive average power exactly as the runtime computed it.
+
+        :class:`~repro.qthreads.runtime.RunResult` defines the average as
+        ``sum(energy_j_sockets) / elapsed_s`` (0.0 for an empty window);
+        the validation layer checks the stored :attr:`avg_power_w` against
+        this reconstruction with exact float equality — summation order
+        over the tuple matches the runtime's order over its list.
+        """
+        if self.elapsed_s > 0:
+            return sum(self.energy_j_sockets) / self.elapsed_s
+        return 0.0
+
     @classmethod
     def from_run(cls, run: "RunResult") -> "RunSummary":
         return cls(

@@ -129,6 +129,36 @@ class SweepFinished:
 
 
 @dataclass(frozen=True)
+class RunValidated:
+    """One spec finished under the invariant checker (validate mode)."""
+
+    sweep: str
+    index: int
+    total: int
+    label: str
+    #: Invariant-battery passes and total invariant evaluations — proof
+    #: the checker ran, so zero violations is evidence, not silence.
+    batteries: int
+    checks: int
+    violations: int
+    unexpected: int
+
+
+@dataclass(frozen=True)
+class InvariantViolated:
+    """One invariant violation surfaced by the checker (validate mode)."""
+
+    sweep: str
+    index: int
+    label: str
+    invariant: str
+    category: str
+    message: str
+    time_s: float
+    expected: bool
+
+
+@dataclass(frozen=True)
 class Note:
     """Free-form informational message (calibration fit notes etc.)."""
 
@@ -137,7 +167,8 @@ class Note:
 
 Event = Union[
     SweepStarted, RunStarted, RunFinished, RunCached, RunRetried,
-    RunFailed, SweepProgress, SweepFinished, Note,
+    RunFailed, SweepProgress, SweepFinished, RunValidated,
+    InvariantViolated, Note,
 ]
 
 
@@ -251,6 +282,23 @@ class ProgressSink:
                 f"{event.cached} cached, {event.failed} failed, "
                 f"{event.retried} retried; telemetry "
                 f"{event.telemetry_s * 1e3:.2f} ms{share}"
+            )
+        elif isinstance(event, RunValidated):
+            verdict = (
+                "clean" if event.violations == 0
+                else f"{event.unexpected} unexpected / "
+                     f"{event.violations - event.unexpected} expected"
+            )
+            self._line(
+                f"[{event.index + 1:>3}/{event.total}] {event.label:<36} "
+                f"validated: {event.checks} checks in {event.batteries} "
+                f"batteries — {verdict}"
+            )
+        elif isinstance(event, InvariantViolated):
+            marker = "expected" if event.expected else "VIOLATION"
+            self._line(
+                f"    {marker}: {event.invariant} ({event.category}) "
+                f"in {event.label}: {event.message}"
             )
         elif isinstance(event, Note):
             self._line(event.message)

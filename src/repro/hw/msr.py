@@ -82,6 +82,25 @@ def decode_clock_modulation(raw: int, *, steps: int = 32) -> float:
     return level / steps
 
 
+def is_legal_clock_modulation(raw: int, *, steps: int = 32) -> bool:
+    """Strict legality of an IA32_CLOCK_MODULATION value.
+
+    Stricter than :func:`decode_clock_modulation`, which forgives the
+    architecturally reserved level 0: legal values are exactly 0 (disabled)
+    or enable bit + level in ``[1, steps - 1]`` with no stray bits.  The
+    invariant checker uses this to flag writes the decoder would quietly
+    paper over.
+    """
+    if raw == 0:
+        return True
+    if raw < 0 or raw & ~((1 << 5) | 0x1F):
+        return False
+    if not raw & (1 << 5):
+        return False  # level bits without the enable bit
+    level = raw & 0x1F
+    return 1 <= level <= steps - 1
+
+
 class MSRFile:
     """Address-decoded register file with a supervisor permission gate.
 

@@ -117,6 +117,11 @@ class Node:
         #: (profiling aid; off by default to keep the sync loop lean).
         self.track_tag_energy = track_tag_energy
         self.tag_energy_j: dict[str, float] = {}
+        #: Optional read-only observer called as ``probe(dt)`` at the end
+        #: of every :meth:`_sync` that advanced time.  Used by the
+        #: invariant checker to mirror the integrators with bit-identical
+        #: arithmetic; a single ``is not None`` test when unset.
+        self._sync_probe: Optional[Callable[[float], None]] = None
 
         if warm:
             self.warm_up()
@@ -270,6 +275,9 @@ class Node:
             core.mperf_cycles += dtf
             core.aperf_cycles += dtf * core.duty
         self._last_sync = now
+        probe = self._sync_probe
+        if probe is not None:
+            probe(dt)
 
     def _mark_rates_dirty(self, socket: int, *, busy_changed: bool = False) -> None:
         """Flag a socket for re-derivation on the next :meth:`_recompute`.
@@ -507,6 +515,19 @@ class Node:
         core.duty = duty
         self._mark_rates_dirty(core.socket)
         self._recompute()
+
+    def set_sync_probe(self, probe: Optional[Callable[[float], None]]) -> None:
+        """Install (or clear, with ``None``) the sync observer.
+
+        The probe fires after the integrators advanced by ``dt`` seconds
+        and must not mutate node state or call any syncing query — it
+        observes :attr:`_socket_power` and the integrator outputs directly.
+        Only one probe is supported; installing over an existing one is an
+        error so two checkers cannot silently shadow each other.
+        """
+        if probe is not None and self._sync_probe is not None:
+            raise SimulationError("node already has a sync probe installed")
+        self._sync_probe = probe
 
     # ------------------------------------------------------------------
     # queries

@@ -24,6 +24,22 @@ from repro.config import PowerConfig
 from repro.hw.core import Core, CoreState
 
 
+def reference_socket_power_w(
+    config: PowerConfig,
+    cores: Iterable[Core],
+    bw_util: float,
+    temp_degc: float,
+) -> float:
+    """Memo-free socket power for differential checks.
+
+    Evaluates :meth:`PowerModel.socket_power_w` on a *fresh* model so no
+    cached leakage pair can mask a stale-memo bug.  The invariant checker
+    compares this against the node's cached ``_socket_power`` at the
+    temperature the cache was priced at; the two must match bit for bit.
+    """
+    return PowerModel(config).socket_power_w(cores, bw_util, temp_degc)
+
+
 class PowerModel:
     """Stateless power arithmetic for one socket.
 

@@ -15,10 +15,24 @@ simulated power draw into an energy accumulator.  Two views exist:
 
 from __future__ import annotations
 
+from repro.errors import SimulationError
 from repro.units import (
     RAPL_COUNTER_MODULUS,
     RAPL_ENERGY_UNIT_J,
+    joules_to_rapl_ticks,
+    wrap_rapl_counter,
 )
+
+
+def expected_status(energy_j: float) -> int:
+    """Register value implied by an exact energy, via the units helpers.
+
+    A deliberate second derivation of :meth:`RaplDomain.read_status` (that
+    method inlines the arithmetic; this one goes through
+    :mod:`repro.units`) so the invariant checker can cross-check the two
+    paths against each other.
+    """
+    return wrap_rapl_counter(joules_to_rapl_ticks(energy_j))
 
 
 class RaplDomain:
@@ -39,10 +53,14 @@ class RaplDomain:
         """Accumulate ``joules`` of consumed energy.
 
         Called by the node's synchronisation step with ``power * dt``.
-        Negative energy would mean the clock ran backwards; that is guarded
-        at the clock level, so a plain assert suffices here.
+        Negative energy would mean the clock ran backwards (guarded at the
+        clock level) or a corrupted power term; the inverted comparison
+        also rejects NaN, which would silently poison the accumulator.
         """
-        assert joules >= 0.0, f"negative energy increment {joules!r}"
+        if not joules >= 0.0:
+            raise SimulationError(
+                f"energy increment must be finite and >= 0, got {joules!r}"
+            )
         self._energy_j += joules
 
     def read_status(self) -> int:

@@ -23,6 +23,17 @@ import math
 from repro.config import ThermalConfig
 
 
+def rc_step(config: ThermalConfig, temp_degc: float, power_w: float, dt: float) -> float:
+    """Pure closed-form RC step: the exact arithmetic of :meth:`ThermalState.advance`.
+
+    Factored out so the invariant checker (:mod:`repro.validate`) can
+    replay a socket's thermal trajectory with bit-identical floating-point
+    operations and compare against the live model.  ``dt`` must be > 0.
+    """
+    t_eq = config.ambient_degc + power_w * config.r_degc_per_w
+    return t_eq + (temp_degc - t_eq) * math.exp(-dt / config.time_constant_s)
+
+
 class ThermalState:
     """Mutable per-socket die temperature."""
 
@@ -48,9 +59,7 @@ class ThermalState:
             raise ValueError(f"dt must be >= 0, got {dt!r}")
         if dt == 0.0:
             return self._temp_degc
-        t_eq = self.equilibrium_degc(power_w)
-        tau = self.config.time_constant_s
-        self._temp_degc = t_eq + (self._temp_degc - t_eq) * math.exp(-dt / tau)
+        self._temp_degc = rc_step(self.config, self._temp_degc, power_w, dt)
         return self._temp_degc
 
     def warm_to_steady_state(self, power_w: float) -> None:

@@ -265,10 +265,14 @@ class EnergyReader:
         self._last_raw = raw
         if wrapped:
             self._wraps += 1
+        reconciling = self._interp_ticks > 0
         contribution = max(0, delta - self._interp_ticks)
         self._interp_ticks = 0
         self._total_ticks += contribution
-        if window_s is not None and window_s > 0 and delta > 0:
+        # A reconciliation read's delta spans the whole bridged outage,
+        # not one window — feeding it into the rate estimate would inflate
+        # the rate by the outage length and over-credit the next outage.
+        if window_s is not None and window_s > 0 and delta > 0 and not reconciling:
             self._rate_ticks_per_s = delta / window_s
         quality = SampleQuality.RETRIED if retries > 0 else SampleQuality.OK
         return EnergySample(

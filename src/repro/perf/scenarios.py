@@ -56,6 +56,7 @@ def run_stack(
     scale: float = 1.0,
     trace: bool = False,
     trace_capacity: int = 300_000,
+    checker: Optional[Any] = None,
 ) -> StackResult:
     """Run one application through the full measurement stack.
 
@@ -101,6 +102,9 @@ def run_stack(
         )
         controller.start()
 
+    if checker is not None:
+        checker.attach(runtime.engine, runtime.node)
+
     env = OmpEnv(num_threads=threads)
     program = build_app(app, env, profile=profile, payload=False, scale=scale)
     client.start(app)
@@ -109,6 +113,8 @@ def run_stack(
     daemon.stop()
     if controller is not None:
         controller.stop()
+    if checker is not None:
+        checker.detach()
     return StackResult(
         engine=engine,
         node=runtime.node,
@@ -222,13 +228,45 @@ def _scenario_table1_lulesh() -> dict[str, Any]:
     }
 
 
+def _scenario_table1_fib_validated() -> dict[str, Any]:
+    """The ``table1-bots-fib`` cell with the invariant checker attached.
+
+    Pairs with the unchecked cell so the benchmark runner can report the
+    sanitizer's overhead; any unexpected violation here is a hard failure
+    (the cell is fault-free, so the physics must be clean).
+    """
+    from repro.validate import InvariantChecker
+
+    checker = InvariantChecker()
+    result = run_stack(
+        "bots-fib", compiler="gcc", optlevel="O2", threads=16, checker=checker
+    )
+    if checker.violation_counts:
+        raise AssertionError(
+            f"invariant violations in benchmark run: {checker.violation_counts}"
+        )
+    return {
+        "events": result.engine.fired,
+        "simulated_s": result.run.elapsed_s,
+        "energy_j": result.run.energy_j,
+        "daemon_ticks": result.daemon.ticks,
+        "invariant_checks": sum(checker.checks.values()),
+    }
+
+
 #: Scenario registry: name -> zero-argument callable returning metadata.
 BENCH_SCENARIOS: dict[str, Callable[[], dict[str, Any]]] = {
     "event-drain": _scenario_event_drain,
     "cancel-churn": _scenario_cancel_churn,
     "table1-bots-fib": _scenario_table1_fib,
     "table1-lulesh": _scenario_table1_lulesh,
+    "table1-fib-validated": _scenario_table1_fib_validated,
 }
+
+#: (checked, unchecked) scenario pairs the bench runner reports overhead for.
+OVERHEAD_PAIRS: tuple[tuple[str, str], ...] = (
+    ("table1-fib-validated", "table1-bots-fib"),
+)
 
 
 def run_bench_scenarios(

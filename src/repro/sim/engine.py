@@ -58,6 +58,10 @@ class Engine:
         self._fired = 0
         self._running = False
         self._stop_requested = False
+        #: Read-only observers called as ``probe(time, event)`` after each
+        #: event callback returns.  The list is mutated in place so the
+        #: hoisted alias in :meth:`run` observes attach/detach mid-run.
+        self._probes: list[Callable[[float, ScheduledEvent], Any]] = []
 
     # ------------------------------------------------------------------
     # scheduling
@@ -109,6 +113,26 @@ class Engine:
         event = ScheduledEvent(time, prio, seq, callback, label)
         heapq.heappush(self._heap, (time, prio, seq, event))
         return _TrackingHandle(event, self)
+
+    # ------------------------------------------------------------------
+    # probes (observation hooks)
+    # ------------------------------------------------------------------
+    def add_probe(self, probe: Callable[[float, ScheduledEvent], Any]) -> None:
+        """Attach a read-only observer fired after every event callback.
+
+        Probes must not mutate simulator state or schedule events; they
+        exist for invariant checkers and instrumentation.  The engine
+        fires them as ``probe(time, event)`` once the event's callback has
+        returned, so the model is in a consistent post-event state.
+        """
+        self._probes.append(probe)
+
+    def remove_probe(self, probe: Callable[[float, ScheduledEvent], Any]) -> None:
+        """Detach a probe added with :meth:`add_probe` (no-op if absent)."""
+        try:
+            self._probes.remove(probe)
+        except ValueError:
+            pass
 
     def _note_cancel(self) -> None:
         self._cancelled += 1
@@ -165,6 +189,9 @@ class Engine:
         if self.trace.enabled:
             self.trace.record(time, "event", event.label)
         event.callback()
+        if self._probes:
+            for probe in self._probes:
+                probe(time, event)
         return True
 
     def run(self, until: Optional[float] = None, *, max_events: Optional[int] = None) -> float:
@@ -192,6 +219,7 @@ class Engine:
         trace = self.trace
         fired = self._fired
         now = clock.now
+        probes = self._probes  # in-place list: alias sees attach/detach
         try:
             while not self._stop_requested:
                 head = None
@@ -221,6 +249,9 @@ class Engine:
                 if trace.enabled:
                     trace.record(time, "event", event.label)
                 event.callback()
+                if probes:
+                    for probe in probes:
+                        probe(time, event)
             if until is not None and now < until and not self._stop_requested:
                 clock.advance_to(until)
         finally:

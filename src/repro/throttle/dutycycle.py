@@ -16,13 +16,31 @@ The duty-cycle actuator is the one the MAESTRO runtime itself uses
 from __future__ import annotations
 
 from repro.errors import SimulationError
-from repro.hw.msr import IA32_CLOCK_MODULATION, encode_clock_modulation
+from repro.hw.msr import (
+    IA32_CLOCK_MODULATION,
+    decode_clock_modulation,
+    encode_clock_modulation,
+)
 from repro.hw.node import Node
 from repro.sim.events import Priority
 
 #: DVFS voltage transition cost, seconds ("tens of thousands of cycles";
 #: ~50k cycles at 2.7 GHz, plus OS overhead).
 DVFS_TRANSITION_S = 30e-6
+
+
+def representable_duty(duty: float, *, steps: int = 32) -> bool:
+    """True if ``duty`` survives the clock-modulation encode/decode round trip.
+
+    Hardware can only realise duty cycles of the form ``level / steps``
+    (or exactly 1.0, modulation off).  A throttle decision that commits a
+    non-representable duty would silently run at a different speed than
+    the policy asked for; the invariant checker uses this predicate to
+    flag such decisions.
+    """
+    if not 0.0 < duty <= 1.0:
+        return False
+    return decode_clock_modulation(encode_clock_modulation(duty, steps=steps), steps=steps) == duty
 
 
 class DutyCycleActuator:

@@ -1,0 +1,49 @@
+"""Physics-invariant sanitizer and differential validation.
+
+The measurement substrate this reproduction rests on — RAPL deltas, wrap
+handling, per-socket power integration — is exactly the part of the
+stack the measurement-reliability literature shows going subtly wrong.
+This package checks it continuously:
+
+* :class:`~repro.validate.checker.InvariantChecker` — attachable runtime
+  sanitizer mirroring the energy/thermal integrators in bit-identical
+  shadow ledgers and re-deriving cached rates, power and registers from
+  scratch on a fixed cadence;
+* :mod:`~repro.validate.records` — post-run audits of the harness
+  ledgers (exact reconstruction of derived quantities, measured-vs-truth
+  energy within RAPL quantisation, decision-trace accounting);
+* :func:`~repro.validate.runner.validate_spec` /
+  :func:`~repro.validate.runner.run_validation_sweep` — the harness
+  integration behind ``repro validate``;
+* :func:`~repro.validate.runner.differential_sweep` — checked-vs-unchecked
+  and serial-vs-parallel replays asserting bit-identical records;
+* :mod:`~repro.validate.corpus` — the scenario corpus, including every
+  named fault profile (whose measurement-path violations must classify
+  as *expected*, see :mod:`repro.faults.expectations`).
+"""
+
+from repro.validate.checker import InvariantChecker
+from repro.validate.corpus import corpus, differential_specs
+from repro.validate.records import check_record
+from repro.validate.runner import (
+    DifferentialResult,
+    ValidationSweepResult,
+    differential_sweep,
+    run_validation_sweep,
+    validate_spec,
+)
+from repro.validate.violations import ValidationReport, Violation
+
+__all__ = [
+    "DifferentialResult",
+    "InvariantChecker",
+    "ValidationReport",
+    "ValidationSweepResult",
+    "Violation",
+    "check_record",
+    "corpus",
+    "differential_specs",
+    "differential_sweep",
+    "run_validation_sweep",
+    "validate_spec",
+]

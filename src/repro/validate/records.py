@@ -1,0 +1,197 @@
+"""Post-run ledger checks over :class:`~repro.harness.record.MeasurementRecord`.
+
+The runtime checker (:mod:`repro.validate.checker`) watches the model
+while it runs; these checks audit the *books* afterwards: the harness
+record must be internally consistent (exact float reconstruction of the
+derived quantities, ordered decision traces, balanced throttle counters)
+and the measured region must agree with simulator ground truth to within
+RAPL quantisation — any further disagreement is either an injected
+measurement fault (classified expected by the taxonomy) or a bug.
+
+All checks are pure functions of the record, so they run identically in
+workers, in tests and in the CLI sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import MachineConfig, PAPER_MACHINE
+from repro.harness.record import MeasurementRecord
+from repro.measure.energy import SampleQuality
+from repro.units import RAPL_ENERGY_UNIT_J
+from repro.validate.violations import Violation
+
+#: Measured-vs-truth per-socket energy tolerance, in RAPL ticks.  Each
+#: region boundary quantises to one tick and the reader's reconciliation
+#: can add a couple more; 16 ticks is ~0.25 mJ — far below any physically
+#: meaningful disagreement.
+_ENERGY_TOL_TICKS = 16
+
+#: The controller's decision history is bounded; past the bound the
+#: flip-count reconstruction would undercount, so it is skipped.
+_DECISION_HISTORY_BOUND = 100_000
+
+
+def check_record(
+    record: MeasurementRecord,
+    *,
+    machine: MachineConfig = PAPER_MACHINE,
+) -> list[Violation]:
+    """Audit one record; returns unclassified violations (possibly empty)."""
+    violations: list[Violation] = []
+
+    def fail(invariant: str, category: str, message: str, **kw) -> None:
+        violations.append(
+            Violation(invariant=invariant, category=category, message=message, **kw)
+        )
+
+    run = record.run
+    region = record.region
+
+    # --- run-summary internal ledger -----------------------------------
+    if run.elapsed_s < 0:
+        fail("run-ledger", "ledger", f"negative elapsed time {run.elapsed_s!r}")
+    if any(e < 0 for e in run.energy_j_sockets):
+        fail("run-ledger", "ledger",
+             f"negative socket energy {run.energy_j_sockets!r}")
+    if run.avg_power_w != run.reconstructed_avg_power_w():
+        fail(
+            "run-power-ledger", "ledger",
+            f"avg_power_w {run.avg_power_w!r} != energy/elapsed "
+            f"{run.reconstructed_avg_power_w()!r}",
+        )
+    # The root task runs without passing through the scheduler's spawn
+    # counter, so a completed run always accounts for exactly spawned + 1
+    # completions.
+    if run.tasks_completed != run.tasks_spawned + 1:
+        fail(
+            "run-task-ledger", "ledger",
+            f"completed {run.tasks_completed} != spawned "
+            f"{run.tasks_spawned} + 1 (root)",
+        )
+    if not (0 <= run.throttle_activations - run.throttle_deactivations <= 1):
+        fail(
+            "run-throttle-ledger", "ledger",
+            f"unbalanced throttle counters: {run.throttle_activations} "
+            f"activations vs {run.throttle_deactivations} deactivations",
+        )
+    tjmax = machine.thermal.tjmax_degc
+    for s, temp in enumerate(run.final_temps_degc):
+        if not (0.0 <= temp <= tjmax + 1e-9):
+            fail(
+                "run-temp-bounds", "ledger",
+                f"final temperature {temp!r} degC outside [0, {tjmax!r}]",
+                socket=s,
+            )
+
+    # --- region internal ledger ----------------------------------------
+    total = sum(region.energy_j_sockets)
+    expect_watts = (total / region.elapsed_s) if region.elapsed_s > 0 else 0.0
+    if region.avg_watts != expect_watts:
+        fail(
+            "region-power-ledger", "ledger",
+            f"avg_watts {region.avg_watts!r} != energy/elapsed {expect_watts!r}",
+        )
+    if region.end_s < region.start_s:
+        fail(
+            "region-time-ledger", "ledger",
+            f"region ends before it starts: [{region.start_s!r}, {region.end_s!r}]",
+        )
+
+    # --- region vs ground truth ----------------------------------------
+    if region.elapsed_s != run.elapsed_s:
+        fail(
+            "region-run-time", "ledger",
+            f"region elapsed {region.elapsed_s!r} != run elapsed {run.elapsed_s!r}",
+        )
+    tol_j = _ENERGY_TOL_TICKS * RAPL_ENERGY_UNIT_J
+    for s, (measured, truth) in enumerate(
+        zip(region.energy_j_sockets, run.energy_j_sockets)
+    ):
+        if abs(measured - truth) > tol_j:
+            fail(
+                "measured-energy-truth", "measurement-energy",
+                f"measured {measured!r} J vs ground truth {truth!r} J "
+                f"(diff {measured - truth:.6f} J > {tol_j:.6f} J tolerance)",
+                socket=s,
+            )
+
+    # --- sample quality ------------------------------------------------
+    degraded = sum(
+        count
+        for quality, count in record.quality_counts.items()
+        if quality is not SampleQuality.OK
+    )
+    if degraded > 0:
+        fail(
+            "sample-quality", "measurement-quality",
+            f"{degraded} non-OK energy samples "
+            f"({ {q.name: c for q, c in record.quality_counts.items()} })",
+        )
+    if record.late_ticks > 0 or record.missed_ticks > 0:
+        fail(
+            "daemon-cadence", "measurement-quality",
+            f"daemon watchdog tripped: {record.late_ticks} late, "
+            f"{record.missed_ticks} missed ticks",
+        )
+
+    # --- throttle decision trace ---------------------------------------
+    violations.extend(check_decisions(record))
+    return violations
+
+
+def check_decisions(record: MeasurementRecord) -> list[Violation]:
+    """Audit the throttle decision trace against the run counters."""
+    violations: list[Violation] = []
+    decisions = record.decisions
+    run = record.run
+
+    def fail(invariant: str, message: str) -> None:
+        violations.append(
+            Violation(invariant=invariant, category="ledger", message=message)
+        )
+
+    prev_time: Optional[float] = None
+    flips_up = 0
+    flag = False
+    throttled_s = 0.0
+    prev_flag = False
+    for d in decisions:
+        if prev_time is not None:
+            if d.time_s < prev_time:
+                fail(
+                    "decision-order",
+                    f"decision at t={d.time_s!r} before t={prev_time!r}",
+                )
+            if prev_flag:
+                throttled_s += d.time_s - prev_time
+        if d.throttle and not flag:
+            flips_up += 1
+        flag = d.throttle
+        prev_time = d.time_s
+        prev_flag = d.throttle
+    if len(decisions) < _DECISION_HISTORY_BOUND:
+        if record.throttled and run.throttle_activations != flips_up:
+            fail(
+                "decision-flip-ledger",
+                f"{run.throttle_activations} scheduler activations != "
+                f"{flips_up} off-to-on flips in the decision trace",
+            )
+        # time_throttled_s is the controller's fold over the same history;
+        # recomputing it must reproduce the recorded value exactly.
+        if record.time_throttled_s != throttled_s:
+            fail(
+                "throttled-time-ledger",
+                f"time_throttled_s {record.time_throttled_s!r} != "
+                f"recomputed {throttled_s!r}",
+            )
+    if record.time_throttled_s < 0 or (
+        run.elapsed_s > 0 and record.time_throttled_s > run.elapsed_s + 0.2
+    ):
+        fail(
+            "throttled-time-bounds",
+            f"time_throttled_s {record.time_throttled_s!r} outside "
+            f"[0, elapsed + 0.2 s]",
+        )
+    return violations

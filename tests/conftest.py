@@ -1,8 +1,27 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:  # hypothesis is an optional test dependency
+    from hypothesis import settings as _hyp_settings
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    _hyp_settings = None
+
+if _hyp_settings is not None:
+    # Local development: generous budget, no per-example deadline (the
+    # full-stack properties legitimately take tens of milliseconds).
+    _hyp_settings.register_profile("dev", deadline=None)
+    # CI: derandomized so every shard run replays the identical example
+    # stream — a red CI is always reproducible locally with
+    # REPRO_HYPOTHESIS_PROFILE=ci.
+    _hyp_settings.register_profile(
+        "ci", deadline=None, derandomize=True, max_examples=60, print_blob=True
+    )
+    _hyp_settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))
 
 from repro.config import MachineConfig, RuntimeConfig
 from repro.hw.node import Node

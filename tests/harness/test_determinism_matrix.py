@@ -1,0 +1,74 @@
+"""The determinism matrix: every execution path yields the same bits.
+
+One spec list is pushed through four harness configurations — serial,
+process-pooled, cache-hit replay, and validate-mode (checker attached) —
+and every path must produce records equal field-for-field to the serial
+reference.  ``MeasurementRecord`` equality is exact-float dataclass
+equality (host wall time excluded), so ``==`` is bit-identity of
+everything the simulation computed.
+
+This is the harness-level face of the differential guarantee: the
+checker observes without perturbing, the pool without reordering, and
+the cache round-trips without loss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.executor import BatchExecutor, execute_spec
+from repro.harness.spec import RunSpec
+from repro.harness.telemetry import ListSink, RunCached, TelemetryBus
+
+pytestmark = pytest.mark.harness
+
+#: A small slice that still covers throttling and an alternate compiler.
+MATRIX_SPECS = (
+    RunSpec("mergesort", "gcc", "O2", threads=8),
+    RunSpec("nqueens", "icc", "O2", threads=16),
+    RunSpec("dijkstra", "gcc", "O2", threads=16, throttle=True),
+)
+
+
+@pytest.fixture(scope="module")
+def reference() -> list:
+    return [execute_spec(spec) for spec in MATRIX_SPECS]
+
+
+def test_serial_matches_reference(reference) -> None:
+    records = BatchExecutor(workers=1).run(list(MATRIX_SPECS), sweep="m-serial")
+    assert records == reference
+
+
+def test_parallel_pool_matches_reference(reference) -> None:
+    records = BatchExecutor(workers=2).run(list(MATRIX_SPECS), sweep="m-pool")
+    assert records == reference
+
+
+def test_cache_round_trip_matches_reference(tmp_path, reference) -> None:
+    cache = ResultCache(root=tmp_path)
+    sink = ListSink()
+    first = BatchExecutor(cache=cache, bus=TelemetryBus([sink])).run(
+        list(MATRIX_SPECS), sweep="m-warm"
+    )
+    assert not sink.of_type(RunCached)  # cold cache: everything executed
+    assert first == reference
+
+    sink2 = ListSink()
+    second = BatchExecutor(cache=cache, bus=TelemetryBus([sink2])).run(
+        list(MATRIX_SPECS), sweep="m-hit"
+    )
+    # Warm cache: every record served from disk, still bit-identical.
+    assert len(sink2.of_type(RunCached)) == len(MATRIX_SPECS)
+    assert second == reference
+
+
+def test_validate_mode_matches_reference(reference) -> None:
+    harness = BatchExecutor(validate=True)
+    records = harness.run(list(MATRIX_SPECS), sweep="m-validate")
+    assert records == reference
+    # And the checker actually ran on every spec while changing nothing.
+    for i in range(len(MATRIX_SPECS)):
+        report = harness.validation_reports[i]
+        assert report.ok and report.batteries > 0

@@ -184,3 +184,99 @@ def test_power_limit_rejects_negative_inputs() -> None:
         encode_power_limit(-1.0)
     with pytest.raises(ValueError):
         decode_power_limit(-1)
+
+
+# ----------------------------------------------------------------------
+# hypothesis-driven RAPL properties (shrinking counterexamples)
+# ----------------------------------------------------------------------
+# The seeded-random sections above cover the space broadly; these replay
+# the same contracts under Hypothesis so a regression shrinks to a
+# minimal counterexample instead of a 500-case haystack.
+from hypothesis import given, strategies as st  # noqa: E402
+
+from repro.units import (  # noqa: E402
+    RAPL_ENERGY_UNIT_J,
+    joules_to_rapl_ticks,
+)
+
+_counter = st.integers(min_value=0, max_value=RAPL_COUNTER_MODULUS - 1)
+
+
+@given(before=_counter, true_delta=_counter)
+def test_hyp_modular_delta_recovers_increment(before: int, true_delta: int) -> None:
+    after = (before + true_delta) % RAPL_COUNTER_MODULUS
+    delta, wrapped = rapl_delta_and_wrap(before, after)
+    assert delta == true_delta
+    assert wrapped == (after < before)
+    assert delta == rapl_delta(before, after)
+
+
+@given(
+    steps=st.lists(
+        st.integers(min_value=0, max_value=RAPL_COUNTER_MODULUS - 1),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_hyp_multiwrap_walk_reconstructs_counter(steps: list[int]) -> None:
+    """Summed modular deltas reconstruct the counter across many wraps."""
+    underlying = 0
+    accumulated = 0
+    wraps_seen = 0
+    for step in steps:
+        before = wrap_rapl_counter(underlying)
+        underlying += step
+        after = wrap_rapl_counter(underlying)
+        delta, wrapped = rapl_delta_and_wrap(before, after)
+        accumulated += delta
+        wraps_seen += wrapped
+    assert accumulated == underlying
+    # Each sub-period step wraps the register at most once, so the wrap
+    # count can only undercount (exact full-period steps are invisible).
+    assert wraps_seen <= underlying // RAPL_COUNTER_MODULUS + len(steps)
+
+
+@given(ticks=st.integers(min_value=0, max_value=1 << 48))
+def test_hyp_tick_joule_roundtrip_within_one_tick(ticks: int) -> None:
+    """ticks -> Joules -> ticks lands within one tick of the original.
+
+    Exactness is impossible: ``ticks * unit`` is already rounded to the
+    nearest double, and the truncating division can land one tick low (or
+    high) when that rounding crossed an integer boundary.  One tick is
+    15.3 uJ — far below anything the model resolves.
+    """
+    joules = rapl_ticks_to_joules(ticks)
+    back = joules_to_rapl_ticks(joules)
+    assert abs(back - ticks) <= 1
+
+
+@given(
+    joules=st.floats(
+        min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+    )
+)
+def test_hyp_quantization_loses_less_than_one_tick(joules: float) -> None:
+    """Joules -> ticks -> Joules only ever truncates, by under one tick."""
+    back = rapl_ticks_to_joules(joules_to_rapl_ticks(joules))
+    assert -1e-9 <= joules - back < RAPL_ENERGY_UNIT_J * (1.0 + 1e-9)
+
+
+@given(
+    wraps=st.integers(min_value=1, max_value=6),
+    offset=st.integers(min_value=0, max_value=RAPL_COUNTER_MODULUS - 1),
+    step=st.integers(
+        min_value=RAPL_COUNTER_MODULUS // 8, max_value=RAPL_COUNTER_MODULUS // 2
+    ),
+)
+def test_hyp_reader_counts_every_wrap(wraps: int, offset: int, step: int) -> None:
+    """Polling inside the period, the reader never loses a wrap."""
+    msr = _FakeWrappedMSR()
+    msr.total_ticks = offset
+    reader = EnergyReader(msr, 0)
+    target = offset + wraps * RAPL_COUNTER_MODULUS + step
+    while msr.total_ticks < target:
+        msr.advance(min(step, target - msr.total_ticks))
+        reader.poll()
+    assert reader.wraps == msr.total_ticks // RAPL_COUNTER_MODULUS
+    # Totals are anchored at the construction-time register value.
+    assert reader.total_joules == rapl_ticks_to_joules(msr.total_ticks - offset)

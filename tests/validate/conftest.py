@@ -1,0 +1,24 @@
+"""Fixtures for the validation-subsystem tests.
+
+The records are session-scoped: tripwire tests tamper *copies* (frozen
+dataclasses via ``dataclasses.replace``), so one clean execution per
+class of spec serves every test in the package.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import RunSpec, execute_spec
+
+
+@pytest.fixture(scope="session")
+def plain_record():
+    return execute_spec(RunSpec("mergesort", "gcc", "O2", threads=8))
+
+
+@pytest.fixture(scope="session")
+def throttled_record():
+    return execute_spec(
+        RunSpec("dijkstra", "gcc", "O2", threads=16, throttle=True)
+    )

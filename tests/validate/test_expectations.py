@@ -1,0 +1,90 @@
+"""The expected-violation taxonomy: faults may bend measurement, never physics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FaultConfig
+from repro.faults.expectations import classify_violations, expected_categories
+from repro.faults.profiles import PROFILES
+from repro.validate.violations import (
+    MEASUREMENT_CATEGORIES,
+    STRICT_CATEGORIES,
+    Violation,
+)
+
+pytestmark = pytest.mark.validate
+
+
+def _violation(category: str) -> Violation:
+    return Violation(invariant="x", category=category, message="m")
+
+
+def test_no_faults_means_nothing_expected() -> None:
+    assert expected_categories(None) == frozenset()
+    assert expected_categories(FaultConfig()) == frozenset()
+    # Zero-valued knobs are inert even when nominally enabled.
+    assert expected_categories(FaultConfig(enabled=True)) == frozenset()
+
+
+def test_msr_failures_explain_energy_and_quality() -> None:
+    got = expected_categories(FaultConfig(enabled=True, msr_read_fail_p=0.1))
+    assert got == {"measurement-energy", "measurement-quality"}
+    assert expected_categories(FaultConfig(enabled=True, stuck_p=0.05)) == got
+
+
+def test_stall_explains_energy_and_quality() -> None:
+    got = expected_categories(FaultConfig(enabled=True, stall_at_s=1.0, stall_duration_s=2.0))
+    assert got == {"measurement-energy", "measurement-quality"}
+
+
+def test_jitter_explains_cadence_and_window_shift() -> None:
+    got = expected_categories(FaultConfig(enabled=True, tick_jitter_frac=0.2))
+    assert got == {"measurement-quality", "measurement-energy"}
+
+
+def test_thermal_noise_explains_only_temperature() -> None:
+    assert expected_categories(FaultConfig(enabled=True, therm_noise_degc=1.0)) == {
+        "measurement-temp"
+    }
+
+
+def test_counter_noise_explains_only_counters() -> None:
+    assert expected_categories(FaultConfig(enabled=True, counter_noise_frac=0.01)) == {
+        "measurement-counters"
+    }
+
+
+def test_every_named_profile_yields_only_measurement_categories() -> None:
+    for name, profile in PROFILES.items():
+        allowed = expected_categories(profile)
+        assert allowed <= MEASUREMENT_CATEGORIES, name
+        assert not (allowed & STRICT_CATEGORIES), name
+
+
+def test_strict_categories_are_never_expected() -> None:
+    faults = FaultConfig(enabled=True, msr_read_fail_p=0.5, stuck_p=0.5, tick_jitter_frac=0.5,
+                         therm_noise_degc=5.0, counter_noise_frac=0.1)
+    violations = [_violation(c) for c in sorted(STRICT_CATEGORIES)]
+    for classified in classify_violations(violations, faults):
+        assert classified.expected is False
+
+
+def test_classification_matches_the_fault_knobs() -> None:
+    faults = FaultConfig(enabled=True, therm_noise_degc=2.0)
+    classified = classify_violations(
+        [_violation("measurement-temp"), _violation("measurement-energy")],
+        faults,
+    )
+    assert [v.expected for v in classified] == [True, False]
+
+
+def test_classification_without_faults_expects_nothing() -> None:
+    classified = classify_violations(
+        [_violation(c) for c in sorted(MEASUREMENT_CATEGORIES)], None
+    )
+    assert all(v.expected is False for v in classified)
+
+
+def test_categories_partition_cleanly() -> None:
+    assert not (STRICT_CATEGORIES & MEASUREMENT_CATEGORIES)

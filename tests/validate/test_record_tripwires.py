@@ -1,0 +1,190 @@
+"""Tripwire self-tests for the post-run ledger audits.
+
+Each test takes a genuine record (session fixtures), corrupts exactly one
+book entry via ``dataclasses.replace`` (the records are frozen — tampering
+produces a copy, so fixtures stay clean), and asserts the matching
+ledger invariant flags it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.measure.energy import SampleQuality
+from repro.units import RAPL_COUNTER_MODULUS, RAPL_ENERGY_UNIT_J
+from repro.validate import check_record
+
+pytestmark = pytest.mark.validate
+
+#: One full 32-bit counter period, in Joules — the energy a measurement
+#: client silently loses when it misses a wrap.
+_WRAP_PERIOD_J = RAPL_COUNTER_MODULUS * RAPL_ENERGY_UNIT_J
+
+
+def names(record) -> set[str]:
+    return {v.invariant for v in check_record(record)}
+
+
+# ----------------------------------------------------------------------
+# the complementary property: genuine records audit clean
+# ----------------------------------------------------------------------
+def test_genuine_records_have_clean_books(plain_record, throttled_record) -> None:
+    assert check_record(plain_record) == []
+    assert check_record(throttled_record) == []
+
+
+# ----------------------------------------------------------------------
+# run-summary ledger
+# ----------------------------------------------------------------------
+def test_tripwire_run_ledger_negative_elapsed(plain_record) -> None:
+    bad = replace(plain_record, run=replace(plain_record.run, elapsed_s=-1.0))
+    assert "run-ledger" in names(bad)
+
+
+def test_tripwire_run_ledger_negative_energy(plain_record) -> None:
+    run = plain_record.run
+    bad_sockets = (-1.0,) + run.energy_j_sockets[1:]
+    bad = replace(plain_record, run=replace(run, energy_j_sockets=bad_sockets))
+    assert "run-ledger" in names(bad)
+
+
+def test_tripwire_run_power_ledger(plain_record) -> None:
+    run = plain_record.run
+    bad = replace(plain_record, run=replace(run, avg_power_w=run.avg_power_w * 1.5))
+    assert "run-power-ledger" in names(bad)
+
+
+def test_tripwire_run_task_ledger(plain_record) -> None:
+    run = plain_record.run
+    bad = replace(
+        plain_record, run=replace(run, tasks_completed=run.tasks_completed + 5)
+    )
+    assert "run-task-ledger" in names(bad)
+
+
+def test_tripwire_run_throttle_ledger(plain_record) -> None:
+    run = plain_record.run
+    bad = replace(
+        plain_record,
+        run=replace(run, throttle_activations=run.throttle_activations + 2),
+    )
+    assert "run-throttle-ledger" in names(bad)
+
+
+def test_tripwire_run_temp_bounds(plain_record) -> None:
+    run = plain_record.run
+    temps = (200.0,) + run.final_temps_degc[1:]
+    bad = replace(plain_record, run=replace(run, final_temps_degc=temps))
+    assert "run-temp-bounds" in names(bad)
+
+
+# ----------------------------------------------------------------------
+# region ledger and region-vs-truth
+# ----------------------------------------------------------------------
+def test_tripwire_region_power_ledger(plain_record) -> None:
+    region = plain_record.region
+    bad = replace(
+        plain_record, region=replace(region, avg_watts=region.avg_watts * 1.01)
+    )
+    assert "region-power-ledger" in names(bad)
+
+
+def test_tripwire_region_time_ledger(plain_record) -> None:
+    region = plain_record.region
+    bad = replace(
+        plain_record, region=replace(region, end_s=region.start_s - 1.0)
+    )
+    assert "region-time-ledger" in names(bad)
+
+
+def test_tripwire_region_run_time(plain_record) -> None:
+    region = plain_record.region
+    bad = replace(
+        plain_record, region=replace(region, end_s=region.end_s + 1e-3)
+    )
+    assert "region-run-time" in names(bad)
+
+
+def test_tripwire_dropped_wrap_is_caught(plain_record) -> None:
+    """The canonical RAPL failure: a missed 32-bit wrap (~65.7 kJ) is
+    far outside the quantisation tolerance and must be flagged."""
+    region = plain_record.region
+    sockets = (region.energy_j_sockets[0] - _WRAP_PERIOD_J,) + \
+        region.energy_j_sockets[1:]
+    bad = replace(
+        plain_record, region=replace(region, energy_j_sockets=sockets)
+    )
+    assert "measured-energy-truth" in names(bad)
+
+
+def test_quantisation_sized_disagreement_is_tolerated(plain_record) -> None:
+    """A few ticks of boundary quantisation is measurement, not corruption."""
+    region = plain_record.region
+    sockets = (region.energy_j_sockets[0] + 2 * RAPL_ENERGY_UNIT_J,) + \
+        region.energy_j_sockets[1:]
+    shifted = replace(
+        plain_record, region=replace(region, energy_j_sockets=sockets)
+    )
+    flagged = names(shifted)
+    assert "measured-energy-truth" not in flagged
+    # The internal watts ledger still notices the books moved, as it must.
+    assert "region-power-ledger" in flagged
+
+
+# ----------------------------------------------------------------------
+# measurement quality
+# ----------------------------------------------------------------------
+def test_tripwire_sample_quality(plain_record) -> None:
+    bad = replace(
+        plain_record,
+        quality_counts={SampleQuality.OK: 10, SampleQuality.RETRIED: 2},
+    )
+    assert "sample-quality" in names(bad)
+
+
+def test_tripwire_daemon_cadence(plain_record) -> None:
+    bad = replace(plain_record, late_ticks=3)
+    assert "daemon-cadence" in names(bad)
+
+
+# ----------------------------------------------------------------------
+# throttle decision trace
+# ----------------------------------------------------------------------
+def test_tripwire_decision_order(throttled_record) -> None:
+    assert len(throttled_record.decisions) >= 2
+    bad = replace(
+        throttled_record, decisions=tuple(reversed(throttled_record.decisions))
+    )
+    assert "decision-order" in names(bad)
+
+
+def test_tripwire_decision_flip_ledger(throttled_record) -> None:
+    run = throttled_record.run
+    bad = replace(
+        throttled_record,
+        run=replace(run, throttle_activations=run.throttle_activations + 1),
+    )
+    assert "decision-flip-ledger" in names(bad)
+
+
+def test_tripwire_throttled_time_ledger(throttled_record) -> None:
+    bad = replace(
+        throttled_record,
+        time_throttled_s=throttled_record.time_throttled_s + 0.05,
+    )
+    assert "throttled-time-ledger" in names(bad)
+
+
+def test_tripwire_throttled_time_bounds(throttled_record) -> None:
+    bad = replace(throttled_record, time_throttled_s=-1.0)
+    assert "throttled-time-bounds" in names(bad)
+
+
+def test_throttled_time_exceeding_elapsed_is_flagged(throttled_record) -> None:
+    bad = replace(
+        throttled_record,
+        time_throttled_s=throttled_record.run.elapsed_s + 1.0,
+    )
+    assert "throttled-time-bounds" in names(bad)

@@ -1,0 +1,149 @@
+"""End-to-end tests for the validation entry points.
+
+Covers the three layers of the tentpole: single-spec ``validate_spec``,
+the corpus sweep through ``BatchExecutor(validate=True)`` (serial and
+pooled), the differential replay harness, and the ``repro validate``
+CLI wrapping them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.config import FaultConfig
+from repro.harness.executor import BatchExecutor
+from repro.harness.spec import RunSpec
+from repro.harness.telemetry import (
+    InvariantViolated,
+    ListSink,
+    RunValidated,
+    TelemetryBus,
+)
+from repro.validate.corpus import corpus, differential_specs, fault_specs
+from repro.validate.runner import (
+    differential_sweep,
+    run_validation_sweep,
+    validate_spec,
+)
+
+pytestmark = pytest.mark.validate
+
+_PLAIN = RunSpec("mergesort", "gcc", "O2", threads=8)
+_THROTTLED = RunSpec("dijkstra", "gcc", "O2", threads=16, throttle=True)
+
+
+# ----------------------------------------------------------------------
+# validate_spec
+# ----------------------------------------------------------------------
+def test_validate_spec_clean_run_reports_ok() -> None:
+    record, report = validate_spec(_PLAIN)
+    assert report.ok
+    assert not report.violations
+    assert report.batteries > 5
+    assert report.syncs > 0 and report.events > 0
+    assert sum(report.checks.values()) > 100
+    assert record.spec == _PLAIN
+    assert record.energy_j > 0
+
+
+def test_validate_spec_faulted_run_classifies_expected() -> None:
+    spec = RunSpec(
+        "dijkstra", "gcc", "O2", threads=16, throttle=True, seed=1,
+        faults=FaultConfig(enabled=True, msr_read_fail_p=0.3,
+                           msr_read_fail_burst=4),
+    )
+    _, report = validate_spec(spec)
+    # The faults provoke degraded samples; every resulting violation must
+    # be attributable to the knobs — none unexpected.
+    assert not report.unexpected
+    assert report.ok
+
+
+# ----------------------------------------------------------------------
+# sweep + executor integration
+# ----------------------------------------------------------------------
+def test_sweep_emits_validated_events_and_reports() -> None:
+    sink = ListSink()
+    bus = TelemetryBus([sink])
+    result = run_validation_sweep([_PLAIN, _THROTTLED], bus=bus)
+    assert result.ok
+    assert len(result.reports) == len(result.records) == 2
+    assert result.total_checks > 0
+    validated = sink.of_type(RunValidated)
+    assert len(validated) == 2
+    assert all(ev.checks > 0 and ev.batteries > 0 for ev in validated)
+    assert {ev.index for ev in validated} == {0, 1}
+    assert "RESULT: PASS" in result.format()
+
+
+def test_sweep_parallel_workers_match_serial() -> None:
+    serial = run_validation_sweep([_PLAIN, _THROTTLED], workers=1)
+    pooled = run_validation_sweep([_PLAIN, _THROTTLED], workers=2)
+    assert pooled.ok
+    assert pooled.records == serial.records
+    for a, b in zip(serial.reports, pooled.reports):
+        assert a.checks == b.checks
+        assert a.batteries == b.batteries
+        assert [str(v) for v in a.violations] == [str(v) for v in b.violations]
+
+
+def test_faulted_sweep_emits_expected_violation_events() -> None:
+    sink = ListSink()
+    bus = TelemetryBus([sink])
+    specs = fault_specs(("flaky-msr",))
+    result = run_validation_sweep(specs, bus=bus)
+    assert result.ok  # expected violations do not fail the sweep
+    fired = sink.of_type(InvariantViolated)
+    assert fired, "flaky-msr produced no violation events"
+    assert all(ev.expected for ev in fired)
+    assert "expected" in result.format()
+
+
+def test_executor_validate_mode_populates_reports() -> None:
+    harness = BatchExecutor(validate=True)
+    records = harness.run([_PLAIN], sweep="unit")
+    assert len(records) == 1
+    report = harness.validation_reports[0]
+    assert report.ok and report.batteries > 0
+
+
+# ----------------------------------------------------------------------
+# differential replay
+# ----------------------------------------------------------------------
+def test_differential_sweep_is_bit_identical() -> None:
+    result = differential_sweep(differential_specs()[:2], workers=2)
+    assert result.ok
+    assert result.checked_identical == [True, True]
+    assert result.parallel_identical == [True, True]
+    assert "PASS (bit-identical)" in result.format()
+
+
+# ----------------------------------------------------------------------
+# corpus shape
+# ----------------------------------------------------------------------
+def test_corpus_covers_throttle_cold_and_every_fault_profile() -> None:
+    specs = corpus()
+    assert any(s.throttle for s in specs)
+    assert any(not s.warm for s in specs)
+    faulted = [s for s in specs if s.faults is not None]
+    from repro.faults.profiles import PROFILES
+
+    assert len(faulted) == len(PROFILES)
+    quick = corpus(quick=True)
+    assert 3 <= len(quick) < len(specs)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_validate_quick_passes(capsys) -> None:
+    assert main(["validate", "--quick", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "RESULT: PASS" in out
+
+
+def test_cli_validate_differential_only(capsys) -> None:
+    assert main(["validate", "--differential-only", "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "bit-identical" in out
