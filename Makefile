@@ -4,12 +4,12 @@ PYTHON ?= python
 
 COV_FAIL_UNDER ?= 80
 
-.PHONY: install test test-faults test-golden test-harness test-validate validate-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep reproduce recalibrate examples clean
+.PHONY: install test test-faults test-golden test-harness test-validate test-sched validate-smoke sched-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched reproduce recalibrate examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: sweep-smoke
+test: sweep-smoke sched-smoke
 	$(PYTHON) -m pytest tests/
 
 # Robustness suite: fault injection + degraded-mode behaviour only.
@@ -31,10 +31,20 @@ test-harness:
 test-validate:
 	$(PYTHON) -m pytest tests/ -m validate
 
+# Scheduler suite: workload traces, admission control, placement
+# policies, cluster determinism, cluster-budget SLOs.
+test-sched:
+	$(PYTHON) -m pytest tests/ -m sched
+
 # End-to-end sanitizer smoke: the quick validation corpus plus the
 # differential replay, via the CLI exactly as a user would run it.
 validate-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.cli validate --quick --differential --quiet
+
+# End-to-end scheduler smoke: a trimmed policy x profile x budget grid
+# through the harness, via the CLI exactly as a user would run it.
+sched-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.cli schedsweep --quick --quiet
 
 # Line-coverage over the full suite with a ratcheted floor.  Requires
 # pytest-cov (pip install -e .[cov]); fails fast with a hint otherwise.
@@ -68,6 +78,11 @@ bench-engine:
 # (read-only; refuses to rewrite BENCH_sweep.json without --update).
 bench-sweep:
 	$(PYTHON) benchmarks/bench_sweep.py
+
+# Cluster-scheduler throughput benchmark vs the committed baseline
+# (read-only; refuses to rewrite BENCH_sched.json without --update).
+bench-sched:
+	$(PYTHON) benchmarks/bench_sched.py
 
 # Regenerate EXPERIMENTS.md (runs the full evaluation, ~5-10 minutes).
 reproduce:

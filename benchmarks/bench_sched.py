@@ -1,0 +1,141 @@
+"""Benchmark: cluster-scheduler throughput (``make bench-sched``).
+
+Times one fixed scheduled cluster run — a bursty trace over four nodes
+under a tight global budget, the configuration the acceptance recipe
+uses — and reports the two rates that bound scheduler scale studies:
+host-side engine throughput (events/s of wall time) and simulated job
+throughput (jobs completed per second of *sim* time).  Results are
+compared against the committed baseline in ``BENCH_sched.json``.
+
+Usage::
+
+    python benchmarks/bench_sched.py               # run + compare, no writes
+    python benchmarks/bench_sched.py --update      # write current results
+    python benchmarks/bench_sched.py --update --record-baseline
+                                                   # re-stamp the baseline too
+    python benchmarks/bench_sched.py --fail-above 3.0
+                                                   # exit 1 if > 3x baseline wall
+
+Correctness is pinned on every invocation: the run is executed twice and
+the two :class:`~repro.sched.result.SchedResult`s must be bit-identical
+(the timing is best-of, so the determinism check is free).  The runner
+refuses to write anything unless ``--update`` is passed, so a stray run
+cannot silently move the goalposts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:  # script mode: no PYTHONPATH needed
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+#: Committed perf-trajectory file, at the repo root.
+BENCH_PATH = _REPO_ROOT / "BENCH_sched.json"
+
+
+def _bench_spec():
+    from repro.sched import SchedSpec
+
+    return SchedSpec(profile="bursty", policy="waterfill", nodes=4,
+                     budget_w=400.0, jobs=12, seed=0)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (make bench)
+# ----------------------------------------------------------------------
+def test_bench_sched_run(bench_once):
+    result = bench_once(lambda: _bench_spec().execute())
+    assert result.completed > 0
+    assert result.budget_violations == ()
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_sched.py",
+        description="cluster-scheduler benchmark vs the committed baseline",
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="write results to BENCH_sched.json "
+                             "(without this flag nothing is written)")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="with --update: re-stamp the baseline section "
+                             "from this run (intentional goalpost move)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N repeats (default 3)")
+    parser.add_argument("--fail-above", type=float, default=None, metavar="X",
+                        help="exit 1 if best wall time exceeds X times the "
+                             "committed baseline (default: report only)")
+    parser.add_argument("--json", type=Path, default=BENCH_PATH,
+                        help=f"results file (default: {BENCH_PATH})")
+    args = parser.parse_args(argv)
+
+    if args.record_baseline and not args.update:
+        parser.error("--record-baseline requires --update "
+                     "(refusing to overwrite BENCH_sched.json)")
+
+    spec = _bench_spec()
+    best = float("inf")
+    results = []
+    for _ in range(max(2, args.repeats)):  # >= 2 runs: determinism is free
+        t0 = time.perf_counter()
+        results.append(spec.execute())
+        best = min(best, time.perf_counter() - t0)
+    if any(r != results[0] for r in results[1:]):
+        print("FAIL: repeated runs are not bit-identical", file=sys.stderr)
+        return 1
+    result = results[0]
+
+    current = {
+        "spec": spec.describe(),
+        "jobs_completed": result.completed,
+        "sim_makespan_s": round(result.makespan_s, 4),
+        "engine_events": result.engine_events,
+        "wall_s": round(best, 4),
+        "events_per_s": round(result.engine_events / best, 1),
+        "sim_jobs_per_s": round(result.completed / result.makespan_s, 4),
+        "bit_identical": True,
+    }
+
+    stored = json.loads(args.json.read_text()) if args.json.exists() else {}
+    baseline = stored.get("baseline")
+
+    print(f"sched benchmark ({current['spec']}, best of {max(2, args.repeats)}):")
+    print(f"  wall              {best * 1e3:>10.1f} ms")
+    print(f"  engine throughput {current['events_per_s'] / 1e3:>10.1f}k ev/s "
+          f"({result.engine_events} events)")
+    print(f"  job throughput    {current['sim_jobs_per_s']:>10.3f} jobs/s of "
+          f"sim time ({result.completed} jobs / {result.makespan_s:.1f} s)")
+    print("  repeated runs bit-identical: yes")
+    if baseline:
+        ratio = best / baseline["wall_s"] if baseline["wall_s"] > 0 else 0.0
+        print(f"  baseline: {baseline['wall_s'] * 1e3:.1f} ms, "
+              f"{baseline['events_per_s'] / 1e3:.1f}k ev/s "
+              f"-> current is {ratio:.2f}x baseline wall")
+        if args.fail_above is not None and ratio > args.fail_above:
+            print(f"FAIL: wall time regressed {ratio:.2f}x > "
+                  f"--fail-above {args.fail_above:.2f}x", file=sys.stderr)
+            return 1
+
+    if not args.update:
+        if args.json.exists():
+            print(f"(read-only run; pass --update to rewrite {args.json.name})")
+        return 0
+
+    if args.record_baseline or "baseline" not in stored:
+        stored["baseline"] = dict(current)
+        print(f"baseline re-stamped from this run -> {args.json.name}")
+    stored["schema"] = 1
+    stored["current"] = current
+    args.json.write_text(json.dumps(stored, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

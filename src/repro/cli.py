@@ -10,6 +10,8 @@ Subcommands map one-to-one to the paper's evaluation artifacts:
     repro-paper throttle [APP]             # Tables IV-VII
     repro-paper sensitivity [APP]          # policy-threshold sweep
     repro-paper faultsweep                 # robustness: savings under faults
+    repro-paper sched [options]            # one scheduled cluster run
+    repro-paper schedsweep                 # placement policy x budget table
     repro-paper validate [--differential]  # physics-invariant sanitizer sweep
     repro-paper coldstart                  # footnote 2
     repro-paper reproduce [-o FILE]        # full EXPERIMENTS.md
@@ -149,6 +151,75 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
             result = run_fault_sweep(apps, profiles, seed=args.seed, harness=harness)
     except (FaultConfigError, UnknownApplicationError) as exc:
         print(f"repro-paper faultsweep: error: {exc}", file=sys.stderr)
+        return 2
+    print(result.format())
+    return 0
+
+
+def _cmd_sched(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.harness import JsonlSink, TelemetryBus
+    from repro.sched import SchedSpec
+    from repro.sched.telemetry import SchedProgressSink
+
+    bus = TelemetryBus()
+    if not args.quiet:
+        bus.subscribe(SchedProgressSink())
+    jsonl = None
+    if args.events:
+        jsonl = JsonlSink(args.events)
+        bus.subscribe(jsonl)
+    try:
+        spec = SchedSpec(
+            profile=args.profile,
+            policy=args.policy,
+            nodes=args.nodes,
+            budget_w=args.budget,
+            jobs=args.jobs,
+            rate_jobs_per_s=args.rate,
+            queue_depth=args.queue_depth,
+            seed=args.seed,
+        )
+        result = spec.execute(bus=bus)
+    except ReproError as exc:
+        print(f"repro-paper sched: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if jsonl is not None:
+            jsonl.close()
+    print(result.format())
+    return 0 if not result.budget_violations else 1
+
+
+def _cmd_schedsweep(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.experiments.schedsweep import (
+        DEFAULT_BUDGETS_W,
+        DEFAULT_POLICIES,
+        DEFAULT_PROFILES,
+        run_sched_sweep,
+    )
+
+    policies = tuple(args.policies.split(",")) if args.policies else DEFAULT_POLICIES
+    profiles = tuple(args.profiles.split(",")) if args.profiles else DEFAULT_PROFILES
+    budgets = (
+        tuple(float(b) for b in args.budgets.split(","))
+        if args.budgets else DEFAULT_BUDGETS_W
+    )
+    jobs = args.jobs
+    if args.quick:
+        policies = policies[:2]
+        profiles = profiles[:1]
+        budgets = budgets[:1]
+        jobs = min(jobs, 6)
+    try:
+        with _make_harness(args) as harness:
+            result = run_sched_sweep(
+                profiles, policies, budgets,
+                nodes=args.nodes, jobs=jobs, seed=args.seed, harness=harness,
+            )
+    except ReproError as exc:
+        print(f"repro-paper schedsweep: error: {exc}", file=sys.stderr)
         return 2
     print(result.format())
     return 0
@@ -299,6 +370,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         corpus,
         differential_specs,
         differential_sweep,
+        run_cluster_validation,
         run_validation_sweep,
     )
 
@@ -317,6 +389,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             )
             print(sweep.format())
             ok = ok and sweep.ok
+            cluster = run_cluster_validation(quick=args.quick, bus=bus)
+            print()
+            print(cluster.format())
+            ok = ok and cluster.ok
         if args.differential or args.differential_only:
             diff = differential_sweep(
                 differential_specs(), workers=max(2, args.workers)
@@ -383,6 +459,53 @@ def build_parser() -> argparse.ArgumentParser:
                       help="one app, three profiles — the CI smoke configuration")
     _add_sweep_args(fs_p)
     fs_p.set_defaults(func=_cmd_faultsweep)
+
+    sched_p = sub.add_parser(
+        "sched", help="one scheduled cluster run (jobs onto budgeted nodes)"
+    )
+    from repro.sched.policy import POLICIES as _POLICIES
+    from repro.sched.workload import TRACE_PROFILES as _PROFILES
+
+    sched_p.add_argument("--profile", default="poisson",
+                         choices=sorted(_PROFILES),
+                         help="arrival trace profile (default: poisson)")
+    sched_p.add_argument("--policy", default="fcfs", choices=sorted(_POLICIES),
+                         help="placement policy (default: fcfs)")
+    sched_p.add_argument("--nodes", type=int, default=4,
+                         help="cluster nodes (default: 4)")
+    sched_p.add_argument("--budget", type=float, default=400.0, metavar="W",
+                         help="global power budget in watts (default: 400)")
+    sched_p.add_argument("--jobs", type=int, default=16,
+                         help="trace length in jobs (default: 16)")
+    sched_p.add_argument("--rate", type=float, default=1.0, metavar="J/S",
+                         help="mean arrival rate, jobs/s (default: 1.0)")
+    sched_p.add_argument("--queue-depth", type=int, default=8,
+                         help="admission-queue bound (default: 8)")
+    sched_p.add_argument("--seed", type=int, default=0)
+    sched_p.add_argument("--events", default=None, metavar="FILE",
+                         help="append structured telemetry events to FILE (JSONL)")
+    sched_p.add_argument("--quiet", action="store_true",
+                         help="suppress the per-job narration")
+    sched_p.set_defaults(func=_cmd_sched)
+
+    ssw_p = sub.add_parser(
+        "schedsweep", help="placement policy x power budget comparison table"
+    )
+    ssw_p.add_argument("--profiles", default=None,
+                       help="comma-separated trace profiles (default: poisson,bursty)")
+    ssw_p.add_argument("--policies", default=None,
+                       help="comma-separated policies (default: all four)")
+    ssw_p.add_argument("--budgets", default=None, metavar="W,W",
+                       help="comma-separated global budgets in watts "
+                            "(default: 300,500)")
+    ssw_p.add_argument("--nodes", type=int, default=4)
+    ssw_p.add_argument("--jobs", type=int, default=12)
+    ssw_p.add_argument("--seed", type=int, default=0)
+    ssw_p.add_argument("--quick", action="store_true",
+                       help="2 policies, 1 profile, 1 budget — the CI smoke "
+                            "configuration")
+    _add_sweep_args(ssw_p)
+    ssw_p.set_defaults(func=_cmd_schedsweep)
 
     t1_p = sub.add_parser("table1", help="Table I (GCC vs ICC)")
     _add_sweep_args(t1_p)

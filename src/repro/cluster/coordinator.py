@@ -41,10 +41,24 @@ class CoordinatorSample:
     time_s: float
     node_power_w: dict[str, float]
     budgets_w: dict[str, float]
+    #: Per-node clamp state at sample time: the active thread limit and
+    #: the floor it cannot shed below.  The budget-enforcement invariant
+    #: needs these — a node already at its floor is doing all it can, so
+    #: staying over budget there is workload physics, not a clamp bug.
+    clamp_limits: dict[str, int] = field(default_factory=dict)
+    clamp_floors: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_power_w(self) -> float:
         return sum(self.node_power_w.values())
+
+    def shed_room(self, name: str) -> bool:
+        """True when ``name``'s clamp could still shed threads."""
+        limit = self.clamp_limits.get(name)
+        floor = self.clamp_floors.get(name)
+        if limit is None or floor is None:
+            return False
+        return limit > floor
 
 
 class PowerCoordinator:
@@ -117,6 +131,17 @@ class PowerCoordinator:
         if bid_total > 0:
             for name, bid in bids.items():
                 budgets[name] += spare * bid / bid_total
+        # The proportional shares can overshoot the global budget by a few
+        # ulps (sum of bid/bid_total rounds above 1).  Shave the overshoot
+        # off the largest assignment so the cluster-budget invariant —
+        # sum(budgets) <= global, exactly — holds by construction.  Each
+        # pass strictly shrinks the excess; two suffice in practice.
+        for _ in range(4):
+            total = sum(budgets.values())
+            if total <= self.global_budget_w:
+                break
+            largest = max(budgets, key=lambda name: (budgets[name], name))
+            budgets[largest] -= total - self.global_budget_w
         for node in self.nodes:
             node.clamp.set_budget(budgets[node.name])
         self.samples.append(
@@ -124,6 +149,12 @@ class PowerCoordinator:
                 time_s=self.engine.now,
                 node_power_w=powers,
                 budgets_w=budgets,
+                clamp_limits={
+                    node.name: node.clamp.active_limit for node in self.nodes
+                },
+                clamp_floors={
+                    node.name: node.clamp.min_threads for node in self.nodes
+                },
             )
         )
 
@@ -163,12 +194,15 @@ def run_cluster(
     period_s: float = 1.0,
     time_limit_s: float = 500.0,
     seed: int = 0,
+    engine: Optional[Engine] = None,
 ) -> ClusterResult:
     """Run ``(app, compiler)`` workloads, one per node, under one budget.
 
     Returns per-node measurement rows plus the coordinated power trace.
+    ``engine`` lets callers supply (and keep a handle on) the shared
+    event engine; tests use it to assert teardown leaves no timers behind.
     """
-    engine = Engine()
+    engine = engine if engine is not None else Engine()
     nodes = [
         ClusterNode(
             f"node{i}",
@@ -188,16 +222,22 @@ def run_cluster(
     coordinator.start()
 
     # Daemons tick forever, so drive the engine in slices until every
-    # node's workload has completed.
-    while not all(node.done for node in nodes):
-        if engine.now > time_limit_s:
-            unfinished = [n.name for n in nodes if not n.done]
-            raise SimulationError(
-                f"cluster run exceeded {time_limit_s} s; unfinished: {unfinished}"
-            )
-        engine.run(until=engine.now + period_s)
-
-    coordinator.stop()
+    # node's workload has completed.  The coordinator and per-node
+    # daemons/clamps hold repeating engine timers; a timeout (or any
+    # other exception from the drive loop) must still cancel them, or
+    # the events leak into any later use of the engine.
+    try:
+        while not all(node.done for node in nodes):
+            if engine.now > time_limit_s:
+                unfinished = [n.name for n in nodes if not n.done]
+                raise SimulationError(
+                    f"cluster run exceeded {time_limit_s} s; unfinished: {unfinished}"
+                )
+            engine.run(until=engine.now + period_s)
+    finally:
+        coordinator.stop()
+        for node in nodes:
+            node.shutdown()
     rows = [node.finish() for node in nodes]
     return ClusterResult(
         rows=rows,

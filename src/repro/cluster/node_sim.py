@@ -105,12 +105,21 @@ class ClusterNode:
         self.daemon.sample_now()
         self._report = self.client.end(self.name)
 
+    def shutdown(self) -> None:
+        """Cancel the node's repeating timers (clamp + daemon ticks).
+
+        Idempotent, and safe to call whether or not the workload has
+        finished — the cluster harness calls it from a ``finally`` so a
+        timed-out run cannot leak scheduled events into the engine.
+        """
+        self.clamp.stop()
+        self.daemon.stop()
+
     def finish(self) -> MeasurementRow:
         """Stop the node's daemons; returns the workload's summary row."""
         if not self.done or self._report is None:
             raise SimulationError(f"node {self.name} has not finished")
-        self.clamp.stop()
-        self.daemon.stop()
+        self.shutdown()
         return MeasurementRow(
             label=f"{self.name}:{self.app}",
             time_s=self._report.elapsed_s,

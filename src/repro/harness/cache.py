@@ -91,7 +91,13 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def get(self, spec: RunSpec) -> Optional[MeasurementRecord]:
-        """The cached record for ``spec``, or None (never raises)."""
+        """The cached record for ``spec``, or None (never raises).
+
+        Works for any spec kind with a ``digest`` (RunSpec, SchedSpec):
+        the stored payload must carry a ``spec`` equal to the lookup key,
+        which both authenticates the entry against digest collisions and
+        replaces a hard type check — scheduler results cache here too.
+        """
         path = self._object_path(spec)
         try:
             with path.open("rb") as fh:
@@ -100,7 +106,11 @@ class ResultCache:
                 ImportError, IndexError):
             self.misses += 1
             return None
-        if not isinstance(record, MeasurementRecord):
+        try:
+            if getattr(record, "spec", None) != spec:
+                self.misses += 1
+                return None
+        except Exception:
             self.misses += 1
             return None
         self.hits += 1
@@ -121,17 +131,20 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        # RunSpec-shaped fields are best-effort: a SchedSpec ledger line
+        # records kind + digest + the scalar summary instead.
         self._append_ledger(
             {
                 "op": "put",
                 "stamp": self.stamp,
+                "kind": type(spec).__name__,
                 "digest": spec.digest,
                 "spec": spec.describe(),
-                "app": spec.app,
-                "compiler": spec.compiler,
-                "optlevel": spec.optlevel,
-                "threads": spec.threads,
-                "throttle": spec.throttle,
+                "app": getattr(spec, "app", None),
+                "compiler": getattr(spec, "compiler", None),
+                "optlevel": getattr(spec, "optlevel", None),
+                "threads": getattr(spec, "threads", None),
+                "throttle": getattr(spec, "throttle", None),
                 "seed": spec.seed,
                 "time_s": record.time_s,
                 "energy_j": record.energy_j,

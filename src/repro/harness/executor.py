@@ -42,7 +42,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def execute_spec(spec: RunSpec) -> MeasurementRecord:
-    """Run one spec in-process and project the result onto a record."""
+    """Run one spec in-process and project the result onto a record.
+
+    Specs that know how to run themselves (``SchedSpec`` and any future
+    kind exposing an ``execute()`` method returning a picklable record
+    with ``time_s`` / ``energy_j`` / ``watts`` / ``wall_s``) short-circuit
+    here; plain :class:`RunSpec` maps onto ``run_measurement``.
+    """
+    execute = getattr(spec, "execute", None)
+    if execute is not None:
+        return execute()
     from repro.experiments.runner import run_measurement
 
     t0 = time.perf_counter()

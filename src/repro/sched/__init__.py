@@ -1,0 +1,64 @@
+"""Energy-aware cluster job scheduler (extension subsystem).
+
+The paper measures and throttles *one* node; its conclusion argues the
+mechanisms "would operate well within a multi-node power clamping
+environment".  This package builds that environment's missing tenant: a
+cluster-level scheduler that places an open-loop stream of OpenMP jobs
+onto power-budgeted nodes.
+
+* :mod:`~repro.sched.workload` — deterministic seeded arrival traces
+  (steady / poisson / bursty / diurnal) over the app registry;
+* :mod:`~repro.sched.queue` — bounded admission queue with shedding;
+* :mod:`~repro.sched.policy` — pluggable placement policies (FCFS,
+  best-fit power packing, EDP-greedy, power-aware water-filling);
+* :mod:`~repro.sched.cluster` — the multi-node simulation: sequential
+  jobs per node, the global :class:`~repro.cluster.coordinator.\
+PowerCoordinator` re-dividing the budget, hardened teardown;
+* :mod:`~repro.sched.spec` / :mod:`~repro.sched.result` — digestable
+  specs and picklable SLO results that ride the harness cache and
+  process-pool fan-out unchanged;
+* :mod:`~repro.sched.telemetry` — typed per-job events on the
+  existing telemetry bus.
+"""
+
+from repro.sched.cluster import ClusterSim, SchedNode, run_sched
+from repro.sched.policy import (
+    POLICIES,
+    ClusterState,
+    NodeView,
+    PlacementPolicy,
+    estimate_job_power_w,
+    make_policy,
+)
+from repro.sched.queue import AdmissionQueue
+from repro.sched.result import JobRecord, SchedResult, percentile
+from repro.sched.spec import SchedSpec
+from repro.sched.workload import (
+    DEFAULT_JOB_APPS,
+    TRACE_PROFILES,
+    Job,
+    generate_trace,
+    offered_load_summary,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "ClusterSim",
+    "ClusterState",
+    "DEFAULT_JOB_APPS",
+    "Job",
+    "JobRecord",
+    "NodeView",
+    "POLICIES",
+    "PlacementPolicy",
+    "SchedNode",
+    "SchedResult",
+    "SchedSpec",
+    "TRACE_PROFILES",
+    "estimate_job_power_w",
+    "generate_trace",
+    "make_policy",
+    "offered_load_summary",
+    "percentile",
+    "run_sched",
+]

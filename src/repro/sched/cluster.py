@@ -1,0 +1,382 @@
+"""The multi-node scheduled cluster simulation.
+
+One shared discrete-event engine carries N :class:`SchedNode` stacks
+(each the full single-node pipeline: simulated hardware, qthreads
+runtime, RCRdaemon, region client, power clamp), the existing
+:class:`~repro.cluster.coordinator.PowerCoordinator` re-dividing the
+global budget, and the scheduler itself: trace arrivals feed a bounded
+:class:`~repro.sched.queue.AdmissionQueue`, and a repeating scheduling
+tick snapshots the cluster and asks the placement policy where queued
+jobs should run.
+
+Unlike :class:`~repro.cluster.node_sim.ClusterNode` (one workload per
+node, then done), a :class:`SchedNode` runs a *sequence* of jobs: the
+runtime's root-task slot is reused per job (``spawn_root`` is re-armable
+once the previous root completes) and every job gets its own named
+measurement region, so per-job energy figures come from the same
+RCR path as the paper's single-node tables.
+
+Teardown mirrors the hardened ``run_cluster`` contract: the coordinator,
+the scheduling tick and every node's clamp/daemon timers are cancelled
+in a ``finally``, so even a timed-out run leaves no repeating events in
+the engine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.apps import build_app
+from repro.config import MachineConfig, PAPER_MACHINE, RuntimeConfig
+from repro.errors import SimulationError
+from repro.harness.telemetry import TelemetryBus
+from repro.openmp import OmpEnv
+from repro.qthreads import Runtime
+from repro.rcr import Blackboard, RCRDaemon, RegionClient, meters
+from repro.sched import telemetry as stel
+from repro.sched.policy import (
+    ClusterState,
+    NodeView,
+    PlacementPolicy,
+    make_policy,
+)
+from repro.sched.queue import AdmissionQueue
+from repro.sched.result import JobRecord, SchedResult
+from repro.sched.workload import Job, generate_trace
+from repro.sim.engine import Engine
+from repro.sim.events import Priority
+from repro.throttle.clamp import PowerClampController
+
+from repro.cluster.coordinator import PowerCoordinator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sched.spec import SchedSpec
+
+
+class SchedNode:
+    """One cluster node that runs scheduler-dispatched jobs in sequence.
+
+    Presents the same duck-typed surface the
+    :class:`~repro.cluster.coordinator.PowerCoordinator` reads off
+    ``ClusterNode`` — ``name``, ``clamp``, ``measured_power_w``,
+    ``done``, ``wants_more_power`` — where "done" means *idle*: an idle
+    node bids only the power floor, so budget flows to nodes with work.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine: Engine,
+        *,
+        threads: int = 16,
+        budget_w: float = 100.0,
+        machine: MachineConfig = PAPER_MACHINE,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.engine = engine
+        self.runtime = Runtime(
+            machine,
+            RuntimeConfig(num_threads=threads),
+            engine=engine,
+            seed=seed,
+            stop_engine_on_done=False,
+        )
+        self.blackboard = Blackboard()
+        self.daemon = RCRDaemon(engine, self.runtime.node, self.blackboard)
+        self.daemon.start()
+        self.client = RegionClient(
+            engine, self.blackboard, machine.sockets, daemon=self.daemon
+        )
+        self.clamp = PowerClampController(
+            engine, self.runtime.scheduler, self.blackboard, budget_w
+        )
+        self.clamp.start()
+        self._current: Optional[Job] = None
+        self._current_submit_s = 0.0
+        self._start_s = 0.0
+        self.records: list[JobRecord] = []
+        self._on_finish = None  # set by ClusterSim
+
+    # ------------------------------------------ coordinator duck-typing
+    @property
+    def done(self) -> bool:
+        """True while the node is idle (bids only the floor)."""
+        return self._current is None
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    @property
+    def measured_power_w(self) -> float:
+        return self.blackboard.read_value(meters.NODE_POWER_W, default=0.0)
+
+    @property
+    def wants_more_power(self) -> bool:
+        return self.busy and self.clamp.pressure > 0.0
+
+    # ----------------------------------------------------- job lifecycle
+    def start_job(self, job: Job) -> None:
+        """Dispatch ``job`` onto this node (must be idle)."""
+        if self._current is not None:
+            raise SimulationError(
+                f"node {self.name} is busy with j{self._current.index}; "
+                f"cannot place j{job.index}"
+            )
+        self._current = job
+        self._start_s = self.engine.now
+        region = self._region_name(job)
+        self.client.start(region)
+        program = build_app(
+            job.app,
+            OmpEnv(num_threads=job.threads),
+            compiler=job.compiler,
+            optlevel=job.optlevel,
+            scale=job.scale,
+        )
+        root = self.runtime.spawn_root(program, label=f"{self.name}:j{job.index}")
+        root.add_listener(lambda _task: self._finish_job())
+
+    def _region_name(self, job: Job) -> str:
+        return f"{self.name}:j{job.index}"
+
+    def _finish_job(self) -> None:
+        job = self._current
+        assert job is not None
+        report = self.client.end(self._region_name(job))
+        record = JobRecord(
+            index=job.index,
+            app=job.app,
+            threads=job.threads,
+            node=self.name,
+            submit_s=job.submit_s,
+            start_s=self._start_s,
+            finish_s=self.engine.now,
+            time_s=report.elapsed_s,
+            energy_j=report.energy_j,
+            avg_watts=report.avg_watts,
+        )
+        self.records.append(record)
+        self._current = None
+        if self._on_finish is not None:
+            self._on_finish(self, record)
+
+    def shutdown(self) -> None:
+        """Cancel the node's repeating timers (idempotent)."""
+        self.clamp.stop()
+        self.daemon.stop()
+
+
+class ClusterSim:
+    """Drives one scheduled run: trace in, :class:`SchedResult` out."""
+
+    def __init__(
+        self,
+        spec: "SchedSpec",
+        *,
+        bus: Optional[TelemetryBus] = None,
+        engine: Optional[Engine] = None,
+    ) -> None:
+        self.spec = spec
+        self.bus = bus if bus is not None else TelemetryBus()
+        self.engine = engine if engine is not None else Engine()
+        self.policy: PlacementPolicy = make_policy(spec.policy)
+        self.trace: tuple[Job, ...] = generate_trace(
+            spec.profile,
+            jobs=spec.jobs,
+            rate_jobs_per_s=spec.rate_jobs_per_s,
+            seed=spec.seed,
+            apps=spec.apps,
+            scale=spec.scale,
+        )
+        self.queue = AdmissionQueue(spec.queue_depth)
+        self.nodes = [
+            SchedNode(
+                f"node{i}",
+                self.engine,
+                threads=spec.node_threads,
+                budget_w=spec.budget_w / spec.nodes,
+                seed=spec.seed + i,
+            )
+            for i in range(spec.nodes)
+        ]
+        self.coordinator = PowerCoordinator(
+            self.engine,
+            self.nodes,
+            spec.budget_w,
+            period_s=spec.coordinator_period_s,
+        )
+        self._arrived = 0
+        self._tick_event = None
+        for node in self.nodes:
+            node._on_finish = self._job_finished
+
+    # ------------------------------------------------------------------
+    def run(self) -> SchedResult:
+        """Execute the full trace; always tears the timers down."""
+        spec = self.spec
+        t0 = time.perf_counter()
+        rejected: list[int] = []
+        self._rejected = rejected
+        for job in self.trace:
+            self.engine.schedule_at(
+                job.submit_s, self._arrival(job), label=f"arrive-j{job.index}"
+            )
+        self.coordinator.start()
+        self._schedule_tick()
+        try:
+            while not self._finished():
+                if self.engine.now > spec.time_limit_s:
+                    raise SimulationError(
+                        f"scheduled run exceeded {spec.time_limit_s} s with "
+                        f"{len(self.queue)} queued and "
+                        f"{sum(1 for n in self.nodes if n.busy)} running jobs"
+                    )
+                self.engine.run(until=self.engine.now + spec.period_s)
+        finally:
+            self.coordinator.stop()
+            if self._tick_event is not None:
+                self._tick_event.cancel()
+                self._tick_event = None
+            for node in self.nodes:
+                node.shutdown()
+
+        jobs = tuple(
+            sorted(
+                (r for node in self.nodes for r in node.records),
+                key=lambda r: r.index,
+            )
+        )
+        makespan = max((r.finish_s for r in jobs), default=0.0)
+        from repro.validate.cluster import check_cluster_budgets
+
+        violations = tuple(
+            check_cluster_budgets(
+                self.coordinator.samples, spec.budget_w, nodes=len(self.nodes)
+            )
+        )
+        result = SchedResult(
+            spec=spec,
+            jobs=jobs,
+            rejected=tuple(rejected),
+            makespan_s=makespan,
+            peak_power_w=self.coordinator.peak_cluster_power_w,
+            jobs_per_node={
+                node.name: len(node.records) for node in self.nodes
+            },
+            coordinator_rounds=len(self.coordinator.samples),
+            engine_events=self.engine.fired,
+            peak_queue_depth=self.queue.peak_depth,
+            budget_violations=violations,
+            wall_s=time.perf_counter() - t0,
+        )
+        self.bus.emit(stel.SchedFinished(
+            policy=spec.policy, profile=spec.profile,
+            submitted=result.submitted, completed=result.completed,
+            rejected=len(result.rejected), makespan_s=result.makespan_s,
+            peak_power_w=result.peak_power_w, budget_w=spec.budget_w,
+        ))
+        return result
+
+    # ------------------------------------------------------------------
+    def _finished(self) -> bool:
+        return (
+            self._arrived == len(self.trace)
+            and len(self.queue) == 0
+            and all(not node.busy for node in self.nodes)
+        )
+
+    def _arrival(self, job: Job):
+        def fire() -> None:
+            self._arrived += 1
+            self.bus.emit(stel.JobSubmitted(
+                index=job.index, app=job.app, threads=job.threads,
+                time_s=self.engine.now,
+            ))
+            if not self.queue.offer(job):
+                self._rejected.append(job.index)
+                self.bus.emit(stel.JobRejected(
+                    index=job.index, app=job.app,
+                    queue_depth=self.queue.depth, time_s=self.engine.now,
+                ))
+                return
+            # Let the policy react to the arrival immediately rather than
+            # waiting out the rest of the scheduling period.
+            self._dispatch()
+        return fire
+
+    def _job_finished(self, node: SchedNode, record: JobRecord) -> None:
+        self.bus.emit(stel.JobFinished(
+            index=record.index, app=record.app, node=node.name,
+            service_s=record.time_s, energy_j=record.energy_j,
+            watts=record.avg_watts, time_s=self.engine.now,
+        ))
+        # A node just went idle: give the policy first refusal before the
+        # next periodic tick.
+        self._dispatch()
+
+    def _schedule_tick(self) -> None:
+        self._tick_event = self.engine.schedule(
+            self.spec.period_s, self._tick, priority=Priority.DAEMON,
+            label="sched-tick",
+        )
+
+    def _tick(self) -> None:
+        self._dispatch()
+        self._schedule_tick()
+
+    def _snapshot(self) -> tuple[list[NodeView], ClusterState]:
+        views = [
+            NodeView(
+                name=node.name,
+                busy=node.busy,
+                budget_w=node.clamp.budget_w,
+                measured_power_w=node.measured_power_w,
+                clamp_pressure=node.clamp.pressure,
+            )
+            for node in self.nodes
+        ]
+        total = sum(v.measured_power_w for v in views)
+        state = ClusterState(
+            time_s=self.engine.now,
+            global_budget_w=self.spec.budget_w,
+            total_power_w=total,
+        )
+        return views, state
+
+    def _dispatch(self) -> None:
+        """Ask the policy for placements until it holds or runs dry."""
+        by_name = {node.name: node for node in self.nodes}
+        while len(self.queue) > 0:
+            views, state = self._snapshot()
+            pick = self.policy.select(self.queue.jobs, views, state)
+            if pick is None:
+                return
+            position, node_name = pick
+            node = by_name.get(node_name)
+            if node is None or node.busy:
+                raise SimulationError(
+                    f"policy {self.spec.policy!r} chose "
+                    f"{'unknown' if node is None else 'busy'} node "
+                    f"{node_name!r}"
+                )
+            job = self.queue.take(position)
+            node.start_job(job)
+            self.bus.emit(stel.JobPlaced(
+                index=job.index, app=job.app, node=node.name,
+                policy=self.spec.policy,
+                wait_s=self.engine.now - job.submit_s,
+                time_s=self.engine.now,
+            ))
+
+
+def run_sched(
+    spec: "SchedSpec",
+    *,
+    bus: Optional[TelemetryBus] = None,
+    engine: Optional[Engine] = None,
+) -> SchedResult:
+    """Convenience wrapper: build a :class:`ClusterSim` and run it."""
+    return ClusterSim(spec, bus=bus, engine=engine).run()

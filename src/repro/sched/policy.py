@@ -1,0 +1,215 @@
+"""Pluggable placement policies for the energy-aware cluster scheduler.
+
+A policy sees an immutable snapshot of the cluster — the queued jobs and
+a :class:`NodeView` per node (busy/idle, current power budget, measured
+power, clamp pressure) — and answers one question: *which queued job goes
+on which idle node right now, if any?*  Returning ``None`` means "hold":
+leave the queue as it is until the next scheduling tick.
+
+The four shipped policies span the design space the paper's conclusion
+gestures at (per-node parallelism control plus energy monitoring feeding
+a cross-node tool):
+
+* ``fcfs``      — first come, first served onto the first idle node;
+  the baseline every scheduling study needs.
+* ``bestfit``   — FCFS job order, but picks the idle node whose *power
+  headroom* (budget − measured) most tightly fits the job's estimated
+  draw: packs power like best-fit bin packing packs bytes.
+* ``edp``       — greedy on estimated energy-delay product: may reorder
+  the queue to run the job with the lowest estimated EDP first
+  (shortest-job-first's energy-aware cousin).
+* ``waterfill`` — power-aware water-filling: defers placement while the
+  cluster's measured power plus the job's marginal estimate would exceed
+  the global budget, and prefers the node with the *lowest* clamp
+  pressure, so jobs land where the coordinator's re-division has spare
+  watts rather than where the clamp is already shedding threads.
+
+All estimates are deliberately crude (watts proportional to requested
+threads): the scheduler's job is to make *placement* decisions from
+*measured* feedback, not to be an oracle — the clamp and coordinator
+correct whatever the estimate gets wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Protocol, Sequence
+
+from repro.errors import ConfigError
+from repro.sched.workload import Job
+
+#: Estimated marginal draw per active thread, W.  Calibrated loosely
+#: against the single-node stack (a 16-thread hot loop draws ~100 W over
+#: idle); precision is unnecessary — see the module docstring.
+_WATTS_PER_THREAD = 6.5
+
+
+def estimate_job_power_w(threads: int) -> float:
+    """Estimated marginal node power while a job runs, W (above idle)."""
+    return threads * _WATTS_PER_THREAD
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """Immutable per-node snapshot handed to policies."""
+
+    name: str
+    busy: bool
+    budget_w: float
+    measured_power_w: float
+    #: Fraction of threads the node's clamp is shedding (0.0 = passive).
+    clamp_pressure: float
+
+    @property
+    def headroom_w(self) -> float:
+        """Power the node could draw before hitting its budget."""
+        return max(0.0, self.budget_w - self.measured_power_w)
+
+
+@dataclass(frozen=True)
+class ClusterState:
+    """Cluster-wide snapshot for budget-aware policies."""
+
+    time_s: float
+    global_budget_w: float
+    total_power_w: float
+
+    @property
+    def global_headroom_w(self) -> float:
+        return max(0.0, self.global_budget_w - self.total_power_w)
+
+
+class PlacementPolicy(Protocol):
+    """The policy contract: pick ``(queue position, node name)`` or hold.
+
+    ``queue`` is in FCFS order; policies that honour arrival order must
+    return position 0.  Only idle nodes may be chosen.  Implementations
+    must be pure functions of their arguments — the scheduler snapshots
+    state each tick precisely so policies cannot reach into live objects
+    and break determinism.
+    """
+
+    def select(
+        self,
+        queue: Sequence[Job],
+        nodes: Sequence[NodeView],
+        state: ClusterState,
+    ) -> Optional[tuple[int, str]]: ...
+
+
+def _idle(nodes: Sequence[NodeView]) -> list[NodeView]:
+    return [n for n in nodes if not n.busy]
+
+
+class FcfsFirstFit:
+    """Head-of-queue job onto the first idle node, no power awareness."""
+
+    name = "fcfs"
+
+    def select(self, queue, nodes, state):
+        idle = _idle(nodes)
+        if not queue or not idle:
+            return None
+        return 0, idle[0].name
+
+
+class BestFitPower:
+    """Head-of-queue job onto the idle node with the tightest headroom fit.
+
+    Among idle nodes whose headroom covers the job's estimated draw, pick
+    the smallest such headroom (classic best-fit, applied to watts); if
+    none covers it, fall back to the largest headroom — the clamp will
+    shed threads rather than let the node overshoot, so placement is
+    always safe, just slower.
+    """
+
+    name = "bestfit"
+
+    def select(self, queue, nodes, state):
+        idle = _idle(nodes)
+        if not queue or not idle:
+            return None
+        need = estimate_job_power_w(queue[0].threads)
+        fitting = [n for n in idle if n.headroom_w >= need]
+        if fitting:
+            chosen = min(fitting, key=lambda n: (n.headroom_w, n.name))
+        else:
+            chosen = max(idle, key=lambda n: (n.headroom_w, n.name))
+        return 0, chosen.name
+
+
+class EdpGreedy:
+    """Run the queued job with the lowest estimated energy-delay product.
+
+    Service time is estimated as work/threads (perfect scaling — crude on
+    purpose), energy as estimated power × time, so
+    EDP ∝ scale² · _WATTS_PER_THREAD / threads: small jobs with high
+    thread counts jump the queue.  The chosen job goes to the idle node
+    with the most headroom, since the job picked for speed deserves the
+    watts to achieve it.
+    """
+
+    name = "edp"
+
+    def select(self, queue, nodes, state):
+        idle = _idle(nodes)
+        if not queue or not idle:
+            return None
+
+        def edp(job: Job) -> tuple[float, int]:
+            est_time = job.scale / max(1, job.threads)
+            est_energy = estimate_job_power_w(job.threads) * est_time
+            return est_energy * est_time, job.index
+
+        pos = min(range(len(queue)), key=lambda i: edp(queue[i]))
+        chosen = max(idle, key=lambda n: (n.headroom_w, n.name))
+        return pos, chosen.name
+
+
+class WaterfillPowerAware:
+    """Power-aware water-filling against the *global* budget.
+
+    Defers the head-of-queue job while the cluster's measured power plus
+    the job's estimated marginal draw would exceed the global budget —
+    unless every node is idle, in which case it places anyway: an empty
+    cluster must never deadlock on an estimate that exceeds achievable
+    headroom (the clamp enforces the real bound).  When it does place, it
+    prefers the idle node with the lowest clamp pressure (ties: most
+    headroom), i.e. where the coordinator's re-division left spare watts.
+    """
+
+    name = "waterfill"
+
+    def select(self, queue, nodes, state):
+        idle = _idle(nodes)
+        if not queue or not idle:
+            return None
+        need = estimate_job_power_w(queue[0].threads)
+        any_busy = any(n.busy for n in nodes)
+        if any_busy and state.total_power_w + need > state.global_budget_w:
+            return None  # hold until running jobs free up watts
+        chosen = min(
+            idle, key=lambda n: (n.clamp_pressure, -n.headroom_w, n.name)
+        )
+        return 0, chosen.name
+
+
+#: Policy name -> factory (the registry the CLI and spec resolve from).
+POLICIES: dict[str, Callable[[], PlacementPolicy]] = {
+    FcfsFirstFit.name: FcfsFirstFit,
+    BestFitPower.name: BestFitPower,
+    EdpGreedy.name: EdpGreedy,
+    WaterfillPowerAware.name: WaterfillPowerAware,
+}
+
+
+def make_policy(name: str) -> PlacementPolicy:
+    """Instantiate a registered placement policy by name."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown placement policy {name!r}; "
+            f"one of {', '.join(sorted(POLICIES))}"
+        ) from None
+    return factory()

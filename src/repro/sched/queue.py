@@ -1,0 +1,60 @@
+"""Bounded admission queue with backpressure shedding.
+
+The scheduler admits arriving jobs into a FIFO of bounded depth; a job
+arriving at a full queue is *shed* (rejected) rather than buffered
+without bound — the open-loop trace keeps arriving regardless, so the
+bound is what turns overload into a measurable rejection rate instead of
+unbounded queue growth.  Depth accounting (current and peak) is part of
+the queue itself so the admission-control invariant — depth never
+exceeds the bound — is checkable from the outside.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigError
+from repro.sched.workload import Job
+
+
+class AdmissionQueue:
+    """FIFO of queued jobs with a hard depth bound."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ConfigError(f"queue depth must be >= 1, got {depth!r}")
+        self.depth = depth
+        self._jobs: list[Job] = []
+        self.admitted = 0
+        self.rejected = 0
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    @property
+    def jobs(self) -> tuple[Job, ...]:
+        """Queued jobs in FCFS order (the snapshot policies see)."""
+        return tuple(self._jobs)
+
+    def offer(self, job: Job) -> bool:
+        """Admit ``job`` if there is room; returns False when shed."""
+        if len(self._jobs) >= self.depth:
+            self.rejected += 1
+            return False
+        self._jobs.append(job)
+        self.admitted += 1
+        self.peak_depth = max(self.peak_depth, len(self._jobs))
+        return True
+
+    def take(self, position: int) -> Job:
+        """Remove and return the job at ``position`` (policy's pick)."""
+        if not 0 <= position < len(self._jobs):
+            raise ConfigError(
+                f"policy chose queue position {position} but the queue "
+                f"holds {len(self._jobs)} jobs"
+            )
+        return self._jobs.pop(position)
+
+    def head(self) -> Optional[Job]:
+        return self._jobs[0] if self._jobs else None

@@ -1,0 +1,190 @@
+"""Picklable scheduler results: per-job SLO records and the run summary.
+
+:class:`JobRecord` is one job's lifecycle reduced to scalars; the
+:class:`SchedResult` aggregates them into the service-level metrics a
+scheduling study reports — wait time, slowdown, energy per job,
+rejection count, and p50/p95/p99 tails — plus the power-budget evidence
+(peak cluster power, coordinator rounds, any cluster-budget violations).
+
+Everything is frozen scalars/tuples so results cross process boundaries
+and live in the harness result cache exactly like
+:class:`~repro.harness.record.MeasurementRecord` does.  ``wall_s`` (host
+time) is excluded from equality for the same reason as there: two runs
+of one spec are bit-identical *simulations* regardless of host speed —
+which is precisely what the determinism tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.measure.report import MeasurementRow, format_measurement_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sched.spec import SchedSpec
+    from repro.validate.violations import Violation
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job's full lifecycle, reduced to picklable scalars."""
+
+    index: int
+    app: str
+    threads: int
+    node: str
+    submit_s: float
+    start_s: float
+    finish_s: float
+    #: Paper-style measured region figures for this job alone.
+    time_s: float
+    energy_j: float
+    avg_watts: float
+
+    @property
+    def wait_s(self) -> float:
+        """Time spent queued before the job started running."""
+        return self.start_s - self.submit_s
+
+    @property
+    def turnaround_s(self) -> float:
+        return self.finish_s - self.submit_s
+
+    @property
+    def slowdown(self) -> float:
+        """Turnaround over service time (1.0 = no queueing penalty)."""
+        if self.time_s <= 0:
+            return 1.0
+        return self.turnaround_s / self.time_s
+
+
+@dataclass(frozen=True)
+class SchedResult:
+    """Outcome of one scheduled cluster run (picklable, cacheable)."""
+
+    spec: "SchedSpec"
+    jobs: tuple[JobRecord, ...]
+    rejected: tuple[int, ...]  # trace indices of shed jobs
+    makespan_s: float
+    peak_power_w: float
+    #: Per-node count of jobs each node ran (includes idle nodes as 0).
+    jobs_per_node: dict[str, int]
+    coordinator_rounds: int
+    engine_events: int
+    peak_queue_depth: int
+    #: Cluster-budget invariant violations observed during the run
+    #: (empty on a healthy run; surfaced through ``repro validate``).
+    budget_violations: tuple["Violation", ...] = ()
+    #: Host wall-clock seconds spent executing (never part of equality).
+    wall_s: float = field(default=0.0, compare=False)
+
+    # ------------------------------------------------------------ metrics
+    @property
+    def completed(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def submitted(self) -> int:
+        return len(self.jobs) + len(self.rejected)
+
+    @property
+    def total_energy_j(self) -> float:
+        return sum(j.energy_j for j in self.jobs)
+
+    @property
+    def energy_per_job_j(self) -> float:
+        return self.total_energy_j / len(self.jobs) if self.jobs else 0.0
+
+    @property
+    def mean_wait_s(self) -> float:
+        waits = [j.wait_s for j in self.jobs]
+        return sum(waits) / len(waits) if waits else 0.0
+
+    @property
+    def mean_slowdown(self) -> float:
+        slows = [j.slowdown for j in self.jobs]
+        return sum(slows) / len(slows) if slows else 0.0
+
+    def wait_percentile_s(self, pct: float) -> float:
+        return percentile([j.wait_s for j in self.jobs], pct)
+
+    def slowdown_percentile(self, pct: float) -> float:
+        return percentile([j.slowdown for j in self.jobs], pct)
+
+    # ------------------------------------------- harness-compatible view
+    #: The executor's telemetry reads time_s/energy_j/watts off whatever
+    #: record a spec produces; for a scheduled run the natural analogues
+    #: are makespan, total trace energy, and the peak coordinated power.
+    @property
+    def time_s(self) -> float:
+        return self.makespan_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.total_energy_j
+
+    @property
+    def watts(self) -> float:
+        return self.peak_power_w
+
+    # ------------------------------------------------------------ display
+    def format(self) -> str:
+        rows = [
+            MeasurementRow(
+                label=f"{job.node}:j{job.index}:{job.app}",
+                time_s=job.time_s,
+                energy_j=job.energy_j,
+                avg_watts=job.avg_watts,
+            )
+            for job in self.jobs
+        ]
+        table = format_measurement_table(
+            rows, title="Scheduled cluster run (per-job time/energy/power)"
+        )
+        placement = ", ".join(
+            f"{name}:{count}" for name, count in sorted(self.jobs_per_node.items())
+        )
+        lines = [
+            table,
+            f"jobs: {self.completed} completed, {len(self.rejected)} rejected "
+            f"of {self.submitted} submitted (peak queue depth "
+            f"{self.peak_queue_depth})",
+            f"placement: {placement}",
+            f"makespan: {self.makespan_s:.2f} s; "
+            f"peak cluster power {self.peak_power_w:.1f} W "
+            f"(budget {self.spec.budget_w:.1f} W)",
+            f"energy: {self.total_energy_j:.1f} J total, "
+            f"{self.energy_per_job_j:.1f} J/job",
+            f"wait: mean {self.mean_wait_s:.2f} s, "
+            f"p50 {self.wait_percentile_s(50):.2f} / "
+            f"p95 {self.wait_percentile_s(95):.2f} / "
+            f"p99 {self.wait_percentile_s(99):.2f} s",
+            f"slowdown: mean {self.mean_slowdown:.2f}, "
+            f"p95 {self.slowdown_percentile(95):.2f}",
+        ]
+        if self.budget_violations:
+            lines.append(
+                f"cluster-budget violations: {len(self.budget_violations)}"
+            )
+            lines.extend(f"  {v}" for v in self.budget_violations[:5])
+        return "\n".join(lines)
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.spec.describe()}: {self.completed}/{self.submitted} jobs, "
+            f"makespan {self.makespan_s:.1f} s, "
+            f"{self.energy_per_job_j:.0f} J/job, "
+            f"p95 wait {self.wait_percentile_s(95):.2f} s, "
+            f"peak {self.peak_power_w:.0f} W"
+        )

@@ -1,0 +1,172 @@
+"""Declarative scheduler-run specifications.
+
+A :class:`SchedSpec` is the scheduler analogue of
+:class:`~repro.harness.spec.RunSpec`: the hashable, picklable
+description of one scheduled cluster run, with a canonical-JSON SHA-256
+content digest so results cache and fan out through the same
+:class:`~repro.harness.executor.BatchExecutor` machinery.  Because the
+simulation (trace generation included) is deterministic, a spec fully
+determines its :class:`~repro.sched.result.SchedResult` — which is what
+makes serial-vs-parallel bit-identity a checkable property here too.
+
+The executor's hook is the :meth:`execute` method: specs that know how
+to run themselves bypass ``run_measurement`` (see
+:func:`repro.harness.executor.execute_spec`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigError
+from repro.sched.policy import POLICIES
+from repro.sched.workload import DEFAULT_JOB_APPS, TRACE_PROFILES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.telemetry import TelemetryBus
+    from repro.sched.result import SchedResult
+
+#: Bump when the sched spec schema (or ClusterSim semantics it maps
+#: onto) changes incompatibly; folded into every digest.  Namespaced
+#: distinctly from RunSpec's schema so the two digest spaces can never
+#: collide even on identical payloads.
+SCHED_SPEC_SCHEMA = "sched-1"
+
+
+@dataclass(frozen=True)
+class SchedSpec:
+    """One fully-specified scheduled cluster run."""
+
+    profile: str = "poisson"
+    policy: str = "fcfs"
+    nodes: int = 4
+    budget_w: float = 400.0
+    jobs: int = 16
+    rate_jobs_per_s: float = 1.0
+    queue_depth: int = 8
+    node_threads: int = 16
+    scale: float = 0.5
+    seed: int = 0
+    #: Scheduler tick and engine drive-slice period.
+    period_s: float = 0.25
+    #: PowerCoordinator re-division period.
+    coordinator_period_s: float = 1.0
+    time_limit_s: float = 600.0
+    apps: tuple[str, ...] = DEFAULT_JOB_APPS
+    #: Display-only heading; never part of digest, equality or hash.
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.profile not in TRACE_PROFILES:
+            raise ConfigError(
+                f"unknown trace profile {self.profile!r}; "
+                f"one of {', '.join(sorted(TRACE_PROFILES))}"
+            )
+        if self.policy not in POLICIES:
+            raise ConfigError(
+                f"unknown placement policy {self.policy!r}; "
+                f"one of {', '.join(sorted(POLICIES))}"
+            )
+        if self.nodes < 1:
+            raise ConfigError(f"nodes must be >= 1, got {self.nodes!r}")
+        if self.budget_w <= 0:
+            raise ConfigError(
+                f"budget must be positive, got {self.budget_w!r}"
+            )
+        if self.jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {self.jobs!r}")
+        if self.queue_depth < 1:
+            raise ConfigError(
+                f"queue depth must be >= 1, got {self.queue_depth!r}"
+            )
+        if self.node_threads < 1:
+            raise ConfigError(
+                f"node threads must be >= 1, got {self.node_threads!r}"
+            )
+        if self.rate_jobs_per_s <= 0:
+            raise ConfigError(
+                f"arrival rate must be positive, got {self.rate_jobs_per_s!r}"
+            )
+        if self.scale <= 0:
+            raise ConfigError(f"scale must be positive, got {self.scale!r}")
+        if self.period_s <= 0 or self.coordinator_period_s <= 0:
+            raise ConfigError("periods must be positive")
+        if self.time_limit_s <= 0:
+            raise ConfigError(
+                f"time limit must be positive, got {self.time_limit_s!r}"
+            )
+        # Normalise so list-vs-tuple cannot split the digest space.
+        object.__setattr__(self, "apps", tuple(self.apps))
+        if not self.apps:
+            raise ConfigError("apps must not be empty")
+        from repro.apps import APP_REGISTRY
+
+        for app in self.apps:
+            if app not in APP_REGISTRY:
+                raise ConfigError(
+                    f"unknown application {app!r}; "
+                    f"known: {', '.join(sorted(APP_REGISTRY))}"
+                )
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def payload_dict(self) -> dict[str, Any]:
+        """The digestable content: every field that affects the result."""
+        return {
+            "schema": SCHED_SPEC_SCHEMA,
+            "profile": self.profile,
+            "policy": self.policy,
+            "nodes": self.nodes,
+            "budget_w": self.budget_w,
+            "jobs": self.jobs,
+            "rate_jobs_per_s": self.rate_jobs_per_s,
+            "queue_depth": self.queue_depth,
+            "node_threads": self.node_threads,
+            "scale": self.scale,
+            "seed": self.seed,
+            "period_s": self.period_s,
+            "coordinator_period_s": self.coordinator_period_s,
+            "time_limit_s": self.time_limit_s,
+            "apps": list(self.apps),
+        }
+
+    def canonical(self) -> str:
+        return json.dumps(self.payload_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @property
+    def digest(self) -> str:
+        """Stable SHA-256 content digest (hex)."""
+        memo = self.__dict__.get("_digest")
+        if memo is None:
+            memo = hashlib.sha256(self.canonical().encode()).hexdigest()
+            object.__setattr__(self, "_digest", memo)
+        return memo
+
+    # ------------------------------------------------------------------
+    # execution / display
+    # ------------------------------------------------------------------
+    def execute(self, *, bus: "TelemetryBus | None" = None) -> "SchedResult":
+        """Run this spec in-process (the executor's self-execution hook)."""
+        from repro.sched.cluster import run_sched
+
+        return run_sched(self, bus=bus)
+
+    def describe(self) -> str:
+        if self.label:
+            return self.label
+        text = (
+            f"sched {self.profile}/{self.policy} n{self.nodes} "
+            f"{self.budget_w:.0f}W j{self.jobs}"
+        )
+        if self.seed:
+            text += f" seed={self.seed}"
+        return text
+
+    def with_label(self, label: str) -> "SchedSpec":
+        return dataclasses.replace(self, label=label)

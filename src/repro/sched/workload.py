@@ -1,0 +1,182 @@
+"""Open-loop workload traces: deterministic, seeded job arrival streams.
+
+A trace is a tuple of :class:`Job` records — *who* arrives (an app from
+the registry, a thread demand, a work scale) and *when* (an arrival
+timestamp) — generated before the simulation starts and replayed
+open-loop: arrivals do not react to queueing delay or rejections, which
+is what makes saturation and shedding observable at all (a closed loop
+would self-throttle).
+
+Three stochastic arrival profiles plus a deterministic control:
+
+* ``steady``   — fixed interarrival gap (1/rate), the control profile;
+* ``poisson``  — exponential interarrival times at a constant rate;
+* ``bursty``   — on/off modulated Poisson: short bursts of tightly
+  packed arrivals separated by compensating lulls (same long-run rate);
+* ``diurnal``  — inhomogeneous Poisson with a sinusoidal rate, sampled
+  by Lewis–Shedler thinning (a day-curve compressed onto the trace).
+
+Determinism: every draw comes from one named
+:class:`~repro.sim.rng.RngStreams` stream keyed by ``(seed, profile)``,
+so the same ``(profile, jobs, rate, seed, apps)`` tuple always yields a
+bit-identical trace regardless of what else consumed randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.sim.rng import RngStreams
+
+#: Default job mix: fast registry apps with distinct power/scaling
+#: shapes, so placement decisions actually face heterogeneous demand.
+DEFAULT_JOB_APPS: tuple[str, ...] = (
+    "mergesort",
+    "nqueens",
+    "reduction",
+    "fibonacci",
+    "bots-sort",
+)
+
+#: Thread demands jobs draw from (uniformly).
+THREAD_CHOICES: tuple[int, ...] = (4, 8, 16)
+
+#: Burst shape for the ``bursty`` profile: arrivals inside a burst come
+#: this many times faster than the long-run rate; lulls compensate.
+_BURST_SPEEDUP = 6.0
+_BURST_MIN_JOBS = 2
+_BURST_MAX_JOBS = 6
+
+#: Rate swing of the ``diurnal`` profile: lambda(t) in
+#: ``rate * (1 +/- _DIURNAL_AMPLITUDE)``.
+_DIURNAL_AMPLITUDE = 0.8
+
+
+@dataclass(frozen=True)
+class Job:
+    """One trace entry: a unit of work and its arrival time."""
+
+    index: int
+    submit_s: float
+    app: str
+    threads: int
+    scale: float
+    compiler: str = "gcc"
+    optlevel: str = "O2"
+
+    def describe(self) -> str:
+        return f"j{self.index}:{self.app} t{self.threads} @{self.submit_s:.2f}s"
+
+
+#: Profile name -> one-line description (the registry the CLI exposes).
+TRACE_PROFILES: dict[str, str] = {
+    "steady": "fixed interarrival gap (deterministic control)",
+    "poisson": "constant-rate Poisson arrivals",
+    "bursty": "on/off modulated Poisson: packed bursts, compensating lulls",
+    "diurnal": "sinusoidal-rate Poisson (day curve, by thinning)",
+}
+
+
+def _interarrivals(profile: str, jobs: int, rate: float, rng) -> list[float]:
+    """The gap sequence (seconds) between consecutive arrivals."""
+    if profile == "steady":
+        return [1.0 / rate] * jobs
+    if profile == "poisson":
+        return [float(g) for g in rng.exponential(1.0 / rate, size=jobs)]
+    if profile == "bursty":
+        gaps: list[float] = []
+        while len(gaps) < jobs:
+            burst = int(rng.integers(_BURST_MIN_JOBS, _BURST_MAX_JOBS + 1))
+            for _ in range(burst):
+                gaps.append(float(rng.exponential(1.0 / (rate * _BURST_SPEEDUP))))
+            # The lull repays the burst's rate debt so the long-run rate
+            # stays ~`rate` and profiles compare at equal offered load.
+            gaps.append(float(rng.exponential(burst / rate)))
+        return gaps[:jobs]
+    if profile == "diurnal":
+        # Lewis-Shedler thinning against the peak rate; one full "day"
+        # spans the nominal trace length so the sweep sees both slopes.
+        day_s = max(jobs / rate, 1e-9)
+        peak = rate * (1.0 + _DIURNAL_AMPLITUDE)
+        gaps = []
+        t = 0.0
+        last = 0.0
+        while len(gaps) < jobs:
+            t += float(rng.exponential(1.0 / peak))
+            lam = rate * (
+                1.0 + _DIURNAL_AMPLITUDE * math.sin(2.0 * math.pi * t / day_s)
+            )
+            if float(rng.uniform()) * peak <= lam:
+                gaps.append(t - last)
+                last = t
+        return gaps
+    raise ConfigError(
+        f"unknown trace profile {profile!r}; one of {', '.join(sorted(TRACE_PROFILES))}"
+    )
+
+
+def generate_trace(
+    profile: str,
+    *,
+    jobs: int,
+    rate_jobs_per_s: float = 1.0,
+    seed: int = 0,
+    apps: Sequence[str] = DEFAULT_JOB_APPS,
+    scale: float = 0.5,
+    compiler: str = "gcc",
+    optlevel: str = "O2",
+) -> tuple[Job, ...]:
+    """Generate a deterministic open-loop arrival trace.
+
+    ``scale`` is the nominal per-job work scale; each job perturbs it by
+    a seeded ±25% draw so service times are heterogeneous but exactly
+    reproducible.
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
+    if rate_jobs_per_s <= 0:
+        raise ConfigError(f"rate must be positive, got {rate_jobs_per_s!r}")
+    if not apps:
+        raise ConfigError("the job app pool must not be empty")
+    if profile not in TRACE_PROFILES:
+        raise ConfigError(
+            f"unknown trace profile {profile!r}; "
+            f"one of {', '.join(sorted(TRACE_PROFILES))}"
+        )
+    rng = RngStreams(seed).stream(f"sched-trace/{profile}")
+    gaps = _interarrivals(profile, jobs, rate_jobs_per_s, rng)
+    trace: list[Job] = []
+    t = 0.0
+    for i, gap in enumerate(gaps):
+        t += gap
+        app = apps[int(rng.integers(0, len(apps)))]
+        threads = THREAD_CHOICES[int(rng.integers(0, len(THREAD_CHOICES)))]
+        job_scale = scale * float(rng.uniform(0.75, 1.25))
+        trace.append(
+            Job(
+                index=i,
+                submit_s=t,
+                app=app,
+                threads=threads,
+                scale=job_scale,
+                compiler=compiler,
+                optlevel=optlevel,
+            )
+        )
+    return tuple(trace)
+
+
+def offered_load_summary(trace: Sequence[Job]) -> str:
+    """One-line trace description (for result headers and logs)."""
+    if not trace:
+        return "empty trace"
+    span = trace[-1].submit_s - trace[0].submit_s
+    rate = (len(trace) - 1) / span if span > 0 else float("inf")
+    apps = sorted({job.app for job in trace})
+    return (
+        f"{len(trace)} jobs over {trace[-1].submit_s:.1f} s "
+        f"(~{rate:.2f} jobs/s) from {len(apps)} apps"
+    )

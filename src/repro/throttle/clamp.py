@@ -132,6 +132,19 @@ class PowerClampController:
         """Threads currently allowed to run."""
         return self._active_limit
 
+    @property
+    def pressure(self) -> float:
+        """Fraction of the node's threads the clamp is currently shedding.
+
+        0.0 means the clamp is passive (full concurrency available);
+        values approaching 1.0 mean the budget is forcing the node down
+        to its minimum thread count.  The cluster scheduler's placement
+        policies read this as the node's *clamp pressure*.
+        """
+        if self.max_threads <= 0:
+            return 0.0
+        return 1.0 - self._active_limit / self.max_threads
+
     # ------------------------------------------------------------------
     def start(self) -> None:
         if self._running:

@@ -19,10 +19,23 @@ This package checks it continuously:
   and serial-vs-parallel replays asserting bit-identical records;
 * :mod:`~repro.validate.corpus` — the scenario corpus, including every
   named fault profile (whose measurement-path violations must classify
-  as *expected*, see :mod:`repro.faults.expectations`).
+  as *expected*, see :mod:`repro.faults.expectations`);
+* :mod:`~repro.validate.cluster` — cluster-budget invariants over the
+  power coordinator's rounds (division exactness, per-node floor,
+  clamp-tolerance enforcement) and the scheduled-run corpus behind the
+  ``repro validate`` cluster section.
 """
 
 from repro.validate.checker import InvariantChecker
+from repro.validate.cluster import (
+    ClusterValidationResult,
+    check_budget_division,
+    check_budget_enforcement,
+    check_budget_floor,
+    check_cluster_budgets,
+    cluster_corpus,
+    run_cluster_validation,
+)
 from repro.validate.corpus import corpus, differential_specs
 from repro.validate.records import check_record
 from repro.validate.runner import (
@@ -35,15 +48,22 @@ from repro.validate.runner import (
 from repro.validate.violations import ValidationReport, Violation
 
 __all__ = [
+    "ClusterValidationResult",
     "DifferentialResult",
     "InvariantChecker",
     "ValidationReport",
     "ValidationSweepResult",
     "Violation",
+    "check_budget_division",
+    "check_budget_enforcement",
+    "check_budget_floor",
+    "check_cluster_budgets",
     "check_record",
+    "cluster_corpus",
     "corpus",
     "differential_specs",
     "differential_sweep",
+    "run_cluster_validation",
     "run_validation_sweep",
     "validate_spec",
 ]

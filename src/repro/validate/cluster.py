@@ -1,0 +1,228 @@
+"""Cluster-budget invariants for coordinated multi-node runs.
+
+Three invariants over the :class:`~repro.cluster.coordinator`'s
+per-round samples, all in the strict ``cluster-budget`` category (no
+fault profile can explain a broken budget split — the coordinator's
+arithmetic is ground truth, not a measurement):
+
+* **division** — the per-node budgets of every round sum to at most the
+  global budget, *exactly*: the re-division shaves float overshoot by
+  construction, so ``sum(budgets) <= global`` with no epsilon.
+* **floor** — every node's budget is at least
+  :data:`~repro.cluster.coordinator.NODE_FLOOR_W`; a starved node could
+  never finish its work.
+* **enforcement** — each node's *measured* power stays within its budget
+  up to the clamp's reaction tolerance, *while the clamp still has
+  threads to shed*.  Two escape hatches are physics, not bugs: running
+  work segments cannot be preempted mid-chunk, so a freshly-lowered
+  budget takes a round or two to bite; and a node already shed to its
+  thread floor is doing everything concurrency throttling can do — a
+  tight budget under a hot single-thread workload stays over, correctly.
+  The invariant therefore fires only on *sustained* consecutive rounds
+  above ``budget * CLAMP_TOLERANCE`` during which the clamp had shedding
+  room it did not use — a breach the clamp should have corrected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.cluster.coordinator import CoordinatorSample, NODE_FLOOR_W
+from repro.validate.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.telemetry import TelemetryBus
+    from repro.sched.spec import SchedSpec
+
+#: Measured power may transiently exceed a node's budget while the clamp
+#: reacts; a *sustained* excursion past budget × tolerance is a failure.
+CLAMP_TOLERANCE = 1.10
+
+#: Consecutive over-tolerance-with-shed-room coordinator rounds that
+#: constitute a breach.  The clamp sheds every 0.1 s against a 1 s
+#: coordination period, but threads mid-segment only return at segment
+#: boundaries, so give it a few full rounds before calling it broken.
+SUSTAINED_ROUNDS = 3
+
+
+def check_budget_division(
+    samples: Sequence[CoordinatorSample], global_budget_w: float
+) -> Iterable[Violation]:
+    """Per-round budget sums must never exceed the global budget (exact)."""
+    for sample in samples:
+        total = sum(sample.budgets_w.values())
+        if total > global_budget_w:
+            yield Violation(
+                invariant="budget-division",
+                category="cluster-budget",
+                message=(
+                    f"node budgets sum to {total!r} W, exceeding the "
+                    f"global budget {global_budget_w!r} W"
+                ),
+                time_s=sample.time_s,
+            )
+
+
+def check_budget_floor(
+    samples: Sequence[CoordinatorSample], floor_w: float = NODE_FLOOR_W
+) -> Iterable[Violation]:
+    """Every node keeps at least the guaranteed power floor."""
+    for sample in samples:
+        for name, budget in sorted(sample.budgets_w.items()):
+            if budget < floor_w:
+                yield Violation(
+                    invariant="budget-floor",
+                    category="cluster-budget",
+                    message=(
+                        f"node {name} was assigned {budget:.3f} W, below "
+                        f"the {floor_w:.1f} W floor"
+                    ),
+                    time_s=sample.time_s,
+                )
+
+
+def check_budget_enforcement(
+    samples: Sequence[CoordinatorSample],
+    *,
+    tolerance: float = CLAMP_TOLERANCE,
+    sustained_rounds: int = SUSTAINED_ROUNDS,
+) -> Iterable[Violation]:
+    """Measured node power must not stay over budget with shed room left.
+
+    A round counts toward a node's breach streak only when the node is
+    over ``budget * tolerance`` *and* its clamp still had threads to
+    shed (see the module docstring for why either alone is legitimate).
+    A streak reaching ``sustained_rounds`` yields one violation (at the
+    round that completed it), then keeps extending rather than re-firing
+    every round, so a single long breach reports once.
+    """
+    streaks: dict[str, int] = {}
+    for sample in samples:
+        for name, power in sorted(sample.node_power_w.items()):
+            budget = sample.budgets_w.get(name)
+            if (
+                budget is None
+                or power <= budget * tolerance
+                or not sample.shed_room(name)
+            ):
+                streaks[name] = 0
+                continue
+            streaks[name] = streaks.get(name, 0) + 1
+            if streaks[name] == sustained_rounds:
+                yield Violation(
+                    invariant="budget-enforcement",
+                    category="cluster-budget",
+                    message=(
+                        f"node {name} measured {power:.1f} W against a "
+                        f"{budget:.1f} W budget for {sustained_rounds} "
+                        f"consecutive rounds with threads left to shed "
+                        f"(tolerance ×{tolerance:.2f})"
+                    ),
+                    time_s=sample.time_s,
+                )
+
+
+def check_cluster_budgets(
+    samples: Sequence[CoordinatorSample],
+    global_budget_w: float,
+    *,
+    nodes: int = 0,
+) -> list[Violation]:
+    """Run every cluster-budget invariant over a coordinator trace.
+
+    ``nodes`` is informational only (0 = unknown); the checks read the
+    node set out of each sample.
+    """
+    violations: list[Violation] = []
+    violations.extend(check_budget_division(samples, global_budget_w))
+    violations.extend(check_budget_floor(samples))
+    violations.extend(check_budget_enforcement(samples))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# the ``repro validate`` cluster section
+# ----------------------------------------------------------------------
+def cluster_corpus(quick: bool = False) -> "list[SchedSpec]":
+    """Scheduled-run scenarios the validate CLI sweeps the invariants over.
+
+    Spans the stress axes that historically bend budget arithmetic: a
+    tight budget (floors dominate, shaving matters), an ample one
+    (proportional split dominates), the budget-respecting policy and the
+    greedy one, and a bursty trace that saturates admission.
+    """
+    from repro.sched.spec import SchedSpec
+
+    specs = [
+        SchedSpec(profile="bursty", policy="fcfs", nodes=4, budget_w=300.0,
+                  jobs=8, label="bursty/fcfs tight 300W"),
+        SchedSpec(profile="poisson", policy="waterfill", nodes=4,
+                  budget_w=500.0, jobs=8, label="poisson/waterfill ample 500W"),
+    ]
+    if not quick:
+        specs.extend([
+            SchedSpec(profile="diurnal", policy="edp", nodes=3,
+                      budget_w=260.0, jobs=8, label="diurnal/edp tight 260W"),
+            SchedSpec(profile="steady", policy="bestfit", nodes=2,
+                      budget_w=400.0, jobs=8, label="steady/bestfit ample 400W"),
+        ])
+    return specs
+
+
+@dataclass
+class ClusterValidationResult:
+    """Outcome of sweeping the cluster-budget invariants."""
+
+    labels: list[str] = field(default_factory=list)
+    rounds: list[int] = field(default_factory=list)
+    violations: list[tuple[Violation, ...]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(self.violations)
+
+    @property
+    def total_rounds(self) -> int:
+        return sum(self.rounds)
+
+    def format(self) -> str:
+        lines = ["cluster-budget invariants (coordinator round audits):"]
+        for label, rounds, found in zip(
+            self.labels, self.rounds, self.violations
+        ):
+            verdict = "ok" if not found else f"{len(found)} VIOLATIONS"
+            lines.append(f"  {label:<36} {rounds:>4} rounds  {verdict}")
+            for violation in found:
+                lines.append(f"      {violation}")
+        lines.append(
+            f"RESULT: " + (
+                f"PASS ({self.total_rounds} rounds, 3 invariants each)"
+                if self.ok else "FAIL"
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_cluster_validation(
+    specs: Optional[Sequence["SchedSpec"]] = None,
+    *,
+    quick: bool = False,
+    bus: "Optional[TelemetryBus]" = None,
+) -> ClusterValidationResult:
+    """Run the cluster corpus and audit every coordinator round.
+
+    Serial by design: each run already fans its nodes out on one engine,
+    and the audits are post-run scans over the coordinator's samples.
+    """
+    from repro.sched.cluster import run_sched
+
+    if specs is None:
+        specs = cluster_corpus(quick=quick)
+    result = ClusterValidationResult()
+    for spec in specs:
+        sched_result = run_sched(spec, bus=bus)
+        result.labels.append(spec.describe())
+        result.rounds.append(sched_result.coordinator_rounds)
+        result.violations.append(sched_result.budget_violations)
+    return result

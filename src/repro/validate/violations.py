@@ -18,6 +18,10 @@ taxonomy (see :mod:`repro.faults.expectations`):
 * ``ledger`` — harness bookkeeping that must reconstruct exactly
   (RunSummary average power, region wattage, decision-trace ordering).
   Never expected.
+* ``cluster-budget`` — the power coordinator's budget division and
+  enforcement (sum ≤ global exactly, per-node floor, measured power
+  within clamp tolerance; see :mod:`repro.validate.cluster`).  Never
+  expected.
 * ``measurement-energy`` — the measured (RAPL-path) energy disagrees
   with ground truth beyond quantisation.  Expected under fault profiles
   that corrupt or delay energy reads.
@@ -47,8 +51,12 @@ MEASUREMENT_CATEGORIES = frozenset(
     }
 )
 
-#: Categories that must hold on every run, faults or not.
-STRICT_CATEGORIES = frozenset({"model", "engine", "ledger"})
+#: Categories that must hold on every run, faults or not.  The
+#: ``cluster-budget`` category covers the coordinator's budget division
+#: and enforcement (see :mod:`repro.validate.cluster`): fault injection
+#: perturbs measurements, never the coordinator's arithmetic, so a
+#: broken budget split is always a real failure.
+STRICT_CATEGORIES = frozenset({"model", "engine", "ledger", "cluster-budget"})
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,29 @@
+"""Fixtures for the cluster-scheduler tests.
+
+The reference run is session-scoped: scheduled runs cost a second or two
+of host time each, and :class:`~repro.sched.result.SchedResult` is a
+frozen value object, so one execution serves every test that only reads
+it.  Tests that need a *different* configuration run their own spec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched import SchedSpec, run_sched
+
+#: Small but non-trivial: two nodes, queue pressure, a stochastic trace.
+REFERENCE_SPEC = SchedSpec(
+    profile="bursty",
+    policy="waterfill",
+    nodes=2,
+    budget_w=250.0,
+    jobs=6,
+    queue_depth=3,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="session")
+def reference_result():
+    return run_sched(REFERENCE_SPEC)

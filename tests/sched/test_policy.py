@@ -1,0 +1,124 @@
+"""Placement policies: unit tests over synthetic cluster snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched.policy import (
+    POLICIES,
+    ClusterState,
+    NodeView,
+    estimate_job_power_w,
+    make_policy,
+)
+from repro.sched.workload import Job
+
+pytestmark = pytest.mark.sched
+
+
+def _job(index=0, threads=8, scale=0.5, submit_s=0.0):
+    return Job(index=index, submit_s=submit_s, app="mergesort",
+               threads=threads, scale=scale)
+
+
+def _node(name, *, busy=False, budget=100.0, power=50.0, pressure=0.0):
+    return NodeView(name=name, busy=busy, budget_w=budget,
+                    measured_power_w=power, clamp_pressure=pressure)
+
+
+def _state(total_power=100.0, budget=400.0):
+    return ClusterState(time_s=0.0, global_budget_w=budget,
+                        total_power_w=total_power)
+
+
+def test_registry_and_unknown_policy():
+    assert set(POLICIES) == {"fcfs", "bestfit", "edp", "waterfill"}
+    with pytest.raises(ConfigError):
+        make_policy("srpt")
+
+
+@pytest.mark.parametrize("name", sorted(POLICIES))
+def test_all_policies_hold_without_work_or_nodes(name):
+    policy = make_policy(name)
+    idle = [_node("node0")]
+    assert policy.select((), idle, _state()) is None
+    busy = [_node("node0", busy=True)]
+    assert policy.select((_job(),), busy, _state()) is None
+
+
+def test_fcfs_takes_head_job_first_idle_node():
+    policy = make_policy("fcfs")
+    nodes = [_node("node0", busy=True), _node("node1"), _node("node2")]
+    pick = policy.select((_job(0), _job(1)), nodes, _state())
+    assert pick == (0, "node1")
+
+
+def test_bestfit_picks_tightest_sufficient_headroom():
+    policy = make_policy("bestfit")
+    job = _job(threads=8)  # needs 8 * 6.5 = 52 W
+    nodes = [
+        _node("node0", budget=120.0, power=10.0),   # headroom 110
+        _node("node1", budget=100.0, power=45.0),   # headroom 55  <- tightest fit
+        _node("node2", budget=100.0, power=60.0),   # headroom 40  (too small)
+    ]
+    pick = policy.select((job,), nodes, _state())
+    assert pick == (0, "node1")
+
+
+def test_bestfit_falls_back_to_largest_headroom():
+    policy = make_policy("bestfit")
+    job = _job(threads=16)  # needs 104 W; nobody has it
+    nodes = [
+        _node("node0", budget=100.0, power=60.0),  # headroom 40
+        _node("node1", budget=100.0, power=30.0),  # headroom 70 <- largest
+    ]
+    pick = policy.select((job,), nodes, _state())
+    assert pick == (0, "node1")
+
+
+def test_edp_reorders_for_short_wide_jobs():
+    policy = make_policy("edp")
+    long_narrow = _job(index=0, threads=4, scale=1.0)
+    short_wide = _job(index=1, threads=16, scale=0.1)
+    pick = policy.select((long_narrow, short_wide), [_node("node0")], _state())
+    assert pick is not None
+    position, _node_name = pick
+    assert position == 1  # the short wide job jumps the queue
+
+
+def test_waterfill_defers_when_cluster_saturated():
+    policy = make_policy("waterfill")
+    job = _job(threads=16)  # est. 104 W marginal
+    nodes = [_node("node0", busy=True, power=200.0), _node("node1", power=50.0)]
+    # 250 W drawn + 104 W > 300 W budget -> hold
+    assert policy.select((job,), nodes, _state(250.0, 300.0)) is None
+    # With 500 W of budget the same snapshot places immediately.
+    assert policy.select((job,), nodes, _state(250.0, 500.0)) is not None
+
+
+def test_waterfill_never_deadlocks_an_idle_cluster():
+    """An all-idle cluster places even when the estimate exceeds budget."""
+    policy = make_policy("waterfill")
+    job = _job(threads=16)
+    nodes = [_node("node0", power=45.0), _node("node1", power=45.0)]
+    pick = policy.select((job,), nodes, _state(90.0, 130.0))
+    assert pick is not None
+
+
+def test_waterfill_prefers_low_clamp_pressure():
+    policy = make_policy("waterfill")
+    job = _job(threads=4)
+    nodes = [
+        _node("node0", pressure=0.5, budget=150.0, power=20.0),
+        _node("node1", pressure=0.0, budget=90.0, power=20.0),
+    ]
+    pick = policy.select((job,), nodes, _state(40.0, 400.0))
+    assert pick == (0, "node1")
+
+
+def test_estimate_and_views():
+    assert estimate_job_power_w(16) == pytest.approx(104.0)
+    view = _node("n", budget=100.0, power=120.0)
+    assert view.headroom_w == 0.0  # clamped at zero, never negative
+    assert _state(350.0, 300.0).global_headroom_w == 0.0

@@ -1,0 +1,80 @@
+"""Admission control: the depth bound is a hard invariant."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sched.queue import AdmissionQueue
+from repro.sched.workload import Job
+
+pytestmark = pytest.mark.sched
+
+
+def _job(index):
+    return Job(index=index, submit_s=float(index), app="mergesort",
+               threads=8, scale=0.5)
+
+
+def test_depth_bound_and_shedding():
+    q = AdmissionQueue(2)
+    assert q.offer(_job(0))
+    assert q.offer(_job(1))
+    assert not q.offer(_job(2))  # full: shed
+    assert q.admitted == 2
+    assert q.rejected == 1
+    assert q.peak_depth == 2
+    assert q.take(0).index == 0
+    assert q.offer(_job(3))  # room again after a take
+    assert [j.index for j in q.jobs] == [1, 3]
+
+
+def test_take_validates_position():
+    q = AdmissionQueue(4)
+    q.offer(_job(0))
+    with pytest.raises(ConfigError):
+        q.take(1)
+    with pytest.raises(ConfigError):
+        q.take(-1)
+
+
+def test_constructor_validates_depth():
+    with pytest.raises(ConfigError):
+        AdmissionQueue(0)
+
+
+def test_head_and_len():
+    q = AdmissionQueue(3)
+    assert q.head() is None
+    q.offer(_job(5))
+    assert q.head().index == 5
+    assert len(q) == 1
+
+
+@given(
+    depth=st.integers(min_value=1, max_value=6),
+    ops=st.lists(
+        st.one_of(st.just("offer"), st.just("take")), min_size=0, max_size=60
+    ),
+)
+def test_admission_accounting_property(depth, ops):
+    """Under any offer/take interleaving: depth <= bound always, peak
+    tracks the true maximum, and every offered job is accounted exactly
+    once as admitted or rejected (admitted = taken + still queued)."""
+    q = AdmissionQueue(depth)
+    offered = 0
+    taken = 0
+    peak = 0
+    for op in ops:
+        if op == "offer":
+            q.offer(_job(offered))
+            offered += 1
+        elif len(q) > 0:
+            q.take(len(q) - 1)
+            taken += 1
+        assert len(q) <= depth
+        peak = max(peak, len(q))
+    assert q.peak_depth == peak
+    assert q.admitted + q.rejected == offered
+    assert q.admitted == taken + len(q)

@@ -1,0 +1,78 @@
+"""SchedSpec: validation, digest stability, harness-facing contract."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched.spec import SCHED_SPEC_SCHEMA, SchedSpec
+
+pytestmark = pytest.mark.sched
+
+
+def test_digest_is_stable_and_seed_sensitive():
+    a = SchedSpec(seed=0)
+    b = SchedSpec(seed=0)
+    c = SchedSpec(seed=1)
+    assert a.digest == b.digest
+    assert a.digest != c.digest
+    assert len(a.digest) == 64  # sha256 hex
+
+
+def test_label_excluded_from_identity():
+    plain = SchedSpec(seed=3)
+    labelled = plain.with_label("cell-a")
+    assert labelled.label == "cell-a"
+    assert labelled == plain
+    assert labelled.digest == plain.digest
+
+
+def test_payload_carries_schema_and_apps_tuple():
+    spec = SchedSpec(apps=["mergesort", "nqueens"])
+    assert spec.apps == ("mergesort", "nqueens")
+    payload = spec.payload_dict()
+    assert payload["schema"] == SCHED_SPEC_SCHEMA
+    assert payload["apps"] == ["mergesort", "nqueens"]
+    assert "label" not in payload
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"profile": "nope"},
+        {"policy": "srpt"},
+        {"nodes": 0},
+        {"budget_w": 0.0},
+        {"jobs": 0},
+        {"rate_jobs_per_s": -1.0},
+        {"queue_depth": 0},
+        {"node_threads": 0},
+        {"scale": 0.0},
+        {"period_s": 0.0},
+        {"coordinator_period_s": 0.0},
+        {"time_limit_s": 0.0},
+        {"apps": ()},
+        {"apps": ("not-an-app",)},
+    ],
+)
+def test_invalid_specs_rejected(kwargs):
+    with pytest.raises(ConfigError):
+        SchedSpec(**kwargs)
+
+
+def test_spec_is_picklable_and_hashable():
+    spec = SchedSpec(profile="diurnal", policy="edp", seed=11)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert clone.digest == spec.digest
+    assert hash(clone) == hash(spec)
+
+
+def test_describe_mentions_the_knobs_that_matter():
+    text = SchedSpec(profile="bursty", policy="waterfill",
+                     nodes=4, budget_w=400.0).describe()
+    assert "bursty" in text
+    assert "waterfill" in text
+    assert "400" in text

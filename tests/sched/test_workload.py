@@ -1,0 +1,83 @@
+"""Workload traces: determinism, profile shapes, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched.workload import (
+    DEFAULT_JOB_APPS,
+    THREAD_CHOICES,
+    TRACE_PROFILES,
+    generate_trace,
+    offered_load_summary,
+)
+
+pytestmark = pytest.mark.sched
+
+
+@pytest.mark.parametrize("profile", sorted(TRACE_PROFILES))
+def test_trace_is_deterministic(profile):
+    a = generate_trace(profile, jobs=20, seed=3)
+    b = generate_trace(profile, jobs=20, seed=3)
+    assert a == b  # bit-identical: same Jobs, same floats
+
+
+@pytest.mark.parametrize("profile", sorted(TRACE_PROFILES))
+def test_trace_shape(profile):
+    trace = generate_trace(profile, jobs=25, rate_jobs_per_s=2.0, seed=1)
+    assert len(trace) == 25
+    assert [j.index for j in trace] == list(range(25))
+    times = [j.submit_s for j in trace]
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+    for job in trace:
+        assert job.app in DEFAULT_JOB_APPS
+        assert job.threads in THREAD_CHOICES
+        # scale is the nominal 0.5 perturbed by ±25%
+        assert 0.5 * 0.75 <= job.scale <= 0.5 * 1.25
+
+
+def test_different_seeds_differ():
+    a = generate_trace("poisson", jobs=10, seed=0)
+    b = generate_trace("poisson", jobs=10, seed=1)
+    assert a != b
+
+
+def test_profiles_share_seed_but_not_streams():
+    """Streams are keyed by (seed, profile): profiles never alias."""
+    a = generate_trace("poisson", jobs=10, seed=0)
+    b = generate_trace("bursty", jobs=10, seed=0)
+    assert [j.submit_s for j in a] != [j.submit_s for j in b]
+
+
+def test_steady_is_exactly_periodic():
+    trace = generate_trace("steady", jobs=8, rate_jobs_per_s=4.0, seed=0)
+    gaps = [b.submit_s - a.submit_s for a, b in zip(trace, trace[1:])]
+    assert all(g == pytest.approx(0.25) for g in gaps)
+
+
+def test_bursty_long_run_rate_is_roughly_nominal():
+    """Lulls repay burst debt: mean interarrival ~ 1/rate, not 1/(6 rate)."""
+    trace = generate_trace("bursty", jobs=300, rate_jobs_per_s=1.0, seed=5)
+    mean_gap = trace[-1].submit_s / len(trace)
+    assert 0.5 < mean_gap < 2.0
+
+
+def test_trace_validation_errors():
+    with pytest.raises(ConfigError):
+        generate_trace("nope", jobs=5)
+    with pytest.raises(ConfigError):
+        generate_trace("poisson", jobs=0)
+    with pytest.raises(ConfigError):
+        generate_trace("poisson", jobs=5, rate_jobs_per_s=0.0)
+    with pytest.raises(ConfigError):
+        generate_trace("poisson", jobs=5, apps=())
+
+
+def test_offered_load_summary():
+    trace = generate_trace("poisson", jobs=12, seed=0)
+    text = offered_load_summary(trace)
+    assert "12 jobs" in text
+    assert offered_load_summary(()) == "empty trace"
+    assert "j0:" in trace[0].describe()

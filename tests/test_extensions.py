@@ -176,6 +176,48 @@ def test_cluster_validates_budget():
         run_cluster([("bots-sort", "gcc")] * 3, global_budget_w=100.0)
 
 
+def test_cluster_timeout_leaves_no_pending_events():
+    """Regression: a timed-out run must still stop the coordinator and
+    every node's clamp/daemon timers.  Before the try/finally those
+    repeating ticks leaked, so the engine's queue never drained."""
+    engine = Engine()
+    with pytest.raises(SimulationError, match="exceeded"):
+        run_cluster(
+            [("bots-health", "maestro"), ("bots-sort", "gcc")],
+            global_budget_w=280.0,
+            time_limit_s=0.3,  # both workloads need > 1 s: guaranteed timeout
+            engine=engine,
+        )
+    # Teardown cancelled all repeating timers; only the (finite) workload
+    # events remain.  Draining the engine must therefore terminate with
+    # an empty queue — leaked coordinator/daemon/clamp ticks would
+    # reschedule themselves forever and leave peek_time() non-None.
+    engine.run(until=engine.now + 60.0)
+    assert engine.peek_time() is None
+    assert engine.pending == 0
+
+
+def test_cluster_teardown_is_idempotent():
+    """finish() after the harness's finally-shutdown must not double-stop."""
+    result = run_cluster(
+        [("bots-health", "maestro")], global_budget_w=160.0, time_limit_s=60.0
+    )
+    assert len(result.rows) == 1
+
+
+def test_coordinator_budgets_never_exceed_global():
+    """The re-division shaves float overshoot: sums are exactly bounded."""
+    result = run_cluster(
+        [("bots-health", "maestro"), ("bots-sort", "gcc")],
+        global_budget_w=280.0,
+        time_limit_s=60.0,
+    )
+    for sample in result.samples:
+        assert sum(sample.budgets_w.values()) <= 280.0
+        for budget in sample.budgets_w.values():
+            assert budget >= 60.0  # NODE_FLOOR_W
+
+
 def test_cluster_node_lifecycle_errors():
     engine = Engine()
     node = ClusterNode("n", engine, app="bots-sort", compiler="gcc", optlevel="O2")

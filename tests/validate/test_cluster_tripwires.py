@@ -1,0 +1,180 @@
+"""Tripwire self-tests for the cluster-budget invariants.
+
+Same philosophy as the runtime-invariant tripwires: an invariant that
+has never fired is indistinguishable from one that cannot fire.  Each
+test hand-crafts a coordinator trace that breaks exactly one budget
+invariant and asserts the matching check trips — plus the complementary
+properties: clean traces (synthetic and from a real coordinated run)
+stay silent, and the escape hatches built into the enforcement check
+(clamp at its floor, streak shorter than the sustained threshold) do
+not fire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import run_cluster
+from repro.cluster.coordinator import NODE_FLOOR_W, CoordinatorSample
+from repro.faults.expectations import classify_violations
+from repro.faults.profiles import PROFILES
+from repro.validate import (
+    check_budget_division,
+    check_budget_enforcement,
+    check_budget_floor,
+    check_cluster_budgets,
+)
+from repro.validate.cluster import CLAMP_TOLERANCE, SUSTAINED_ROUNDS
+from repro.validate.violations import STRICT_CATEGORIES, Violation
+
+pytestmark = pytest.mark.validate
+
+
+def _sample(time_s, power, budget, *, limit=8, floor=2):
+    """One healthy-shaped round over two nodes; tests perturb copies."""
+    names = sorted(power)
+    return CoordinatorSample(
+        time_s=time_s,
+        node_power_w=dict(power),
+        budgets_w=dict(budget),
+        clamp_limits={n: limit for n in names},
+        clamp_floors={n: floor for n in names},
+    )
+
+
+def _clean_trace(rounds=6, *, budget=120.0):
+    return [
+        _sample(
+            float(t),
+            {"node0": budget * 0.9, "node1": budget * 0.8},
+            {"node0": budget, "node1": budget},
+        )
+        for t in range(rounds)
+    ]
+
+
+# ----------------------------------------------------------------------
+# clean traces stay silent
+# ----------------------------------------------------------------------
+def test_clean_trace_fires_nothing():
+    assert check_cluster_budgets(_clean_trace(), 240.0) == []
+
+
+def test_real_coordinated_run_passes():
+    result = run_cluster(
+        [("mergesort", "gcc"), ("reduction", "gcc")], 260.0, threads=8
+    )
+    assert result.samples, "coordinator recorded no rounds"
+    assert check_cluster_budgets(result.samples, 260.0) == []
+    # The recorder fills the clamp-state maps every round; without them
+    # the enforcement invariant would be structurally blind.
+    for sample in result.samples:
+        assert set(sample.clamp_limits) == set(sample.node_power_w)
+        assert set(sample.clamp_floors) == set(sample.node_power_w)
+
+
+# ----------------------------------------------------------------------
+# each invariant fires on its own perturbation
+# ----------------------------------------------------------------------
+def test_division_tripwire_is_exact():
+    trace = _clean_trace()
+    bad = dict(trace[2].budgets_w)
+    bad["node0"] += 1e-9  # any overshoot at all, no epsilon forgiveness
+    trace[2] = _sample(trace[2].time_s, trace[2].node_power_w, bad)
+    found = list(check_budget_division(trace, 240.0))
+    assert len(found) == 1
+    assert found[0].invariant == "budget-division"
+    assert found[0].category == "cluster-budget"
+    assert found[0].time_s == 2.0
+
+
+def test_floor_tripwire():
+    trace = _clean_trace()
+    bad = dict(trace[4].budgets_w)
+    bad["node1"] = NODE_FLOOR_W - 0.5
+    trace[4] = _sample(trace[4].time_s, trace[4].node_power_w, bad)
+    found = list(check_budget_floor(trace))
+    assert [v.invariant for v in found] == ["budget-floor"]
+    assert "node1" in found[0].message
+
+
+def test_enforcement_tripwire_sustained_breach():
+    trace = _clean_trace(rounds=SUSTAINED_ROUNDS + 2)
+    over = 120.0 * CLAMP_TOLERANCE + 5.0
+    for t in range(1, SUSTAINED_ROUNDS + 1):
+        trace[t] = _sample(
+            trace[t].time_s,
+            {"node0": over, "node1": 90.0},
+            trace[t].budgets_w,
+        )
+    found = list(check_budget_enforcement(trace))
+    assert len(found) == 1  # one long breach reports once, not per round
+    assert found[0].invariant == "budget-enforcement"
+    # Fires at the round that completes the streak.
+    assert found[0].time_s == float(SUSTAINED_ROUNDS)
+
+
+# ----------------------------------------------------------------------
+# enforcement escape hatches: physics, not bugs
+# ----------------------------------------------------------------------
+def test_enforcement_ignores_nodes_at_clamp_floor():
+    """A node shed to min_threads is doing all it can; never a breach."""
+    over = 120.0 * CLAMP_TOLERANCE + 5.0
+    trace = [
+        _sample(
+            float(t),
+            {"node0": over, "node1": 90.0},
+            {"node0": 120.0, "node1": 120.0},
+            limit=2,
+            floor=2,  # no shed room anywhere
+        )
+        for t in range(SUSTAINED_ROUNDS + 3)
+    ]
+    assert list(check_budget_enforcement(trace)) == []
+
+
+def test_enforcement_tolerates_short_excursions():
+    trace = _clean_trace(rounds=8)
+    over = 120.0 * CLAMP_TOLERANCE + 5.0
+    for t in (1, 2, 5, 6):  # streaks of 2, reset in between
+        trace[t] = _sample(
+            trace[t].time_s,
+            {"node0": over, "node1": 90.0},
+            trace[t].budgets_w,
+        )
+    assert SUSTAINED_ROUNDS > 2, "test assumes threshold above 2"
+    assert list(check_budget_enforcement(trace)) == []
+
+
+def test_enforcement_needs_clamp_state_to_accuse():
+    """Samples without clamp maps (legacy shape) cannot fire: no shed
+    room is provable, so the check stays conservative."""
+    over = 120.0 * CLAMP_TOLERANCE + 5.0
+    trace = [
+        CoordinatorSample(
+            time_s=float(t),
+            node_power_w={"node0": over},
+            budgets_w={"node0": 120.0},
+        )
+        for t in range(SUSTAINED_ROUNDS + 2)
+    ]
+    assert list(check_budget_enforcement(trace)) == []
+
+
+# ----------------------------------------------------------------------
+# strictness: no fault profile excuses a broken budget split
+# ----------------------------------------------------------------------
+def test_cluster_budget_is_a_strict_category():
+    assert "cluster-budget" in STRICT_CATEGORIES
+
+
+def test_classify_keeps_cluster_budget_unexpected_under_faults():
+    violation = Violation(
+        invariant="budget-division",
+        category="cluster-budget",
+        message="synthetic",
+        time_s=1.0,
+    )
+    stamped = classify_violations([violation], PROFILES["default"])
+    assert len(stamped) == 1
+    assert not stamped[0].expected
