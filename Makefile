@@ -4,12 +4,12 @@ PYTHON ?= python
 
 COV_FAIL_UNDER ?= 80
 
-.PHONY: install test test-faults test-golden test-harness test-validate test-sched validate-smoke sched-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched reproduce recalibrate examples clean
+.PHONY: install test test-faults test-golden test-harness test-validate test-sched test-service validate-smoke sched-smoke serve-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched bench-service reproduce recalibrate examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: sweep-smoke sched-smoke
+test: sweep-smoke sched-smoke serve-smoke
 	$(PYTHON) -m pytest tests/
 
 # Robustness suite: fault injection + degraded-mode behaviour only.
@@ -36,6 +36,12 @@ test-validate:
 test-sched:
 	$(PYTHON) -m pytest tests/ -m sched
 
+# Experiment-service suite: wire protocol, admission queue and quotas,
+# journal recovery, worker crash/timeout handling, end-to-end TCP tests
+# and the SIGKILL crash-recovery acceptance test.
+test-service:
+	$(PYTHON) -m pytest tests/ -m service
+
 # End-to-end sanitizer smoke: the quick validation corpus plus the
 # differential replay, via the CLI exactly as a user would run it.
 validate-smoke:
@@ -45,6 +51,12 @@ validate-smoke:
 # through the harness, via the CLI exactly as a user would run it.
 sched-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.cli schedsweep --quick --quiet
+
+# End-to-end service smoke: boot a real service on an ephemeral port,
+# submit duplicate jobs, SIGKILL the in-flight worker and prove the
+# redelivered job still completes with exactly one execution per digest.
+serve-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.service.smoke
 
 # Line-coverage over the full suite with a ratcheted floor.  Requires
 # pytest-cov (pip install -e .[cov]); fails fast with a hint otherwise.
@@ -83,6 +95,12 @@ bench-sweep:
 # (read-only; refuses to rewrite BENCH_sched.json without --update).
 bench-sched:
 	$(PYTHON) benchmarks/bench_sched.py
+
+# Service chaos benchmark: submit->result latency and throughput with a
+# worker-kill fault schedule running, vs the committed baseline
+# (read-only; refuses to rewrite BENCH_service.json without --update).
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
 
 # Regenerate EXPERIMENTS.md (runs the full evaluation, ~5-10 minutes).
 reproduce:

@@ -1,0 +1,214 @@
+"""Benchmark: experiment-service chaos latency (``make bench-service``).
+
+Boots a real service (in-thread, real TCP, real forked workers), pushes
+a fixed stream of jobs through it while a chaos thread SIGKILLs every
+in-flight worker it can see at a fixed cadence, and reports the numbers
+that bound service-backed experiment campaigns: submit→result latency
+(p50/p95) and end-to-end throughput — *with* crash redelivery on the
+critical path.  Results are compared against the committed baseline in
+``BENCH_service.json``.
+
+Usage::
+
+    python benchmarks/bench_service.py             # run + compare, no writes
+    python benchmarks/bench_service.py --update    # write current results
+    python benchmarks/bench_service.py --update --record-baseline
+                                                   # re-stamp the baseline too
+    python benchmarks/bench_service.py --fail-above 3.0
+                                                   # exit 1 if > 3x baseline p95
+
+Correctness is pinned on every invocation: every submitted job must
+reach ``done`` despite the kills, and the cache ledger must show exactly
+one execution per digest.  The runner refuses to write anything unless
+``--update`` is passed, so a stray run cannot silently move the
+goalposts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:  # script mode: no PYTHONPATH needed
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+#: Committed perf-trajectory file, at the repo root.
+BENCH_PATH = _REPO_ROOT / "BENCH_service.json"
+
+JOBS = 16
+KILL_EVERY_S = 0.12
+MAX_KILLS = 4
+
+
+def _specs():
+    from repro.harness.spec import RunSpec
+
+    return [RunSpec("nqueens", scale=0.05, seed=seed) for seed in range(JOBS)]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _chaos_loop(client, stop: threading.Event, kills: list[int]) -> None:
+    """SIGKILL one in-flight worker every ``KILL_EVERY_S``, up to a cap."""
+    while not stop.is_set() and len(kills) < MAX_KILLS:
+        if stop.wait(KILL_EVERY_S):
+            return
+        try:
+            active = client.stats()["active"]
+        except Exception:
+            return  # service already shut down
+        for entry in active:
+            pid = entry.get("pid")
+            if pid:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                    kills.append(pid)
+                except OSError:
+                    pass
+                break
+
+
+def _run_campaign(cache_root: str) -> dict:
+    from repro.harness.cache import ResultCache
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServiceConfig
+    from repro.service.testing import ServiceThread
+
+    config = ServiceConfig(
+        port=0, workers=2, queue_depth=JOBS + 4, timeout_s=60.0,
+        retries=1, backoff_base_s=0.05, backoff_max_s=0.5,
+        max_redeliveries=6, quota_rate=1000.0, quota_burst=1000.0,
+        cache_root=cache_root, drain_grace_s=10.0,
+    )
+    specs = _specs()
+    latencies: list[float] = []
+    kills: list[int] = []
+    stop = threading.Event()
+    t_start = time.perf_counter()
+    with ServiceThread(config) as svc:
+        submitter = ServiceClient(port=svc.port, name="bench", timeout=120.0)
+        chaos_client = ServiceClient(port=svc.port, name="chaos",
+                                     timeout=10.0)
+        chaos = threading.Thread(
+            target=_chaos_loop, args=(chaos_client, stop, kills), daemon=True)
+        chaos.start()
+        try:
+            for spec in specs:
+                t0 = time.perf_counter()
+                done = submitter.submit_and_wait(spec, timeout_s=120.0)
+                latencies.append(time.perf_counter() - t0)
+                if done["state"] != "done":
+                    raise SystemExit(
+                        f"FAIL: {spec.describe()} ended {done['state']!r}")
+            wall_s = time.perf_counter() - t_start
+            counters = dict(submitter.stats()["counters"])
+        finally:
+            stop.set()
+            chaos.join(timeout=10)
+            submitter.close()
+            chaos_client.close()
+
+    counts = ResultCache(root=cache_root).execution_counts()
+    if set(counts) != {spec.digest for spec in specs}:
+        raise SystemExit("FAIL: cache ledger is missing executed digests")
+    if any(n != 1 for n in counts.values()):
+        raise SystemExit(f"FAIL: duplicate executions in ledger: {counts}")
+
+    return {
+        "jobs": JOBS,
+        "workers_killed": len(kills),
+        "crashes": counters.get("crashes", 0),
+        "requeues": counters.get("requeues", 0),
+        "wall_s": round(wall_s, 4),
+        "throughput_jobs_per_s": round(JOBS / wall_s, 3),
+        "latency_p50_ms": round(_percentile(latencies, 0.50) * 1e3, 1),
+        "latency_p95_ms": round(_percentile(latencies, 0.95) * 1e3, 1),
+        "exactly_once": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (make bench)
+# ----------------------------------------------------------------------
+def test_bench_service_run(bench_once, tmp_path):
+    result = bench_once(lambda: _run_campaign(str(tmp_path / "cache")))
+    assert result["exactly_once"]
+    assert result["jobs"] == JOBS
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_service.py",
+        description="service chaos benchmark vs the committed baseline",
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="write results to BENCH_service.json "
+                             "(without this flag nothing is written)")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="with --update: re-stamp the baseline section "
+                             "from this run (intentional goalpost move)")
+    parser.add_argument("--fail-above", type=float, default=None, metavar="X",
+                        help="exit 1 if p95 latency exceeds X times the "
+                             "committed baseline (default: report only)")
+    parser.add_argument("--json", type=Path, default=BENCH_PATH,
+                        help=f"results file (default: {BENCH_PATH})")
+    args = parser.parse_args(argv)
+
+    if args.record_baseline and not args.update:
+        parser.error("--record-baseline requires --update "
+                     "(refusing to overwrite BENCH_service.json)")
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        current = _run_campaign(os.path.join(tmp, "cache"))
+
+    stored = json.loads(args.json.read_text()) if args.json.exists() else {}
+    baseline = stored.get("baseline")
+
+    print(f"service chaos benchmark ({current['jobs']} jobs, "
+          f"{current['workers_killed']} workers killed):")
+    print(f"  throughput   {current['throughput_jobs_per_s']:>8.2f} jobs/s "
+          f"({current['wall_s'] * 1e3:.0f} ms wall)")
+    print(f"  latency p50  {current['latency_p50_ms']:>8.1f} ms")
+    print(f"  latency p95  {current['latency_p95_ms']:>8.1f} ms")
+    print(f"  crashes={current['crashes']} requeues={current['requeues']} "
+          f"exactly-once: yes")
+    if baseline:
+        ratio = (current["latency_p95_ms"] / baseline["latency_p95_ms"]
+                 if baseline["latency_p95_ms"] > 0 else 0.0)
+        print(f"  baseline: p95 {baseline['latency_p95_ms']:.1f} ms, "
+              f"{baseline['throughput_jobs_per_s']:.2f} jobs/s "
+              f"-> current is {ratio:.2f}x baseline p95")
+        if args.fail_above is not None and ratio > args.fail_above:
+            print(f"FAIL: p95 latency regressed {ratio:.2f}x > "
+                  f"--fail-above {args.fail_above:.2f}x", file=sys.stderr)
+            return 1
+
+    if not args.update:
+        if args.json.exists():
+            print(f"(read-only run; pass --update to rewrite {args.json.name})")
+        return 0
+
+    if args.record_baseline or "baseline" not in stored:
+        stored["baseline"] = dict(current)
+        print(f"baseline re-stamped from this run -> {args.json.name}")
+    stored["schema"] = 1
+    stored["current"] = current
+    args.json.write_text(json.dumps(stored, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -17,6 +17,8 @@ Subcommands map one-to-one to the paper's evaluation artifacts:
     repro-paper reproduce [-o FILE]        # full EXPERIMENTS.md
     repro-paper cache info|clear           # the harness result cache
     repro-paper recalibrate                # refresh residual corrections
+    repro-paper serve [options]            # always-on experiment service
+    repro-paper submit APP [options]       # send one spec to the service
 
 Every sweep command accepts the shared harness flags: ``--workers N``
 (process-parallel execution), ``--no-cache`` / ``--cache-dir DIR``
@@ -415,6 +417,50 @@ def _cmd_recalibrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve_from_args
+
+    return serve_from_args(args)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServiceError
+    from repro.harness import RunSpec
+    from repro.service.client import ServiceClient
+
+    spec = RunSpec(
+        args.app,
+        compiler=args.compiler,
+        optlevel=args.optlevel,
+        threads=args.threads,
+        throttle=args.throttle,
+        payload=args.payload,
+        scale=args.scale,
+        seed=args.seed,
+        faults=args.faults,
+    )
+    try:
+        with ServiceClient(host=args.host, port=args.port,
+                           name=args.client) as client:
+            if args.no_wait:
+                response = client.submit(spec)
+                if not response.get("ok"):
+                    print(f"shed: {response.get('error')} "
+                          f"(retry_after_s={response.get('retry_after_s', 0)})",
+                          file=sys.stderr)
+                    return 1
+            else:
+                response = client.submit_and_wait(
+                    spec, timeout_s=args.timeout)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("state") in ("done", "queued", "running") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-paper",
@@ -579,6 +625,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cache root (default: ~/.cache/repro-harness "
                               "or $REPRO_CACHE_DIR)")
     cache_p.set_defaults(func=_cmd_cache)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the always-on experiment service (NDJSON over TCP)",
+    )
+    from repro.service.server import add_serve_arguments
+
+    add_serve_arguments(serve_p)
+    serve_p.set_defaults(func=_cmd_serve)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit one run spec to a running service")
+    submit_p.add_argument("app", choices=sorted(APP_REGISTRY))
+    submit_p.add_argument("--compiler", default="gcc",
+                          choices=["gcc", "icc", "maestro"])
+    submit_p.add_argument("--optlevel", default="O2",
+                          choices=["O0", "O1", "O2", "O3"])
+    submit_p.add_argument("--threads", type=int, default=16)
+    submit_p.add_argument("--throttle", action="store_true")
+    submit_p.add_argument("--payload", action="store_true")
+    submit_p.add_argument("--scale", type=float, default=1.0)
+    submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument("--faults", default=None, metavar="SPEC",
+                          type=_fault_spec)
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=int, default=7823)
+    submit_p.add_argument("--client", default="cli",
+                          help="client id for quota accounting")
+    submit_p.add_argument("--no-wait", action="store_true",
+                          help="return after admission instead of blocking "
+                               "for the result")
+    submit_p.add_argument("--timeout", type=float, default=None,
+                          dest="timeout", metavar="S",
+                          help="max seconds to wait for the result")
+    submit_p.set_defaults(func=_cmd_submit)
 
     sub.add_parser("recalibrate", help="refresh empirical residuals").set_defaults(
         func=_cmd_recalibrate

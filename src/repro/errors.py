@@ -83,3 +83,50 @@ class HarnessError(ReproError):
     worker failures below the retry budget are reported as telemetry
     events instead of exceptions.
     """
+
+
+class SweepCancelled(HarnessError):
+    """Raised when a sweep is abandoned through its cancellation hook.
+
+    Runs that completed before the cancel signal are kept by the caller's
+    telemetry; the exception reports how many specs were never run.
+    """
+
+
+class WorkerTimeout(HarnessError):
+    """Raised when a subprocess-executed spec exceeds its deadline.
+
+    The worker process is killed, so the partial run cannot corrupt the
+    result cache; the caller decides whether to retry or dead-letter.
+    """
+
+
+class WorkerCrashed(HarnessError):
+    """Raised when a worker process dies without returning a result.
+
+    The analog of an OOM-killed or SIGKILLed pool worker: the spec is not
+    at fault until it has crashed its worker repeatedly (poison jobs are
+    quarantined by redelivery counting, not by this exception).
+    """
+
+
+class ServiceError(ReproError):
+    """Raised for experiment-service failures (server side or client side)."""
+
+
+class ProtocolError(ServiceError):
+    """Raised for malformed, oversized or semantically invalid frames."""
+
+
+class AdmissionError(ServiceError):
+    """Raised when a submission is shed by admission control.
+
+    ``retry_after_s`` tells the client when the rejection is expected to
+    clear (queue drain or quota refill) — explicit backpressure instead
+    of unbounded buffering.
+    """
+
+    def __init__(self, message: str, *, reason: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s

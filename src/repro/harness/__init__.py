@@ -17,7 +17,12 @@ a second identical sweep is served entirely from the cache.
 """
 
 from repro.harness.cache import CACHE_DIR_ENV, ResultCache, code_stamp, default_cache_root
-from repro.harness.executor import BatchExecutor, default_executor, execute_spec
+from repro.harness.executor import (
+    BatchExecutor,
+    default_executor,
+    execute_spec,
+    run_spec_subprocess,
+)
 from repro.harness.record import MeasurementRecord, RunSummary
 from repro.harness.spec import RunSpec
 from repro.harness.telemetry import (
@@ -29,6 +34,7 @@ from repro.harness.telemetry import (
     RunCached,
     RunFailed,
     RunFinished,
+    RunRequeued,
     RunRetried,
     RunStarted,
     RunValidated,
@@ -52,6 +58,7 @@ __all__ = [
     "RunCached",
     "RunFailed",
     "RunFinished",
+    "RunRequeued",
     "RunRetried",
     "RunSpec",
     "RunStarted",
@@ -65,5 +72,6 @@ __all__ = [
     "default_cache_root",
     "default_executor",
     "execute_spec",
+    "run_spec_subprocess",
     "stderr_bus",
 ]

@@ -16,7 +16,11 @@ hits), while a recalibration or re-pinned golden invalidates everything
 by construction — stale entries are simply never looked up again.
 
 Reads are defensive: a missing, truncated or unpicklable payload is a
-miss, never an error.  Writes are atomic (temp file + ``os.replace``).
+miss, never an error.  Writes are atomic (temp file + ``os.replace``),
+and ledger appends take an exclusive ``flock`` around a single
+``os.write`` so concurrent writers — service workers in one process
+tree, a CLI sweep in another — can never interleave partial JSONL
+lines.
 """
 
 from __future__ import annotations
@@ -29,6 +33,11 @@ import shutil
 import tempfile
 from pathlib import Path
 from typing import Any, Optional, Union
+
+try:  # POSIX only; on other platforms appends fall back to unlocked writes
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.harness.record import MeasurementRecord
 from repro.harness.spec import RunSpec
@@ -155,9 +164,57 @@ class ResultCache:
         return path
 
     def _append_ledger(self, entry: dict[str, Any]) -> None:
+        """Append one JSONL line, atomically with respect to other writers.
+
+        ``O_APPEND`` positions the write at end-of-file atomically, the
+        whole line goes down in a single ``os.write``, and an exclusive
+        ``flock`` (where available) serialises concurrent appenders —
+        two processes hammering one cache dir cannot interleave bytes
+        within a line or split a line across another's write.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        with self.ledger_path.open("a") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        line = (json.dumps(entry, sort_keys=True) + "\n").encode()
+        fd = os.open(self.ledger_path,
+                     os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            os.write(fd, line)
+        finally:
+            os.close(fd)  # releases the flock
+
+    # ------------------------------------------------------------------
+    def ledger_entries(self) -> list[dict[str, Any]]:
+        """Parse every complete ledger line (a truncated tail is skipped)."""
+        try:
+            raw = self.ledger_path.read_bytes()
+        except OSError:
+            return []
+        entries: list[dict[str, Any]] = []
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError:
+                # A torn line means a writer died mid-append (pre-lock
+                # history or a hard machine stop); skip, don't fail.
+                continue
+        return entries
+
+    def execution_counts(self) -> dict[str, int]:
+        """Ledger ``put`` lines per digest — one per actual execution.
+
+        The service's crash-recovery acceptance check reads this: after a
+        kill/restart cycle every digest must have been executed exactly
+        once (cache hits and dedup attaches never append ``put`` lines).
+        """
+        counts: dict[str, int] = {}
+        for entry in self.ledger_entries():
+            if entry.get("op") == "put" and "digest" in entry:
+                digest = entry["digest"]
+                counts[digest] = counts.get(digest, 0) + 1
+        return counts
 
     # ------------------------------------------------------------------
     def clear(self) -> int:

@@ -16,21 +16,33 @@ rather than a hope.
   starves and process pools rescue); anything less runs serially
   in-process;
 * results always return in input order, regardless of completion order;
-* bounded retry of worker failures, with a serial in-process fallback
-  when the pool itself breaks (e.g. a worker was OOM-killed);
+* bounded retry of worker failures; a broken pool (a worker was
+  OOM-killed mid-batch) is rebuilt and only the lost futures are
+  requeued, falling back to a serial in-process drain only once the
+  rebuild budget is exhausted;
+* a cooperative cancellation hook (``run(..., cancel=event)``) so
+  long sweeps can be abandoned between runs;
 * every step narrated as typed telemetry events on the bus.
+
+:func:`run_spec_subprocess` is the hard-isolation entry the experiment
+service builds on: one spec in one fresh, killable child process, with
+an enforced wall-clock deadline (:class:`~repro.errors.WorkerTimeout`)
+and crash detection (:class:`~repro.errors.WorkerCrashed`).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
 import sys
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
-from repro.errors import HarnessError
+from repro.errors import HarnessError, SweepCancelled, WorkerCrashed, WorkerTimeout
 
 from repro.harness import telemetry as tel
 from repro.harness.cache import ResultCache
@@ -95,6 +107,113 @@ def _make_pool(workers: int) -> ProcessPoolExecutor:
     )
 
 
+def _reset_inherited_signals() -> None:
+    """Detach fork-inherited signal plumbing in a worker child.
+
+    A child forked from an asyncio parent inherits the parent's signal
+    wakeup fd — one end of a socketpair the *parent's* event loop reads.
+    If this child then receives SIGTERM (e.g. the parent reaping it after
+    a result), the inherited C-level handler writes the signal number
+    into that shared socket and the parent's loop dispatches it as if
+    the parent itself had been signalled.  Detach the fd and restore
+    default dispositions before running any work.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover
+            pass
+
+
+def _subprocess_main(conn, paths: list[str], entry, spec) -> None:
+    """Child-side wrapper: run ``entry(spec)`` and ship the outcome back."""
+    _reset_inherited_signals()
+    _pool_initializer(paths)
+    try:
+        outcome = ("ok", entry(spec))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        outcome = ("err", exc)
+    try:
+        conn.send(outcome)
+    except Exception:
+        # Unpicklable result/exception: degrade to a repr the parent can
+        # still raise as a HarnessError.
+        conn.send(("err", HarnessError(repr(outcome[1]))))
+    finally:
+        conn.close()
+
+
+def _kill_process(proc, grace_s: float) -> None:
+    proc.terminate()
+    proc.join(grace_s)
+    if proc.is_alive():  # pragma: no cover - SIGTERM normally suffices
+        proc.kill()
+        proc.join(grace_s)
+
+
+def run_spec_subprocess(
+    spec: RunSpec,
+    *,
+    timeout_s: Optional[float] = None,
+    entry: Callable = _plain_entry,
+    grace_s: float = 2.0,
+    on_start: Optional[Callable[[int], None]] = None,
+):
+    """Execute one spec in a fresh, killable child process.
+
+    Returns whatever ``entry`` returns (``(record, report)`` for the
+    default entries).  ``on_start`` receives the child's pid as soon as
+    it is running — chaos tests and the service's in-flight registry use
+    it to target (or observe) the worker.
+
+    Raises :class:`~repro.errors.WorkerTimeout` when the child exceeds
+    ``timeout_s`` (it is terminated first, so a runaway run cannot leak),
+    :class:`~repro.errors.WorkerCrashed` when the child dies without
+    reporting a result (OOM kill, SIGKILL, hard crash), and re-raises
+    the entry's own exception for ordinary spec failures.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_subprocess_main,
+        args=(child_conn, list(sys.path), entry, spec),
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    if on_start is not None:
+        on_start(proc.pid)
+    try:
+        if not parent_conn.poll(timeout_s):
+            _kill_process(proc, grace_s)
+            raise WorkerTimeout(
+                f"{spec.describe()} exceeded its {timeout_s:.3g}s deadline "
+                f"(worker pid {proc.pid} killed)"
+            )
+        try:
+            status, payload = parent_conn.recv()
+        except (EOFError, OSError) as exc:
+            proc.join(grace_s)
+            raise WorkerCrashed(
+                f"worker pid {proc.pid} died without a result for "
+                f"{spec.describe()} (exitcode {proc.exitcode})"
+            ) from exc
+    finally:
+        parent_conn.close()
+        if proc.is_alive():
+            _kill_process(proc, grace_s)
+        else:
+            proc.join(grace_s)
+    if status == "err":
+        raise payload
+    return payload
+
+
 class BatchExecutor:
     """Fans :class:`RunSpec` batches out to workers, cache-first.
 
@@ -111,15 +230,30 @@ class BatchExecutor:
         cache: Optional[ResultCache] = None,
         bus: Optional[tel.TelemetryBus] = None,
         retries: int = 2,
+        max_requeues: int = 2,
+        max_pool_rebuilds: int = 2,
         validate: bool = False,
         max_violation_events: int = 10,
     ) -> None:
         if retries < 0:
             raise HarnessError(f"retries must be >= 0, got {retries!r}")
+        if max_requeues < 0:
+            raise HarnessError(
+                f"max_requeues must be >= 0, got {max_requeues!r}")
+        if max_pool_rebuilds < 0:
+            raise HarnessError(
+                f"max_pool_rebuilds must be >= 0, got {max_pool_rebuilds!r}")
         self.workers = max(0, int(workers))
         self.cache = cache
         self.bus = bus if bus is not None else tel.TelemetryBus()
         self.retries = retries
+        #: Redelivery budget per spec when its worker process dies (the
+        #: poison-job bound: a spec that keeps killing workers is failed
+        #: rather than requeued forever).
+        self.max_requeues = max_requeues
+        #: How many times a broken process pool is rebuilt (with only the
+        #: lost futures requeued) before degrading to a serial drain.
+        self.max_pool_rebuilds = max_pool_rebuilds
         #: Run every spec under the invariant checker and collect
         #: :class:`~repro.validate.violations.ValidationReport` objects in
         #: :attr:`validation_reports` (keyed by input index).  Cache hits
@@ -134,11 +268,15 @@ class BatchExecutor:
         specs: Sequence[RunSpec],
         *,
         sweep: str = "sweep",
+        cancel: Optional[threading.Event] = None,
     ) -> list[MeasurementRecord]:
         """Execute every spec; results are in input order.
 
         Raises :class:`HarnessError` if any spec still fails after the
         retry budget; the error chains the first underlying exception.
+        ``cancel`` is a cooperative abort hook: once set, no further spec
+        is started and the sweep raises :class:`SweepCancelled` (runs
+        already completed keep their cache entries and telemetry).
         """
         specs = list(specs)
         bus = self.bus
@@ -149,6 +287,7 @@ class BatchExecutor:
         self._counts = {"cached": 0, "executed": 0, "failed": 0, "retried": 0}
         self._errors: dict[int, BaseException] = {}
         self._entry = _validated_entry if self.validate else _plain_entry
+        self._cancel = cancel
         self.validation_reports = {}
 
         bus.emit(tel.SweepStarted(
@@ -188,6 +327,13 @@ class BatchExecutor:
             telemetry_s=bus.overhead_s - tel_before,
             events=bus.events_emitted,
         ))
+        unrun = [i for i in range(total)
+                 if records[i] is None and i not in self._errors]
+        if unrun and cancel is not None and cancel.is_set():
+            raise SweepCancelled(
+                f"sweep {sweep!r} cancelled with {len(unrun)} of {total} "
+                "runs not started"
+            )
         if self._errors:
             index, error = sorted(self._errors.items())[0]
             raise HarnessError(
@@ -244,10 +390,15 @@ class BatchExecutor:
         self._progress(sweep, records)
 
     # ------------------------------------------------------------------
+    def _cancelled(self) -> bool:
+        return self._cancel is not None and self._cancel.is_set()
+
     def _run_serial(self, sweep: str, specs, pending: list[int],
                     records: list) -> None:
         total = len(specs)
         for i in pending:
+            if self._cancelled():
+                return
             self.bus.emit(tel.RunStarted(
                 sweep=sweep, index=i, total=total, label=specs[i].describe(),
             ))
@@ -274,61 +425,108 @@ class BatchExecutor:
                   records: list) -> None:
         total = len(specs)
         attempts: dict[int, int] = {}
-        try:
-            pool = _make_pool(min(self.workers, len(pending)))
-        except (OSError, ValueError) as exc:
-            self.bus.emit(tel.Note(
-                f"process pool unavailable ({exc!r}); running serially"))
-            self._run_serial(sweep, specs, pending, records)
-            return
-        broken = False
-        with pool:
-            futures: dict[Future, int] = {}
-            for i in pending:
-                self.bus.emit(tel.RunStarted(
-                    sweep=sweep, index=i, total=total,
-                    label=specs[i].describe(),
-                ))
-                attempts[i] = 1
-                futures[pool.submit(self._entry, specs[i])] = i
-            while futures and not broken:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    i = futures.pop(future)
+        redeliveries: dict[int, int] = {}
+        started: set[int] = set()
+        queue: list[int] = list(pending)
+        rebuilds = 0
+        while queue and not self._cancelled():
+            try:
+                pool = _make_pool(min(self.workers, len(queue)))
+            except (OSError, ValueError) as exc:
+                self.bus.emit(tel.Note(
+                    f"process pool unavailable ({exc!r}); running serially"))
+                self._run_serial(sweep, specs, queue, records)
+                return
+            lost: list[int] = []
+            with pool:
+                futures: dict[Future, int] = {}
+                broken = False
+                for pos, i in enumerate(queue):
+                    if i not in started:
+                        started.add(i)
+                        attempts[i] = 1
+                        self.bus.emit(tel.RunStarted(
+                            sweep=sweep, index=i, total=total,
+                            label=specs[i].describe(),
+                        ))
                     try:
-                        record, report = future.result()
-                    except BrokenProcessPool:
+                        futures[pool.submit(self._entry, specs[i])] = i
+                    except (BrokenProcessPool, RuntimeError):
                         broken = True
+                        lost.extend(queue[pos:])
                         break
-                    except Exception as exc:
-                        if attempts[i] <= self.retries:
-                            self._counts["retried"] += 1
-                            self.bus.emit(tel.RunRetried(
-                                sweep=sweep, index=i, total=total,
-                                label=specs[i].describe(),
-                                attempt=attempts[i], error=repr(exc),
-                            ))
-                            attempts[i] += 1
-                            try:
-                                futures[pool.submit(self._entry, specs[i])] = i
-                            except (BrokenProcessPool, RuntimeError):
-                                broken = True
-                                break
-                        else:
-                            self._fail(sweep, specs, i, attempts[i], exc,
-                                       records)
-                        continue
-                    self._finish(sweep, specs, i, record, records, report)
-        if broken:
-            # The pool died under us (worker killed); the failure is
-            # environmental, not the spec's fault — drain the remainder
-            # in-process so the sweep still completes deterministically.
-            remaining = [i for i in pending
-                         if records[i] is None and i not in self._errors]
+                queue = []
+                while futures and not broken and not self._cancelled():
+                    done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = futures.pop(future)
+                        try:
+                            record, report = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            lost.append(i)
+                            continue
+                        except Exception as exc:
+                            if attempts[i] <= self.retries:
+                                self._counts["retried"] += 1
+                                self.bus.emit(tel.RunRetried(
+                                    sweep=sweep, index=i, total=total,
+                                    label=specs[i].describe(),
+                                    attempt=attempts[i], error=repr(exc),
+                                ))
+                                attempts[i] += 1
+                                try:
+                                    futures[pool.submit(self._entry,
+                                                        specs[i])] = i
+                                except (BrokenProcessPool, RuntimeError):
+                                    broken = True
+                                    lost.append(i)
+                            else:
+                                self._fail(sweep, specs, i, attempts[i], exc,
+                                           records)
+                            continue
+                        self._finish(sweep, specs, i, record, records, report)
+                # Whatever was still in flight when the pool broke (or
+                # the sweep was cancelled) is lost with its workers.
+                lost.extend(futures.values())
+                futures.clear()
+            if self._cancelled():
+                return
+            if not lost:
+                return
+            # Requeue only the lost futures, bounded per spec so a poison
+            # job that keeps killing its worker cannot loop forever.
+            for i in sorted(lost):
+                redeliveries[i] = redeliveries.get(i, 0) + 1
+                if redeliveries[i] > self.max_requeues:
+                    self._fail(
+                        sweep, specs, i, attempts[i],
+                        WorkerCrashed(
+                            f"{specs[i].describe()} lost its worker "
+                            f"{redeliveries[i]} times (poison job?)"
+                        ),
+                        records,
+                    )
+                else:
+                    queue.append(i)
+                    self.bus.emit(tel.RunRequeued(
+                        sweep=sweep, index=i, total=total,
+                        label=specs[i].describe(),
+                        redelivery=redeliveries[i],
+                    ))
+            if not queue:
+                return
+            rebuilds += 1
+            if rebuilds > self.max_pool_rebuilds:
+                self.bus.emit(tel.Note(
+                    f"process pool broke {rebuilds} times; finishing "
+                    f"{len(queue)} runs serially in-process"))
+                self._run_serial(sweep, specs, queue, records)
+                return
             self.bus.emit(tel.Note(
-                f"process pool broke; finishing {len(remaining)} runs "
-                "serially in-process"))
-            self._run_serial(sweep, specs, remaining, records)
+                f"process pool broke; rebuilding (attempt {rebuilds}/"
+                f"{self.max_pool_rebuilds}) and requeueing "
+                f"{len(queue)} lost runs"))
 
     # ------------------------------------------------------------------
     def run_one(self, spec: RunSpec, *, sweep: str = "run") -> MeasurementRecord:

@@ -91,6 +91,22 @@ class RunRetried:
 
 
 @dataclass(frozen=True)
+class RunRequeued:
+    """A run was resubmitted after its worker process died.
+
+    Unlike :class:`RunRetried`, the spec itself did not fail — the pool
+    lost the worker executing it (OOM kill, SIGKILL) — so the resubmit
+    counts against the redelivery budget, not the retry budget.
+    """
+
+    sweep: str
+    index: int
+    total: int
+    label: str
+    redelivery: int
+
+
+@dataclass(frozen=True)
 class RunFailed:
     """A spec exhausted its retry budget."""
 
@@ -167,7 +183,7 @@ class Note:
 
 Event = Union[
     SweepStarted, RunStarted, RunFinished, RunCached, RunRetried,
-    RunFailed, SweepProgress, SweepFinished, RunValidated,
+    RunRequeued, RunFailed, SweepProgress, SweepFinished, RunValidated,
     InvariantViolated, Note,
 ]
 
@@ -265,6 +281,11 @@ class ProgressSink:
             self._line(
                 f"[{event.index + 1:>3}/{event.total}] {event.label}: "
                 f"retry {event.attempt} after {event.error}"
+            )
+        elif isinstance(event, RunRequeued):
+            self._line(
+                f"[{event.index + 1:>3}/{event.total}] {event.label}: "
+                f"requeued (redelivery {event.redelivery}, worker lost)"
             )
         elif isinstance(event, RunFailed):
             self._line(

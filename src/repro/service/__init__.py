@@ -1,0 +1,62 @@
+"""Always-on experiment service: streaming job submission over the harness.
+
+The batch CLI runs one sweep and exits; this package keeps the harness
+resident and feeds it a *stream* of :class:`~repro.harness.spec.RunSpec`
+/ :class:`~repro.sched.spec.SchedSpec` submissions over a
+newline-delimited-JSON TCP protocol — the SMTcheck profiling-server
+shape (listener → admission queue → workers → store) transplanted onto
+:mod:`repro.harness`:
+
+* :mod:`repro.service.protocol` — NDJSON framing, spec wire encoding,
+  request validation;
+* :mod:`repro.service.queue` — bounded FIFO admission with digest dedup;
+* :mod:`repro.service.quotas` — per-client token-bucket rate limiting;
+* :mod:`repro.service.journal` — the write-ahead JSONL journal that
+  makes accepted jobs survive a service crash;
+* :mod:`repro.service.workers` — killable one-process-per-job execution
+  with hard deadlines, driving ``BatchExecutor``/``ResultCache``;
+* :mod:`repro.service.server` — the asyncio service itself;
+* :mod:`repro.service.client` — the blocking client the CLI, tests and
+  benchmarks use.
+
+Robustness contract (see docs/architecture.md for the failure-mode
+table): full queues shed with an explicit ``retry_after_s`` instead of
+buffering, duplicate digests attach to the in-flight or cached job
+instead of re-running, per-job timeouts retry with bounded exponential
+backoff into a terminal dead-letter state, crashed workers requeue their
+job at most N times before quarantining it as poison, and a restart
+against the same journal/cache directory drives every accepted job to a
+terminal state without duplicate executions.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.journal import Journal
+from repro.service.jobs import Job, JobState, TERMINAL_STATES
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.service.queue import AdmissionQueue
+from repro.service.quotas import ClientQuotas, TokenBucket
+from repro.service.server import ExperimentService, ServiceConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "ClientQuotas",
+    "ExperimentService",
+    "Job",
+    "JobState",
+    "Journal",
+    "MAX_FRAME_BYTES",
+    "ServiceClient",
+    "ServiceConfig",
+    "TERMINAL_STATES",
+    "TokenBucket",
+    "decode_frame",
+    "encode_frame",
+    "spec_from_wire",
+    "spec_to_wire",
+]

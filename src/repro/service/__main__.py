@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — run the experiment service."""
+
+import sys
+
+from repro.service.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

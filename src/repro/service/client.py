@@ -1,0 +1,159 @@
+"""Blocking TCP client for the experiment service.
+
+The CLI's ``repro-paper submit``, the test suite, the smoke driver and
+the chaos benchmark all talk to the service through this one class, so
+protocol drift shows up in exactly one place.  One client = one
+connection; requests are strictly request/response except for
+:meth:`events`, which dedicates the connection to the telemetry stream.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+from typing import Any, Iterator, Optional
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    decode_frame,
+    encode_frame,
+    spec_to_wire,
+)
+
+
+class ServiceClient:
+    """Synchronous NDJSON client; safe for one thread at a time."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7823,
+        *,
+        name: str = "client",
+        connect_timeout: float = 10.0,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.name = name
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {host}:{port}: {exc}") from exc
+        self._sock.settimeout(timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame, return the service's response frame."""
+        self._sock.sendall(encode_frame(frame))
+        return self._read()
+
+    def _read(self) -> dict[str, Any]:
+        line = self._rfile.readline(MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ServiceError("connection closed by service")
+        return decode_frame(line)
+
+    @staticmethod
+    def _checked(response: dict[str, Any]) -> dict[str, Any]:
+        if not response.get("ok"):
+            raise ServiceError(
+                response.get("error", "service refused the request"))
+        return response
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self._checked(self.request({"op": "ping"}))
+
+    def submit(self, spec: Any) -> dict[str, Any]:
+        """Submit a spec; the raw response (may be a shed, check ``ok``)."""
+        return self.request({
+            "op": "submit",
+            "client": self.name,
+            "spec": spec_to_wire(spec),
+        })
+
+    def status(self, job: str) -> dict[str, Any]:
+        return self._checked(self.request({"op": "status", "job": job}))
+
+    def result(self, job: str,
+               timeout_s: Optional[float] = None) -> dict[str, Any]:
+        """Block until ``job`` is terminal (or ``timeout_s``)."""
+        frame: dict[str, Any] = {"op": "result", "job": job}
+        if timeout_s is not None:
+            frame["timeout_s"] = timeout_s
+        return self._checked(self.request(frame))
+
+    def cancel(self, job: str) -> dict[str, Any]:
+        return self._checked(self.request({"op": "cancel", "job": job}))
+
+    def stats(self) -> dict[str, Any]:
+        return self._checked(self.request({"op": "stats"}))
+
+    def shutdown(self, *, drain: bool = True) -> dict[str, Any]:
+        return self._checked(
+            self.request({"op": "shutdown", "drain": drain}))
+
+    def submit_and_wait(self, spec: Any,
+                        timeout_s: Optional[float] = None) -> dict[str, Any]:
+        """Submit then block for the terminal snapshot (sheds raise)."""
+        response = self._checked(self.submit(spec))
+        if response.get("state") in ("done", "failed", "dead", "cancelled"):
+            return response
+        return self.result(response["job"], timeout_s)
+
+    def events(self) -> Iterator[dict[str, Any]]:
+        """Dedicate this connection to the telemetry stream.
+
+        Subscribes immediately (events emitted after this call returns
+        are captured, even before the first ``next()``), then yields
+        event frames until the service closes the connection.  Do not
+        interleave other requests on this client afterwards.
+        """
+        self._checked(self.request({"op": "stream"}))
+
+        def _iterate() -> Iterator[dict[str, Any]]:
+            while True:
+                try:
+                    frame = self._read()
+                except (ServiceError, OSError):
+                    return
+                if "event" in frame:
+                    yield frame
+
+        return _iterate()
+
+
+class ServiceEventPrinter:
+    """Telemetry sink that narrates service events, one line each."""
+
+    def __init__(self, stream: Any = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def handle(self, event: Any) -> None:
+        name = type(event).__name__
+        if not name.startswith(("Service", "Job", "Worker")):
+            return  # harness events (and gauge chatter) stay quiet here
+        import dataclasses
+
+        fields = " ".join(
+            f"{key}={value}" for key, value in
+            dataclasses.asdict(event).items())
+        print(f"[service] {name} {fields}", file=self.stream, flush=True)

@@ -1,0 +1,92 @@
+"""Bounded admission queue with digest-level dedup.
+
+The queue never buffers beyond its depth: a full queue raises
+:class:`~repro.errors.AdmissionError` so the server can answer with an
+explicit ``retry_after_s`` instead of letting latency hide in an
+unbounded backlog.  Dedup is structural — at most one *active*
+(queued or running) job per digest is ever tracked, so a duplicate
+submission attaches to the existing job rather than occupying a second
+slot.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.errors import AdmissionError
+from repro.service.jobs import Job
+
+
+class AdmissionQueue:
+    """FIFO of queued jobs plus the digest index of all active jobs."""
+
+    def __init__(self, depth: int, *, retry_after_s: float = 0.5) -> None:
+        if depth < 1:
+            raise AdmissionError(
+                f"queue depth must be >= 1, got {depth!r}",
+                reason="config",
+            )
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+        self._fifo: deque[Job] = deque()
+        #: digest -> job, for every job that is queued or running.
+        self._active: dict[str, Job] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._fifo)
+
+    @property
+    def in_flight(self) -> int:
+        """Active jobs currently *not* in the FIFO (i.e. running)."""
+        return len(self._active) - len(self._fifo)
+
+    def active_for(self, digest: str) -> Optional[Job]:
+        """The queued-or-running job for ``digest``, if any (dedup hook)."""
+        return self._active.get(digest)
+
+    # ------------------------------------------------------------------
+    def push(self, job: Job) -> None:
+        """Admit ``job`` at the tail; full queues shed loudly."""
+        if len(self._fifo) >= self.depth:
+            raise AdmissionError(
+                f"admission queue full ({self.depth} queued)",
+                reason="queue-full",
+                retry_after_s=self.retry_after_s,
+            )
+        self._fifo.append(job)
+        self._active[job.digest] = job
+
+    def requeue(self, job: Job) -> None:
+        """Put a redelivered job back at the *head* (it already waited).
+
+        Redeliveries bypass the depth bound: the job was admitted once
+        and its slot accounting must not shed it on the way back in.
+        """
+        self._fifo.appendleft(job)
+        self._active[job.digest] = job
+
+    def pop(self) -> Optional[Job]:
+        """Next job to run, or None.  The digest stays active until done."""
+        if not self._fifo:
+            return None
+        return self._fifo.popleft()
+
+    def finish(self, job: Job) -> None:
+        """Drop ``job`` from the active index once it is terminal."""
+        current = self._active.get(job.digest)
+        if current is job:
+            del self._active[job.digest]
+
+    def remove(self, job: Job) -> bool:
+        """Remove a still-queued job (cancellation); False if not queued."""
+        try:
+            self._fifo.remove(job)
+        except ValueError:
+            return False
+        self.finish(job)
+        return True

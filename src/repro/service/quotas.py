@@ -1,0 +1,77 @@
+"""Per-client token-bucket submission quotas.
+
+Fairness under "millions of users" traffic starts with not letting one
+chatty client starve the admission queue.  Each client id gets a token
+bucket: ``burst`` tokens capacity, refilled at ``rate`` tokens/second;
+one submission costs one token.  A dry bucket yields the exact time
+until the next token — which the server hands back as ``retry_after_s``,
+so clients can back off precisely instead of hammering.
+
+The clock is injectable, so quota behaviour is unit-testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+
+class TokenBucket:
+    """Classic token bucket; monotonic-clock based, no background task."""
+
+    def __init__(self, rate: float, burst: float,
+                 *, clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError(
+                f"rate and burst must be positive, got {rate!r}/{burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_take(self, n: float = 1.0) -> float:
+        """Take ``n`` tokens; 0.0 on success, else seconds until refill.
+
+        A positive return means *nothing was taken* — the caller sheds
+        the request and reports the wait.
+        """
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return 0.0
+        return (n - self._tokens) / self.rate
+
+
+class ClientQuotas:
+    """Lazy per-client bucket map with shared rate/burst parameters."""
+
+    def __init__(self, rate: float, burst: float,
+                 *, clock: Callable[[], float] = time.monotonic) -> None:
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def admit(self, client: str) -> float:
+        """0.0 if ``client`` may submit now, else the retry-after delay."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, clock=self._clock)
+        return bucket.try_take()
+
+    def __len__(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,88 @@
+"""In-process service harness for tests, smoke runs and benchmarks.
+
+Runs an :class:`~repro.service.server.ExperimentService` on a dedicated
+event-loop thread so synchronous callers (pytest, the smoke driver, the
+chaos benchmark) can talk to a *real* TCP endpoint without managing a
+child process.  The crash-recovery tests, which must SIGKILL the whole
+service, use a subprocess instead — this helper is for everything else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional
+
+from repro.errors import ServiceError
+from repro.harness.telemetry import TelemetryBus
+from repro.service.server import ExperimentService, ServiceConfig
+
+
+class ServiceThread:
+    """Own-thread service with a blocking start/stop lifecycle."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        *,
+        bus: Optional[TelemetryBus] = None,
+        worker_entry: Any = None,
+    ) -> None:
+        self.config = config
+        self.bus = bus
+        self.worker_entry = worker_entry
+        self.service: Optional[ExperimentService] = None
+        self.port: int = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 15.0) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=self._run, name="svc-loop", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServiceError("service did not start in time")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            self._loop.close()
+
+    async def _main(self) -> None:
+        self.service = ExperimentService(
+            self.config, bus=self.bus, worker_entry=self.worker_entry)
+        try:
+            await self.service.start()
+            self.port = self.service.port
+        except BaseException as exc:  # startup failure -> re-raised in start()
+            self._error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.service.serve_forever()
+
+    # ------------------------------------------------------------------
+    def stop(self, *, drain: bool = True, timeout: float = 60.0) -> None:
+        if (self.service is None or self._loop is None
+                or not self._loop.is_running()):
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(drain=drain), self._loop)
+        future.result(timeout)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,116 @@
+"""Killable per-job workers driving the harness execution core.
+
+Each job runs in a *fresh* child process via
+:func:`repro.harness.executor.run_spec_subprocess` — unlike a shared
+``ProcessPoolExecutor`` worker, a fresh process can be killed on
+timeout without collateral damage, and its death is attributable to
+exactly one job (which is what makes redelivery counting and poison
+quarantine sound).
+
+Inside the child the spec goes through a one-shot
+:class:`~repro.harness.executor.BatchExecutor` with the service's
+:class:`~repro.harness.cache.ResultCache` attached: cache-first lookup,
+execution, and the locked ledger append all happen on the worker side,
+so the parent service never blocks on a measurement and concurrent
+workers exercise the cache's multi-writer guarantees for real.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import WorkerCrashed, WorkerTimeout
+from repro.harness.executor import run_spec_subprocess
+from repro.service.protocol import Spec
+
+
+def _service_entry(spec: Spec, cache_root: Optional[str] = None):
+    """Child-process entry: cache-first execute via the harness core."""
+    from repro.harness import BatchExecutor, ResultCache
+
+    cache = ResultCache(root=cache_root) if cache_root else None
+    harness = BatchExecutor(workers=0, cache=cache, retries=0)
+    return harness.run_one(spec, sweep="service")
+
+
+@dataclass
+class WorkerOutcome:
+    """What one execution attempt produced (exactly one field set)."""
+
+    record: object = None
+    #: "ok" | "timeout" | "crash" | "error"
+    kind: str = "ok"
+    error: str = ""
+    pid: int = 0
+
+
+class WorkerRunner:
+    """Synchronous single-job runner with an in-flight pid registry.
+
+    The server calls :meth:`run` from executor threads (one per busy
+    slot); chaos tests and the ``stats`` op read :meth:`active_pids` to
+    find live worker processes to observe — or kill.
+    """
+
+    def __init__(
+        self,
+        *,
+        timeout_s: Optional[float] = None,
+        cache_root: Optional[str] = None,
+        entry: Optional[Callable] = None,
+    ) -> None:
+        self.timeout_s = timeout_s
+        self.cache_root = cache_root
+        self._entry = entry
+        self._lock = threading.Lock()
+        self._pids: dict[str, int] = {}
+
+    def active_pids(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._pids)
+
+    def _register(self, job_id: str, pid: int,
+                  notify: Optional[Callable[[int], None]]) -> None:
+        with self._lock:
+            self._pids[job_id] = pid
+        if notify is not None:
+            notify(pid)
+
+    def run(self, job_id: str, spec: Spec,
+            *, on_start: Optional[Callable[[int], None]] = None
+            ) -> WorkerOutcome:
+        """Execute ``spec`` in a fresh worker; never raises."""
+        entry = self._entry
+        if entry is None:
+            entry = functools.partial(_service_entry,
+                                      cache_root=self.cache_root)
+        pid_box = {"pid": 0}
+
+        def _on_start(pid: int) -> None:
+            pid_box["pid"] = pid
+            self._register(job_id, pid, on_start)
+
+        try:
+            record = run_spec_subprocess(
+                spec,
+                timeout_s=self.timeout_s,
+                entry=entry,
+                on_start=_on_start,
+            )
+            return WorkerOutcome(record=record, kind="ok",
+                                 pid=pid_box["pid"])
+        except WorkerTimeout as exc:
+            return WorkerOutcome(kind="timeout", error=str(exc),
+                                 pid=pid_box["pid"])
+        except WorkerCrashed as exc:
+            return WorkerOutcome(kind="crash", error=str(exc),
+                                 pid=pid_box["pid"])
+        except Exception as exc:  # noqa: BLE001 - spec-level failure
+            return WorkerOutcome(kind="error", error=repr(exc),
+                                 pid=pid_box["pid"])
+        finally:
+            with self._lock:
+                self._pids.pop(job_id, None)

@@ -1,0 +1,78 @@
+"""Concurrent ledger appends: two processes, one cache dir, no torn lines.
+
+The ledger is the service's exactly-once evidence (``execution_counts``
+reads ``put`` lines), so interleaved partial writes from concurrent
+writers — service workers in one process tree, a CLI sweep in another —
+would corrupt the audit trail.  ``_append_ledger`` takes an exclusive
+``flock`` around a single ``O_APPEND`` write; this hammers it from two
+forked processes and checks every line survived intact.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.harness import ResultCache, RunSpec, execute_spec
+
+pytestmark = pytest.mark.harness
+
+WRITES_PER_PROC = 200
+
+
+def _hammer(root: str, who: int) -> None:
+    # Long, writer-identifying entries make torn interleavings visible.
+    cache = ResultCache(root=root)
+    for n in range(WRITES_PER_PROC):
+        cache._append_ledger({
+            "op": "probe", "writer": who, "n": n,
+            "pad": f"writer-{who}-" * 40,
+        })
+    os._exit(0)
+
+
+def test_two_processes_never_tear_ledger_lines(tmp_path):
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=_hammer, args=(str(tmp_path), who))
+             for who in (1, 2)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(60)
+        assert proc.exitcode == 0
+
+    cache = ResultCache(root=tmp_path)
+    raw = cache.ledger_path.read_text().splitlines()
+    assert len(raw) == 2 * WRITES_PER_PROC
+    entries = [json.loads(line) for line in raw]  # every line parses
+    by_writer: dict[int, list[int]] = {1: [], 2: []}
+    for entry in entries:
+        assert entry["pad"] == f"writer-{entry['writer']}-" * 40
+        by_writer[entry["writer"]].append(entry["n"])
+    # Each writer's appends land exactly once and in its own order.
+    assert by_writer[1] == list(range(WRITES_PER_PROC))
+    assert by_writer[2] == list(range(WRITES_PER_PROC))
+
+
+def test_concurrent_put_keeps_execution_counts_exact(tmp_path):
+    record = execute_spec(RunSpec("nqueens", scale=0.05))
+
+    def _put_many(who: int) -> None:
+        cache = ResultCache(root=str(tmp_path))
+        for seed in range(20):
+            spec = RunSpec("nqueens", scale=0.05, seed=seed * 2 + who)
+            cache.put(spec, record)
+        os._exit(0)
+
+    ctx = multiprocessing.get_context("fork")
+    procs = [ctx.Process(target=_put_many, args=(who,)) for who in (0, 1)]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(60)
+        assert proc.exitcode == 0
+
+    counts = ResultCache(root=tmp_path).execution_counts()
+    assert len(counts) == 40
+    assert all(n == 1 for n in counts.values())

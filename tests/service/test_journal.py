@@ -1,0 +1,89 @@
+"""Write-ahead journal tests: durability, recovery folding, locking."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.harness.spec import RunSpec
+from repro.service.journal import Journal
+from repro.service.protocol import spec_to_wire
+
+pytestmark = pytest.mark.service
+
+
+def _accept(journal: Journal, job_id: str, seed: int,
+            client: str = "c") -> None:
+    spec = RunSpec("nqueens", seed=seed)
+    journal.append("accepted", job=job_id, digest=spec.digest, kind="run",
+                   client=client, spec=spec_to_wire(spec))
+
+
+class TestJournal:
+    def test_append_is_immediately_visible(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append("service-start", workers=2)
+            _accept(journal, "j-000001", 1)
+            # No close() yet: the flush must already be on disk, because
+            # a crashed service never gets to close cleanly.
+            entries = list(Journal.iter_entries(path))
+        assert [e["ev"] for e in entries] == ["service-start", "accepted"]
+
+    def test_recover_returns_only_non_terminal_jobs(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            _accept(journal, "j-000001", 1)
+            _accept(journal, "j-000002", 2)
+            _accept(journal, "j-000003", 3)
+            journal.append("started", job="j-000001", attempt=1)
+            journal.append("finished", job="j-000001", source="executed")
+            journal.append("cancelled", job="j-000003", reason="client")
+        plan = Journal.recover(path)
+        assert [p["job"] for p in plan.pending] == ["j-000002"]
+        assert plan.next_seq == 4
+        assert plan.seen == 3
+
+    def test_recover_merges_attached_clients(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            _accept(journal, "j-000001", 1, client="alice")
+            spec = RunSpec("nqueens", seed=1)
+            journal.append("attached", job="j-000001", digest=spec.digest,
+                           kind="run", client="bob",
+                           spec=spec_to_wire(spec))
+        plan = Journal.recover(path)
+        assert plan.pending[0]["clients"] == ["alice", "bob"]
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            _accept(journal, "j-000001", 1)
+        # Simulate a writer dying mid-append: garbage, no newline.
+        with path.open("ab") as fh:
+            fh.write(b'{"ev": "accepted", "job": "j-0000')
+        plan = Journal.recover(path)
+        assert [p["job"] for p in plan.pending] == ["j-000001"]
+
+    def test_recover_missing_file_is_empty(self, tmp_path):
+        plan = Journal.recover(tmp_path / "nope.jsonl")
+        assert plan.pending == []
+        assert plan.next_seq == 1
+
+    def test_second_writer_is_locked_out(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path):
+            with pytest.raises(ServiceError, match="locked"):
+                Journal(path)
+        # Lock released on close: reopening now succeeds.
+        Journal(path).close()
+
+    def test_entries_are_sorted_json_lines(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            journal.append("accepted", job="j-000001", digest="d")
+        line = path.read_text().strip()
+        assert json.loads(line)["ev"] == "accepted"
+        assert "t" in json.loads(line)

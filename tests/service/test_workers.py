@@ -1,0 +1,84 @@
+"""Subprocess runner tests: deadline kills, crash detection, outcomes."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import WorkerCrashed, WorkerTimeout
+from repro.harness.executor import run_spec_subprocess
+from repro.harness.spec import RunSpec
+from repro.service.workers import WorkerRunner
+
+from tests.service.conftest import entry_crash, entry_fail, entry_hang, entry_ok
+
+pytestmark = pytest.mark.service
+
+SPEC = RunSpec("nqueens", seed=1)
+
+
+class TestRunSpecSubprocess:
+    def test_returns_entry_result(self):
+        record = run_spec_subprocess(SPEC, entry=entry_ok)
+        assert record.time_s == 1.0
+
+    def test_reports_pid_before_result(self):
+        pids: list[int] = []
+        run_spec_subprocess(SPEC, entry=entry_ok, on_start=pids.append)
+        assert len(pids) == 1 and pids[0] > 0
+
+    def test_reraises_spec_errors(self):
+        with pytest.raises(ValueError, match="synthetic"):
+            run_spec_subprocess(SPEC, entry=entry_fail)
+
+    def test_timeout_kills_the_worker(self):
+        pids: list[int] = []
+        t0 = time.monotonic()
+        with pytest.raises(WorkerTimeout, match="deadline"):
+            run_spec_subprocess(SPEC, timeout_s=0.2, entry=entry_hang,
+                                on_start=pids.append)
+        assert time.monotonic() - t0 < 10.0
+        # The runaway child must actually be gone, not leaked.
+        with pytest.raises(OSError):
+            os.kill(pids[0], 0)
+
+    def test_crash_is_detected(self):
+        with pytest.raises(WorkerCrashed, match="died without a result"):
+            run_spec_subprocess(SPEC, entry=entry_crash)
+
+    def test_real_entry_round_trips_a_record(self):
+        record, report = run_spec_subprocess(RunSpec("nqueens", scale=0.05))
+        assert report is None
+        assert record.energy_j > 0.0
+
+
+class TestWorkerRunner:
+    def test_classifies_ok(self):
+        outcome = WorkerRunner(entry=entry_ok).run("j-1", SPEC)
+        assert outcome.kind == "ok"
+        assert outcome.record.watts == 16.0
+
+    def test_classifies_error(self):
+        outcome = WorkerRunner(entry=entry_fail).run("j-1", SPEC)
+        assert outcome.kind == "error"
+        assert "synthetic" in outcome.error
+
+    def test_classifies_timeout(self):
+        outcome = WorkerRunner(timeout_s=0.2, entry=entry_hang).run(
+            "j-1", SPEC)
+        assert outcome.kind == "timeout"
+
+    def test_classifies_crash(self):
+        outcome = WorkerRunner(entry=entry_crash).run("j-1", SPEC)
+        assert outcome.kind == "crash"
+
+    def test_pid_registry_tracks_in_flight_only(self):
+        runner = WorkerRunner(entry=entry_ok)
+        seen: list[dict[str, int]] = []
+        runner.run("j-42", SPEC,
+                   on_start=lambda pid: seen.append(runner.active_pids()))
+        assert seen[0] == {"j-42": seen[0]["j-42"]}
+        assert runner.active_pids() == {}  # emptied even after crashes
+        WorkerRunner(entry=entry_crash).run("j-9", SPEC)
