@@ -4,12 +4,12 @@ PYTHON ?= python
 
 COV_FAIL_UNDER ?= 80
 
-.PHONY: install test test-faults test-golden test-harness test-validate test-sched test-service validate-smoke sched-smoke serve-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched bench-service reproduce recalibrate examples clean
+.PHONY: install test test-faults test-golden test-harness test-metering test-validate test-sched test-service validate-smoke sched-smoke serve-smoke metersweep-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched bench-service reproduce recalibrate examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: sweep-smoke sched-smoke serve-smoke
+test: sweep-smoke sched-smoke serve-smoke metersweep-smoke
 	$(PYTHON) -m pytest tests/
 
 # Robustness suite: fault injection + degraded-mode behaviour only.
@@ -25,6 +25,11 @@ test-golden:
 # Harness suite: run specs, executor, result cache, telemetry.
 test-harness:
 	$(PYTHON) -m pytest tests/ -m harness
+
+# Metering suite: meter backends, counter-model estimator properties,
+# observer-overhead accounting tripwires and the metersweep experiment.
+test-metering:
+	$(PYTHON) -m pytest tests/ -m metering
 
 # Validation suite: invariant-checker tripwires, ledger audits,
 # expected-violation taxonomy, differential replay.
@@ -51,6 +56,12 @@ validate-smoke:
 # through the harness, via the CLI exactly as a user would run it.
 sched-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.cli schedsweep --quick --quiet
+
+# End-to-end metering smoke: the quick metersweep grid (both backends,
+# two cadences, fault-free) through the harness with the post-sweep
+# invariant audit, via the CLI exactly as a user would run it.
+metersweep-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.cli metersweep --quick --quiet
 
 # End-to-end service smoke: boot a real service on an ephemeral port,
 # submit duplicate jobs, SIGKILL the in-flight worker and prove the

@@ -113,26 +113,24 @@ def run(argv: list[str] | None = None) -> int:
     for name, record in current.items():
         print("  " + _format_row(name, record, baseline.get(name)))
 
-    speedups = {
-        name: baseline[name]["wall_s"] / record["wall_s"]
-        for name, record in current.items()
-        if name in baseline and record["wall_s"] > 0
-    }
+    from repro.perf.benchreport import (
+        missing_from_baseline,
+        overhead_report,
+        speedup_table,
+    )
+    from repro.perf.scenarios import OVERHEAD_PAIRS
+
+    speedups = speedup_table(current, baseline)
     if speedups:
         worst = min(speedups, key=speedups.get)
         print(f"  worst speedup vs baseline: {speedups[worst]:.2f}x ({worst})")
+    new_scenarios = missing_from_baseline(current, baseline)
+    if new_scenarios:
+        print(f"  new scenario(s) with no baseline yet: "
+              f"{', '.join(sorted(new_scenarios))}")
 
-    from repro.perf.scenarios import OVERHEAD_PAIRS
-
-    for checked, unchecked in OVERHEAD_PAIRS:
-        if checked in current and unchecked in current:
-            base_wall = current[unchecked]["wall_s"]
-            overhead = (current[checked]["wall_s"] / base_wall - 1.0) * 100
-            checks = current[checked].get("invariant_checks", 0)
-            print(
-                f"  invariant-checker overhead: {overhead:+.1f}% "
-                f"({checked} vs {unchecked}, {checks} checks)"
-            )
+    for line in overhead_report(current, baseline, OVERHEAD_PAIRS):
+        print("  " + line)
 
     if not args.update:
         if args.json.exists():

@@ -34,6 +34,7 @@ Quickstart::
 from repro.config import (
     MachineConfig,
     MemoryConfig,
+    MeterConfig,
     PAPER_MACHINE,
     PowerConfig,
     RuntimeConfig,
@@ -41,11 +42,12 @@ from repro.config import (
     ThrottleConfig,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MachineConfig",
     "MemoryConfig",
+    "MeterConfig",
     "PAPER_MACHINE",
     "PowerConfig",
     "RuntimeConfig",

@@ -10,6 +10,7 @@ Subcommands map one-to-one to the paper's evaluation artifacts:
     repro-paper throttle [APP]             # Tables IV-VII
     repro-paper sensitivity [APP]          # policy-threshold sweep
     repro-paper faultsweep                 # robustness: savings under faults
+    repro-paper metersweep                 # meter backends x cadence x faults
     repro-paper sched [options]            # one scheduled cluster run
     repro-paper schedsweep                 # placement policy x budget table
     repro-paper validate [--differential]  # physics-invariant sanitizer sweep
@@ -156,6 +157,48 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
         return 2
     print(result.format())
     return 0
+
+
+def _cmd_metersweep(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError, FaultConfigError, UnknownApplicationError
+    from repro.experiments.metersweep import (
+        DEFAULT_APP,
+        DEFAULT_BACKENDS,
+        DEFAULT_PERIODS,
+        DEFAULT_PROFILES,
+        QUICK_PERIODS,
+        QUICK_PROFILES,
+        run_meter_sweep,
+    )
+
+    app = args.app if args.app else DEFAULT_APP
+    backends = (
+        tuple(args.backends.split(",")) if args.backends else DEFAULT_BACKENDS
+    )
+    periods = (
+        tuple(float(p) for p in args.periods.split(","))
+        if args.periods else DEFAULT_PERIODS
+    )
+    profiles = (
+        tuple(args.profiles.split(",")) if args.profiles else DEFAULT_PROFILES
+    )
+    if args.quick:
+        periods = QUICK_PERIODS
+        profiles = QUICK_PROFILES
+    try:
+        with _make_harness(args) as harness:
+            result = run_meter_sweep(
+                app, backends, periods, profiles,
+                read_cost_s=args.read_cost,
+                seed=args.seed, harness=harness,
+            )
+    except (
+        ConfigError, FaultConfigError, UnknownApplicationError, ValueError
+    ) as exc:
+        print(f"repro-paper metersweep: error: {exc}", file=sys.stderr)
+        return 2
+    print(result.format())
+    return 0 if result.ok else 1
 
 
 def _cmd_sched(args: argparse.Namespace) -> int:
@@ -505,6 +548,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="one app, three profiles — the CI smoke configuration")
     _add_sweep_args(fs_p)
     fs_p.set_defaults(func=_cmd_faultsweep)
+
+    ms_p = sub.add_parser(
+        "metersweep",
+        help="attribution error + observer overhead: backend x cadence x faults",
+    )
+    ms_p.add_argument("--app", default=None,
+                      help="workload to meter (default: lulesh)")
+    ms_p.add_argument("--backends", default=None,
+                      help="comma-separated metering backends "
+                           "(default: rapl,counter-model)")
+    ms_p.add_argument("--periods", default=None, metavar="S,S",
+                      help="comma-separated sampling periods in seconds "
+                           "(default: 0.4,0.1,0.025)")
+    ms_p.add_argument("--profiles", default=None,
+                      help="comma-separated fault profiles "
+                           "(default: none,flaky-msr,stall)")
+    ms_p.add_argument("--read-cost", type=float, default=0.002, metavar="S",
+                      help="observer cost per socket sample read, "
+                           "solo-seconds (default: 0.002)")
+    ms_p.add_argument("--seed", type=int, default=0)
+    ms_p.add_argument("--quick", action="store_true",
+                      help="both backends, two cadences, fault-free — the "
+                           "CI smoke configuration")
+    _add_sweep_args(ms_p)
+    ms_p.set_defaults(func=_cmd_metersweep)
 
     sched_p = sub.add_parser(
         "sched", help="one scheduled cluster run (jobs onto budgeted nodes)"

@@ -12,6 +12,7 @@ so the hardware modules contain only mechanism and no magic numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.errors import ConfigError
 from repro.units import MIN_DUTY_CYCLE, NOMINAL_FREQUENCY_HZ
@@ -260,6 +261,86 @@ class ThrottleConfig:
             raise ConfigError("stale_after_s must be positive")
         if self.failsafe_release_s <= self.stale_after_s:
             raise ConfigError("failsafe_release_s must exceed stale_after_s")
+
+
+#: Metering backends the daemon can sample energy through (see
+#: :mod:`repro.metering`).  Kept here so :class:`MeterConfig` can validate
+#: without importing the backend implementations (config is imported by
+#: everything, including the metering package itself).
+METER_BACKENDS: tuple[str, ...] = ("rapl", "counter-model")
+
+
+@dataclass(frozen=True)
+class MeterConfig:
+    """Metering-backend selection and observer-overhead parameters.
+
+    Controls *how* the RCRdaemon measures energy (which backend), *how
+    often* (sampling period) and *what each sample costs* the measured
+    system (the observer-overhead model).  The zero-valued default — or an
+    absent config — is provably inert: the daemon builds the same
+    wrap-aware RAPL path it always has, at the paper's 0.1 s cadence, with
+    no overhead charged, and every run is bit-identical to a build without
+    the metering layer (pinned by the golden-trace suite).
+
+    ``read_cost_s`` is the CPU cost of *one* socket sample read, in
+    solo-seconds of work charged to ``overhead_core`` (the real analog:
+    the syscall + MSR read + blackboard update a sampler pays per socket
+    per tick).  Because the charge is injected as ordinary work segments,
+    it flows through the full physics — power, thermal, memory contention
+    — so raising the cadence genuinely perturbs the energy being measured,
+    which is the point of the overhead study.
+    """
+
+    #: Which backend samples energy: ``"rapl"`` (the wrap-aware MSR
+    #: counter path) or ``"counter-model"`` (a software wattmeter
+    #: estimating power from APERF/MPERF utilisation).
+    backend: str = "rapl"
+    #: Daemon sampling period, seconds (paper default: 0.1 s).
+    period_s: float = 0.1
+    #: Observer overhead charged per socket sample read, solo-seconds of
+    #: CPU work on ``overhead_core``.  0.0 disables the overhead model.
+    read_cost_s: float = 0.0
+    #: Memory intensity of the charged overhead work (counter reads and
+    #: blackboard traffic are moderately memory-bound).
+    read_mem_fraction: float = 0.3
+    #: Core the overhead work runs on (default: the node's last core,
+    #: matching the daemon's legacy ``model_overhead`` placement).
+    overhead_core: Optional[int] = None
+    #: Declared error envelope of a *model* backend: the measured energy
+    #: must stay within this fraction of ground truth.  The RAPL backend
+    #: measures rather than models, so it is held to RAPL quantisation
+    #: instead (see :mod:`repro.validate.records`).
+    envelope_frac: float = 0.25
+
+    def validate(self) -> None:
+        if self.backend not in METER_BACKENDS:
+            raise ConfigError(
+                f"unknown meter backend {self.backend!r}; "
+                f"one of {', '.join(METER_BACKENDS)}"
+            )
+        if self.period_s <= 0:
+            raise ConfigError("period_s must be positive")
+        if self.read_cost_s < 0:
+            raise ConfigError("read_cost_s must be non-negative")
+        if not (0.0 <= self.read_mem_fraction <= 1.0):
+            raise ConfigError("read_mem_fraction must be in [0, 1]")
+        if self.overhead_core is not None and self.overhead_core < 0:
+            raise ConfigError("overhead_core must be non-negative")
+        if self.envelope_frac <= 0:
+            raise ConfigError("envelope_frac must be positive")
+
+    @property
+    def inert(self) -> bool:
+        """True when this config cannot perturb a default-daemon run."""
+        return (
+            self.backend == "rapl"
+            and self.period_s == 0.1
+            and self.read_cost_s == 0.0
+        )
+
+    def with_changes(self, **kwargs: object) -> "MeterConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
 
 
 @dataclass(frozen=True)

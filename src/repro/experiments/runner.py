@@ -22,6 +22,7 @@ from repro.calibration.profiles import WorkloadProfile, get_profile
 from repro.config import (
     FaultConfig,
     MachineConfig,
+    MeterConfig,
     PAPER_MACHINE,
     RuntimeConfig,
     ThrottleConfig,
@@ -96,6 +97,7 @@ def run_measurement(
     scale: float = 1.0,
     seed: int = 0,
     faults: Optional[FaultConfig] = None,
+    meter: Optional[MeterConfig] = None,
     app_kwargs: Optional[dict] = None,
     checker: Optional["InvariantChecker"] = None,
 ) -> MeasurementResult:
@@ -104,6 +106,10 @@ def run_measurement(
     ``faults`` optionally injects deterministic sensor-path faults (see
     :mod:`repro.faults`); an absent or inert config leaves the pipeline
     bit-identical to a fault-free build.
+
+    ``meter`` optionally selects the daemon's metering backend, sampling
+    cadence and observer-overhead cost (see :mod:`repro.metering`); an
+    absent or inert config is likewise bit-identical to the default.
 
     ``checker`` optionally attaches a :class:`repro.validate.checker.InvariantChecker`
     for the duration of the run.  The checker observes through read-only
@@ -129,7 +135,9 @@ def run_measurement(
             now_fn=lambda: runtime.engine.now,
         )
     blackboard = Blackboard()
-    daemon = RCRDaemon(runtime.engine, runtime.node, blackboard, faults=injector)
+    daemon = RCRDaemon(
+        runtime.engine, runtime.node, blackboard, faults=injector, meter=meter
+    )
     daemon.start()
     client = RegionClient(runtime.engine, blackboard, machine.sockets, daemon=daemon)
     controller = None

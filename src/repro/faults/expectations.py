@@ -18,19 +18,33 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.config import FaultConfig
+from repro.config import FaultConfig, MeterConfig
 from repro.validate.violations import STRICT_CATEGORIES, Violation
 
 
-def expected_categories(faults: Optional[FaultConfig]) -> frozenset[str]:
-    """Violation categories the fault config can legitimately produce."""
+def expected_categories(
+    faults: Optional[FaultConfig],
+    *,
+    meter: Optional[MeterConfig] = None,
+) -> frozenset[str]:
+    """Violation categories the fault config can legitimately produce.
+
+    The answer depends on the metering backend (``meter``): the injector's
+    read-corruption knobs (``msr_read_fail_p``, ``stuck_p``) act only on
+    ``MSR_PKG_ENERGY_STATUS`` reads, which the counter-model backend never
+    performs — so on such runs those knobs explain *nothing*, and an
+    energy disagreement under a flaky-MSR profile is still a failure.
+    Cadence faults (stall, jitter) act on the daemon's tick schedule and
+    reach every backend.
+    """
     if faults is None or faults.inert:
         return frozenset()
+    reads_energy_msr = meter is None or meter.backend == "rapl"
     expected: set[str] = set()
     # Anything that corrupts, delays or skips energy reads can push the
     # measured (RAPL-path) energy away from ground truth, and surfaces as
     # degraded sample qualities / watchdog counters on the way.
-    if faults.msr_read_fail_p > 0.0 or faults.stuck_p > 0.0:
+    if (faults.msr_read_fail_p > 0.0 or faults.stuck_p > 0.0) and reads_energy_msr:
         expected.add("measurement-energy")
         expected.add("measurement-quality")
     if faults.stall_at_s is not None and faults.stall_duration_s > 0.0:
@@ -53,14 +67,17 @@ def expected_categories(faults: Optional[FaultConfig]) -> frozenset[str]:
 def classify_violations(
     violations: list[Violation] | tuple[Violation, ...],
     faults: Optional[FaultConfig],
+    *,
+    meter: Optional[MeterConfig] = None,
 ) -> tuple[Violation, ...]:
     """Stamp each violation's ``expected`` flag from the fault config.
 
     Strict categories stay unexpected no matter what; measurement
     categories become expected exactly when :func:`expected_categories`
-    says the active fault knobs can produce them.
+    says the active fault knobs can produce them on this run's metering
+    backend.
     """
-    allowed = expected_categories(faults)
+    allowed = expected_categories(faults, meter=meter)
     out = []
     for violation in violations:
         expected = (

@@ -103,6 +103,15 @@ class MeasurementRecord:
     daemon_ticks: int = 0
     late_ticks: int = 0
     missed_ticks: int = 0
+    #: Metering backend that produced the region measurement.
+    meter_backend: str = "rapl"
+    #: Observer-overhead accounting: socket sample reads charged as work
+    #: segments, reads skipped (overhead core busy), and solo-seconds
+    #: charged — exactly ``overhead_reads_charged * meter.read_cost_s``,
+    #: audited by the validate layer.
+    overhead_reads_charged: int = 0
+    overhead_reads_skipped: int = 0
+    overhead_solo_s: float = 0.0
     #: ``repr()`` of the root task's return value when payload mode ran.
     result_repr: Optional[str] = None
     #: Host wall-clock seconds spent executing (never part of equality).
@@ -186,6 +195,18 @@ class MeasurementRecord:
             daemon_ticks=daemon.ticks if daemon is not None else 0,
             late_ticks=daemon.late_ticks if daemon is not None else 0,
             missed_ticks=daemon.missed_ticks if daemon is not None else 0,
+            meter_backend=(
+                daemon.backend.name if daemon is not None else "rapl"
+            ),
+            overhead_reads_charged=(
+                daemon.overhead_reads_charged if daemon is not None else 0
+            ),
+            overhead_reads_skipped=(
+                daemon.overhead_reads_skipped if daemon is not None else 0
+            ),
+            overhead_solo_s=(
+                daemon.overhead_solo_s if daemon is not None else 0.0
+            ),
             result_repr=(
                 repr(result.run.result) if spec.payload else None
             ),

@@ -22,7 +22,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.config import FaultConfig, ThrottleConfig
+from repro.config import FaultConfig, MeterConfig, ThrottleConfig
 from repro.errors import ConfigError
 
 #: Bump when the spec schema (or run_measurement semantics it maps onto)
@@ -45,6 +45,11 @@ class RunSpec:
     seed: int = 0
     faults: Optional[FaultConfig] = None
     warm: bool = True
+    #: Metering backend / cadence / observer-overhead selection.  ``None``
+    #: (the default daemon) is digested as an *absent key*, so every spec
+    #: that predates the metering layer keeps its original digest and
+    #: cache entry.
+    meter: Optional[MeterConfig] = None
     #: Display-only heading ("16 Threads - Dynamic"); never part of the
     #: digest, equality or hash.
     label: str = field(default="", compare=False)
@@ -54,13 +59,20 @@ class RunSpec:
             raise ConfigError(f"threads must be >= 1, got {self.threads!r}")
         if self.scale <= 0:
             raise ConfigError(f"scale must be positive, got {self.scale!r}")
+        if self.meter is not None:
+            self.meter.validate()
 
     # ------------------------------------------------------------------
     # identity
     # ------------------------------------------------------------------
     def payload_dict(self) -> dict[str, Any]:
-        """The digestable content: every field that affects the result."""
-        return {
+        """The digestable content: every field that affects the result.
+
+        ``meter`` is included only when set: omitting the key for ``None``
+        keeps every pre-metering digest (and the caches keyed on them)
+        byte-stable.
+        """
+        payload: dict[str, Any] = {
             "schema": SPEC_SCHEMA,
             "app": self.app,
             "compiler": self.compiler,
@@ -80,6 +92,9 @@ class RunSpec:
             ),
             "warm": self.warm,
         }
+        if self.meter is not None:
+            payload["meter"] = dataclasses.asdict(self.meter)
+        return payload
 
     def canonical(self) -> str:
         """Canonical JSON rendering (sorted keys, no whitespace)."""
@@ -112,6 +127,7 @@ class RunSpec:
             "seed": self.seed,
             "faults": self.faults,
             "warm": self.warm,
+            "meter": self.meter,
         }
 
     def describe(self) -> str:
@@ -123,6 +139,8 @@ class RunSpec:
             text += " +throttle"
         if self.faults is not None and not self.faults.inert:
             text += " +faults"
+        if self.meter is not None and not self.meter.inert:
+            text += f" +meter={self.meter.backend}@{self.meter.period_s:g}s"
         if self.seed:
             text += f" seed={self.seed}"
         return text

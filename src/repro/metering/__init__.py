@@ -1,0 +1,24 @@
+"""Pluggable energy-metering backends and the observer-overhead model.
+
+See :mod:`repro.metering.backends` for the backend protocol and the two
+implementations (hardware RAPL path, APERF/MPERF software wattmeter);
+:class:`repro.config.MeterConfig` selects a backend, sampling cadence and
+per-read observer cost; :mod:`repro.experiments.metersweep` is the
+attribution-error study built on top.
+"""
+
+from repro.metering.backends import (
+    CounterModelBackend,
+    MeterBackend,
+    RaplBackend,
+    estimate_socket_power_w,
+    make_backend,
+)
+
+__all__ = [
+    "MeterBackend",
+    "RaplBackend",
+    "CounterModelBackend",
+    "estimate_socket_power_w",
+    "make_backend",
+]

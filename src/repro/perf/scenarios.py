@@ -52,6 +52,7 @@ def run_stack(
     threads: int = 16,
     throttle: bool = False,
     faults: Optional[Any] = None,
+    meter: Optional[Any] = None,
     seed: int = 0,
     scale: float = 1.0,
     trace: bool = False,
@@ -92,7 +93,9 @@ def run_stack(
             now_fn=lambda: runtime.engine.now,
         )
     blackboard = Blackboard()
-    daemon = RCRDaemon(runtime.engine, runtime.node, blackboard, faults=injector)
+    daemon = RCRDaemon(
+        runtime.engine, runtime.node, blackboard, faults=injector, meter=meter
+    )
     daemon.start()
     client = RegionClient(runtime.engine, blackboard, machine.sockets, daemon=daemon)
     controller = None
@@ -254,6 +257,29 @@ def _scenario_table1_fib_validated() -> dict[str, Any]:
     }
 
 
+def _scenario_table1_fib_metered() -> dict[str, Any]:
+    """The ``table1-bots-fib`` cell with the counter-model meter charging.
+
+    Pairs with the unmetered cell so the benchmark runner can report what
+    the metering layer costs per run: the software-wattmeter backend reads
+    both cycle counters for all 16 cores every tick, and each socket
+    sample read is charged to the overhead core.
+    """
+    from repro.config import MeterConfig
+
+    result = run_stack(
+        "bots-fib", compiler="gcc", optlevel="O2", threads=16,
+        meter=MeterConfig(backend="counter-model", read_cost_s=0.002),
+    )
+    return {
+        "events": result.engine.fired,
+        "simulated_s": result.run.elapsed_s,
+        "energy_j": result.run.energy_j,
+        "daemon_ticks": result.daemon.ticks,
+        "overhead_reads": result.daemon.overhead_reads_charged,
+    }
+
+
 #: Scenario registry: name -> zero-argument callable returning metadata.
 BENCH_SCENARIOS: dict[str, Callable[[], dict[str, Any]]] = {
     "event-drain": _scenario_event_drain,
@@ -261,11 +287,17 @@ BENCH_SCENARIOS: dict[str, Callable[[], dict[str, Any]]] = {
     "table1-bots-fib": _scenario_table1_fib,
     "table1-lulesh": _scenario_table1_lulesh,
     "table1-fib-validated": _scenario_table1_fib_validated,
+    "table1-fib-metered": _scenario_table1_fib_metered,
 }
 
-#: (checked, unchecked) scenario pairs the bench runner reports overhead for.
+#: (checked, unchecked) scenario pairs the bench runner reports overhead
+#: for.  A pair member absent from the committed baseline (a scenario
+#: newer than the last ``--update --record-baseline``) must degrade to a
+#: "(new pair; no baseline)" note, never a KeyError — see
+#: :func:`repro.perf.benchreport.overhead_report`.
 OVERHEAD_PAIRS: tuple[tuple[str, str], ...] = (
     ("table1-fib-validated", "table1-bots-fib"),
+    ("table1-fib-metered", "table1-bots-fib"),
 )
 
 

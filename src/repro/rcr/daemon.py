@@ -29,12 +29,14 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.config import MeterConfig
 from repro.errors import MeasurementError
 from repro.hw.msr import IA32_THERM_STATUS
 from repro.hw.node import Node
 from repro.hw.perfctr import window_average
 from repro.hw.thermal import ThermalState
-from repro.measure.energy import MultiSocketEnergyReader, SampleQuality
+from repro.measure.energy import SampleQuality
+from repro.metering import make_backend
 from repro.rcr import meters
 from repro.rcr.blackboard import Blackboard
 from repro.sim.engine import Engine
@@ -62,6 +64,7 @@ class RCRDaemon:
         overhead_fraction: float = 0.16,
         overhead_core: Optional[int] = None,
         faults: Optional["FaultInjector"] = None,
+        meter: Optional[MeterConfig] = None,
     ) -> None:
         """``model_overhead=True`` charges the daemon's own CPU cost.
 
@@ -74,7 +77,22 @@ class RCRDaemon:
         the daemon competes with the app, and our profiles are calibrated
         to those numbers, so modelling it *additionally* would double
         count; it exists for studies of the daemon cost itself.
+
+        ``meter`` selects the metering backend and the per-read observer
+        model (:class:`~repro.config.MeterConfig`): it overrides
+        ``period_s`` (and ``overhead_core`` when set), and a non-zero
+        ``read_cost_s`` charges every socket sample read as real work on
+        the overhead core — a finer-grained cousin of ``model_overhead``
+        whose cost scales with cadence instead of with it, which is what
+        lets the metersweep study overhead-vs-fidelity.  ``meter=None``
+        (or the default config) is provably inert: the daemon builds the
+        same RAPL path as always and charges nothing.
         """
+        if meter is not None:
+            meter.validate()
+            period_s = meter.period_s
+            if meter.overhead_core is not None:
+                overhead_core = meter.overhead_core
         if period_s <= 0:
             raise MeasurementError(f"period must be positive, got {period_s!r}")
         if not (0.0 <= overhead_fraction < 1.0):
@@ -103,7 +121,23 @@ class RCRDaemon:
         #: wrap_msr returns the node's own MSRFile in that case).
         self.faults = faults if (faults is not None and faults.active) else None
         self._msr = self.faults.wrap_msr(node.msr) if self.faults else node.msr
-        self._energy = MultiSocketEnergyReader(self._msr, self._sockets)
+        #: Metering backend: the config's choice, or the default RAPL path
+        #: (which performs byte-identical MSR traffic to the pre-backend
+        #: daemon — pinned by the golden-trace suite).
+        self.meter = meter
+        self.backend = make_backend(
+            meter.backend if meter is not None else "rapl", self._msr, node
+        )
+        self._read_cost_s = meter.read_cost_s if meter is not None else 0.0
+        self._read_mem_fraction = (
+            meter.read_mem_fraction if meter is not None else 0.3
+        )
+        #: Observer-overhead accounting: socket sample reads charged as
+        #: work segments, reads skipped (overhead core busy), and the
+        #: exact solo-seconds charged (= reads_charged * read_cost_s, an
+        #: invariant the validate layer audits).
+        self.overhead_reads_charged = 0
+        self.overhead_reads_skipped = 0
         self._prev_joules = [0.0] * self._sockets
         self._counter_snaps = [
             node.counters_snapshot(s) for s in range(self._sockets)
@@ -135,11 +169,16 @@ class RCRDaemon:
     @property
     def quality_counts(self) -> dict[SampleQuality, int]:
         """Aggregate per-sample quality histogram across all sockets."""
-        totals: dict[SampleQuality, int] = {q: 0 for q in SampleQuality}
-        for reader in self._energy.readers:
-            for quality, count in reader.quality_counts.items():
-                totals[quality] += count
-        return totals
+        return self.backend.quality_counts()
+
+    @property
+    def overhead_solo_s(self) -> float:
+        """Total observer-overhead work charged, solo-seconds.
+
+        Derived exactly (one product, no accumulated rounding) so the
+        validate layer can audit it with strict float equality.
+        """
+        return self.overhead_reads_charged * self._read_cost_s
 
     def start(self) -> None:
         """Begin sampling; the first tick fires one period from now."""
@@ -243,8 +282,8 @@ class RCRDaemon:
         total_energy = 0.0
         good_sockets = 0
         for s in range(self._sockets):
-            sample = self._energy.readers[s].poll_sample(
-                window_s if (not initial and window_s > 0) else None
+            sample = self.backend.poll_sample(
+                s, window_s if (not initial and window_s > 0) else None
             )
             self.last_qualities[s] = sample.quality
             joules = sample.total_joules
@@ -289,7 +328,7 @@ class RCRDaemon:
             bb.publish(meters.socket_temp_degc(s), temp, now)
             bb.publish(meters.socket_mem_concurrency(s), avg_demand, now)
             bb.publish(meters.socket_bw_util(s), avg_bw_util, now)
-            bb.publish(meters.socket_wraps(s), self._energy.readers[s].wraps, now)
+            bb.publish(meters.socket_wraps(s), self.backend.wraps(s), now)
             bb.publish(meters.socket_sample_quality(s), int(sample.quality), now)
             bb.publish(meters.socket_stale_s(s), stale_s, now)
             total_power += power_w
@@ -302,6 +341,35 @@ class RCRDaemon:
         bb.publish(meters.DAEMON_HEALTH, good_sockets / self._sockets, now)
         bb.publish(meters.DAEMON_LATE_TICKS, self.late_ticks, now)
         bb.publish(meters.DAEMON_MISSED_TICKS, self.missed_ticks, now)
+        if self._read_cost_s > 0.0:
+            self._charge_read_cost()
+
+    def _charge_read_cost(self) -> None:
+        """Charge this publish's sample reads as work on the overhead core.
+
+        One read per socket per publish; the charge is injected as an
+        ordinary :class:`~repro.hw.core.Segment` (never a raw energy
+        deposit), so it flows through the full power/thermal/memory
+        physics and the invariant checker's conservation ledgers hold.
+        Like the legacy ``model_overhead`` path, a busy overhead core
+        skips the charge (the fluid model cannot timeslice) and the skip
+        is counted, bounding the approximation.
+        """
+        from repro.hw.core import CoreState, Segment  # local: avoid cycle
+
+        core = self.node.cores[self.overhead_core]
+        if core.state is not CoreState.IDLE:
+            self.overhead_reads_skipped += self._sockets
+            return
+        self.overhead_reads_charged += self._sockets
+        self.node.assign(
+            self.overhead_core,
+            Segment(
+                self._read_cost_s * self._sockets,
+                mem_fraction=self._read_mem_fraction,
+                tag="meter-read",
+            ),
+        )
 
     def _first_core(self, socket: int) -> int:
         """A core of ``socket`` through which package MSRs are read."""

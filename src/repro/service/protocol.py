@@ -25,7 +25,7 @@ import dataclasses
 import json
 from typing import Any, Union
 
-from repro.config import FaultConfig, ThrottleConfig
+from repro.config import FaultConfig, MeterConfig, ThrottleConfig
 from repro.errors import ConfigError, ProtocolError
 from repro.harness.spec import RunSpec
 from repro.sched.spec import SchedSpec
@@ -47,6 +47,7 @@ _RUN_FIELDS = {f.name for f in dataclasses.fields(RunSpec)}
 _SCHED_FIELDS = {f.name for f in dataclasses.fields(SchedSpec)}
 _THROTTLE_FIELDS = {f.name for f in dataclasses.fields(ThrottleConfig)}
 _FAULT_FIELDS = {f.name for f in dataclasses.fields(FaultConfig)}
+_METER_FIELDS = {f.name for f in dataclasses.fields(MeterConfig)}
 
 
 # ----------------------------------------------------------------------
@@ -170,6 +171,8 @@ def spec_from_wire(wire: dict[str, Any]) -> Spec:
         else:
             fields["faults"] = _nested(
                 "faults", faults, FaultConfig, _FAULT_FIELDS)
+        fields["meter"] = _nested(
+            "meter", fields.get("meter"), MeterConfig, _METER_FIELDS)
         try:
             return RunSpec(**fields)
         except (ConfigError, TypeError, ValueError) as exc:

@@ -36,7 +36,8 @@ from repro.validate.cluster import (
     cluster_corpus,
     run_cluster_validation,
 )
-from repro.validate.corpus import corpus, differential_specs
+from repro.validate.corpus import METER_SPECS, corpus, differential_specs
+from repro.validate.metering import check_overhead_monotone
 from repro.validate.records import check_record
 from repro.validate.runner import (
     DifferentialResult,
@@ -58,7 +59,9 @@ __all__ = [
     "check_budget_enforcement",
     "check_budget_floor",
     "check_cluster_budgets",
+    "check_overhead_monotone",
     "check_record",
+    "METER_SPECS",
     "cluster_corpus",
     "corpus",
     "differential_specs",

@@ -14,6 +14,7 @@ representative of each class in a few runs for smoke use.
 
 from __future__ import annotations
 
+from repro.config import MeterConfig
 from repro.faults.profiles import PROFILES
 from repro.harness.spec import RunSpec
 
@@ -34,6 +35,31 @@ BASE_SPECS: tuple[RunSpec, ...] = (
     RunSpec(
         "nqueens", "gcc", "O2", threads=16, warm=False,
         label="nqueens cold start",
+    ),
+)
+
+#: Metering-layer runs: the counter-model backend must stay inside its
+#: declared error envelope; a RAPL run charging per-read observer cost
+#: must account for it exactly; and the counter-model under a flaky-MSR
+#: profile must audit *completely clean* — the corrupted register is one
+#: it never reads, so the taxonomy refuses to excuse anything
+#: (see :func:`repro.faults.expectations.expected_categories`).
+METER_SPECS: tuple[RunSpec, ...] = (
+    RunSpec(
+        "mergesort", "gcc", "O2", threads=16,
+        meter=MeterConfig(backend="counter-model"),
+        label="mergesort counter-model",
+    ),
+    RunSpec(
+        "lulesh", "gcc", "O2", threads=12, scale=0.35,
+        meter=MeterConfig(read_cost_s=0.002),
+        label="lulesh rapl +read-cost",
+    ),
+    RunSpec(
+        "dijkstra", "gcc", "O2", threads=16, throttle=True,
+        meter=MeterConfig(backend="counter-model"),
+        faults=PROFILES["flaky-msr"], seed=1,
+        label="dijkstra counter-model faults=flaky-msr",
     ),
 )
 
@@ -62,8 +88,12 @@ def fault_specs(profiles: tuple[str, ...] | None = None) -> list[RunSpec]:
 def corpus(*, quick: bool = False) -> list[RunSpec]:
     """The validation corpus (or its quick subset)."""
     if quick:
-        return list(_QUICK_BASE) + fault_specs(_QUICK_PROFILES)
-    return list(BASE_SPECS) + fault_specs()
+        return (
+            list(_QUICK_BASE)
+            + fault_specs(_QUICK_PROFILES)
+            + [METER_SPECS[0], METER_SPECS[1]]
+        )
+    return list(BASE_SPECS) + fault_specs() + list(METER_SPECS)
 
 
 def differential_specs() -> list[RunSpec]:

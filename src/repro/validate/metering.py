@@ -1,0 +1,95 @@
+"""Cross-record invariants for the metering layer.
+
+The per-record audits in :mod:`repro.validate.records` (error envelope,
+overhead accounting) hold for one run in isolation.  The observer-effect
+contract is a statement about a *family* of runs: charging a per-read
+cost must perturb the measured system monotonically with sampling cadence
+— more reads, more work, more energy, never less.  These checks take the
+whole family and audit that shape, which is how the ``metersweep``
+experiment turns its table into a pass/fail verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.harness.record import MeasurementRecord
+from repro.validate.violations import Violation
+
+#: Slack for the cross-run energy comparison, Joules.  Two runs at
+#: different cadences are different schedules, so the comparison is of
+#: genuinely distinct physical executions; one RAPL tick of slack absorbs
+#: boundary quantisation without hiding any real non-monotonicity (the
+#: observer effect at paper-scale cadences is whole Joules).
+_MONOTONE_SLACK_J = 1e-3
+
+
+def check_overhead_monotone(
+    records: Sequence[MeasurementRecord],
+) -> list[Violation]:
+    """Audit the observer effect across a cadence family of records.
+
+    ``records`` must be the same workload/configuration at different
+    sampling periods, all charging the same non-zero per-read cost and
+    fault-free (faults would perturb cadence independently).  Checks,
+    after sorting by period from slowest to fastest cadence:
+
+    * ``overhead-monotone`` — ground-truth energy and elapsed time are
+      non-decreasing in cadence: sampling more often must cost more, not
+      less.  (Ground truth, not the measured value: a meter could *hide*
+      its own overhead from its own reading, which is precisely what
+      ground truth cannot do.)
+    * ``overhead-charged`` — each run actually charged reads; a family
+      where every read was skipped proves nothing about the observer
+      effect and means the overhead core was never free.
+    """
+    violations: list[Violation] = []
+    usable = [
+        r for r in records
+        if r.spec.meter is not None and r.spec.meter.read_cost_s > 0.0
+    ]
+    if len(usable) < 2:
+        return violations
+    ordered = sorted(usable, key=lambda r: -r.spec.meter.period_s)
+    for record in ordered:
+        if record.overhead_reads_charged == 0:
+            violations.append(
+                Violation(
+                    invariant="overhead-charged",
+                    category="model",
+                    message=(
+                        f"{record.spec.describe()}: no sample read was ever "
+                        f"charged ({record.overhead_reads_skipped} skipped) — "
+                        f"the cadence family cannot witness the observer "
+                        f"effect"
+                    ),
+                )
+            )
+    for prev, cur in zip(ordered, ordered[1:]):
+        p_prev = prev.spec.meter.period_s
+        p_cur = cur.spec.meter.period_s
+        if cur.run.energy_j < prev.run.energy_j - _MONOTONE_SLACK_J:
+            violations.append(
+                Violation(
+                    invariant="overhead-monotone",
+                    category="model",
+                    message=(
+                        f"ground-truth energy fell from {prev.run.energy_j!r} J "
+                        f"@ {p_prev:g} s to {cur.run.energy_j!r} J @ {p_cur:g} s "
+                        f"— sampling faster must not cost less"
+                    ),
+                )
+            )
+        if cur.run.elapsed_s < prev.run.elapsed_s - 1e-9:
+            violations.append(
+                Violation(
+                    invariant="overhead-monotone",
+                    category="model",
+                    message=(
+                        f"elapsed time fell from {prev.run.elapsed_s!r} s "
+                        f"@ {p_prev:g} s to {cur.run.elapsed_s!r} s @ "
+                        f"{p_cur:g} s — sampling faster must not finish sooner"
+                    ),
+                )
+            )
+    return violations

@@ -53,7 +53,7 @@ def validate_spec(
     violations.extend(check_record(record))
     report = ValidationReport(
         spec=spec,
-        violations=classify_violations(violations, spec.faults),
+        violations=classify_violations(violations, spec.faults, meter=spec.meter),
         checks=dict(checker.checks),
         batteries=checker.batteries,
         syncs=checker.syncs,

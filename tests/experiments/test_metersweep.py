@@ -1,0 +1,123 @@
+"""The metersweep experiment: attribution error through the harness.
+
+Runs the quick grid (both backends, two cadences, fault-free) once at a
+trimmed scale and asserts the study's core claims end to end: RAPL reads
+truth to quantisation, the counter model stays inside its declared
+envelope, the observer effect is monotone in cadence, the post-sweep
+invariant audit is clean, and a re-run through the same cache is served
+without executing and bit-identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metersweep import (
+    QUICK_PERIODS,
+    QUICK_PROFILES,
+    run_meter_sweep,
+)
+from repro.harness.cache import ResultCache
+from repro.harness.executor import BatchExecutor
+from repro.harness.telemetry import ListSink, RunCached, TelemetryBus
+
+pytestmark = pytest.mark.metering
+
+_GRID = dict(
+    app="mergesort",
+    periods=QUICK_PERIODS,
+    profiles=QUICK_PROFILES,
+    threads=8,
+    scale=0.5,
+)
+
+
+@pytest.fixture(scope="module")
+def cache_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("metersweep-cache")
+
+
+@pytest.fixture(scope="module")
+def sweep(cache_root):
+    harness = BatchExecutor(cache=ResultCache(root=cache_root))
+    return run_meter_sweep(**_GRID, harness=harness)
+
+
+def test_sweep_covers_the_grid_and_audits_clean(sweep) -> None:
+    assert set(sweep.cells) == {
+        (backend, period, "none")
+        for backend in ("rapl", "counter-model")
+        for period in QUICK_PERIODS
+    }
+    assert sweep.audit_violations == []
+    assert sweep.ok
+
+
+def test_rapl_error_is_quantisation_model_error_is_bias(sweep) -> None:
+    for (backend, _period, _profile), cell in sweep.cells.items():
+        if backend == "rapl":
+            # Truth counter read directly: error is tick quantisation.
+            assert abs(cell.attribution_error) < 1e-3
+        else:
+            # Model bias: nonzero but inside the declared envelope.
+            assert 0.0 < abs(cell.attribution_error) \
+                <= cell.record.spec.meter.envelope_frac
+
+
+def test_observer_overhead_monotone_in_cadence(sweep) -> None:
+    """Sampling 4x faster charges more reads and costs more truth energy."""
+    slow, fast = QUICK_PERIODS
+    for backend in sweep.backends:
+        cell_slow = sweep.cells[(backend, slow, "none")]
+        cell_fast = sweep.cells[(backend, fast, "none")]
+        assert cell_fast.record.overhead_reads_charged \
+            > cell_slow.record.overhead_reads_charged > 0
+        extra_j, extra_s = sweep.overhead_vs_slowest(cell_fast)
+        # Reads burn on the otherwise-idle overhead core: energy strictly
+        # grows, while elapsed time may only grow (the charge sits off the
+        # critical path unless the workload saturates every core).
+        assert extra_j > 0.0
+        assert extra_s >= -1e-9
+
+
+def test_backends_disagree_by_the_model_bias(sweep) -> None:
+    for period in QUICK_PERIODS:
+        gap = sweep.disagreement(period, "none")
+        assert gap is not None and gap != 0.0
+        model = sweep.cells[("counter-model", period, "none")]
+        assert abs(gap) <= model.record.spec.meter.envelope_frac * 1.01
+
+
+def test_rerun_is_cache_served_and_bit_identical(sweep, cache_root) -> None:
+    sink = ListSink()
+    harness = BatchExecutor(
+        cache=ResultCache(root=cache_root), bus=TelemetryBus([sink])
+    )
+    again = run_meter_sweep(**_GRID, harness=harness)
+    assert len(sink.of_type(RunCached)) == len(sweep.cells)
+    for key, cell in sweep.cells.items():
+        assert again.cells[key].record == cell.record
+    assert again.ok
+
+
+def test_unknown_profile_fails_eagerly() -> None:
+    from repro.errors import FaultConfigError
+
+    with pytest.raises(FaultConfigError, match="no-such-profile"):
+        run_meter_sweep(profiles=("no-such-profile",))
+
+
+def test_unknown_backend_fails_eagerly() -> None:
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError, match="nvml"):
+        run_meter_sweep(backends=("nvml",), **{
+            k: v for k, v in _GRID.items() if k != "app"
+        })
+
+
+def test_format_renders_the_study_table(sweep) -> None:
+    text = sweep.format()
+    assert "attribution error" in text.splitlines()[0]
+    assert "cross-backend disagreement" in text
+    assert "RESULT: PASS" in text

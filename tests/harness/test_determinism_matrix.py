@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.config import MeterConfig
 from repro.harness.cache import ResultCache
 from repro.harness.executor import BatchExecutor, execute_spec
 from repro.harness.spec import RunSpec
@@ -23,11 +24,18 @@ from repro.harness.telemetry import ListSink, RunCached, TelemetryBus
 
 pytestmark = pytest.mark.harness
 
-#: A small slice that still covers throttling and an alternate compiler.
+#: A small slice that still covers throttling, an alternate compiler and
+#: both metering backends (the software wattmeter, and RAPL with a
+#: nonzero observer cost so the overhead charge-back path is on the
+#: matrix too).
 MATRIX_SPECS = (
     RunSpec("mergesort", "gcc", "O2", threads=8),
     RunSpec("nqueens", "icc", "O2", threads=16),
     RunSpec("dijkstra", "gcc", "O2", threads=16, throttle=True),
+    RunSpec("mergesort", "gcc", "O2", threads=8,
+            meter=MeterConfig(backend="counter-model")),
+    RunSpec("nqueens", "gcc", "O2", threads=8,
+            meter=MeterConfig(read_cost_s=0.002)),
 )
 
 

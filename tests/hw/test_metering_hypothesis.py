@@ -1,0 +1,136 @@
+"""Hypothesis properties for the counter-model metering backend.
+
+The software wattmeter's estimator
+(:func:`repro.metering.estimate_socket_power_w`) is a pure function of
+counter deltas, so its contract can be probed exhaustively: power is
+non-negative and bounded, monotone non-decreasing in utilisation, exact
+on idle sockets, and — end to end through the full stack — the backend's
+accumulated energy agrees with the RAPL backend within its declared
+error envelope on steady scenarios.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import PAPER_MACHINE, MeterConfig, PowerConfig
+from repro.metering import estimate_socket_power_w
+
+pytestmark = pytest.mark.metering
+
+_POWER = PowerConfig()
+_FREQ = PAPER_MACHINE.frequency_hz
+_CORES = PAPER_MACHINE.cores_per_socket
+
+#: One window's worth of cycles per core at a cadence the daemon uses.
+_WINDOW_S = 0.1
+_FULL = _FREQ * _WINDOW_S
+
+#: Per-core cycle deltas: anywhere from power-gated idle to (beyond)
+#: full-rate, including the out-of-range values a torn read could show.
+_delta = st.floats(min_value=0.0, max_value=2.0 * _FULL,
+                   allow_nan=False, allow_infinity=False)
+_deltas = st.lists(_delta, min_size=_CORES, max_size=_CORES)
+
+
+@given(mperf=_deltas, aperf=_deltas)
+def test_estimate_non_negative_and_bounded(mperf, aperf) -> None:
+    """Power is >= uncore floor and <= the all-cores-flat-out ceiling."""
+    power = estimate_socket_power_w(mperf, aperf, _WINDOW_S, _FREQ, _POWER)
+    floor = _POWER.uncore_w
+    ceiling = _POWER.uncore_w + _CORES * (
+        _POWER.core_active_base_w + _POWER.core_cpu_w
+    )
+    assert floor <= power <= ceiling + 1e-9
+
+
+@given(mperf=_deltas, aperf=_deltas, core=st.integers(0, _CORES - 1),
+       bump=st.floats(min_value=0.0, max_value=_FULL,
+                      allow_nan=False, allow_infinity=False))
+def test_estimate_monotone_in_aperf(mperf, aperf, core, bump) -> None:
+    """More issue activity on any core never decreases estimated power."""
+    base = estimate_socket_power_w(mperf, aperf, _WINDOW_S, _FREQ, _POWER)
+    bumped = list(aperf)
+    bumped[core] += bump
+    more = estimate_socket_power_w(mperf, bumped, _WINDOW_S, _FREQ, _POWER)
+    assert more >= base - 1e-12
+
+
+@given(mperf=_deltas, aperf=_deltas, core=st.integers(0, _CORES - 1),
+       bump=st.floats(min_value=0.0, max_value=_FULL,
+                      allow_nan=False, allow_infinity=False))
+def test_estimate_monotone_in_mperf(mperf, aperf, core, bump) -> None:
+    """More C0 residency never decreases power (active base > idle)."""
+    base = estimate_socket_power_w(mperf, aperf, _WINDOW_S, _FREQ, _POWER)
+    bumped = list(mperf)
+    bumped[core] += bump
+    more = estimate_socket_power_w(bumped, aperf, _WINDOW_S, _FREQ, _POWER)
+    assert more >= base - 1e-12
+
+
+def test_estimate_idle_closed_form() -> None:
+    """A fully idle socket prices to uncore + per-core idle, exactly."""
+    power = estimate_socket_power_w(
+        [0.0] * _CORES, [0.0] * _CORES, _WINDOW_S, _FREQ, _POWER
+    )
+    expected = _POWER.uncore_w + _CORES * _POWER.core_idle_w
+    assert power == pytest.approx(expected, rel=1e-12)
+
+
+def test_estimate_empty_window_is_zero() -> None:
+    assert estimate_socket_power_w([1.0], [1.0], 0.0, _FREQ, _POWER) == 0.0
+    assert estimate_socket_power_w([1.0], [1.0], -1.0, _FREQ, _POWER) == 0.0
+
+
+@given(duty=st.floats(min_value=0.1, max_value=1.0,
+                      allow_nan=False, allow_infinity=False))
+def test_estimate_fully_busy_closed_form(duty) -> None:
+    """All cores in C0 at a given duty: base + cpu*duty per core."""
+    mperf = [_FULL] * _CORES
+    aperf = [_FULL * duty] * _CORES
+    power = estimate_socket_power_w(mperf, aperf, _WINDOW_S, _FREQ, _POWER)
+    expected = _POWER.uncore_w + _CORES * (
+        _POWER.core_active_base_w + _POWER.core_cpu_w * duty
+    )
+    assert power == pytest.approx(expected, rel=1e-12)
+
+
+# ----------------------------------------------------------------------
+# end-to-end envelope agreement (seeded, not hypothesis: full-stack runs)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "app,threads,envelope",
+    [
+        # Typical workloads sit well inside the 25% default envelope.
+        ("mergesort", 4, 0.25),
+        # bots-fib's calibrated power_scale (0.60 under gcc) is invisible
+        # to the uncalibrated counter model, so its dynamic power is
+        # over-priced by ~1/0.6; the declared envelope must say so.
+        ("bots-fib", 8, 0.45),
+    ],
+)
+def test_counter_model_agrees_with_rapl_within_envelope(
+    app, threads, envelope
+) -> None:
+    """On steady fault-free scenarios the two meters tell the same story.
+
+    The RAPL backend reads ground truth, so agreement with it within the
+    declared envelope is the backend's end-to-end accuracy contract —
+    the same bound ``repro.validate`` enforces per record.  The envelope
+    is *declared per config*: workloads whose calibrated ``power_scale``
+    sits far from 1.0 carry a proportionally wider one.
+    """
+    from repro.experiments.runner import run_measurement
+
+    meter = MeterConfig(backend="counter-model", envelope_frac=envelope)
+    rapl = run_measurement(app, threads=threads)
+    model = run_measurement(app, threads=threads, meter=meter)
+    # Identical physics: the meter only observes.
+    assert model.run.elapsed_s == rapl.run.elapsed_s
+    assert sum(model.run.energy_j_sockets) == sum(rapl.run.energy_j_sockets)
+    # Measured energy within the declared envelope of the RAPL reading.
+    for measured, reference in zip(
+        model.region.energy_j_sockets, rapl.region.energy_j_sockets
+    ):
+        assert abs(measured - reference) <= meter.envelope_frac * reference

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.config import FaultConfig, ThrottleConfig
+from repro.config import FaultConfig, MeterConfig, ThrottleConfig
 from repro.errors import ProtocolError
 from repro.harness.spec import RunSpec
 from repro.sched.spec import SchedSpec
@@ -80,6 +80,31 @@ class TestSpecWire:
         clone = spec_from_wire(spec_to_wire(spec))
         assert clone == spec
         assert clone.digest == spec.digest
+
+    def test_metered_run_spec_round_trip(self):
+        spec = RunSpec(
+            "lulesh", threads=12, scale=0.5,
+            meter=MeterConfig(backend="counter-model", period_s=0.025,
+                              read_cost_s=0.002, overhead_core=15),
+        )
+        clone = spec_from_wire(json.loads(json.dumps(spec_to_wire(spec))))
+        assert clone == spec
+        assert clone.digest == spec.digest
+        assert clone.meter == spec.meter
+
+    def test_bad_meter_backend_rejected(self):
+        with pytest.raises(ProtocolError, match="backend"):
+            spec_from_wire(
+                {"kind": "run",
+                 "fields": {"app": "nqueens",
+                            "meter": {"backend": "nvml"}}})
+
+    def test_unknown_meter_field_rejected(self):
+        with pytest.raises(ProtocolError, match="meter"):
+            spec_from_wire(
+                {"kind": "run",
+                 "fields": {"app": "nqueens",
+                            "meter": {"cadence_s": 0.1}}})
 
     def test_sched_spec_round_trip(self):
         spec = SchedSpec(jobs=12, nodes=3, seed=9,

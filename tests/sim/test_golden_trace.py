@@ -55,6 +55,63 @@ def test_golden_digest_bit_identical(name: str, pinned: dict) -> None:
     assert not drifted, f"golden drift in {name}: {drifted}"
 
 
+def test_inert_meter_config_reproduces_pinned_digest(pinned: dict) -> None:
+    """An explicit zero-overhead RAPL MeterConfig is provably inert.
+
+    The ``EnergyReader`` -> ``MeterBackend`` refactor must not change a
+    single MSR read on the default path: running a golden scenario with
+    ``MeterConfig()`` spelled out (rather than ``meter=None``) has to
+    reproduce the pinned seed digest bit-for-bit — trace hash, raw
+    registers, energies, everything.
+    """
+    from repro.config import MeterConfig
+    from repro.perf.golden import digest_stack
+    from repro.perf.scenarios import run_stack
+
+    meter = MeterConfig()
+    assert meter.inert
+    result = run_stack("bots-fib", threads=16, trace=True, meter=meter)
+    digest = digest_stack(result)
+    expected = pinned["fib-bots"]
+    drifted = {
+        key: (expected.get(key), digest.get(key))
+        for key in set(digest) | set(expected)
+        if digest.get(key) != expected.get(key)
+    }
+    assert not drifted, f"inert MeterConfig drifted from seed digest: {drifted}"
+
+
+def test_counter_model_meter_changes_no_physics(pinned: dict) -> None:
+    """The counter-model backend observes without perturbing.
+
+    Its extra APERF/MPERF reads are read-only, so ground truth — energy,
+    elapsed time, event timeline — must stay bit-identical to the pinned
+    run; only the *measured* region energy may differ (that difference is
+    the attribution error under study).
+    """
+    from repro.config import MeterConfig
+    from repro.perf.golden import digest_stack
+    from repro.perf.scenarios import run_stack
+
+    result = run_stack(
+        "bots-fib", threads=16, trace=True,
+        meter=MeterConfig(backend="counter-model"),
+    )
+    digest = digest_stack(result)
+    expected = pinned["fib-bots"]
+    # Everything grounded in simulator truth must match the seed run.
+    truth_keys = [
+        key for key in expected
+        if not key.startswith("region_")  # measured-by-the-meter values
+    ]
+    drifted = {
+        key: (expected.get(key), digest.get(key))
+        for key in truth_keys
+        if digest.get(key) != expected.get(key)
+    }
+    assert not drifted, f"counter-model perturbed ground truth: {drifted}"
+
+
 def test_digest_is_reproducible_within_build() -> None:
     """Two runs of the same scenario in one process agree exactly.
 

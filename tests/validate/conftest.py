@@ -9,12 +9,39 @@ from __future__ import annotations
 
 import pytest
 
+from repro.config import MeterConfig
 from repro.harness import RunSpec, execute_spec
 
 
 @pytest.fixture(scope="session")
 def plain_record():
     return execute_spec(RunSpec("mergesort", "gcc", "O2", threads=8))
+
+
+@pytest.fixture(scope="session")
+def metered_record():
+    """A clean counter-model run: the software wattmeter's books."""
+    return execute_spec(
+        RunSpec("mergesort", "gcc", "O2", threads=8,
+                meter=MeterConfig(backend="counter-model"))
+    )
+
+
+@pytest.fixture(scope="session")
+def overhead_family():
+    """One workload at three cadences, each charging a per-read cost.
+
+    Ordered fastest-cadence-first on purpose: the cross-run monotonicity
+    check must sort by period itself, so handing it a shuffled family
+    also exercises that.
+    """
+    return [
+        execute_spec(
+            RunSpec("mergesort", "gcc", "O2", threads=8,
+                    meter=MeterConfig(period_s=period, read_cost_s=0.002))
+        )
+        for period in (0.025, 0.1, 0.4)
+    ]
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,136 @@
+"""Tripwire self-tests for the metering-layer invariants.
+
+Same discipline as ``test_record_tripwires.py``: take genuine records
+(session fixtures), corrupt exactly one entry via ``dataclasses.replace``
+and assert the matching invariant fires — plus the complementary
+property that the untampered records audit clean.  Covers the per-record
+audits (``meter-envelope``, ``overhead-accounting``) and the cross-run
+family audits (``overhead-monotone``, ``overhead-charged``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.validate import check_overhead_monotone, check_record
+
+pytestmark = [pytest.mark.validate, pytest.mark.metering]
+
+
+def names(record) -> set[str]:
+    return {v.invariant for v in check_record(record)}
+
+
+def family_names(records) -> set[str]:
+    return {v.invariant for v in check_overhead_monotone(records)}
+
+
+# ----------------------------------------------------------------------
+# the complementary property: genuine metered records audit clean
+# ----------------------------------------------------------------------
+def test_genuine_metered_record_has_clean_books(metered_record) -> None:
+    assert check_record(metered_record) == []
+
+
+def test_genuine_overhead_family_is_monotone(overhead_family) -> None:
+    assert check_overhead_monotone(overhead_family) == []
+
+
+# ----------------------------------------------------------------------
+# meter-envelope (counter-model error bound)
+# ----------------------------------------------------------------------
+def test_tripwire_meter_envelope(metered_record) -> None:
+    """A model reading drifting past its declared envelope is flagged."""
+    region = metered_record.region
+    truth = metered_record.run.energy_j_sockets[0]
+    envelope = metered_record.spec.meter.envelope_frac
+    sockets = (region.energy_j_sockets[0] + 2.0 * envelope * truth,) + \
+        tuple(region.energy_j_sockets[1:])
+    bad = replace(
+        metered_record, region=replace(region, energy_j_sockets=sockets)
+    )
+    assert "meter-envelope" in names(bad)
+
+
+def test_model_backend_skips_exact_truth_check(metered_record) -> None:
+    """The RAPL-grade tick-exact bound must NOT apply to a model backend:
+    its whole point is a declared (looser) envelope."""
+    assert "measured-energy-truth" not in names(metered_record)
+    flagged = names(
+        replace(metered_record, region=replace(
+            metered_record.region,
+            energy_j_sockets=tuple(
+                e + 1.0 for e in metered_record.region.energy_j_sockets
+            ),
+        ))
+    )
+    # A whole-Joule drift trips the RAPL bound but stays in-envelope.
+    assert "measured-energy-truth" not in flagged
+    assert "meter-envelope" not in flagged
+
+
+# ----------------------------------------------------------------------
+# overhead-accounting (per-record ledger)
+# ----------------------------------------------------------------------
+def test_tripwire_overhead_solo_mismatch(overhead_family) -> None:
+    record = overhead_family[0]
+    bad = replace(record, overhead_solo_s=record.overhead_solo_s + 1e-9)
+    assert "overhead-accounting" in names(bad)
+
+
+def test_tripwire_negative_overhead_counters(overhead_family) -> None:
+    record = overhead_family[0]
+    bad = replace(record, overhead_reads_charged=-1, overhead_solo_s=-0.002)
+    assert "overhead-accounting" in names(bad)
+
+
+def test_tripwire_zero_cost_meter_charged(plain_record) -> None:
+    """A meterless run whose books claim charged reads is corrupt."""
+    bad = replace(plain_record, overhead_reads_charged=3,
+                  overhead_solo_s=0.006)
+    assert "overhead-accounting" in names(bad)
+
+
+# ----------------------------------------------------------------------
+# overhead-monotone / overhead-charged (cross-run family)
+# ----------------------------------------------------------------------
+def test_tripwire_overhead_monotone_energy(overhead_family) -> None:
+    """Faster sampling reporting *less* ground-truth energy is flagged."""
+    fastest = min(overhead_family, key=lambda r: r.spec.meter.period_s)
+    slowest = max(overhead_family, key=lambda r: r.spec.meter.period_s)
+    shrunk = tuple(
+        e * slowest.run.energy_j / fastest.run.energy_j * 0.5
+        for e in fastest.run.energy_j_sockets
+    )
+    bad = replace(fastest, run=replace(fastest.run, energy_j_sockets=shrunk))
+    family = [bad if r is fastest else r for r in overhead_family]
+    assert "overhead-monotone" in family_names(family)
+
+
+def test_tripwire_overhead_monotone_elapsed(overhead_family) -> None:
+    fastest = min(overhead_family, key=lambda r: r.spec.meter.period_s)
+    bad = replace(
+        fastest, run=replace(fastest.run, elapsed_s=fastest.run.elapsed_s / 2)
+    )
+    family = [bad if r is fastest else r for r in overhead_family]
+    assert "overhead-monotone" in family_names(family)
+
+
+def test_tripwire_overhead_never_charged(overhead_family) -> None:
+    """A family member that skipped every read proves nothing — flag it."""
+    record = overhead_family[1]
+    bad = replace(record, overhead_reads_charged=0,
+                  overhead_reads_skipped=record.overhead_reads_charged,
+                  overhead_solo_s=0.0)
+    family = [bad if r is record else r for r in overhead_family]
+    assert "overhead-charged" in family_names(family)
+
+
+def test_family_of_one_is_vacuously_clean(overhead_family) -> None:
+    assert check_overhead_monotone(overhead_family[:1]) == []
+
+
+def test_meterless_family_is_ignored(plain_record) -> None:
+    assert check_overhead_monotone([plain_record, plain_record]) == []
