@@ -4,12 +4,12 @@ PYTHON ?= python
 
 COV_FAIL_UNDER ?= 80
 
-.PHONY: install test test-faults test-golden test-harness test-metering test-validate test-sched test-service validate-smoke sched-smoke serve-smoke metersweep-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched bench-service reproduce recalibrate examples clean
+.PHONY: install test test-faults test-golden test-harness test-metering test-validate test-sched test-service test-store validate-smoke sched-smoke serve-smoke metersweep-smoke store-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched bench-service bench-store reproduce recalibrate examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: sweep-smoke sched-smoke serve-smoke metersweep-smoke
+test: sweep-smoke sched-smoke serve-smoke metersweep-smoke store-smoke
 	$(PYTHON) -m pytest tests/
 
 # Robustness suite: fault injection + degraded-mode behaviour only.
@@ -47,6 +47,11 @@ test-sched:
 test-service:
 	$(PYTHON) -m pytest tests/ -m service
 
+# Sharded-store suite: content-addressed layout, sqlite ledger index,
+# legacy-cache compat and migration, multi-process contention.
+test-store:
+	$(PYTHON) -m pytest tests/ -m store
+
 # End-to-end sanitizer smoke: the quick validation corpus plus the
 # differential replay, via the CLI exactly as a user would run it.
 validate-smoke:
@@ -68,6 +73,12 @@ metersweep-smoke:
 # redelivered job still completes with exactly one execution per digest.
 serve-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.service.smoke
+
+# End-to-end store smoke: a read-only pass of the store benchmark,
+# which pins exactly-once counts, warm-query offset coverage and
+# count-preserving compaction against a throwaway cache root.
+store-smoke:
+	$(PYTHON) benchmarks/bench_store.py
 
 # Line-coverage over the full suite with a ratcheted floor.  Requires
 # pytest-cov (pip install -e .[cov]); fails fast with a hint otherwise.
@@ -112,6 +123,11 @@ bench-sched:
 # (read-only; refuses to rewrite BENCH_service.json without --update).
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
+
+# Sharded-store benchmark: put/get throughput and warm indexed-query
+# latency vs the committed baseline (BENCH_store.json).
+bench-store:
+	$(PYTHON) benchmarks/bench_store.py
 
 # Regenerate EXPERIMENTS.md (runs the full evaluation, ~5-10 minutes).
 reproduce:

@@ -1,0 +1,179 @@
+"""Benchmark: sharded result-store throughput (``make bench-store``).
+
+Drives the store the way a million-job campaign does — a burst of
+``put``s from distinct digests, point ``get``s, and repeated
+``execution_counts()``/``info()`` queries — and reports the numbers that
+bound campaign bookkeeping: put/get throughput and the *warm* query
+latency, which the sqlite index's incremental tail-sync is supposed to
+hold flat regardless of how many entries the ledgers hold.  Results are
+compared against the committed baseline in ``BENCH_store.json``.
+
+Usage::
+
+    python benchmarks/bench_store.py             # run + compare, no writes
+    python benchmarks/bench_store.py --update    # write current results
+    python benchmarks/bench_store.py --update --record-baseline
+                                                 # re-stamp the baseline too
+    python benchmarks/bench_store.py --fail-above 3.0
+                                                 # exit 1 if > 3x baseline
+
+Correctness is pinned on every invocation: after the burst every digest
+must count exactly once, compaction must not change a single count, and
+the warm query must re-read zero ledger bytes (offset == file size for
+every shard).  The runner refuses to write anything unless ``--update``
+is passed, so a stray run cannot silently move the goalposts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sqlite3
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:  # script mode: no PYTHONPATH needed
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+#: Committed perf-trajectory file, at the repo root.
+BENCH_PATH = _REPO_ROOT / "BENCH_store.json"
+
+PUTS = 400
+GETS = 400
+WARM_QUERIES = 50
+
+
+def _run_burst(root: str) -> dict:
+    from repro.harness.cache import ResultCache
+    from repro.harness.executor import execute_spec
+    from repro.harness.spec import RunSpec
+
+    cache = ResultCache(root=root)
+    template = execute_spec(RunSpec("mergesort", scale=0.05))
+    specs = [RunSpec("mergesort", scale=0.05, seed=seed)
+             for seed in range(PUTS)]
+    records = [dataclasses.replace(template, spec=spec) for spec in specs]
+
+    t0 = time.perf_counter()
+    for spec, record in zip(specs, records):
+        cache.put(spec, record)
+    put_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for spec in specs[:GETS]:
+        if cache.get(spec) is None:
+            raise SystemExit(f"FAIL: miss on just-put {spec.describe()}")
+    get_s = time.perf_counter() - t0
+
+    # Cold query folds every ledger tail once; warm queries must be
+    # pure index reads.
+    t0 = time.perf_counter()
+    counts = cache.execution_counts()
+    cold_ms = (time.perf_counter() - t0) * 1e3
+    t0 = time.perf_counter()
+    for _ in range(WARM_QUERIES):
+        cache.execution_counts()
+        cache.info()
+    warm_ms = (time.perf_counter() - t0) * 1e3 / (2 * WARM_QUERIES)
+
+    if len(counts) != PUTS or any(n != 1 for n in counts.values()):
+        raise SystemExit("FAIL: execution counts are not exactly-once")
+    with sqlite3.connect(Path(root) / "index.sqlite") as conn:
+        offsets = dict(conn.execute(
+            "SELECT shard, offset FROM shard_offsets"))
+    sizes = {p.stem: p.stat().st_size
+             for p in cache.ledgers_dir.glob("*.jsonl")}
+    if offsets != sizes:
+        raise SystemExit("FAIL: warm query left unfolded ledger bytes")
+
+    compacted = cache.compact()
+    if cache.execution_counts() != counts:
+        raise SystemExit("FAIL: compaction changed execution counts")
+
+    return {
+        "puts": PUTS,
+        "shards": compacted["shards"],
+        "put_per_s": round(PUTS / put_s, 1),
+        "get_per_s": round(GETS / get_s, 1),
+        "cold_query_ms": round(cold_ms, 2),
+        "warm_query_ms": round(warm_ms, 3),
+        "exactly_once": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (make bench)
+# ----------------------------------------------------------------------
+def test_bench_store_run(bench_once, tmp_path):
+    result = bench_once(lambda: _run_burst(str(tmp_path / "cache")))
+    assert result["exactly_once"]
+    assert result["puts"] == PUTS
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_store.py",
+        description="sharded store benchmark vs the committed baseline",
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="write results to BENCH_store.json "
+                             "(without this flag nothing is written)")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="with --update: re-stamp the baseline section "
+                             "from this run (intentional goalpost move)")
+    parser.add_argument("--fail-above", type=float, default=None, metavar="X",
+                        help="exit 1 if warm query latency exceeds X times "
+                             "the committed baseline (default: report only)")
+    parser.add_argument("--json", type=Path, default=BENCH_PATH,
+                        help=f"results file (default: {BENCH_PATH})")
+    args = parser.parse_args(argv)
+
+    if args.record_baseline and not args.update:
+        parser.error("--record-baseline requires --update "
+                     "(refusing to overwrite BENCH_store.json)")
+
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as tmp:
+        current = _run_burst(str(Path(tmp) / "cache"))
+
+    stored = json.loads(args.json.read_text()) if args.json.exists() else {}
+    baseline = stored.get("baseline")
+
+    print(f"sharded store benchmark ({current['puts']} puts, "
+          f"{current['shards']} shards):")
+    print(f"  put          {current['put_per_s']:>8.1f} puts/s")
+    print(f"  get (hit)    {current['get_per_s']:>8.1f} gets/s")
+    print(f"  query cold   {current['cold_query_ms']:>8.2f} ms")
+    print(f"  query warm   {current['warm_query_ms']:>8.3f} ms")
+    print("  exactly-once: yes; compaction count-preserving: yes")
+    if baseline:
+        ratio = (current["warm_query_ms"] / baseline["warm_query_ms"]
+                 if baseline["warm_query_ms"] > 0 else 0.0)
+        print(f"  baseline: warm {baseline['warm_query_ms']:.3f} ms, "
+              f"{baseline['put_per_s']:.1f} puts/s "
+              f"-> current is {ratio:.2f}x baseline warm query")
+        if args.fail_above is not None and ratio > args.fail_above:
+            print(f"FAIL: warm query regressed {ratio:.2f}x > "
+                  f"--fail-above {args.fail_above:.2f}x", file=sys.stderr)
+            return 1
+
+    if not args.update:
+        if args.json.exists():
+            print(f"(read-only run; pass --update to rewrite {args.json.name})")
+        return 0
+
+    if args.record_baseline or "baseline" not in stored:
+        stored["baseline"] = dict(current)
+        print(f"baseline re-stamped from this run -> {args.json.name}")
+    stored["schema"] = 1
+    stored["current"] = current
+    args.json.write_text(json.dumps(stored, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

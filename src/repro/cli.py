@@ -224,8 +224,12 @@ def _cmd_sched(args: argparse.Namespace) -> int:
             rate_jobs_per_s=args.rate,
             queue_depth=args.queue_depth,
             seed=args.seed,
+            time_limit_s=args.time_limit,
+            execution=args.execution,
+            retain_jobs=not args.no_retain,
+            segment_jobs=args.segment_jobs,
         )
-        result = spec.execute(bus=bus)
+        result = spec.execute(bus=bus, checkpoint_dir=args.checkpoint_dir)
     except ReproError as exc:
         print(f"repro-paper sched: error: {exc}", file=sys.stderr)
         return 2
@@ -354,6 +358,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.root}")
         return 0
+    if args.action == "migrate":
+        stats = cache.migrate()
+        print(f"migrated {cache.root} to the sharded layout: "
+              f"{stats['objects_moved']} payload(s) moved, "
+              f"{stats['ledger_lines']} legacy ledger line(s) resharded")
+        return 0
+    if args.action == "compact":
+        stats = cache.compact()
+        print(f"compacted {stats['shards']} shard ledger(s): "
+              f"{stats['lines_before']} -> {stats['lines_after']} line(s)")
+        return 0
+    if args.action == "reindex":
+        stats = cache.reindex()
+        print(f"reindexed {cache.root}: {stats['digests']} digest(s), "
+              f"{stats['puts']} put line(s)")
+        return 0
     info = cache.info()
     print(f"root:           {info['root']}")
     print(f"code stamp:     {info['stamp']}")
@@ -416,6 +436,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         differential_specs,
         differential_sweep,
         run_cluster_validation,
+        run_scale_validation,
         run_validation_sweep,
     )
 
@@ -438,6 +459,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             print()
             print(cluster.format())
             ok = ok and cluster.ok
+            scale = run_scale_validation(quick=args.quick)
+            print()
+            print(scale.format())
+            ok = ok and scale.ok
         if args.differential or args.differential_only:
             diff = differential_sweep(
                 differential_specs(), workers=max(2, args.workers)
@@ -596,6 +621,24 @@ def build_parser() -> argparse.ArgumentParser:
     sched_p.add_argument("--queue-depth", type=int, default=8,
                          help="admission-queue bound (default: 8)")
     sched_p.add_argument("--seed", type=int, default=0)
+    sched_p.add_argument("--time-limit", type=float, default=600.0,
+                         metavar="S",
+                         help="simulated-time tripwire per segment; raise it "
+                              "for long traces (default: 600)")
+    from repro.sched.spec import EXECUTION_MODES as _EXECUTIONS
+    sched_p.add_argument("--execution", default="full", choices=_EXECUTIONS,
+                         help="job execution model: 'full' microsimulation or "
+                              "the 'analytic' roofline closed form "
+                              "(million-job scale)")
+    sched_p.add_argument("--segment-jobs", type=int, default=0, metavar="N",
+                         help="drain and checkpoint every N jobs "
+                              "(0 = single segment)")
+    sched_p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="persist segment checkpoints here and resume "
+                              "from them (requires --segment-jobs)")
+    sched_p.add_argument("--no-retain", action="store_true",
+                         help="stream aggregation only: drop per-job records "
+                              "(tails come from quantile sketches)")
     sched_p.add_argument("--events", default=None, metavar="FILE",
                          help="append structured telemetry events to FILE (JSONL)")
     sched_p.add_argument("--quiet", action="store_true",
@@ -687,8 +730,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress the per-run progress renderer")
     val_p.set_defaults(func=_cmd_validate)
 
-    cache_p = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache_p.add_argument("action", choices=["info", "clear"])
+    cache_p = sub.add_parser(
+        "cache", help="inspect, clear, migrate or compact the result cache"
+    )
+    cache_p.add_argument(
+        "action", choices=["info", "clear", "migrate", "compact", "reindex"]
+    )
     cache_p.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="cache root (default: ~/.cache/repro-harness "
                               "or $REPRO_CACHE_DIR)")

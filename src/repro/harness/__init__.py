@@ -16,7 +16,14 @@ Records come back in input order, bit-identical to the serial path, and
 a second identical sweep is served entirely from the cache.
 """
 
-from repro.harness.cache import CACHE_DIR_ENV, ResultCache, code_stamp, default_cache_root
+from repro.harness.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    code_stamp,
+    default_cache_root,
+    shard_for,
+)
+from repro.harness.storeindex import StoreIndex
 from repro.harness.executor import (
     BatchExecutor,
     default_executor,
@@ -64,6 +71,7 @@ __all__ = [
     "RunStarted",
     "RunSummary",
     "RunValidated",
+    "StoreIndex",
     "SweepFinished",
     "SweepProgress",
     "SweepStarted",
@@ -73,5 +81,6 @@ __all__ = [
     "default_executor",
     "execute_spec",
     "run_spec_subprocess",
+    "shard_for",
     "stderr_bus",
 ]

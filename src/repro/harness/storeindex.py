@@ -1,0 +1,224 @@
+"""Sqlite index over the sharded result store's ledgers.
+
+The ledgers (append-only JSONL, one per digest shard) are the store's
+*truth*: every ``put`` appends exactly one line, and
+``execution_counts()`` — the service's exactly-once evidence — is
+defined over them.  Scanning a million-line ledger per query is not
+acceptable, so this index materializes the fold
+``{(digest, stamp): puts, bytes}`` into sqlite and keeps a per-shard
+**byte offset** recording how far into each ledger file the fold has
+progressed.
+
+Synchronisation is incremental and crash-safe:
+
+* every fold runs in a ``BEGIN IMMEDIATE`` transaction, so concurrent
+  processes serialise on sqlite's write lock — two folders can never
+  double-count a tail;
+* only *complete* lines (ending in ``\\n``) are folded and the offset
+  only advances past what was parsed, so a torn tail is simply picked
+  up by the next sync;
+* a ledger file that shrank below its recorded offset (cleared or
+  compacted externally) is re-folded from zero after the caller has
+  reset the affected rows.
+
+The net effect: when ledgers are quiescent, ``info()`` and
+``execution_counts()`` are O(shards) ``stat`` calls plus O(1) queries —
+independent of how many million entries the store holds.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterable, Union
+
+#: Bump on schema changes; a mismatched index is dropped and rebuilt.
+INDEX_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS entries (
+    digest TEXT NOT NULL,
+    stamp  TEXT NOT NULL,
+    kind   TEXT NOT NULL DEFAULT '',
+    puts   INTEGER NOT NULL DEFAULT 0,
+    bytes  INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (digest, stamp)
+);
+CREATE TABLE IF NOT EXISTS shard_offsets (
+    shard  TEXT PRIMARY KEY,
+    offset INTEGER NOT NULL
+);
+"""
+
+
+class StoreIndex:
+    """Incremental sqlite fold of the sharded store's ledgers."""
+
+    def __init__(self, db_path: Union[str, Path]) -> None:
+        self.db_path = Path(db_path)
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        self.db_path.parent.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(self.db_path, timeout=30.0)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.executescript(_SCHEMA)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key='schema'"
+        ).fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES('schema', ?)",
+                (str(INDEX_SCHEMA_VERSION),),
+            )
+            conn.commit()
+        elif row[0] != str(INDEX_SCHEMA_VERSION):
+            conn.executescript(
+                "DELETE FROM entries; DELETE FROM shard_offsets;"
+            )
+            conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES('schema', ?)",
+                (str(INDEX_SCHEMA_VERSION),),
+            )
+            conn.commit()
+        return conn
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fold_entry(conn: sqlite3.Connection, entry: dict[str, Any]) -> None:
+        if entry.get("op") != "put":
+            return
+        digest = entry.get("digest")
+        if not digest:
+            return
+        stamp = entry.get("stamp") or ""
+        puts = int(entry.get("puts", 1))
+        size = int(entry.get("bytes") or 0)
+        kind = entry.get("kind") or ""
+        conn.execute(
+            """
+            INSERT INTO entries (digest, stamp, kind, puts, bytes)
+            VALUES (?, ?, ?, ?, ?)
+            ON CONFLICT(digest, stamp) DO UPDATE SET
+                puts = puts + excluded.puts,
+                bytes = MAX(bytes, excluded.bytes),
+                kind = excluded.kind
+            """,
+            (digest, stamp, kind, puts, size),
+        )
+
+    @staticmethod
+    def _fold_tail(
+        conn: sqlite3.Connection, shard: str, path: Path
+    ) -> None:
+        """Fold one ledger file's unindexed tail inside an open txn."""
+        row = conn.execute(
+            "SELECT offset FROM shard_offsets WHERE shard=?", (shard,)
+        ).fetchone()
+        offset = int(row[0]) if row is not None else 0
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        if size < offset:
+            # The file shrank under us (cleared or compacted without an
+            # offset update): the fold it represented is gone, so start
+            # over for this shard.  Entry rows for vanished lines are the
+            # caller's problem (clear()/compact() reset them first).
+            offset = 0
+        if size == offset:
+            conn.execute(
+                "INSERT OR REPLACE INTO shard_offsets(shard, offset) "
+                "VALUES (?, ?)",
+                (shard, offset),
+            )
+            return
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                tail = fh.read(size - offset)
+        except OSError:
+            return
+        end = tail.rfind(b"\n")
+        if end < 0:
+            return  # only a torn tail so far; try again next sync
+        for line in tail[: end + 1].splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # historical torn line: skip, never re-parse
+            StoreIndex._fold_entry(conn, entry)
+        conn.execute(
+            "INSERT OR REPLACE INTO shard_offsets(shard, offset) VALUES (?, ?)",
+            (shard, offset + end + 1),
+        )
+
+    def sync(self, shards: Iterable[tuple[str, Path]]) -> None:
+        """Fold every listed ledger's tail (one serialized transaction)."""
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            for shard, path in shards:
+                self._fold_tail(conn, shard, path)
+            conn.commit()
+        finally:
+            conn.close()
+
+    def set_offset(self, shard: str, offset: int) -> None:
+        """Pin a shard's fold offset (used after in-place compaction)."""
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute(
+                "INSERT OR REPLACE INTO shard_offsets(shard, offset) "
+                "VALUES (?, ?)",
+                (shard, int(offset)),
+            )
+            conn.commit()
+        finally:
+            conn.close()
+
+    def reset(self) -> None:
+        """Drop every folded row and offset (clear / full reindex)."""
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            conn.execute("DELETE FROM entries")
+            conn.execute("DELETE FROM shard_offsets")
+            conn.commit()
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Executions per digest: ``SUM(puts)`` across stamps."""
+        conn = self._connect()
+        try:
+            rows = conn.execute(
+                "SELECT digest, SUM(puts) FROM entries GROUP BY digest"
+            ).fetchall()
+        finally:
+            conn.close()
+        return {digest: int(total) for digest, total in rows}
+
+    def summary(self) -> dict[str, tuple[int, int]]:
+        """Per-stamp ``(distinct entries, payload bytes)``."""
+        conn = self._connect()
+        try:
+            rows = conn.execute(
+                "SELECT stamp, COUNT(*), SUM(bytes) FROM entries "
+                "GROUP BY stamp"
+            ).fetchall()
+        finally:
+            conn.close()
+        return {
+            stamp: (int(n), int(total or 0)) for stamp, n, total in rows
+        }

@@ -9,6 +9,21 @@ global budget, and the scheduler itself: trace arrivals feed a bounded
 tick snapshots the cluster and asks the placement policy where queued
 jobs should run.
 
+Arrivals are *streamed*: the trace is pulled lazily from
+:func:`~repro.sched.workload.iter_trace` and at most
+:data:`ARRIVAL_WINDOW` arrival events are in the engine at once — each
+arrival that fires schedules the next job from the iterator, so a
+million-job trace never materializes.  Finished jobs fold into a
+:class:`~repro.sched.aggregate.SchedAccumulator` as they complete;
+per-job :class:`~repro.sched.result.JobRecord` tuples are kept only
+when the spec's ``retain_jobs`` flag says so.
+
+A :class:`ClusterSim` can also run a *segment* of a trace (``start`` +
+``limit``) against carried accumulator state: the checkpoint/resume
+runner in :mod:`repro.sched.checkpoint` drives one fresh sim per
+segment, draining between segments, which is what makes kill-and-resume
+bit-identical to an uninterrupted segmented run.
+
 Unlike :class:`~repro.cluster.node_sim.ClusterNode` (one workload per
 node, then done), a :class:`SchedNode` runs a *sequence* of jobs: the
 runtime's root-task slot is reused per job (``spawn_root`` is re-armable
@@ -24,8 +39,9 @@ the engine.
 
 from __future__ import annotations
 
+import itertools
 import time
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional
 
 from repro.apps import build_app
 from repro.config import MachineConfig, PAPER_MACHINE, RuntimeConfig
@@ -35,6 +51,7 @@ from repro.openmp import OmpEnv
 from repro.qthreads import Runtime
 from repro.rcr import Blackboard, RCRDaemon, RegionClient, meters
 from repro.sched import telemetry as stel
+from repro.sched.aggregate import SchedAccumulator
 from repro.sched.policy import (
     ClusterState,
     NodeView,
@@ -43,7 +60,7 @@ from repro.sched.policy import (
 )
 from repro.sched.queue import AdmissionQueue
 from repro.sched.result import JobRecord, SchedResult
-from repro.sched.workload import Job, generate_trace
+from repro.sched.workload import Job, iter_trace
 from repro.sim.engine import Engine
 from repro.sim.events import Priority
 from repro.throttle.clamp import PowerClampController
@@ -52,6 +69,13 @@ from repro.cluster.coordinator import PowerCoordinator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sched.spec import SchedSpec
+
+#: Bounded arrival lookahead: at most this many not-yet-fired arrival
+#: events live in the engine at once; each arrival that fires pulls the
+#: next job off the lazy trace iterator.  The window only bounds memory
+#: — arrival *times* come from the trace, so any value >= 1 produces the
+#: identical simulation.
+ARRIVAL_WINDOW = 64
 
 
 class SchedNode:
@@ -62,6 +86,10 @@ class SchedNode:
     ``ClusterNode`` — ``name``, ``clamp``, ``measured_power_w``,
     ``done``, ``wants_more_power`` — where "done" means *idle*: an idle
     node bids only the power floor, so budget flows to nodes with work.
+
+    Finished jobs are handed to the owning sim's ``_on_finish`` callback
+    rather than accumulated here, so a node's memory footprint is
+    independent of how many jobs it has run.
     """
 
     def __init__(
@@ -94,9 +122,7 @@ class SchedNode:
         )
         self.clamp.start()
         self._current: Optional[Job] = None
-        self._current_submit_s = 0.0
         self._start_s = 0.0
-        self.records: list[JobRecord] = []
         self._on_finish = None  # set by ClusterSim
 
     # ------------------------------------------ coordinator duck-typing
@@ -158,7 +184,6 @@ class SchedNode:
             energy_j=report.energy_j,
             avg_watts=report.avg_watts,
         )
-        self.records.append(record)
         self._current = None
         if self._on_finish is not None:
             self._on_finish(self, record)
@@ -169,8 +194,50 @@ class SchedNode:
         self.daemon.stop()
 
 
+def build_result(
+    spec: "SchedSpec",
+    accumulator: SchedAccumulator,
+    records: list[JobRecord],
+    *,
+    wall_s: float = 0.0,
+) -> SchedResult:
+    """Assemble the frozen :class:`SchedResult` from streaming state.
+
+    Shared by the single-segment, checkpointed and analytic runners so
+    every path produces structurally identical results.
+    """
+    stats = accumulator.snapshot()
+    return SchedResult(
+        spec=spec,
+        jobs=tuple(sorted(records, key=lambda r: r.index)),
+        rejected=tuple(accumulator.rejected_indices),
+        makespan_s=stats.makespan_s,
+        peak_power_w=stats.peak_power_w,
+        jobs_per_node=dict(stats.jobs_per_node),
+        coordinator_rounds=stats.coordinator_rounds,
+        engine_events=stats.engine_events,
+        peak_queue_depth=stats.peak_queue_depth,
+        budget_violations=tuple(accumulator.violations),
+        stats=stats,
+        wall_s=wall_s,
+    )
+
+
+def emit_finished(
+    bus: TelemetryBus, spec: "SchedSpec", result: SchedResult
+) -> None:
+    """Emit the run-complete telemetry event (one per logical run)."""
+    bus.emit(stel.SchedFinished(
+        policy=spec.policy, profile=spec.profile,
+        submitted=result.submitted, completed=result.completed,
+        rejected=result.rejected_count, makespan_s=result.makespan_s,
+        peak_power_w=result.peak_power_w, budget_w=spec.budget_w,
+    ))
+
+
 class ClusterSim:
-    """Drives one scheduled run: trace in, :class:`SchedResult` out."""
+    """Drives one scheduled run (or one segment of one): trace in,
+    accumulator folds out, :class:`SchedResult` on :meth:`run`."""
 
     def __init__(
         self,
@@ -178,19 +245,35 @@ class ClusterSim:
         *,
         bus: Optional[TelemetryBus] = None,
         engine: Optional[Engine] = None,
+        start: int = 0,
+        limit: Optional[int] = None,
+        accumulator: Optional[SchedAccumulator] = None,
+        records: Optional[list[JobRecord]] = None,
     ) -> None:
         self.spec = spec
         self.bus = bus if bus is not None else TelemetryBus()
         self.engine = engine if engine is not None else Engine()
         self.policy: PlacementPolicy = make_policy(spec.policy)
-        self.trace: tuple[Job, ...] = generate_trace(
-            spec.profile,
-            jobs=spec.jobs,
-            rate_jobs_per_s=spec.rate_jobs_per_s,
-            seed=spec.seed,
-            apps=spec.apps,
-            scale=spec.scale,
+        if limit is None:
+            limit = spec.jobs - start
+        self._segment_jobs = limit
+        #: Lazy source of this segment's jobs; never materialized.
+        self._source = itertools.islice(
+            iter_trace(
+                spec.profile,
+                jobs=spec.jobs,
+                rate_jobs_per_s=spec.rate_jobs_per_s,
+                seed=spec.seed,
+                apps=spec.apps,
+                scale=spec.scale,
+                start=start,
+            ),
+            limit,
         )
+        self.accumulator = (
+            accumulator if accumulator is not None else SchedAccumulator()
+        )
+        self.records: list[JobRecord] = records if records is not None else []
         self.queue = AdmissionQueue(spec.queue_depth)
         self.nodes = [
             SchedNode(
@@ -202,33 +285,50 @@ class ClusterSim:
             )
             for i in range(spec.nodes)
         ]
+        for node in self.nodes:
+            self.accumulator.note_node(node.name)
         self.coordinator = PowerCoordinator(
             self.engine,
             self.nodes,
             spec.budget_w,
             period_s=spec.coordinator_period_s,
         )
+        self._scheduled = 0
         self._arrived = 0
         self._tick_event = None
+        #: Segment start clock; the time limit is relative to it.
+        self._t0_sim = self.engine.now
         for node in self.nodes:
             node._on_finish = self._job_finished
 
     # ------------------------------------------------------------------
     def run(self) -> SchedResult:
-        """Execute the full trace; always tears the timers down."""
-        spec = self.spec
+        """Execute this sim's whole job range and build the result."""
         t0 = time.perf_counter()
-        rejected: list[int] = []
-        self._rejected = rejected
-        for job in self.trace:
-            self.engine.schedule_at(
-                job.submit_s, self._arrival(job), label=f"arrive-j{job.index}"
-            )
+        self.run_segment()
+        result = build_result(
+            self.spec,
+            self.accumulator,
+            self.records,
+            wall_s=time.perf_counter() - t0,
+        )
+        emit_finished(self.bus, self.spec, result)
+        return result
+
+    def run_segment(self) -> float:
+        """Drive this segment to drain; returns the drain-time clock.
+
+        Folds the segment's run-level aggregates (peak power, queue
+        depth, coordinator rounds, engine events, budget violations)
+        into the accumulator; always tears the timers down.
+        """
+        spec = self.spec
+        self._prime_arrivals()
         self.coordinator.start()
         self._schedule_tick()
         try:
             while not self._finished():
-                if self.engine.now > spec.time_limit_s:
+                if self.engine.now > self._t0_sim + spec.time_limit_s:
                     raise SimulationError(
                         f"scheduled run exceeded {spec.time_limit_s} s with "
                         f"{len(self.queue)} queued and "
@@ -243,60 +343,59 @@ class ClusterSim:
             for node in self.nodes:
                 node.shutdown()
 
-        jobs = tuple(
-            sorted(
-                (r for node in self.nodes for r in node.records),
-                key=lambda r: r.index,
-            )
-        )
-        makespan = max((r.finish_s for r in jobs), default=0.0)
         from repro.validate.cluster import check_cluster_budgets
 
-        violations = tuple(
+        self.accumulator.add_violations(
             check_cluster_budgets(
                 self.coordinator.samples, spec.budget_w, nodes=len(self.nodes)
             )
         )
-        result = SchedResult(
-            spec=spec,
-            jobs=jobs,
-            rejected=tuple(rejected),
-            makespan_s=makespan,
+        self.accumulator.add_segment(
             peak_power_w=self.coordinator.peak_cluster_power_w,
-            jobs_per_node={
-                node.name: len(node.records) for node in self.nodes
-            },
+            peak_queue_depth=self.queue.peak_depth,
             coordinator_rounds=len(self.coordinator.samples),
             engine_events=self.engine.fired,
-            peak_queue_depth=self.queue.peak_depth,
-            budget_violations=violations,
-            wall_s=time.perf_counter() - t0,
         )
-        self.bus.emit(stel.SchedFinished(
-            policy=spec.policy, profile=spec.profile,
-            submitted=result.submitted, completed=result.completed,
-            rejected=len(result.rejected), makespan_s=result.makespan_s,
-            peak_power_w=result.peak_power_w, budget_w=spec.budget_w,
-        ))
-        return result
+        return self.engine.now
 
     # ------------------------------------------------------------------
     def _finished(self) -> bool:
         return (
-            self._arrived == len(self.trace)
+            self._arrived == self._segment_jobs
             and len(self.queue) == 0
             and all(not node.busy for node in self.nodes)
         )
 
+    def _prime_arrivals(self) -> None:
+        """Top the arrival window back up from the lazy trace source.
+
+        A resumed segment's first arrivals may carry submit times earlier
+        than the carried clock (the previous segment drained past them);
+        they fire immediately at the current clock, identically in the
+        uninterrupted and resumed executions of the same spec.
+        """
+        while (
+            self._scheduled - self._arrived < ARRIVAL_WINDOW
+            and self._scheduled < self._segment_jobs
+        ):
+            job = next(self._source)
+            self.engine.schedule_at(
+                max(job.submit_s, self.engine.now),
+                self._arrival(job),
+                label=f"arrive-j{job.index}",
+            )
+            self._scheduled += 1
+
     def _arrival(self, job: Job):
         def fire() -> None:
             self._arrived += 1
+            self._prime_arrivals()
             self.bus.emit(stel.JobSubmitted(
                 index=job.index, app=job.app, threads=job.threads,
                 time_s=self.engine.now,
             ))
             if not self.queue.offer(job):
-                self._rejected.append(job.index)
+                self.accumulator.add_rejection(job.index)
                 self.bus.emit(stel.JobRejected(
                     index=job.index, app=job.app,
                     queue_depth=self.queue.depth, time_s=self.engine.now,
@@ -308,6 +407,9 @@ class ClusterSim:
         return fire
 
     def _job_finished(self, node: SchedNode, record: JobRecord) -> None:
+        self.accumulator.add_job(record)
+        if self.spec.retain_jobs:
+            self.records.append(record)
         self.bus.emit(stel.JobFinished(
             index=record.index, app=record.app, node=node.name,
             service_s=record.time_s, energy_j=record.energy_j,
@@ -377,6 +479,20 @@ def run_sched(
     *,
     bus: Optional[TelemetryBus] = None,
     engine: Optional[Engine] = None,
+    checkpoint_dir=None,
 ) -> SchedResult:
-    """Convenience wrapper: build a :class:`ClusterSim` and run it."""
+    """Run a spec via whichever execution path it selects.
+
+    ``checkpoint_dir`` (a path) enables atomic between-segment
+    checkpoints and resume for specs with ``segment_jobs`` set; it is an
+    execution detail (where on disk), never part of the spec digest.
+    """
+    if spec.execution == "analytic":
+        from repro.sched.analytic import run_analytic
+
+        return run_analytic(spec, bus=bus, checkpoint_dir=checkpoint_dir)
+    if spec.segment_jobs:
+        from repro.sched.checkpoint import run_segmented
+
+        return run_segmented(spec, bus=bus, checkpoint_dir=checkpoint_dir)
     return ClusterSim(spec, bus=bus, engine=engine).run()

@@ -34,7 +34,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: onto) changes incompatibly; folded into every digest.  Namespaced
 #: distinctly from RunSpec's schema so the two digest spaces can never
 #: collide even on identical payloads.
-SCHED_SPEC_SCHEMA = "sched-1"
+#:
+#: sched-2: streaming traces draw each job's randomness interleaved
+#: (gap, app, threads, scale per job) instead of all gaps up front, and
+#: specs grew ``execution``/``retain_jobs``/``segment_jobs`` — results
+#: under the old schema are not comparable, so the digest space moves.
+SCHED_SPEC_SCHEMA = "sched-2"
+
+#: Recognised execution modes: ``full`` drives the complete per-node
+#: qthreads/RCR/clamp stack; ``analytic`` replaces each job's execution
+#: with the calibrated roofline closed form (same trace, same policy and
+#: admission machinery) so million-job traces run in seconds.
+EXECUTION_MODES = ("full", "analytic")
 
 
 @dataclass(frozen=True)
@@ -57,6 +68,18 @@ class SchedSpec:
     coordinator_period_s: float = 1.0
     time_limit_s: float = 600.0
     apps: tuple[str, ...] = DEFAULT_JOB_APPS
+    #: ``full`` (per-node microsimulation) or ``analytic`` (roofline
+    #: closed form per job; the million-job mode).
+    execution: str = "full"
+    #: Keep every per-job :class:`~repro.sched.result.JobRecord` on the
+    #: result.  ``False`` switches to pure streaming aggregation: exact
+    #: sums plus quantile sketches, memory independent of job count.
+    retain_jobs: bool = True
+    #: Execute the trace in drained segments of this many jobs
+    #: (checkpointable between segments); 0 = one uninterrupted segment.
+    #: Segment boundaries change scheduling (nodes drain between
+    #: segments), so this is part of the digest.
+    segment_jobs: int = 0
     #: Display-only heading; never part of digest, equality or hash.
     label: str = field(default="", compare=False)
 
@@ -99,6 +122,15 @@ class SchedSpec:
             raise ConfigError(
                 f"time limit must be positive, got {self.time_limit_s!r}"
             )
+        if self.execution not in EXECUTION_MODES:
+            raise ConfigError(
+                f"unknown execution mode {self.execution!r}; "
+                f"one of {', '.join(EXECUTION_MODES)}"
+            )
+        if self.segment_jobs < 0:
+            raise ConfigError(
+                f"segment_jobs must be >= 0, got {self.segment_jobs!r}"
+            )
         # Normalise so list-vs-tuple cannot split the digest space.
         object.__setattr__(self, "apps", tuple(self.apps))
         if not self.apps:
@@ -133,6 +165,9 @@ class SchedSpec:
             "coordinator_period_s": self.coordinator_period_s,
             "time_limit_s": self.time_limit_s,
             "apps": list(self.apps),
+            "execution": self.execution,
+            "retain_jobs": self.retain_jobs,
+            "segment_jobs": self.segment_jobs,
         }
 
     def canonical(self) -> str:
@@ -151,11 +186,28 @@ class SchedSpec:
     # ------------------------------------------------------------------
     # execution / display
     # ------------------------------------------------------------------
-    def execute(self, *, bus: "TelemetryBus | None" = None) -> "SchedResult":
-        """Run this spec in-process (the executor's self-execution hook)."""
+    def execute(
+        self,
+        *,
+        bus: "TelemetryBus | None" = None,
+        checkpoint_dir=None,
+    ) -> "SchedResult":
+        """Run this spec in-process (the executor's self-execution hook).
+
+        ``checkpoint_dir`` is an execution detail (where checkpoints
+        live on disk), never part of the digest: the result is
+        bit-identical with or without it.
+        """
         from repro.sched.cluster import run_sched
 
-        return run_sched(self, bus=bus)
+        return run_sched(self, bus=bus, checkpoint_dir=checkpoint_dir)
+
+    @property
+    def segment_count(self) -> int:
+        """Number of drained execution segments this spec runs as."""
+        if self.segment_jobs <= 0:
+            return 1
+        return -(-self.jobs // self.segment_jobs)
 
     def describe(self) -> str:
         if self.label:
@@ -164,6 +216,8 @@ class SchedSpec:
             f"sched {self.profile}/{self.policy} n{self.nodes} "
             f"{self.budget_w:.0f}W j{self.jobs}"
         )
+        if self.execution != "full":
+            text += f" [{self.execution}]"
         if self.seed:
             text += f" seed={self.seed}"
         return text

@@ -1,11 +1,19 @@
 """Open-loop workload traces: deterministic, seeded job arrival streams.
 
-A trace is a tuple of :class:`Job` records — *who* arrives (an app from
-the registry, a thread demand, a work scale) and *when* (an arrival
-timestamp) — generated before the simulation starts and replayed
-open-loop: arrivals do not react to queueing delay or rejections, which
-is what makes saturation and shedding observable at all (a closed loop
-would self-throttle).
+A trace is a sequence of :class:`Job` records — *who* arrives (an app
+from the registry, a thread demand, a work scale) and *when* (an arrival
+timestamp) — replayed open-loop: arrivals do not react to queueing delay
+or rejections, which is what makes saturation and shedding observable at
+all (a closed loop would self-throttle).
+
+Traces are *streamed*: :func:`iter_trace` is a lazy generator that draws
+each job's randomness (interarrival gap, app, threads, scale) as the job
+is yielded, so a million-job trace costs a handful of live objects, not
+a million.  :func:`generate_trace` is simply the materialized form —
+``tuple(iter_trace(...))`` — and the two are bit-identical by
+construction (pinned by test).  ``start`` lets a resumed run re-enter
+the stream at job *k* by re-drawing (and discarding) the first *k* jobs'
+randomness: the generator is deterministic, so skipping is exact.
 
 Three stochastic arrival profiles plus a deterministic control:
 
@@ -19,14 +27,14 @@ Three stochastic arrival profiles plus a deterministic control:
 Determinism: every draw comes from one named
 :class:`~repro.sim.rng.RngStreams` stream keyed by ``(seed, profile)``,
 so the same ``(profile, jobs, rate, seed, apps)`` tuple always yields a
-bit-identical trace regardless of what else consumed randomness.
+bit-identical stream regardless of what else consumed randomness.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.errors import ConfigError
 from repro.sim.rng import RngStreams
@@ -80,42 +88,125 @@ TRACE_PROFILES: dict[str, str] = {
 }
 
 
-def _interarrivals(profile: str, jobs: int, rate: float, rng) -> list[float]:
-    """The gap sequence (seconds) between consecutive arrivals."""
+def _iter_gaps(profile: str, jobs: int, rate: float, rng) -> Iterator[float]:
+    """Lazy gap sequence (seconds) between consecutive arrivals.
+
+    Each profile is a stateful generator that draws exactly the
+    randomness for the next gap when asked for it — no gap list is ever
+    materialized, which is what keeps :func:`iter_trace` O(1) in memory.
+    """
     if profile == "steady":
-        return [1.0 / rate] * jobs
+        gap = 1.0 / rate
+        for _ in range(jobs):
+            yield gap
+        return
     if profile == "poisson":
-        return [float(g) for g in rng.exponential(1.0 / rate, size=jobs)]
+        mean = 1.0 / rate
+        for _ in range(jobs):
+            yield float(rng.exponential(mean))
+        return
     if profile == "bursty":
-        gaps: list[float] = []
-        while len(gaps) < jobs:
+        yielded = 0
+        while yielded < jobs:
             burst = int(rng.integers(_BURST_MIN_JOBS, _BURST_MAX_JOBS + 1))
             for _ in range(burst):
-                gaps.append(float(rng.exponential(1.0 / (rate * _BURST_SPEEDUP))))
+                if yielded == jobs:
+                    return
+                yield float(rng.exponential(1.0 / (rate * _BURST_SPEEDUP)))
+                yielded += 1
+            if yielded == jobs:
+                return
             # The lull repays the burst's rate debt so the long-run rate
             # stays ~`rate` and profiles compare at equal offered load.
-            gaps.append(float(rng.exponential(burst / rate)))
-        return gaps[:jobs]
+            yield float(rng.exponential(burst / rate))
+            yielded += 1
+        return
     if profile == "diurnal":
         # Lewis-Shedler thinning against the peak rate; one full "day"
         # spans the nominal trace length so the sweep sees both slopes.
         day_s = max(jobs / rate, 1e-9)
         peak = rate * (1.0 + _DIURNAL_AMPLITUDE)
-        gaps = []
         t = 0.0
         last = 0.0
-        while len(gaps) < jobs:
+        yielded = 0
+        while yielded < jobs:
             t += float(rng.exponential(1.0 / peak))
             lam = rate * (
                 1.0 + _DIURNAL_AMPLITUDE * math.sin(2.0 * math.pi * t / day_s)
             )
             if float(rng.uniform()) * peak <= lam:
-                gaps.append(t - last)
+                yield t - last
                 last = t
-        return gaps
+                yielded += 1
+        return
     raise ConfigError(
         f"unknown trace profile {profile!r}; one of {', '.join(sorted(TRACE_PROFILES))}"
     )
+
+
+def _validate_trace_args(
+    profile: str, jobs: int, rate_jobs_per_s: float, apps: Sequence[str]
+) -> None:
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
+    if rate_jobs_per_s <= 0:
+        raise ConfigError(f"rate must be positive, got {rate_jobs_per_s!r}")
+    if not apps:
+        raise ConfigError("the job app pool must not be empty")
+    if profile not in TRACE_PROFILES:
+        raise ConfigError(
+            f"unknown trace profile {profile!r}; "
+            f"one of {', '.join(sorted(TRACE_PROFILES))}"
+        )
+
+
+def iter_trace(
+    profile: str,
+    *,
+    jobs: int,
+    rate_jobs_per_s: float = 1.0,
+    seed: int = 0,
+    apps: Sequence[str] = DEFAULT_JOB_APPS,
+    scale: float = 0.5,
+    compiler: str = "gcc",
+    optlevel: str = "O2",
+    start: int = 0,
+) -> Iterator[Job]:
+    """Yield the deterministic open-loop arrival trace lazily.
+
+    ``scale`` is the nominal per-job work scale; each job perturbs it by
+    a seeded ±25% draw so service times are heterogeneous but exactly
+    reproducible.  All randomness for job *i* (gap, app, threads, scale)
+    is drawn when job *i* is produced, in that fixed order, so the
+    stream position after *i* jobs is a pure function of ``(profile,
+    seed, i)`` — which is what makes ``start`` an exact re-entry point:
+    the first ``start`` jobs are re-drawn and discarded, never stored.
+    """
+    _validate_trace_args(profile, jobs, rate_jobs_per_s, apps)
+    if not 0 <= start <= jobs:
+        raise ConfigError(
+            f"start must be in [0, jobs={jobs}], got {start!r}"
+        )
+    apps = tuple(apps)
+    rng = RngStreams(seed).stream(f"sched-trace/{profile}")
+    gaps = _iter_gaps(profile, jobs, rate_jobs_per_s, rng)
+    t = 0.0
+    for i in range(jobs):
+        t += next(gaps)
+        app = apps[int(rng.integers(0, len(apps)))]
+        threads = THREAD_CHOICES[int(rng.integers(0, len(THREAD_CHOICES)))]
+        job_scale = scale * float(rng.uniform(0.75, 1.25))
+        if i < start:
+            continue
+        yield Job(
+            index=i,
+            submit_s=t,
+            app=app,
+            threads=threads,
+            scale=job_scale,
+            compiler=compiler,
+            optlevel=optlevel,
+        )
 
 
 def generate_trace(
@@ -129,44 +220,19 @@ def generate_trace(
     compiler: str = "gcc",
     optlevel: str = "O2",
 ) -> tuple[Job, ...]:
-    """Generate a deterministic open-loop arrival trace.
-
-    ``scale`` is the nominal per-job work scale; each job perturbs it by
-    a seeded ±25% draw so service times are heterogeneous but exactly
-    reproducible.
-    """
-    if jobs < 1:
-        raise ConfigError(f"jobs must be >= 1, got {jobs!r}")
-    if rate_jobs_per_s <= 0:
-        raise ConfigError(f"rate must be positive, got {rate_jobs_per_s!r}")
-    if not apps:
-        raise ConfigError("the job app pool must not be empty")
-    if profile not in TRACE_PROFILES:
-        raise ConfigError(
-            f"unknown trace profile {profile!r}; "
-            f"one of {', '.join(sorted(TRACE_PROFILES))}"
+    """The materialized trace: ``tuple(iter_trace(...))``, bit-identical."""
+    return tuple(
+        iter_trace(
+            profile,
+            jobs=jobs,
+            rate_jobs_per_s=rate_jobs_per_s,
+            seed=seed,
+            apps=apps,
+            scale=scale,
+            compiler=compiler,
+            optlevel=optlevel,
         )
-    rng = RngStreams(seed).stream(f"sched-trace/{profile}")
-    gaps = _interarrivals(profile, jobs, rate_jobs_per_s, rng)
-    trace: list[Job] = []
-    t = 0.0
-    for i, gap in enumerate(gaps):
-        t += gap
-        app = apps[int(rng.integers(0, len(apps)))]
-        threads = THREAD_CHOICES[int(rng.integers(0, len(THREAD_CHOICES)))]
-        job_scale = scale * float(rng.uniform(0.75, 1.25))
-        trace.append(
-            Job(
-                index=i,
-                submit_s=t,
-                app=app,
-                threads=threads,
-                scale=job_scale,
-                compiler=compiler,
-                optlevel=optlevel,
-            )
-        )
-    return tuple(trace)
+    )
 
 
 def offered_load_summary(trace: Sequence[Job]) -> str:

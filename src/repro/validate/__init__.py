@@ -23,7 +23,12 @@ This package checks it continuously:
 * :mod:`~repro.validate.cluster` — cluster-budget invariants over the
   power coordinator's rounds (division exactness, per-node floor,
   clamp-tolerance enforcement) and the scheduled-run corpus behind the
-  ``repro validate`` cluster section.
+  ``repro validate`` cluster section;
+* :mod:`~repro.validate.scale` — million-job-scale invariants pinning
+  every streaming substitution to its exact counterpart: quantile-sketch
+  tails within the guaranteed error bound, streamed-vs-retained fold
+  equality, checkpoint/resume bit-identity, and the analytic mode's
+  roofline-envelope oracle.
 """
 
 from repro.validate.checker import InvariantChecker
@@ -39,6 +44,14 @@ from repro.validate.cluster import (
 from repro.validate.corpus import METER_SPECS, corpus, differential_specs
 from repro.validate.metering import check_overhead_monotone
 from repro.validate.records import check_record
+from repro.validate.scale import (
+    ScaleValidationResult,
+    check_resume_identity,
+    check_sketch_consistency,
+    check_stream_equivalence,
+    run_scale_validation,
+    scale_corpus,
+)
 from repro.validate.runner import (
     DifferentialResult,
     ValidationSweepResult,
@@ -52,6 +65,7 @@ __all__ = [
     "ClusterValidationResult",
     "DifferentialResult",
     "InvariantChecker",
+    "ScaleValidationResult",
     "ValidationReport",
     "ValidationSweepResult",
     "Violation",
@@ -61,12 +75,17 @@ __all__ = [
     "check_cluster_budgets",
     "check_overhead_monotone",
     "check_record",
+    "check_resume_identity",
+    "check_sketch_consistency",
+    "check_stream_equivalence",
     "METER_SPECS",
     "cluster_corpus",
     "corpus",
     "differential_specs",
     "differential_sweep",
     "run_cluster_validation",
+    "run_scale_validation",
     "run_validation_sweep",
+    "scale_corpus",
     "validate_spec",
 ]

@@ -1,0 +1,300 @@
+"""Million-job-scale invariants: sketches, checkpoints, the roofline oracle.
+
+The streaming aggregation spine (:mod:`repro.sched.aggregate`), the
+segmented checkpoint/resume machinery (:mod:`repro.sched.checkpoint`)
+and the analytic execution mode (:mod:`repro.sched.analytic`) exist so a
+million-job trace fits in bounded memory and survives a kill — but every
+one of them *replaces* an exact computation with a cheaper one, which is
+exactly where silent wrongness creeps in.  This module pins each
+substitution to its exact counterpart:
+
+* **sketch-consistency** — on runs small enough to retain every
+  :class:`~repro.sched.result.JobRecord`, the quantile sketches' p50 /
+  p95 / p99 for wait, slowdown and energy must land within the sketch's
+  *guaranteed* relative error bound of the exact nearest-rank values.
+  The bound is :data:`~repro.sched.sketch.DEFAULT_REL_ERR`, not a vibes
+  tolerance: a DDSketch-style sketch that misses it is broken, full
+  stop.
+* **stream-equivalence** — dropping per-job records (``retain_jobs=
+  False``) must not change a single accumulated bit: the streamed twin
+  of every corpus spec must produce an identical
+  :meth:`~repro.sched.aggregate.SchedStats.canonical` fold.
+* **resume-identity** — executing a segmented spec by running its first
+  segment, checkpointing to disk, abandoning the process state and
+  resuming from the file must yield a ``result_digest()`` equal to the
+  uninterrupted run's.  This is the bit-identity contract the checkpoint
+  layer advertises, checked end to end through the pickle round trip.
+* **roofline-envelope** — analytic runs carry the Afzal-style closed-form
+  oracle's verdict in their violations; the corpus asserts it stays
+  clean on healthy runs (the oracle that cries wolf guards nothing).
+
+All violations here are strict ``model`` category: fault injection never
+perturbs aggregation arithmetic, so none of these can ever be
+"expected".
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.sched.sketch import DEFAULT_REL_ERR
+from repro.validate.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.telemetry import TelemetryBus
+    from repro.sched.result import SchedResult
+    from repro.sched.spec import SchedSpec
+
+#: Percentiles the sketch-consistency check pins (the ones ``format()``
+#: and the experiment tables actually report).
+CHECKED_PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Values this close to zero live in the sketch's zero bucket, where the
+#: relative-error guarantee degenerates; compare absolutely there.
+ZERO_EPS = 1e-9
+
+
+def check_sketch_consistency(
+    result: "SchedResult",
+    *,
+    rel_err: float = DEFAULT_REL_ERR,
+) -> list[Violation]:
+    """Sketch tails vs exact nearest-rank tails on a record-retaining run.
+
+    Requires ``result.jobs`` (the exact side) and ``result.stats`` (the
+    sketch side); both exist whenever ``retain_jobs=True``.
+    """
+    stats = result.stats
+    if stats is None or not result.jobs:
+        return []
+    exact = {
+        "wait": sorted(r.wait_s for r in result.jobs),
+        "slowdown": sorted(r.slowdown for r in result.jobs),
+        "energy": sorted(r.energy_j for r in result.jobs),
+    }
+    sketches = {
+        "wait": stats.wait_sketch,
+        "slowdown": stats.slowdown_sketch,
+        "energy": stats.energy_sketch,
+    }
+    from repro.sched.result import _ranked
+
+    violations: list[Violation] = []
+    for metric in ("wait", "slowdown", "energy"):
+        for pct in CHECKED_PERCENTILES:
+            want = _ranked(exact[metric], pct)
+            got = sketches[metric].quantile(pct)
+            bound = rel_err * abs(want) + ZERO_EPS
+            if abs(got - want) > bound:
+                violations.append(Violation(
+                    invariant="sketch-consistency",
+                    category="model",
+                    message=(
+                        f"{metric} p{pct:g} sketch={got!r} vs "
+                        f"exact={want!r} over {len(result.jobs)} jobs — "
+                        f"error {abs(got - want):.3e} exceeds the "
+                        f"guaranteed bound {bound:.3e} "
+                        f"(rel_err={rel_err})"
+                    ),
+                ))
+    return violations
+
+
+def check_stream_equivalence(
+    spec: "SchedSpec",
+    retained: "SchedResult",
+    *,
+    bus: "Optional[TelemetryBus]" = None,
+) -> list[Violation]:
+    """Re-run ``spec`` with ``retain_jobs=False``; the fold must match.
+
+    ``retain_jobs`` changes what is *kept*, never what is *computed*:
+    the streamed twin consumes the identical trace through the identical
+    accumulator, so its :meth:`SchedStats.canonical` string must equal
+    the retaining run's bit for bit.
+    """
+    from repro.sched.cluster import run_sched
+
+    streamed = run_sched(replace(spec, retain_jobs=False), bus=bus)
+    if retained.stats is None or streamed.stats is None:
+        return [Violation(
+            invariant="stream-equivalence",
+            category="model",
+            message=f"run of {spec.describe()!r} produced no SchedStats",
+        )]
+    if retained.stats.canonical() == streamed.stats.canonical():
+        return []
+    return [Violation(
+        invariant="stream-equivalence",
+        category="model",
+        message=(
+            f"streamed twin of {spec.describe()!r} diverged from the "
+            f"record-retaining run: stats digests "
+            f"{streamed.stats.digest()} != {retained.stats.digest()}"
+        ),
+    )]
+
+
+def check_resume_identity(
+    spec: "SchedSpec",
+    uninterrupted: "SchedResult",
+    *,
+    bus: "Optional[TelemetryBus]" = None,
+) -> list[Violation]:
+    """Checkpoint after segment one, resume from disk, compare digests.
+
+    Only meaningful for segmented specs (``segment_jobs > 0``); the
+    first segment is executed against a fresh carry state, persisted
+    with :func:`~repro.sched.checkpoint.save_checkpoint`, and the run is
+    then *resumed by file* — the in-memory state is discarded, exactly
+    as after a kill.
+    """
+    from repro.harness.telemetry import TelemetryBus as _Bus
+    from repro.sched.checkpoint import (
+        SchedCheckpoint,
+        _run_one_segment,
+        run_segmented,
+        save_checkpoint,
+    )
+
+    if spec.segment_jobs <= 0 or spec.jobs <= spec.segment_jobs:
+        return []
+    bus = bus if bus is not None else _Bus()
+    with tempfile.TemporaryDirectory(prefix="repro-resume-") as tmp:
+        state = SchedCheckpoint(spec_digest=spec.digest)
+        limit = min(spec.segment_jobs, spec.jobs)
+        state.clock_s = _run_one_segment(spec, bus, state, limit)
+        state.next_start = limit
+        save_checkpoint(Path(tmp), spec, state)
+        del state  # the crash: everything in memory is gone
+        resumed = run_segmented(spec, bus=bus, checkpoint_dir=Path(tmp))
+    if resumed.result_digest() == uninterrupted.result_digest():
+        return []
+    return [Violation(
+        invariant="resume-identity",
+        category="model",
+        message=(
+            f"resumed run of {spec.describe()!r} is not bit-identical "
+            f"to the uninterrupted run: digest "
+            f"{resumed.result_digest()[:16]} != "
+            f"{uninterrupted.result_digest()[:16]}"
+        ),
+    )]
+
+
+def check_roofline_verdict(result: "SchedResult") -> list[Violation]:
+    """The analytic run's built-in roofline oracle must report clean."""
+    return [
+        v for v in result.budget_violations
+        if v.invariant.startswith("roofline-")
+    ]
+
+
+# ----------------------------------------------------------------------
+# the ``repro validate`` scale section
+# ----------------------------------------------------------------------
+def scale_corpus(quick: bool = False) -> "list[SchedSpec]":
+    """Scheduled-run scenarios for the million-job-scale invariants.
+
+    Small job counts (the exact side must stay cheap) across the axes
+    that stress the streaming machinery differently: full vs analytic
+    execution, single-segment vs segmented, and a diurnal trace whose
+    thinned arrival draws exercise the iterator re-entry hardest.
+    """
+    from repro.sched.spec import SchedSpec
+
+    specs = [
+        SchedSpec(profile="poisson", policy="fcfs", nodes=4, budget_w=400.0,
+                  jobs=12, segment_jobs=5,
+                  label="poisson/fcfs full segmented"),
+        SchedSpec(profile="diurnal", policy="bestfit", nodes=4,
+                  budget_w=400.0, jobs=60, rate_jobs_per_s=0.05,
+                  time_limit_s=100000.0, execution="analytic",
+                  segment_jobs=24, label="diurnal/bestfit analytic seg"),
+    ]
+    if not quick:
+        specs.extend([
+            SchedSpec(profile="bursty", policy="edp", nodes=3,
+                      budget_w=300.0, jobs=10,
+                      label="bursty/edp full single-seg"),
+            SchedSpec(profile="steady", policy="waterfill", nodes=2,
+                      budget_w=400.0, jobs=80, rate_jobs_per_s=0.05,
+                      time_limit_s=100000.0, execution="analytic",
+                      label="steady/waterfill analytic"),
+        ])
+    return specs
+
+
+@dataclass
+class ScaleValidationResult:
+    """Outcome of sweeping the million-job-scale invariants."""
+
+    labels: list[str] = field(default_factory=list)
+    jobs: list[int] = field(default_factory=list)
+    checks: list[int] = field(default_factory=list)
+    violations: list[tuple[Violation, ...]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(self.violations)
+
+    @property
+    def total_checks(self) -> int:
+        return sum(self.checks)
+
+    def format(self) -> str:
+        lines = ["scale invariants (sketch / resume / stream / roofline):"]
+        for label, jobs, checks, found in zip(
+            self.labels, self.jobs, self.checks, self.violations
+        ):
+            verdict = "ok" if not found else f"{len(found)} VIOLATIONS"
+            lines.append(
+                f"  {label:<36} {jobs:>5} jobs {checks:>3} checks  {verdict}"
+            )
+            for violation in found:
+                lines.append(f"      {violation}")
+        lines.append(
+            "RESULT: " + (
+                f"PASS ({self.total_checks} checks)" if self.ok else "FAIL"
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_scale_validation(
+    specs: Optional[Sequence["SchedSpec"]] = None,
+    *,
+    quick: bool = False,
+    bus: "Optional[TelemetryBus]" = None,
+) -> ScaleValidationResult:
+    """Run the scale corpus and audit every streaming substitution.
+
+    Each spec runs once retaining records (the exact reference), then
+    its streamed and resumed twins replay against it.  Serial by design,
+    like :func:`~repro.validate.cluster.run_cluster_validation`.
+    """
+    from repro.sched.cluster import run_sched
+
+    if specs is None:
+        specs = scale_corpus(quick=quick)
+    result = ScaleValidationResult()
+    for spec in specs:
+        reference = run_sched(spec, bus=bus)
+        found: list[Violation] = []
+        found.extend(check_sketch_consistency(reference))
+        found.extend(check_stream_equivalence(spec, reference, bus=bus))
+        found.extend(check_resume_identity(spec, reference, bus=bus))
+        found.extend(check_roofline_verdict(reference))
+        checks = len(CHECKED_PERCENTILES) * 3 + 1  # tails + streamed twin
+        if 0 < spec.segment_jobs < spec.jobs:
+            checks += 1  # the resumed twin
+        if spec.execution == "analytic":
+            checks += 2  # the two roofline envelope bounds
+        result.labels.append(spec.describe())
+        result.jobs.append(reference.completed)
+        result.checks.append(checks)
+        result.violations.append(tuple(found))
+    return result

@@ -64,13 +64,16 @@ def test_corrupted_payload_reads_as_miss(tmp_path, record):
 def test_ledger_is_json_lines(tmp_path, record):
     cache = ResultCache(root=tmp_path)
     cache.put(record.spec, record)
-    lines = cache.ledger_path.read_text().splitlines()
+    shard = record.spec.digest[:2]
+    lines = cache.shard_ledger_path(shard).read_text().splitlines()
     assert len(lines) == 1
     entry = json.loads(lines[0])
     assert entry["digest"] == record.spec.digest
     assert entry["stamp"] == cache.stamp
     assert entry["app"] == "mergesort"
     assert entry["time_s"] == record.time_s
+    assert entry["bytes"] > 0
+    assert cache.ledger_entries() == [entry]
 
 
 def test_clear_and_info(tmp_path, record):

@@ -4,8 +4,10 @@ The ledger is the service's exactly-once evidence (``execution_counts``
 reads ``put`` lines), so interleaved partial writes from concurrent
 writers — service workers in one process tree, a CLI sweep in another —
 would corrupt the audit trail.  ``_append_ledger`` takes an exclusive
-``flock`` around a single ``O_APPEND`` write; this hammers it from two
-forked processes and checks every line survived intact.
+``flock`` on the shard's stable lock file around a single ``O_APPEND``
+write; this hammers it from two forked processes and checks every line
+survived intact.  (Digest-less probe entries all land in the ``_misc``
+shard, so both writers contend on one file — the worst case.)
 """
 
 import json
@@ -43,7 +45,7 @@ def test_two_processes_never_tear_ledger_lines(tmp_path):
         assert proc.exitcode == 0
 
     cache = ResultCache(root=tmp_path)
-    raw = cache.ledger_path.read_text().splitlines()
+    raw = cache.shard_ledger_path("_misc").read_text().splitlines()
     assert len(raw) == 2 * WRITES_PER_PROC
     entries = [json.loads(line) for line in raw]  # every line parses
     by_writer: dict[int, list[int]] = {1: [], 2: []}

@@ -1,0 +1,129 @@
+"""Checkpoint/resume: atomic snapshots, bit-identical resumption."""
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched import (
+    SchedCheckpoint,
+    SchedSpec,
+    checkpoint_path,
+    load_checkpoint,
+    run_sched,
+    run_segmented,
+    save_checkpoint,
+)
+from repro.sched.checkpoint import CHECKPOINT_SCHEMA, _run_one_segment
+from repro.harness.telemetry import TelemetryBus
+
+pytestmark = pytest.mark.sched
+
+FULL_SPEC = SchedSpec(profile="poisson", policy="fcfs", nodes=2,
+                      budget_w=300.0, jobs=8, seed=3, segment_jobs=3)
+ANALYTIC_SPEC = SchedSpec(profile="diurnal", policy="bestfit", nodes=4,
+                          budget_w=400.0, jobs=48, rate_jobs_per_s=0.05,
+                          time_limit_s=100000.0, seed=9,
+                          execution="analytic", segment_jobs=16)
+
+
+def test_save_load_round_trip(tmp_path):
+    state = SchedCheckpoint(spec_digest=FULL_SPEC.digest, next_start=3,
+                            clock_s=12.5)
+    path = save_checkpoint(tmp_path, FULL_SPEC, state)
+    assert path == checkpoint_path(tmp_path, FULL_SPEC)
+    loaded = load_checkpoint(tmp_path, FULL_SPEC)
+    assert loaded is not None
+    assert (loaded.next_start, loaded.clock_s) == (3, 12.5)
+    assert loaded.schema == CHECKPOINT_SCHEMA
+    # No tmp artifacts left behind by the atomic write.
+    assert list(tmp_path.glob("*.tmp.*")) == []
+
+
+def test_load_rejects_foreign_or_corrupt_checkpoints(tmp_path):
+    state = SchedCheckpoint(spec_digest=FULL_SPEC.digest)
+    save_checkpoint(tmp_path, FULL_SPEC, state)
+    # A different spec never sees this file (content-addressed name and
+    # a digest check inside).
+    assert load_checkpoint(tmp_path, replace(FULL_SPEC, seed=99)) is None
+    # Corruption reads as absent, never as an error.
+    checkpoint_path(tmp_path, FULL_SPEC).write_bytes(b"torn garbage")
+    assert load_checkpoint(tmp_path, FULL_SPEC) is None
+    # Wrong schema version is discarded too.
+    stale = SchedCheckpoint(spec_digest=FULL_SPEC.digest, schema="ancient-0")
+    checkpoint_path(tmp_path, FULL_SPEC).write_bytes(
+        pickle.dumps(stale, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+    assert load_checkpoint(tmp_path, FULL_SPEC) is None
+    assert load_checkpoint(tmp_path / "nowhere", FULL_SPEC) is None
+
+
+def test_run_segmented_requires_segments():
+    with pytest.raises(ConfigError):
+        run_segmented(replace(FULL_SPEC, segment_jobs=0))
+
+
+@pytest.mark.parametrize("spec", [FULL_SPEC, ANALYTIC_SPEC],
+                         ids=["full", "analytic"])
+def test_resume_is_bit_identical(spec, tmp_path):
+    uninterrupted = run_segmented(spec)
+    # Simulate the crash: run exactly one segment, persist, drop state.
+    bus = TelemetryBus()
+    state = SchedCheckpoint(spec_digest=spec.digest)
+    state.clock_s = _run_one_segment(spec, bus, state, spec.segment_jobs)
+    state.next_start = spec.segment_jobs
+    save_checkpoint(tmp_path, spec, state)
+    del state
+    resumed = run_segmented(spec, checkpoint_dir=tmp_path)
+    assert resumed.result_digest() == uninterrupted.result_digest()
+    assert resumed.stats.segments == spec.segment_count
+    # The checkpoint is cleared once the run completes.
+    assert load_checkpoint(tmp_path, spec) is None
+
+
+def test_segmented_equals_run_sched_dispatch(tmp_path):
+    via_dispatch = run_sched(FULL_SPEC, checkpoint_dir=tmp_path)
+    direct = run_segmented(FULL_SPEC)
+    assert via_dispatch.result_digest() == direct.result_digest()
+
+
+def test_sigkill_then_resume_is_bit_identical(tmp_path):
+    """A real kill -9 mid-run, then resume across the process boundary."""
+    spec = FULL_SPEC
+    uninterrupted = run_segmented(spec)
+    ckpt_dir = tmp_path / "ckpt"
+    child_src = (
+        "from repro.sched import SchedSpec, run_segmented\n"
+        "from pathlib import Path\n"
+        f"spec = SchedSpec(profile={spec.profile!r}, policy={spec.policy!r},\n"
+        f"                 nodes={spec.nodes}, budget_w={spec.budget_w!r},\n"
+        f"                 jobs={spec.jobs}, seed={spec.seed},\n"
+        f"                 segment_jobs={spec.segment_jobs})\n"
+        f"run_segmented(spec, checkpoint_dir=Path({str(ckpt_dir)!r}))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in [str(Path(__file__).resolve().parents[2] / "src"),
+                    env.get("PYTHONPATH")] if p
+    )
+    proc = subprocess.Popen([sys.executable, "-c", child_src], env=env)
+    # Let it produce at least one checkpoint, then kill it hard.  If the
+    # child is quick and finishes first, resume just re-executes from
+    # scratch — the digest assertion holds either way.
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline and proc.poll() is None:
+        if any(ckpt_dir.glob("*.ckpt")):
+            break
+        time.sleep(0.02)
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=60)
+    resumed = run_segmented(spec, checkpoint_dir=ckpt_dir)
+    assert resumed.result_digest() == uninterrupted.result_digest()

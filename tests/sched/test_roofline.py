@@ -1,0 +1,93 @@
+"""Roofline closed forms and the per-run envelope oracle."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sched import SchedSpec, run_sched
+from repro.sched.roofline import (
+    ENVELOPE_FACTOR,
+    RooflinePoint,
+    job_cost,
+    roofline_envelope,
+    roofline_point,
+)
+from repro.sched.workload import THREAD_CHOICES, iter_trace
+
+pytestmark = pytest.mark.sched
+
+ANALYTIC_SPEC = SchedSpec(profile="poisson", policy="fcfs", nodes=4,
+                          budget_w=400.0, jobs=40, rate_jobs_per_s=0.05,
+                          time_limit_s=100000.0, execution="analytic",
+                          seed=2)
+
+
+def test_roofline_point_is_positive_and_cached():
+    a = roofline_point("lulesh", 8)
+    b = roofline_point("lulesh", 8)
+    assert a is b  # lru_cache identity: one point per configuration
+    assert a.time_s > 0 and a.energy_j > 0
+    assert a.avg_watts == pytest.approx(a.energy_j / a.time_s)
+
+
+def test_thread_count_shapes_the_point():
+    # Not monotone — contention can make more threads slower, which is
+    # the paper's premise — but parallelism must buy *something*: the
+    # best thread count beats the smallest, and the axis is not flat.
+    times = {t: roofline_point("lulesh", t).time_s for t in THREAD_CHOICES}
+    assert min(times.values()) < times[min(THREAD_CHOICES)]
+    assert len(set(times.values())) > 1
+
+
+def test_job_cost_scales_linearly():
+    job = next(iter(iter_trace("steady", jobs=1, rate_jobs_per_s=1.0,
+                               seed=0)))
+    cost = job_cost(job)
+    unit = roofline_point(job.app, job.threads, job.compiler, job.optlevel)
+    assert cost.time_s == pytest.approx(unit.time_s * job.scale)
+    assert cost.energy_j == pytest.approx(unit.energy_j * job.scale)
+    assert cost.avg_watts == pytest.approx(unit.avg_watts)  # scale cancels
+
+
+def test_analytic_run_passes_its_own_envelope():
+    result = run_sched(ANALYTIC_SPEC)
+    assert result.completed == ANALYTIC_SPEC.jobs
+    assert not [v for v in result.budget_violations
+                if v.invariant.startswith("roofline-")]
+
+
+def test_envelope_catches_broken_aggregation():
+    result = run_sched(ANALYTIC_SPEC)
+    stats = result.stats
+    # A bug that inflates accumulated service time / energy by 1000x
+    # (say, double-counting segments) must trip the oracle.
+    broken = replace(stats,
+                     service_sum_s=stats.service_sum_s * 1000.0,
+                     energy_sum_j=stats.energy_sum_j * 1000.0)
+    found = roofline_envelope(ANALYTIC_SPEC, broken)
+    names = {v.invariant for v in found}
+    assert names == {"roofline-service-time", "roofline-energy"}
+    assert all(v.category == "model" for v in found)
+    # And the real aggregates pass with the default slack.
+    assert roofline_envelope(ANALYTIC_SPEC, stats,
+                             factor=ENVELOPE_FACTOR) == []
+
+
+def test_envelope_is_silent_on_empty_runs():
+    empty = run_sched(ANALYTIC_SPEC).stats
+    empty = replace(empty, completed=0)
+    assert roofline_envelope(ANALYTIC_SPEC, empty) == []
+
+
+def test_full_simulation_lands_inside_the_envelope():
+    # The microsimulation's aggregates must agree with the closed form
+    # within the slack — that is the whole point of the oracle.
+    spec = SchedSpec(profile="steady", policy="fcfs", nodes=2,
+                     budget_w=400.0, jobs=6, seed=1)
+    result = run_sched(spec)
+    assert roofline_envelope(spec, result.stats) == []
+
+
+def test_points_are_plain_value_objects():
+    point = RooflinePoint(app="x", threads=4, time_s=0.0, energy_j=0.0)
+    assert point.avg_watts == 0.0

@@ -1,0 +1,69 @@
+"""Scale invariants: the detectors detect, and the healthy corpus passes."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sched import QuantileSketch, SchedSpec, run_sched
+from repro.validate import (
+    check_resume_identity,
+    check_sketch_consistency,
+    check_stream_equivalence,
+    run_scale_validation,
+    scale_corpus,
+)
+
+pytestmark = pytest.mark.validate
+
+
+@pytest.fixture(scope="module")
+def reference():
+    spec = SchedSpec(profile="poisson", policy="fcfs", nodes=2,
+                     budget_w=300.0, jobs=8, seed=3, segment_jobs=3)
+    return spec, run_sched(spec)
+
+
+def test_quick_scale_corpus_passes():
+    result = run_scale_validation(quick=True)
+    assert result.ok, result.format()
+    assert result.total_checks > 0
+    assert "PASS" in result.format()
+
+
+def test_sketch_consistency_fires_on_a_poisoned_sketch(reference):
+    _spec, good = reference
+    assert check_sketch_consistency(good) == []
+    poisoned = QuantileSketch()
+    poisoned.extend([1e6] * good.stats.completed)  # wildly wrong tail
+    bad = replace(good, stats=replace(good.stats, wait_sketch=poisoned))
+    found = check_sketch_consistency(bad)
+    assert found and all(
+        v.invariant == "sketch-consistency" and v.category == "model"
+        for v in found
+    )
+
+
+def test_stream_equivalence_fires_on_a_doctored_fold(reference):
+    spec, good = reference
+    assert check_stream_equivalence(spec, good) == []
+    doctored = replace(
+        good, stats=replace(good.stats, energy_sum_j=-1.0)
+    )
+    found = check_stream_equivalence(spec, doctored)
+    assert [v.invariant for v in found] == ["stream-equivalence"]
+
+
+def test_resume_identity_holds_and_skips_unsegmented(reference):
+    spec, good = reference
+    assert check_resume_identity(spec, good) == []
+    flat = replace(spec, segment_jobs=0)
+    assert check_resume_identity(flat, run_sched(flat)) == []  # skipped
+
+
+def test_corpus_spans_the_axes():
+    specs = scale_corpus()
+    assert {s.execution for s in specs} == {"full", "analytic"}
+    assert any(s.segment_jobs for s in specs)
+    assert any(not s.segment_jobs for s in specs)
+    quick = scale_corpus(quick=True)
+    assert len(quick) < len(specs)
