@@ -4,13 +4,18 @@ PYTHON ?= python
 
 COV_FAIL_UNDER ?= 80
 
-.PHONY: install test test-faults test-golden test-harness test-metering test-validate test-sched test-service test-store validate-smoke sched-smoke serve-smoke metersweep-smoke store-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched bench-service bench-store reproduce recalibrate examples clean
+.PHONY: install test test-cosched test-faults test-golden test-harness test-metering test-validate test-sched test-service test-store validate-smoke sched-smoke serve-smoke metersweep-smoke store-smoke cosched-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched bench-service bench-store bench-cosched reproduce recalibrate examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: sweep-smoke sched-smoke serve-smoke metersweep-smoke store-smoke
+test: sweep-smoke sched-smoke serve-smoke metersweep-smoke store-smoke cosched-smoke
 	$(PYTHON) -m pytest tests/
+
+# Co-scheduling suite: contention injectors, co-run profiling sweep,
+# the interference predictor and the profile-driven placement policy.
+test-cosched:
+	$(PYTHON) -m pytest tests/ -m cosched
 
 # Robustness suite: fault injection + degraded-mode behaviour only.
 test-faults:
@@ -74,6 +79,12 @@ metersweep-smoke:
 serve-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.service.smoke
 
+# End-to-end co-scheduling smoke: a trimmed app x injector x level
+# grid through the harness (solo baselines + co-run cells), reduced to
+# sensitivity profiles, via the CLI exactly as a user would run it.
+cosched-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.cli coschedsweep --quick --quiet
+
 # End-to-end store smoke: a read-only pass of the store benchmark,
 # which pins exactly-once counts, warm-query offset coverage and
 # count-preserving compaction against a throwaway cache root.
@@ -128,6 +139,12 @@ bench-service:
 # latency vs the committed baseline (BENCH_store.json).
 bench-store:
 	$(PYTHON) benchmarks/bench_store.py
+
+# Co-scheduling benchmark: profiling-sweep throughput plus predictor
+# fit/predict latency vs the committed baseline (read-only; refuses to
+# rewrite BENCH_cosched.json without --update).
+bench-cosched:
+	$(PYTHON) benchmarks/bench_cosched.py
 
 # Regenerate EXPERIMENTS.md (runs the full evaluation, ~5-10 minutes).
 reproduce:

@@ -1,0 +1,197 @@
+"""Benchmark: co-scheduling profiling throughput (``make bench-cosched``).
+
+Times the two hot paths of the contention-prediction pipeline: the
+profiling sweep (solo baselines + co-run cells through the harness,
+reduced to a :class:`~repro.cosched.profile.ProfileStore`) and the
+predictor itself (least-squares fit over the bundled artifact, then a
+tight predict loop — the per-tick cost the ``predicted`` placement
+policy pays).  Results are compared against the committed baseline in
+``BENCH_cosched.json``.
+
+Usage::
+
+    python benchmarks/bench_cosched.py             # run + compare, no writes
+    python benchmarks/bench_cosched.py --update    # write current results
+    python benchmarks/bench_cosched.py --update --record-baseline
+                                                   # re-stamp the baseline too
+    python benchmarks/bench_cosched.py --fail-above 3.0
+                                                   # exit 1 if > 3x baseline wall
+
+Correctness is pinned on every invocation: the sweep runs twice and the
+two reduced stores must agree digest-for-digest (timing is best-of, so
+the determinism check is free), and the fitted model must equal the
+bundled one refit in-process.  The runner refuses to write anything
+unless ``--update`` is passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT / "src") not in sys.path:  # script mode: no PYTHONPATH needed
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+#: Committed perf-trajectory file, at the repo root.
+BENCH_PATH = _REPO_ROOT / "BENCH_cosched.json"
+
+#: A mid-size grid: 3 apps x 2 injectors x 1 level -> 3 app solos,
+#: 2 injector solos and 6 co-run cells (11 harness specs).
+BENCH_APPS = ("mergesort", "nqueens", "reduction")
+BENCH_INJECTORS = ("inject-membw", "inject-coherence")
+BENCH_LEVELS = (1.0,)
+
+#: Predict-loop size: enough iterations that the per-call cost
+#: dominates the loop overhead.
+PREDICT_CALLS = 20_000
+
+
+def _run_sweep():
+    from repro.experiments.coschedsweep import run_cosched_sweep
+    from repro.harness import BatchExecutor
+
+    # A fresh cache-less executor: the benchmark times execution, not
+    # disk replay.
+    return run_cosched_sweep(
+        BENCH_APPS, BENCH_INJECTORS, BENCH_LEVELS,
+        harness=BatchExecutor(),
+    )
+
+
+def _predict_loop(model, calls: int) -> float:
+    """Sum of predicted EDPs over a pressure ramp (keeps the loop honest)."""
+    total = 0.0
+    apps = BENCH_APPS
+    for i in range(calls):
+        app = apps[i % len(apps)]
+        pressure = (i % 11) / 10.0
+        total += model.predict_edp(app, 8, 0.15, pressure)
+    return total
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (make bench)
+# ----------------------------------------------------------------------
+def test_bench_cosched_sweep(bench_once):
+    result = bench_once(_run_sweep)
+    assert len(result.store.profiles) == len(BENCH_APPS) + len(BENCH_INJECTORS)
+    assert result.model.entries
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/bench_cosched.py",
+        description="co-scheduling pipeline benchmark vs the committed baseline",
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="write results to BENCH_cosched.json "
+                             "(without this flag nothing is written)")
+    parser.add_argument("--record-baseline", action="store_true",
+                        help="with --update: re-stamp the baseline section "
+                             "from this run (intentional goalpost move)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N repeats (default 3)")
+    parser.add_argument("--fail-above", type=float, default=None, metavar="X",
+                        help="exit 1 if best sweep wall time exceeds X times "
+                             "the committed baseline (default: report only)")
+    parser.add_argument("--json", type=Path, default=BENCH_PATH,
+                        help=f"results file (default: {BENCH_PATH})")
+    args = parser.parse_args(argv)
+
+    if args.record_baseline and not args.update:
+        parser.error("--record-baseline requires --update "
+                     "(refusing to overwrite BENCH_cosched.json)")
+
+    from repro.cosched import PredictorModel, default_model, default_store
+
+    # --- the profiling sweep, best-of-N, determinism pinned -----------
+    best_sweep = float("inf")
+    results = []
+    for _ in range(max(2, args.repeats)):  # >= 2 runs: determinism is free
+        t0 = time.perf_counter()
+        results.append(_run_sweep())
+        best_sweep = min(best_sweep, time.perf_counter() - t0)
+    digests = {r.store.digest for r in results}
+    if len(digests) != 1:
+        print("FAIL: repeated sweeps are not bit-identical", file=sys.stderr)
+        return 1
+    result = results[0]
+    cells = sum(len(p.cells) for p in result.store.profiles)
+    specs = len(result.records)
+
+    # --- predictor fit over the bundled artifact ----------------------
+    store = default_store()
+    best_fit = float("inf")
+    for _ in range(max(2, args.repeats)):
+        t0 = time.perf_counter()
+        model = PredictorModel.fit(store)
+        best_fit = min(best_fit, time.perf_counter() - t0)
+    if model != default_model():
+        print("FAIL: refit model diverges from the bundled one",
+              file=sys.stderr)
+        return 1
+
+    # --- the predict loop the placement policy pays per tick ----------
+    best_predict = float("inf")
+    for _ in range(max(2, args.repeats)):
+        t0 = time.perf_counter()
+        _predict_loop(model, PREDICT_CALLS)
+        best_predict = min(best_predict, time.perf_counter() - t0)
+
+    current = {
+        "grid": f"{len(BENCH_APPS)} apps x {len(BENCH_INJECTORS)} injectors "
+                f"x {len(BENCH_LEVELS)} levels ({specs} specs)",
+        "sweep_wall_s": round(best_sweep, 4),
+        "specs_per_s": round(specs / best_sweep, 1),
+        "corun_cells": cells,
+        "store_digest": result.store.digest[:16],
+        "fit_wall_ms": round(best_fit * 1e3, 3),
+        "fit_entries": len(model.entries),
+        "predicts_per_s": round(PREDICT_CALLS / best_predict, 0),
+        "bit_identical": True,
+    }
+
+    stored = json.loads(args.json.read_text()) if args.json.exists() else {}
+    baseline = stored.get("baseline")
+
+    print(f"cosched benchmark ({current['grid']}, "
+          f"best of {max(2, args.repeats)}):")
+    print(f"  sweep wall        {best_sweep * 1e3:>10.1f} ms "
+          f"({current['specs_per_s']} specs/s, {cells} co-run cells)")
+    print(f"  predictor fit     {best_fit * 1e3:>10.2f} ms "
+          f"({len(model.entries)} entries over the bundled store)")
+    print(f"  predict loop      {current['predicts_per_s'] / 1e3:>10.1f}k "
+          f"predictions/s")
+    print("  repeated sweeps bit-identical: yes")
+    if baseline:
+        ratio = (best_sweep / baseline["sweep_wall_s"]
+                 if baseline["sweep_wall_s"] > 0 else 0.0)
+        print(f"  baseline: {baseline['sweep_wall_s'] * 1e3:.1f} ms sweep, "
+              f"{baseline['predicts_per_s'] / 1e3:.1f}k predicts/s "
+              f"-> current is {ratio:.2f}x baseline sweep wall")
+        if args.fail_above is not None and ratio > args.fail_above:
+            print(f"FAIL: sweep wall regressed {ratio:.2f}x > "
+                  f"--fail-above {args.fail_above:.2f}x", file=sys.stderr)
+            return 1
+
+    if not args.update:
+        if args.json.exists():
+            print(f"(read-only run; pass --update to rewrite {args.json.name})")
+        return 0
+
+    if args.record_baseline or "baseline" not in stored:
+        stored["baseline"] = dict(current)
+        print(f"baseline re-stamped from this run -> {args.json.name}")
+    stored["schema"] = 1
+    stored["current"] = current
+    args.json.write_text(json.dumps(stored, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

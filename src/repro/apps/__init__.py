@@ -18,6 +18,28 @@ Use :func:`repro.apps.registry.build_app` to instantiate any of them by
 name.
 """
 
-from repro.apps.registry import APP_REGISTRY, AppInfo, build_app, list_apps
+from repro.apps.injectors import (
+    INJECTOR_KINDS,
+    injector_pressure,
+    injector_profile,
+    list_injectors,
+)
+from repro.apps.registry import (
+    APP_REGISTRY,
+    AppInfo,
+    app_profile,
+    build_app,
+    list_apps,
+)
 
-__all__ = ["APP_REGISTRY", "AppInfo", "build_app", "list_apps"]
+__all__ = [
+    "APP_REGISTRY",
+    "AppInfo",
+    "INJECTOR_KINDS",
+    "app_profile",
+    "build_app",
+    "injector_pressure",
+    "injector_profile",
+    "list_apps",
+    "list_injectors",
+]

@@ -1,0 +1,263 @@
+"""Contention-generator applications ("injectors") for co-scheduling.
+
+The co-scheduling layer (:mod:`repro.cosched`) probes each benchmark's
+*sensitivity* to shared-resource contention by co-running it against a
+controlled antagonist.  This module provides that antagonist family —
+synthetic, parameterized workloads registered in the app registry like
+any benchmark, so the whole measurement stack (harness, cache, validate)
+treats them uniformly:
+
+* ``inject-compute`` — compute-bound spin: near-zero memory intensity,
+  generates almost no pressure on the shared memory segments (the
+  control arm of a profiling sweep);
+* ``inject-membw`` — streaming bandwidth hog: memory intensity near the
+  model cap, saturates the socket bandwidth term of the contention
+  model;
+* ``inject-coherence`` — coherence storm: moderate intensity but a
+  node-wide coherence penalty per busy core (the reduction/fibonacci
+  regime from Section II-C.4 of the paper, weaponised);
+* ``inject-mixed`` — duty-cycled: alternates compute and memory phases
+  per chunk, modelling bursty real co-runners.
+
+Each builder takes a ``level`` knob in ``(0, MAX_LEVEL]`` that scales
+the pressure the injector exerts (memory intensity and coherence
+penalty ramp monotonically with level).  Builders are seed-deterministic
+and emit fixed-size work chunks through :func:`repro.openmp.parallel_for`
+so the engine event stream is reproducible bit-for-bit.
+
+Injectors have no paper measurement to calibrate against, so their
+:class:`~repro.calibration.profiles.WorkloadProfile` is synthesised by
+:func:`injector_profile` (wired into the registry via
+``AppInfo.profile_factory``) rather than fitted by ``get_profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.calibration.fit import ShapeParams
+from repro.calibration.paper_data import PaperRow
+from repro.calibration.profiles import WorkloadProfile
+from repro.config import MachineConfig, PAPER_MACHINE
+from repro.errors import ConfigError, UnknownApplicationError
+from repro.hw.core import Segment
+from repro.openmp import OmpEnv, parallel_for
+
+#: Hard cap on the pressure knob (mirrors the model's mu cap headroom).
+MAX_LEVEL = 2.0
+
+#: Memory-intensity ceiling for level-scaled phases (the calibration
+#: layer caps mu at 0.95; stay strictly inside it).
+_MU_CAP = 0.95
+
+
+@dataclass(frozen=True)
+class InjectorKind:
+    """Static description of one injector family member."""
+
+    name: str
+    description: str
+    #: Parallel phase (weight, base mu) pairs; mu is scaled by ``level``.
+    phases: tuple[tuple[float, float], ...]
+    #: Contention exponent of the injector's access pattern.
+    alpha: float
+    #: Base node-wide coherence penalty (scaled by ``level``).
+    coherence: float
+    #: Nominal contention pressure at ``level=1.0`` — the scalar the
+    #: predictor regresses slowdown against (see ``injector_pressure``).
+    base_pressure: float
+
+
+INJECTOR_KINDS: dict[str, InjectorKind] = {
+    kind.name: kind
+    for kind in (
+        InjectorKind(
+            "inject-compute",
+            "compute-bound spin, negligible shared-resource pressure",
+            phases=((1.0, 0.05),), alpha=1.2, coherence=0.0,
+            base_pressure=0.2,
+        ),
+        InjectorKind(
+            "inject-membw",
+            "streaming memory-bandwidth hog",
+            phases=((1.0, 0.9),), alpha=1.5, coherence=0.0,
+            base_pressure=1.0,
+        ),
+        InjectorKind(
+            "inject-coherence",
+            "cache-line ping-pong coherence storm",
+            phases=((1.0, 0.6),), alpha=3.0, coherence=0.02,
+            base_pressure=1.5,
+        ),
+        InjectorKind(
+            "inject-mixed",
+            "duty-cycled compute/memory bursts",
+            phases=((0.5, 0.1), (0.5, 0.85)), alpha=1.5, coherence=0.005,
+            base_pressure=0.7,
+        ),
+    )
+}
+
+#: Leaf-chunk count per injector run: enough granularity that co-running
+#: programs interleave at ~10 ms scale, few enough to stay cheap.
+_INJECTOR_TASKS = 128
+
+#: Solo work at scale 1.0 (seconds); sweeps oversize the injector
+#: relative to the probed app so contention covers the app's whole run.
+_INJECTOR_WORK_S = 4.0
+
+
+def list_injectors() -> list[str]:
+    """Canonical injector names."""
+    return sorted(INJECTOR_KINDS)
+
+
+def injector_pressure(name: str, level: float = 1.0) -> float:
+    """Scalar contention pressure an injector exerts at ``level``.
+
+    This is the predictor's x-axis: linear in ``level``, anchored at the
+    kind's nominal ``base_pressure``.  Pressure 0 means "running solo".
+    """
+    kind = INJECTOR_KINDS.get(name)
+    if kind is None:
+        raise UnknownApplicationError(
+            f"unknown injector {name!r}; known: {', '.join(list_injectors())}"
+        )
+    _check_level(level)
+    return kind.base_pressure * level
+
+
+def _check_level(level: float) -> None:
+    if not (0.0 < level <= MAX_LEVEL):
+        raise ConfigError(
+            f"injector level must be in (0, {MAX_LEVEL}], got {level!r}"
+        )
+
+
+def _mu_eff(base_mu: float, level: float) -> float:
+    """Level-scaled memory intensity (monotone in level, capped)."""
+    return min(_MU_CAP, base_mu * (0.25 + 0.75 * level))
+
+
+@lru_cache(maxsize=None)
+def injector_profile(
+    name: str,
+    compiler: str = "gcc",
+    optlevel: str = "O2",
+    machine: MachineConfig = PAPER_MACHINE,
+) -> WorkloadProfile:
+    """Synthetic profile for an injector (no paper target to fit).
+
+    The (compiler, optlevel, machine) arguments are accepted for
+    signature-compatibility with ``get_profile`` but do not change the
+    shape: injectors are model constructs, not measured binaries.  The
+    fabricated ``target`` row records the nominal solo numbers so
+    downstream formatting has something sensible to print.
+    """
+    kind = INJECTOR_KINDS.get(name)
+    if kind is None:
+        raise UnknownApplicationError(
+            f"unknown injector {name!r}; known: {', '.join(list_injectors())}"
+        )
+    shape = ShapeParams(
+        serial_frac=0.01,
+        mu_serial=0.1,
+        phases=kind.phases,
+        alpha=kind.alpha,
+        coherence=kind.coherence,
+    )
+    return WorkloadProfile(
+        app=name,
+        compiler=compiler,
+        optlevel=optlevel,
+        shape=shape,
+        total_work_s=_INJECTOR_WORK_S,
+        power_scale=1.0,
+        tasks=_INJECTOR_TASKS,
+        target=PaperRow(
+            time_s=_INJECTOR_WORK_S,
+            joules=_INJECTOR_WORK_S * 70.0,
+            watts=70.0,
+        ),
+    )
+
+
+def build_injector(
+    kind_name: str,
+    profile: WorkloadProfile,
+    env: OmpEnv,
+    *,
+    payload: bool = False,
+    scale: float = 1.0,
+    seed: int = 0,
+    level: float = 1.0,
+) -> Generator[Any, Any, float]:
+    """Program generator for one injector at a given pressure ``level``.
+
+    Structure: a short serial ramp, then ``profile.tasks`` parallel
+    chunks (each cycling through the kind's duty phases), then a serial
+    drain.  ``level`` scales each phase's memory intensity and the
+    node-wide coherence penalty — *not* the amount of work — so a hotter
+    injector contends harder without running longer solo.
+    """
+    kind = INJECTOR_KINDS[kind_name]
+    _check_level(level)
+    chunks = profile.tasks
+    chunk_work = profile.parallel_work_s * scale / chunks
+    data = None
+    if payload:
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal(chunks)
+    coherence = kind.coherence * level
+
+    def chunk_body(lo: int, hi: int) -> Generator[Any, Any, float]:
+        for i, (weight, base_mu) in enumerate(kind.phases):
+            yield Segment(
+                solo_seconds=chunk_work * weight * (hi - lo),
+                mem_fraction=_mu_eff(base_mu, level),
+                power_scale=profile.phase_power_scale(i),
+                contention_exponent=kind.alpha,
+                coherence_penalty=coherence,
+                tag=f"{kind_name}:p{i}",
+            )
+        if data is not None:
+            return float(data[lo:hi].sum())
+        return float(hi - lo)
+
+    def program() -> Generator[Any, Any, float]:
+        serial = profile.serial_work_s * scale
+        yield profile.serial_work(serial * 0.5, tag="ramp")
+        parts = yield from parallel_for(
+            env, 0, chunks, chunk_body, chunk=1, label=kind_name
+        )
+        yield profile.serial_work(serial * 0.5, tag="drain")
+        return float(sum(parts))
+
+    return program()
+
+
+def _make_builder(kind_name: str):
+    def build(
+        profile: WorkloadProfile,
+        env: OmpEnv,
+        *,
+        payload: bool = False,
+        scale: float = 1.0,
+        seed: int = 0,
+        level: float = 1.0,
+    ) -> Generator[Any, Any, float]:
+        return build_injector(
+            kind_name, profile, env,
+            payload=payload, scale=scale, seed=seed, level=level,
+        )
+
+    build.__name__ = f"build_{kind_name.replace('-', '_')}"
+    return build
+
+
+#: name -> builder, consumed by the registry.
+INJECTOR_BUILDERS = {name: _make_builder(name) for name in INJECTOR_KINDS}

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Optional
 
 from repro.apps.bots import (
     alignment as bots_alignment,
@@ -14,9 +14,11 @@ from repro.apps.bots import (
     sparselu as bots_sparselu,
     strassen as bots_strassen,
 )
+from repro.apps.injectors import INJECTOR_BUILDERS, INJECTOR_KINDS, injector_profile
 from repro.apps.lulesh import app as lulesh_app
 from repro.apps.micro import dijkstra, fibonacci, mergesort, nqueens, reduction
 from repro.calibration.profiles import WorkloadProfile, get_profile
+from repro.config import MachineConfig, PAPER_MACHINE
 from repro.errors import UnknownApplicationError
 from repro.openmp import OmpEnv
 
@@ -26,15 +28,21 @@ class AppInfo:
     """Registry entry for one benchmark application."""
 
     name: str
-    group: str  # 'micro' | 'bots' | 'mini-app'
+    group: str  # 'micro' | 'bots' | 'mini-app' | 'injector'
     description: str
     builder: Callable[..., Generator[Any, Any, Any]]
     #: Extra keyword arguments the builder is invoked with (variants).
     extra_kwargs: dict
+    #: Profile source override: apps with no paper measurement (the
+    #: contention injectors) synthesise their WorkloadProfile here
+    #: instead of going through the calibration fit.  Same signature as
+    #: ``get_profile``: (name, compiler, optlevel, machine).
+    profile_factory: Optional[Callable[..., WorkloadProfile]] = None
 
 
-def _entry(name, group, description, builder, **extra) -> AppInfo:
-    return AppInfo(name, group, description, builder, extra)
+def _entry(name, group, description, builder, profile_factory=None,
+           **extra) -> AppInfo:
+    return AppInfo(name, group, description, builder, extra, profile_factory)
 
 
 APP_REGISTRY: dict[str, AppInfo] = {
@@ -76,6 +84,11 @@ APP_REGISTRY: dict[str, AppInfo] = {
         _entry("lulesh", "mini-app",
                "Lagrangian shock hydrodynamics (Sedov blast wave)",
                lulesh_app.build),
+        *(
+            _entry(name, "injector", kind.description,
+                   INJECTOR_BUILDERS[name], profile_factory=injector_profile)
+            for name, kind in sorted(INJECTOR_KINDS.items())
+        ),
     )
 }
 
@@ -86,6 +99,30 @@ def list_apps(group: str | None = None) -> list[str]:
         name for name, info in APP_REGISTRY.items()
         if group is None or info.group == group
     )
+
+
+def app_profile(
+    name: str,
+    compiler: str = "gcc",
+    optlevel: str = "O2",
+    machine: MachineConfig = PAPER_MACHINE,
+) -> WorkloadProfile:
+    """Workload profile for any registry app, injectors included.
+
+    Calibrated benchmarks route through :func:`get_profile` (fit against
+    the paper's tables); apps carrying a ``profile_factory`` (the
+    contention injectors) synthesise their profile instead.  Use this —
+    not ``get_profile`` directly — wherever an arbitrary registry app
+    must be priced (roofline model, measurement runner, co-scheduling).
+    """
+    info = APP_REGISTRY.get(name)
+    if info is None:
+        raise UnknownApplicationError(
+            f"unknown application {name!r}; known: {', '.join(sorted(APP_REGISTRY))}"
+        )
+    if info.profile_factory is not None:
+        return info.profile_factory(name, compiler, optlevel, machine)
+    return get_profile(name, compiler, optlevel, machine)
 
 
 def build_app(
@@ -110,7 +147,7 @@ def build_app(
             f"unknown application {name!r}; known: {', '.join(sorted(APP_REGISTRY))}"
         )
     if profile is None:
-        profile = get_profile(name, compiler, optlevel)
+        profile = app_profile(name, compiler, optlevel)
     merged = dict(info.extra_kwargs)
     merged.update(kwargs)
     return info.builder(profile, env, payload=payload, scale=scale, **merged)

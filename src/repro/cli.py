@@ -13,6 +13,7 @@ Subcommands map one-to-one to the paper's evaluation artifacts:
     repro-paper metersweep                 # meter backends x cadence x faults
     repro-paper sched [options]            # one scheduled cluster run
     repro-paper schedsweep                 # placement policy x budget table
+    repro-paper coschedsweep               # contention profiling sweep
     repro-paper validate [--differential]  # physics-invariant sanitizer sweep
     repro-paper coldstart                  # footnote 2
     repro-paper reproduce [-o FILE]        # full EXPERIMENTS.md
@@ -267,10 +268,59 @@ def _cmd_schedsweep(args: argparse.Namespace) -> int:
                 profiles, policies, budgets,
                 nodes=args.nodes, jobs=jobs, seed=args.seed, harness=harness,
             )
+            tournament = None
+            if not args.quick and not args.no_tournament:
+                from repro.experiments.schedsweep import run_policy_tournament
+
+                tournament = run_policy_tournament(
+                    nodes=args.nodes, seed=args.seed, harness=harness,
+                )
     except ReproError as exc:
         print(f"repro-paper schedsweep: error: {exc}", file=sys.stderr)
         return 2
     print(result.format())
+    if tournament is not None:
+        print()
+        print(tournament.format())
+    return 0
+
+
+def _cmd_coschedsweep(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.experiments.coschedsweep import (
+        DEFAULT_APPS,
+        DEFAULT_INJECTORS,
+        DEFAULT_LEVELS,
+        run_cosched_sweep,
+    )
+
+    apps = tuple(args.apps.split(",")) if args.apps else DEFAULT_APPS
+    injectors = (
+        tuple(args.injectors.split(",")) if args.injectors
+        else DEFAULT_INJECTORS
+    )
+    levels = (
+        tuple(float(level) for level in args.levels.split(","))
+        if args.levels else DEFAULT_LEVELS
+    )
+    if args.quick:
+        apps = apps[:2]
+        injectors = injectors[:1]
+        levels = levels[-1:]
+    try:
+        with _make_harness(args) as harness:
+            result = run_cosched_sweep(
+                apps, injectors, levels,
+                threads=args.threads, scale=args.scale,
+                inj_scale=args.inj_scale, seed=args.seed, harness=harness,
+            )
+    except (ReproError, ValueError) as exc:
+        print(f"repro-paper coschedsweep: error: {exc}", file=sys.stderr)
+        return 2
+    print(result.format())
+    if args.output:
+        result.store.save(args.output)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -436,6 +486,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         differential_specs,
         differential_sweep,
         run_cluster_validation,
+        run_cosched_validation,
         run_scale_validation,
         run_validation_sweep,
     )
@@ -463,6 +514,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             print()
             print(scale.format())
             ok = ok and scale.ok
+            cosched = run_cosched_validation(quick=args.quick)
+            print()
+            print(cosched.format())
+            ok = ok and cosched.ok
         if args.differential or args.differential_only:
             diff = differential_sweep(
                 differential_specs(), workers=max(2, args.workers)
@@ -651,7 +706,8 @@ def build_parser() -> argparse.ArgumentParser:
     ssw_p.add_argument("--profiles", default=None,
                        help="comma-separated trace profiles (default: poisson,bursty)")
     ssw_p.add_argument("--policies", default=None,
-                       help="comma-separated policies (default: all four)")
+                       help="comma-separated policies (default: the four "
+                            "heuristics; the tournament adds 'predicted')")
     ssw_p.add_argument("--budgets", default=None, metavar="W,W",
                        help="comma-separated global budgets in watts "
                             "(default: 300,500)")
@@ -659,10 +715,41 @@ def build_parser() -> argparse.ArgumentParser:
     ssw_p.add_argument("--jobs", type=int, default=12)
     ssw_p.add_argument("--seed", type=int, default=0)
     ssw_p.add_argument("--quick", action="store_true",
-                       help="2 policies, 1 profile, 1 budget — the CI smoke "
-                            "configuration")
+                       help="2 policies, 1 profile, 1 budget, no tournament "
+                            "— the CI smoke configuration")
+    ssw_p.add_argument("--no-tournament", action="store_true",
+                       help="skip the all-policy tournament cell (diurnal "
+                            "trace, ranked by mean EDP)")
     _add_sweep_args(ssw_p)
     ssw_p.set_defaults(func=_cmd_schedsweep)
+
+    csw_p = sub.add_parser(
+        "coschedsweep",
+        help="contention profiling: apps x injectors x pressure levels",
+    )
+    csw_p.add_argument("--apps", default=None,
+                       help="comma-separated apps to profile "
+                            "(default: the scheduler's job mix)")
+    csw_p.add_argument("--injectors", default=None,
+                       help="comma-separated injector apps "
+                            "(default: inject-membw,inject-coherence)")
+    csw_p.add_argument("--levels", default=None, metavar="L,L",
+                       help="comma-separated pressure levels (default: 0.5,1)")
+    csw_p.add_argument("--threads", type=int, default=8,
+                       help="threads per co-runner (default: 8)")
+    csw_p.add_argument("--scale", type=float, default=0.15,
+                       help="probed-app work scale (default: 0.15)")
+    csw_p.add_argument("--inj-scale", type=float, default=12.0,
+                       help="injector work scale — sized to outlast the "
+                            "probed app (default: 12)")
+    csw_p.add_argument("--seed", type=int, default=0)
+    csw_p.add_argument("--quick", action="store_true",
+                       help="2 apps, 1 injector, 1 level — the CI smoke "
+                            "configuration")
+    csw_p.add_argument("-o", "--output", default=None, metavar="FILE",
+                       help="also persist the profile store as JSON")
+    _add_sweep_args(csw_p)
+    csw_p.set_defaults(func=_cmd_coschedsweep)
 
     t1_p = sub.add_parser("table1", help="Table I (GCC vs ICC)")
     _add_sweep_args(t1_p)

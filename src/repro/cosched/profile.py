@@ -1,0 +1,221 @@
+"""Persisted co-scheduling profiles: sensitivity/intensity vectors.
+
+A profiling sweep (:mod:`repro.experiments.coschedsweep`) reduces its
+co-run records to one :class:`AppProfile` per probed application: the
+solo baseline plus one :class:`CoschedCell` per (injector, level) pair,
+each recording the slowdown the app *suffered* (sensitivity signal) and
+the slowdown it *inflicted* on the injector (intensity signal).  A
+:class:`ProfileStore` bundles the profiles into a digestable, JSON-
+persistable artifact — the bundled default lives at
+``repro/cosched/data/default_profiles.json`` and feeds
+:func:`repro.cosched.predictor.default_model`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.errors import ConfigError
+
+#: Bump when the persisted profile layout changes incompatibly.
+PROFILE_SCHEMA = "cosched-profile-1"
+
+
+@dataclass(frozen=True)
+class CoschedCell:
+    """One (injector, level) probe of one application."""
+
+    injector: str
+    level: float
+    #: app co-run time / app solo time (>= ~1 under real contention).
+    slowdown: float
+    #: injector co-run time / injector solo time — the pressure the app
+    #: itself exerts on the shared resources.
+    inj_slowdown: float
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "injector": self.injector,
+            "level": self.level,
+            "slowdown": self.slowdown,
+            "inj_slowdown": self.inj_slowdown,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "CoschedCell":
+        return cls(
+            injector=payload["injector"],
+            level=float(payload["level"]),
+            slowdown=float(payload["slowdown"]),
+            inj_slowdown=float(payload["inj_slowdown"]),
+        )
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Solo baseline plus contention probes for one application."""
+
+    app: str
+    threads: int
+    scale: float
+    solo_time_s: float
+    solo_energy_j: float
+    solo_watts: float
+    #: Solo run measured against itself — exactly 1 by construction;
+    #: persisted so the validate layer can tripwire the identity.
+    solo_slowdown: float = 1.0
+    cells: tuple[CoschedCell, ...] = ()
+
+    @property
+    def sensitivity(self) -> float:
+        """Mean excess slowdown suffered across all probes.
+
+        Summed in canonical cell order: float addition is not
+        associative, and derived quantities must be pure functions of
+        the cell *set* so a reordered store fits bit-identically.
+        """
+        if not self.cells:
+            return 0.0
+        total = sum(max(0.0, c.slowdown - 1.0) for c in self.sorted_cells())
+        return total / len(self.cells)
+
+    @property
+    def intensity(self) -> float:
+        """Mean excess slowdown inflicted on the injectors.
+
+        Canonically ordered sum, for the same reason as
+        :attr:`sensitivity`.
+        """
+        if not self.cells:
+            return 0.0
+        total = sum(
+            max(0.0, c.inj_slowdown - 1.0) for c in self.sorted_cells()
+        )
+        return total / len(self.cells)
+
+    def sorted_cells(self) -> tuple[CoschedCell, ...]:
+        """Cells in canonical order — a *total* order over every field,
+        so even pathological duplicate (injector, level) probes sort the
+        same way regardless of construction order."""
+        return tuple(sorted(
+            self.cells,
+            key=lambda c: (c.injector, c.level, c.slowdown, c.inj_slowdown),
+        ))
+
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "app": self.app,
+            "threads": self.threads,
+            "scale": self.scale,
+            "solo_time_s": self.solo_time_s,
+            "solo_energy_j": self.solo_energy_j,
+            "solo_watts": self.solo_watts,
+            "solo_slowdown": self.solo_slowdown,
+            "cells": [c.to_payload() for c in self.sorted_cells()],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "AppProfile":
+        return cls(
+            app=payload["app"],
+            threads=int(payload["threads"]),
+            scale=float(payload["scale"]),
+            solo_time_s=float(payload["solo_time_s"]),
+            solo_energy_j=float(payload["solo_energy_j"]),
+            solo_watts=float(payload["solo_watts"]),
+            solo_slowdown=float(payload.get("solo_slowdown", 1.0)),
+            cells=tuple(
+                CoschedCell.from_payload(c) for c in payload["cells"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ProfileStore:
+    """A digestable bundle of application co-scheduling profiles."""
+
+    profiles: tuple[AppProfile, ...] = ()
+    schema: str = PROFILE_SCHEMA
+
+    def __post_init__(self) -> None:
+        if self.schema != PROFILE_SCHEMA:
+            raise ConfigError(
+                f"unsupported profile schema {self.schema!r} "
+                f"(expected {PROFILE_SCHEMA!r})"
+            )
+        object.__setattr__(self, "profiles", tuple(self.profiles))
+
+    def get(self, app: str, threads: Optional[int] = None) -> Optional[AppProfile]:
+        """Profile for ``app`` (any thread count unless pinned)."""
+        for profile in self.profiles:
+            if profile.app == app and (threads is None or profile.threads == threads):
+                return profile
+        return None
+
+    @property
+    def apps(self) -> tuple[str, ...]:
+        return tuple(sorted({p.app for p in self.profiles}))
+
+    def sorted_profiles(self) -> tuple[AppProfile, ...]:
+        """Profiles in canonical (app, threads) order."""
+        return tuple(sorted(self.profiles, key=lambda p: (p.app, p.threads)))
+
+    # ------------------------------------------------------------------
+    # identity / persistence
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "profiles": [p.to_payload() for p in self.sorted_profiles()],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "ProfileStore":
+        return cls(
+            profiles=tuple(
+                AppProfile.from_payload(p) for p in payload["profiles"]
+            ),
+            schema=payload["schema"],
+        )
+
+    def canonical(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @property
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    def save(self, path: str) -> None:
+        """Atomically persist as canonical JSON."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self.to_payload(), handle, sort_keys=True, indent=2)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "ProfileStore":
+        with open(path) as handle:
+            return cls.from_payload(json.load(handle))
+
+    @classmethod
+    def merge(cls, stores: Iterable["ProfileStore"]) -> "ProfileStore":
+        """Union of stores; later stores win on (app, threads) clashes."""
+        merged: dict[tuple[str, int], AppProfile] = {}
+        for store in stores:
+            for profile in store.profiles:
+                merged[(profile.app, profile.threads)] = profile
+        return cls(profiles=tuple(merged[k] for k in sorted(merged)))

@@ -17,8 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
-from repro.apps import build_app
-from repro.calibration.profiles import WorkloadProfile, get_profile
+from repro.apps import app_profile, build_app
+from repro.calibration.profiles import WorkloadProfile
 from repro.config import (
     FaultConfig,
     MachineConfig,
@@ -118,7 +118,7 @@ def run_measurement(
     even if the run raises.
     """
     if profile is None:
-        profile = get_profile(app, compiler, optlevel, machine)
+        profile = app_profile(app, compiler, optlevel, machine)
     runtime = Runtime(
         machine,
         RuntimeConfig(num_threads=threads),

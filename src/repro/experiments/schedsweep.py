@@ -14,6 +14,15 @@ holds peak cluster power furthest under the budget (it defers placement
 while the cluster is power-saturated) at the cost of makespan and wait
 tails; FCFS/best-fit run hotter but finish sooner; EDP-greedy reorders
 the queue to favour short high-concurrency jobs.
+
+:func:`run_policy_tournament` adds the co-scheduling headline cell: the
+full policy lineup — the four heuristics plus the profile-driven
+``predicted`` policy — on one tight-budget diurnal trace, ranked by
+mean energy-delay product (energy × turnaround per job) with the p95
+slowdown tail alongside.  The claim it substantiates: placement driven
+by *measured* contention profiles (:mod:`repro.experiments.coschedsweep`)
+beats at least one crude-estimate heuristic on mean EDP while cutting
+the slowdown tail.
 """
 
 from __future__ import annotations
@@ -33,6 +42,16 @@ DEFAULT_BUDGETS_W: tuple[float, ...] = (300.0, 500.0)
 
 #: Arrival profiles compared (two by default: one smooth, one adversarial).
 DEFAULT_PROFILES: tuple[str, ...] = ("poisson", "bursty")
+
+#: The tournament lineup: every registered policy, heuristics first.
+TOURNAMENT_POLICIES: tuple[str, ...] = (
+    "fcfs", "bestfit", "edp", "waterfill", "predicted",
+)
+
+#: Tournament cell: a diurnal trace under a tight-but-livable budget —
+#: loose enough that holding is a choice, tight enough that it matters.
+TOURNAMENT_PROFILE = "diurnal"
+TOURNAMENT_BUDGET_W = 400.0
 
 
 @dataclass
@@ -70,6 +89,92 @@ class SchedSweepResult:
             f"cluster-budget violations across the sweep: {total_violations}"
         )
         return "\n".join(lines)
+
+
+@dataclass
+class TournamentResult:
+    """Policy tournament on one arrival trace, ranked by mean EDP."""
+
+    results: dict[str, SchedResult] = field(default_factory=dict)
+    profile: str = TOURNAMENT_PROFILE
+    budget_w: float = TOURNAMENT_BUDGET_W
+    seed: int = 0
+
+    def ranking(self) -> list[str]:
+        """Policies from best (lowest) to worst mean EDP, ties by name."""
+        return sorted(
+            self.results,
+            key=lambda policy: (self.results[policy].mean_edp_js, policy),
+        )
+
+    @property
+    def winner(self) -> str:
+        return self.ranking()[0]
+
+    def format(self) -> str:
+        lines = [
+            f"POLICY TOURNAMENT: {self.profile} arrivals @ "
+            f"{self.budget_w:.0f} W global budget "
+            f"(seed={self.seed}, ranked by mean EDP)",
+            "",
+            f"{'rank':<6}{'policy':<11}{'mean EDP':>12}{'p95 slowdn':>11}"
+            f"{'J/job':>8}{'makespan':>10}{'peak W':>8}",
+        ]
+        for rank, policy in enumerate(self.ranking(), start=1):
+            r = self.results[policy]
+            lines.append(
+                f"{rank:<6}{policy:<11}{r.mean_edp_js:>12.0f}"
+                f"{r.slowdown_percentile(95):>10.2f}x"
+                f"{r.energy_per_job_j:>8.0f}{r.makespan_s:>9.1f}s"
+                f"{r.peak_power_w:>8.1f}"
+            )
+        predicted = self.results.get("predicted")
+        if predicted is not None:
+            beaten = sorted(
+                policy
+                for policy, r in self.results.items()
+                if policy != "predicted"
+                and predicted.mean_edp_js < r.mean_edp_js
+            )
+            lines.append("")
+            lines.append(
+                "predicted beats on mean EDP: "
+                + (", ".join(beaten) if beaten else "(none)")
+            )
+        return "\n".join(lines)
+
+
+def run_policy_tournament(
+    policies: Sequence[str] = TOURNAMENT_POLICIES,
+    *,
+    profile: str = TOURNAMENT_PROFILE,
+    budget_w: float = TOURNAMENT_BUDGET_W,
+    nodes: int = 4,
+    jobs: int = 12,
+    seed: int = 0,
+    harness: Optional[BatchExecutor] = None,
+) -> TournamentResult:
+    """Race every policy on one shared trace; rank by mean EDP.
+
+    One :class:`~repro.sched.spec.SchedSpec` per policy, all sharing the
+    (profile, seed) arrival trace, dispatched through the harness so
+    cells cache and replay bit-identically like any other sweep.
+    """
+    sweep = run_sched_sweep(
+        profiles=(profile,),
+        policies=policies,
+        budgets_w=(budget_w,),
+        nodes=nodes,
+        jobs=jobs,
+        seed=seed,
+        harness=harness,
+    )
+    result = TournamentResult(
+        profile=profile, budget_w=float(budget_w), seed=seed
+    )
+    for policy in policies:
+        result.results[policy] = sweep.cell(profile, policy, float(budget_w))
+    return result
 
 
 def run_sched_sweep(

@@ -12,7 +12,9 @@ streaming everything.
   lazily by :func:`~repro.sched.workload.iter_trace`;
 * :mod:`~repro.sched.queue` — bounded admission queue with shedding;
 * :mod:`~repro.sched.policy` — pluggable placement policies (FCFS,
-  best-fit power packing, EDP-greedy, power-aware water-filling);
+  best-fit power packing, EDP-greedy, power-aware water-filling, and
+  the profile-driven ``predicted`` policy backed by
+  :mod:`repro.cosched`);
 * :mod:`~repro.sched.cluster` — the multi-node simulation: sequential
   jobs per node, the global :class:`~repro.cluster.coordinator.\
 PowerCoordinator` re-dividing the budget, hardened teardown, windowed
@@ -47,6 +49,7 @@ from repro.sched.policy import (
     ClusterState,
     NodeView,
     PlacementPolicy,
+    PredictedPlacement,
     estimate_job_power_w,
     make_policy,
 )
@@ -76,6 +79,7 @@ __all__ = [
     "NodeView",
     "POLICIES",
     "PlacementPolicy",
+    "PredictedPlacement",
     "QuantileSketch",
     "RooflinePoint",
     "SchedAccumulator",

@@ -81,7 +81,7 @@ class AnalyticSim:
             accumulator if accumulator is not None else SchedAccumulator()
         )
         self.records: list[JobRecord] = records if records is not None else []
-        self.policy = make_policy(spec.policy)
+        self.policy = make_policy(spec.policy, model=spec.predictor)
         self.queue = AdmissionQueue(spec.queue_depth)
         self.now = clock_s
         self._t0_sim = clock_s

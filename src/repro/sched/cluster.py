@@ -253,7 +253,7 @@ class ClusterSim:
         self.spec = spec
         self.bus = bus if bus is not None else TelemetryBus()
         self.engine = engine if engine is not None else Engine()
-        self.policy: PlacementPolicy = make_policy(spec.policy)
+        self.policy: PlacementPolicy = make_policy(spec.policy, model=spec.predictor)
         if limit is None:
             limit = spec.jobs - start
         self._segment_jobs = limit

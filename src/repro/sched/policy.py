@@ -24,24 +24,45 @@ a cross-node tool):
   pressure, so jobs land where the coordinator's re-division has spare
   watts rather than where the clamp is already shedding threads.
 
-All estimates are deliberately crude (watts proportional to requested
-threads): the scheduler's job is to make *placement* decisions from
-*measured* feedback, not to be an oracle — the clamp and coordinator
-correct whatever the estimate gets wrong.
+All heuristic estimates are deliberately crude (watts proportional to
+requested threads): the scheduler's job is to make *placement* decisions
+from *measured* feedback, not to be an oracle — the clamp and
+coordinator correct whatever the estimate gets wrong.
+
+The fifth policy breaks that rule on purpose:
+
+* ``predicted`` — interference-aware placement driven by a
+  :class:`~repro.cosched.predictor.PredictorModel` fitted from co-run
+  profiles (:mod:`repro.experiments.coschedsweep`).  It orders the queue
+  by *calibrated* predicted EDP (measured solo costs, not the crude
+  closed form), holds against the global budget using predicted watts,
+  and steers sensitive jobs away from clamp-pressured nodes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, Sequence
 
+from repro.config import PAPER_MACHINE
 from repro.errors import ConfigError
 from repro.sched.workload import Job
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cosched.predictor import PredictorModel
 
 #: Estimated marginal draw per active thread, W.  Calibrated loosely
 #: against the single-node stack (a 16-thread hot loop draws ~100 W over
 #: idle); precision is unnecessary — see the module docstring.
 _WATTS_PER_THREAD = 6.5
+
+#: One idle node's draw (uncore plus parked cores, both sockets) — what
+#: the ``predicted`` policy subtracts to turn its *absolute* calibrated
+#: watts into the *marginal* draw the budget arithmetic expects.
+_NODE_IDLE_W = PAPER_MACHINE.sockets * (
+    PAPER_MACHINE.power.uncore_w
+    + PAPER_MACHINE.cores_per_socket * PAPER_MACHINE.power.core_idle_w
+)
 
 
 def estimate_job_power_w(threads: int) -> float:
@@ -194,17 +215,95 @@ class WaterfillPowerAware:
         return 0, chosen.name
 
 
+class PredictedPlacement:
+    """Interference-aware placement from fitted co-run profiles.
+
+    Job order: lowest *predicted* EDP first, where time and power come
+    from the predictor's calibrated solo entries and the time is
+    inflated by the job's fitted contention sensitivity times the
+    cluster's current power-pressure (how hard the coordinator's clamp
+    is squeezing).  Budget hold mirrors ``waterfill`` but with the
+    predicted watts instead of the threads heuristic.  Node choice
+    weights each node's clamp pressure by the job's sensitivity — a
+    contention-immune job can soak a pressured node, a sensitive one is
+    steered to headroom.
+    """
+
+    name = "predicted"
+
+    def __init__(self, model: "Optional[PredictorModel]" = None) -> None:
+        self._model = model
+
+    @property
+    def model(self) -> "PredictorModel":
+        if self._model is None:
+            from repro.cosched.predictor import default_model
+
+            self._model = default_model()
+        return self._model
+
+    def _pressure(self, state: ClusterState) -> float:
+        """Cluster power-pressure proxy in [0, ~1]: budget utilisation."""
+        if state.global_budget_w <= 0:
+            return 0.0
+        return min(1.0, state.total_power_w / state.global_budget_w)
+
+    def select(self, queue, nodes, state):
+        idle = _idle(nodes)
+        if not queue or not idle:
+            return None
+        model = self.model
+        pressure = self._pressure(state)
+
+        def edp(job: Job) -> tuple[float, int]:
+            return (
+                model.predict_edp(job.app, job.threads, job.scale,
+                                  pressure=pressure),
+                job.index,
+            )
+
+        pos = min(range(len(queue)), key=lambda i: edp(queue[i]))
+        job = queue[pos]
+        # Calibrated watts are absolute node draw; the cluster's measured
+        # total already contains every node's idle floor, so hold against
+        # the *marginal* draw this job adds.
+        need = max(
+            0.0, model.predict_watts(job.app, job.threads) - _NODE_IDLE_W
+        )
+        any_busy = any(n.busy for n in nodes)
+        if any_busy and state.total_power_w + need > state.global_budget_w:
+            return None  # hold until running jobs free up watts
+        sensitivity = model.sensitivity_of(job.app, job.threads)
+        chosen = min(
+            idle,
+            key=lambda n: (
+                n.clamp_pressure * sensitivity,
+                -n.headroom_w,
+                n.name,
+            ),
+        )
+        return pos, chosen.name
+
+
 #: Policy name -> factory (the registry the CLI and spec resolve from).
-POLICIES: dict[str, Callable[[], PlacementPolicy]] = {
+POLICIES: dict[str, Callable[..., PlacementPolicy]] = {
     FcfsFirstFit.name: FcfsFirstFit,
     BestFitPower.name: BestFitPower,
     EdpGreedy.name: EdpGreedy,
     WaterfillPowerAware.name: WaterfillPowerAware,
+    PredictedPlacement.name: PredictedPlacement,
 }
 
 
-def make_policy(name: str) -> PlacementPolicy:
-    """Instantiate a registered placement policy by name."""
+def make_policy(
+    name: str, *, model: "Optional[PredictorModel]" = None
+) -> PlacementPolicy:
+    """Instantiate a registered placement policy by name.
+
+    ``model`` customises the ``predicted`` policy's predictor (it is an
+    error for any other policy); omitted, ``predicted`` falls back to
+    the bundled default model.
+    """
     try:
         factory = POLICIES[name]
     except KeyError:
@@ -212,4 +311,11 @@ def make_policy(name: str) -> PlacementPolicy:
             f"unknown placement policy {name!r}; "
             f"one of {', '.join(sorted(POLICIES))}"
         ) from None
+    if name == PredictedPlacement.name:
+        return factory(model)
+    if model is not None:
+        raise ConfigError(
+            f"policy {name!r} does not take a predictor model "
+            f"(only 'predicted' does)"
+        )
     return factory()

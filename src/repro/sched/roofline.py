@@ -40,7 +40,7 @@ from repro.calibration.fit import (
     socket_loads,
     stretch,
 )
-from repro.calibration.profiles import get_profile
+from repro.apps.registry import app_profile
 from repro.config import PAPER_MACHINE, MachineConfig
 from repro.validate.violations import Violation
 
@@ -86,7 +86,7 @@ def roofline_point(
     shapes) plugged in.  Both are linear in work, so callers scale the
     point by a job's ``scale`` instead of recomputing.
     """
-    profile = get_profile(app, compiler, optlevel, machine=machine)
+    profile = app_profile(app, compiler, optlevel, machine=machine)
     shape = profile.shape
     mlp = machine.memory.mlp_per_core
     p_eff = shape.effective_threads(threads)

@@ -20,13 +20,14 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import ConfigError
 from repro.sched.policy import POLICIES
 from repro.sched.workload import DEFAULT_JOB_APPS, TRACE_PROFILES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cosched.predictor import PredictorModel
     from repro.harness.telemetry import TelemetryBus
     from repro.sched.result import SchedResult
 
@@ -80,6 +81,13 @@ class SchedSpec:
     #: Segment boundaries change scheduling (nodes drain between
     #: segments), so this is part of the digest.
     segment_jobs: int = 0
+    #: Predictor for the ``predicted`` policy.  ``None`` with
+    #: ``policy='predicted'`` materialises the bundled default model so
+    #: the digest always names the exact model used; any other policy
+    #: must leave it unset.  Folded into the digest via the model's own
+    #: content digest — only when present, so every pre-existing spec
+    #: digest is unchanged.
+    predictor: "Optional[PredictorModel]" = None
     #: Display-only heading; never part of digest, equality or hash.
     label: str = field(default="", compare=False)
 
@@ -131,6 +139,16 @@ class SchedSpec:
             raise ConfigError(
                 f"segment_jobs must be >= 0, got {self.segment_jobs!r}"
             )
+        if self.policy == "predicted":
+            if self.predictor is None:
+                from repro.cosched.predictor import default_model
+
+                object.__setattr__(self, "predictor", default_model())
+        elif self.predictor is not None:
+            raise ConfigError(
+                f"policy {self.policy!r} does not take a predictor model "
+                f"(only 'predicted' does)"
+            )
         # Normalise so list-vs-tuple cannot split the digest space.
         object.__setattr__(self, "apps", tuple(self.apps))
         if not self.apps:
@@ -149,7 +167,7 @@ class SchedSpec:
     # ------------------------------------------------------------------
     def payload_dict(self) -> dict[str, Any]:
         """The digestable content: every field that affects the result."""
-        return {
+        payload: dict[str, Any] = {
             "schema": SCHED_SPEC_SCHEMA,
             "profile": self.profile,
             "policy": self.policy,
@@ -169,6 +187,11 @@ class SchedSpec:
             "retain_jobs": self.retain_jobs,
             "segment_jobs": self.segment_jobs,
         }
+        # Conditional key: absent for every non-predicted spec, so the
+        # whole pre-existing digest space is bit-stable.
+        if self.predictor is not None:
+            payload["predictor"] = self.predictor.digest
+        return payload
 
     def canonical(self) -> str:
         return json.dumps(self.payload_dict(), sort_keys=True,

@@ -2,7 +2,8 @@
 
 The batch CLI runs one sweep and exits; this package keeps the harness
 resident and feeds it a *stream* of :class:`~repro.harness.spec.RunSpec`
-/ :class:`~repro.sched.spec.SchedSpec` submissions over a
+/ :class:`~repro.sched.spec.SchedSpec` /
+:class:`~repro.cosched.spec.CoschedSpec` submissions over a
 newline-delimited-JSON TCP protocol — the SMTcheck profiling-server
 shape (listener → admission queue → workers → store) transplanted onto
 :mod:`repro.harness`:

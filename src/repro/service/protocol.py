@@ -6,10 +6,12 @@ always carry ``ok`` (and ``error`` / ``retry_after_s`` when ``ok`` is
 false).  Streamed telemetry events are pushed as frames with an
 ``event`` key.
 
-Spec payloads travel as ``{"kind": "run"|"sched", "fields": {...}}``
-where ``fields`` are the spec dataclass's constructor arguments (nested
-``ThrottleConfig`` / ``FaultConfig`` as dicts; ``faults`` alternatively
-as the CLI's fault-spec string).  :func:`spec_from_wire` ∘
+Spec payloads travel as ``{"kind": "run"|"sched"|"cosched",
+"fields": {...}}`` where ``fields`` are the spec dataclass's
+constructor arguments (nested ``ThrottleConfig`` / ``FaultConfig`` as
+dicts; ``faults`` alternatively as the CLI's fault-spec string; a sched
+spec's ``predictor`` as the :class:`~repro.cosched.predictor.
+PredictorModel` payload).  :func:`spec_from_wire` ∘
 :func:`spec_to_wire` is the identity on specs — a Hypothesis property
 pins that.
 
@@ -26,6 +28,8 @@ import json
 from typing import Any, Union
 
 from repro.config import FaultConfig, MeterConfig, ThrottleConfig
+from repro.cosched.predictor import PredictorModel
+from repro.cosched.spec import CoschedSpec
 from repro.errors import ConfigError, ProtocolError
 from repro.harness.spec import RunSpec
 from repro.sched.spec import SchedSpec
@@ -41,10 +45,11 @@ OPS = frozenset(
      "shutdown", "ping"}
 )
 
-Spec = Union[RunSpec, SchedSpec]
+Spec = Union[RunSpec, SchedSpec, CoschedSpec]
 
 _RUN_FIELDS = {f.name for f in dataclasses.fields(RunSpec)}
 _SCHED_FIELDS = {f.name for f in dataclasses.fields(SchedSpec)}
+_COSCHED_FIELDS = {f.name for f in dataclasses.fields(CoschedSpec)}
 _THROTTLE_FIELDS = {f.name for f in dataclasses.fields(ThrottleConfig)}
 _FAULT_FIELDS = {f.name for f in dataclasses.fields(FaultConfig)}
 _METER_FIELDS = {f.name for f in dataclasses.fields(MeterConfig)}
@@ -99,7 +104,14 @@ def spec_to_wire(spec: Spec) -> dict[str, Any]:
     if isinstance(spec, SchedSpec):
         fields = dataclasses.asdict(spec)
         fields["apps"] = list(fields["apps"])
+        # asdict recursed into the PredictorModel dataclass; replace it
+        # with the canonical payload so the wire shape matches
+        # PredictorModel.from_payload (sorted entries, schema-tagged).
+        if spec.predictor is not None:
+            fields["predictor"] = spec.predictor.to_payload()
         return {"kind": "sched", "fields": fields}
+    if isinstance(spec, CoschedSpec):
+        return {"kind": "cosched", "fields": dataclasses.asdict(spec)}
     raise ProtocolError(f"unsupported spec type {type(spec).__name__}")
 
 
@@ -190,11 +202,35 @@ def spec_from_wire(wire: dict[str, Any]) -> Spec:
             ):
                 raise ProtocolError("sched 'apps' must be a list of strings")
             fields["apps"] = tuple(apps)
+        predictor = fields.get("predictor")
+        if predictor is not None:
+            if not isinstance(predictor, dict):
+                raise ProtocolError(
+                    "sched 'predictor' must be a predictor-model payload "
+                    "object or null"
+                )
+            try:
+                fields["predictor"] = PredictorModel.from_payload(predictor)
+            except (ConfigError, KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    f"invalid sched predictor: {exc}") from exc
         try:
             return SchedSpec(**fields)
         except (ConfigError, TypeError, ValueError) as exc:
             raise ProtocolError(f"invalid sched spec: {exc}") from exc
-    raise ProtocolError(f"unknown spec kind {kind!r} (one of: run, sched)")
+    if kind == "cosched":
+        unknown = set(fields) - _COSCHED_FIELDS
+        if unknown:
+            raise ProtocolError(
+                f"unknown cosched-spec field(s): {', '.join(sorted(unknown))}"
+            )
+        try:
+            return CoschedSpec(**fields)
+        except (ConfigError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"invalid cosched spec: {exc}") from exc
+    raise ProtocolError(
+        f"unknown spec kind {kind!r} (one of: cosched, run, sched)"
+    )
 
 
 # ----------------------------------------------------------------------

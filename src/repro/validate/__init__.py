@@ -24,6 +24,10 @@ This package checks it continuously:
   power coordinator's rounds (division exactness, per-node floor,
   clamp-tolerance enforcement) and the scheduled-run corpus behind the
   ``repro validate`` cluster section;
+* :mod:`~repro.validate.cosched` — co-scheduling invariants over the
+  profiling sweep's artifacts (co-run slowdowns >= 1, solo identity
+  exact, predictor costs within the roofline envelope) behind the
+  ``repro validate`` cosched section;
 * :mod:`~repro.validate.scale` — million-job-scale invariants pinning
   every streaming substitution to its exact counterpart: quantile-sketch
   tails within the guaranteed error bound, streamed-vs-retained fold
@@ -42,6 +46,13 @@ from repro.validate.cluster import (
     run_cluster_validation,
 )
 from repro.validate.corpus import METER_SPECS, corpus, differential_specs
+from repro.validate.cosched import (
+    CoschedValidationResult,
+    check_cosched,
+    check_cosched_model,
+    check_cosched_store,
+    run_cosched_validation,
+)
 from repro.validate.metering import check_overhead_monotone
 from repro.validate.records import check_record
 from repro.validate.scale import (
@@ -63,6 +74,7 @@ from repro.validate.violations import ValidationReport, Violation
 
 __all__ = [
     "ClusterValidationResult",
+    "CoschedValidationResult",
     "DifferentialResult",
     "InvariantChecker",
     "ScaleValidationResult",
@@ -73,6 +85,9 @@ __all__ = [
     "check_budget_enforcement",
     "check_budget_floor",
     "check_cluster_budgets",
+    "check_cosched",
+    "check_cosched_model",
+    "check_cosched_store",
     "check_overhead_monotone",
     "check_record",
     "check_resume_identity",
@@ -84,6 +99,7 @@ __all__ = [
     "differential_specs",
     "differential_sweep",
     "run_cluster_validation",
+    "run_cosched_validation",
     "run_scale_validation",
     "run_validation_sweep",
     "scale_corpus",

@@ -1,0 +1,216 @@
+"""Co-scheduling invariants: profile sanity and predictor envelopes.
+
+Three invariants over the co-scheduling layer's artifacts — the
+:class:`~repro.cosched.profile.ProfileStore` a profiling sweep produces
+and the :class:`~repro.cosched.predictor.PredictorModel` fitted from it
+— all in the strict ``model`` category (profiles and fits are derived
+from deterministic simulations; no fault profile can explain a broken
+one):
+
+* **sensitivity** — measured co-run slowdowns never drop meaningfully
+  below 1 (an antagonist cannot *speed up* its victim beyond float/
+  sampling noise), and every fitted sensitivity slope is >= 0 — the
+  clamp that makes predictions monotone in pressure.
+* **solo identity** — each profile's recorded solo-vs-solo slowdown is
+  exactly 1 within float tolerance: the baseline divided by itself; any
+  drift means the sweep mismatched baselines.
+* **roofline envelope** — the predictor's solo unit time and energy per
+  (app, threads) land within the closed-form roofline envelope, so the
+  predicted EDP (watts × time²) the ``predicted`` policy ranks queues
+  by stays within the envelope squared of the analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.validate.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cosched.predictor import PredictorModel
+    from repro.cosched.profile import ProfileStore
+
+#: Measured slowdown may dip fractionally below 1 (daemon sampling
+#: granularity at region boundaries); below this is a real violation.
+SLOWDOWN_TOLERANCE = 0.98
+
+#: |solo_slowdown - 1| beyond this is a baseline mismatch.
+SOLO_IDENTITY_TOLERANCE = 1e-9
+
+#: Allowed ratio between a predictor entry's solo cost and the roofline
+#: closed form.  The profiled base threads match the microsim within the
+#: standard envelope; extrapolated thread counts inherit the base
+#: residual times the exact roofline ratio, so one factor covers both.
+ENVELOPE_FACTOR = 3.0
+
+
+def check_cosched_store(store: "ProfileStore") -> Iterable[Violation]:
+    """Sensitivity and solo-identity invariants over measured profiles."""
+    for profile in store.sorted_profiles():
+        if abs(profile.solo_slowdown - 1.0) > SOLO_IDENTITY_TOLERANCE:
+            yield Violation(
+                invariant="cosched-solo-identity",
+                category="model",
+                message=(
+                    f"{profile.app}: solo-vs-solo slowdown is "
+                    f"{profile.solo_slowdown!r}, expected exactly 1.0 "
+                    f"(±{SOLO_IDENTITY_TOLERANCE})"
+                ),
+            )
+        for cell in profile.sorted_cells():
+            if cell.slowdown < SLOWDOWN_TOLERANCE:
+                yield Violation(
+                    invariant="cosched-sensitivity",
+                    category="model",
+                    message=(
+                        f"{profile.app} vs {cell.injector}@{cell.level:g}: "
+                        f"co-run slowdown {cell.slowdown!r} < "
+                        f"{SLOWDOWN_TOLERANCE} — an antagonist cannot "
+                        f"speed up its victim"
+                    ),
+                )
+            if cell.inj_slowdown < SLOWDOWN_TOLERANCE and cell.inj_slowdown > 0:
+                yield Violation(
+                    invariant="cosched-sensitivity",
+                    category="model",
+                    message=(
+                        f"{profile.app} vs {cell.injector}@{cell.level:g}: "
+                        f"inflicted slowdown {cell.inj_slowdown!r} < "
+                        f"{SLOWDOWN_TOLERANCE}"
+                    ),
+                )
+
+
+def check_cosched_model(model: "PredictorModel") -> Iterable[Violation]:
+    """Slope non-negativity and roofline envelope over a fitted model."""
+    from repro.sched.roofline import roofline_point
+
+    for entry in sorted(model.entries, key=lambda e: (e.app, e.threads)):
+        if entry.sens_slope < 0.0:
+            yield Violation(
+                invariant="cosched-sensitivity",
+                category="model",
+                message=(
+                    f"{entry.app}@{entry.threads}t: fitted sensitivity "
+                    f"slope {entry.sens_slope!r} is negative — predictions "
+                    f"would decrease with pressure"
+                ),
+            )
+        point = roofline_point(entry.app, entry.threads)
+        if point.time_s <= 0:
+            continue
+        time_ratio = entry.unit_time_s / point.time_s
+        if not (1.0 / ENVELOPE_FACTOR <= time_ratio <= ENVELOPE_FACTOR):
+            yield Violation(
+                invariant="cosched-roofline-envelope",
+                category="model",
+                message=(
+                    f"{entry.app}@{entry.threads}t: predictor unit time "
+                    f"{entry.unit_time_s:.4f} s is {time_ratio:.2f}x the "
+                    f"roofline {point.time_s:.4f} s (envelope "
+                    f"×{ENVELOPE_FACTOR:g})"
+                ),
+            )
+        energy = entry.watts * entry.unit_time_s
+        if point.energy_j > 0:
+            energy_ratio = energy / point.energy_j
+            if not (
+                1.0 / ENVELOPE_FACTOR <= energy_ratio <= ENVELOPE_FACTOR
+            ):
+                yield Violation(
+                    invariant="cosched-roofline-envelope",
+                    category="model",
+                    message=(
+                        f"{entry.app}@{entry.threads}t: predicted unit "
+                        f"energy {energy:.1f} J is {energy_ratio:.2f}x the "
+                        f"roofline {point.energy_j:.1f} J (envelope "
+                        f"×{ENVELOPE_FACTOR:g})"
+                    ),
+                )
+
+
+def check_cosched(
+    store: "Optional[ProfileStore]" = None,
+    model: "Optional[PredictorModel]" = None,
+) -> list[Violation]:
+    """Run every co-scheduling invariant over a store and/or model.
+
+    With no arguments, audits the bundled default profiles and the
+    model fitted from them — the exact artifacts the ``predicted``
+    policy uses when a spec names no custom predictor.
+    """
+    from repro.cosched.predictor import PredictorModel, default_store
+
+    if store is None and model is None:
+        store = default_store()
+    if model is None and store is not None:
+        model = PredictorModel.fit(store)
+    violations: list[Violation] = []
+    if store is not None:
+        violations.extend(check_cosched_store(store))
+    if model is not None:
+        violations.extend(check_cosched_model(model))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# the ``repro validate`` cosched section
+# ----------------------------------------------------------------------
+@dataclass
+class CoschedValidationResult:
+    """Outcome of auditing co-scheduling profiles and the predictor."""
+
+    profiles: int = 0
+    cells: int = 0
+    entries: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        lines = ["co-scheduling invariants (profile store + predictor):"]
+        lines.append(
+            f"  {self.profiles} app profiles, {self.cells} co-run cells, "
+            f"{self.entries} predictor entries audited"
+        )
+        for violation in self.violations:
+            lines.append(f"      {violation}")
+        lines.append(
+            "RESULT: " + (
+                "PASS (sensitivity, solo-identity, roofline-envelope)"
+                if self.ok else "FAIL"
+            )
+        )
+        return "\n".join(lines)
+
+
+def run_cosched_validation(
+    store: "Optional[ProfileStore]" = None,
+    model: "Optional[PredictorModel]" = None,
+    *,
+    quick: bool = False,
+) -> CoschedValidationResult:
+    """Audit co-scheduling artifacts (bundled defaults when omitted).
+
+    Pure post-hoc scans over persisted artifacts — no simulation runs —
+    so ``quick`` changes nothing; it is accepted for CLI symmetry with
+    the other validation sections.
+    """
+    from repro.cosched.predictor import PredictorModel, default_store
+
+    del quick
+    if store is None and model is None:
+        store = default_store()
+    if model is None:
+        model = PredictorModel.fit(store)
+    result = CoschedValidationResult(
+        violations=check_cosched(store=store, model=model),
+    )
+    if store is not None:
+        result.profiles = len(store.profiles)
+        result.cells = sum(len(p.cells) for p in store.profiles)
+    result.entries = len(model.entries)
+    return result

@@ -36,12 +36,33 @@ def validate_spec(
     *,
     interval_s: float = 0.1,
 ) -> tuple[MeasurementRecord, ValidationReport]:
-    """Execute ``spec`` under the checker and audit the books."""
+    """Execute ``spec`` under the checker and audit the books.
+
+    Dispatch mirrors :func:`~repro.harness.executor.execute_spec`: a
+    spec exposing ``validate_execute`` (e.g.
+    :class:`~repro.cosched.spec.CoschedSpec`) runs its own checked
+    path; a self-executing spec without one (e.g.
+    :class:`~repro.sched.spec.SchedSpec`, whose invariants live in the
+    budget auditors) runs unchecked and reports its recorded
+    violations; a plain :class:`~repro.harness.spec.RunSpec` takes the
+    full measurement-stack path below.
+    """
     # Deferred: expectations imports validate.violations, and the package
     # __init__ pulls this module — importing it at module scope would make
     # `import repro.faults.expectations` circular.
     from repro.experiments.runner import run_measurement
     from repro.faults.expectations import classify_violations
+
+    validate_execute = getattr(spec, "validate_execute", None)
+    if validate_execute is not None:
+        return validate_execute(interval_s=interval_s)
+    if not isinstance(spec, RunSpec):
+        record = execute_spec(spec)
+        report = ValidationReport(
+            spec=spec,
+            violations=tuple(getattr(record, "budget_violations", ())),
+        )
+        return record, report
 
     checker = InvariantChecker(interval_s=interval_s)
     t0 = time.perf_counter()

@@ -124,7 +124,13 @@ class ValidationReport:
         return not self.unexpected
 
     def summary_line(self) -> str:
-        label = self.spec.label or self.spec.app
+        # Reports wrap any spec kind (run, sched, cosched); fall back
+        # from label to the app field to the spec's own description.
+        label = (
+            self.spec.label
+            or getattr(self.spec, "app", None)
+            or self.spec.describe()
+        )
         state = "ok" if self.ok else "FAIL"
         return (
             f"{label}: {state} — {self.batteries} batteries, "

@@ -18,13 +18,15 @@ def run_app(app, threads=16, compiler=None, **kwargs):
 
 
 def test_registry_covers_all_fifteen_benchmarks():
+    # 15 paper benchmarks + 4 contention injectors.
     apps = list_apps()
-    assert len(apps) == 15
+    assert len(apps) == 19
     assert list_apps(group="micro") == [
         "dijkstra", "fibonacci", "mergesort", "nqueens", "reduction",
     ]
     assert len(list_apps(group="bots")) == 9
     assert list_apps(group="mini-app") == ["lulesh"]
+    assert len(list_apps(group="injector")) == 4
 
 
 def test_unknown_app_raises():
@@ -35,7 +37,7 @@ def test_unknown_app_raises():
 def test_registry_descriptions_nonempty():
     for info in APP_REGISTRY.values():
         assert info.description
-        assert info.group in ("micro", "bots", "mini-app")
+        assert info.group in ("micro", "bots", "mini-app", "injector")
 
 
 def test_mergesort_spawns_exactly_two_sort_tasks():

@@ -1,0 +1,28 @@
+"""Fixtures for the co-scheduling tests.
+
+The quick sweep is session-scoped: its records, reduced store and fitted
+model are frozen value objects, so one execution serves every test that
+only reads them.  Tests needing a different configuration run their own
+specs — individual co-runs cost well under a second of host time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.coschedsweep import run_cosched_sweep
+from repro.harness import BatchExecutor
+
+#: The CI smoke slice: two apps with distinct contention responses
+#: against the memory-bandwidth antagonist at full pressure.
+QUICK_APPS = ("mergesort", "nqueens")
+QUICK_INJECTORS = ("inject-membw",)
+QUICK_LEVELS = (1.0,)
+
+
+@pytest.fixture(scope="session")
+def quick_sweep():
+    return run_cosched_sweep(
+        QUICK_APPS, QUICK_INJECTORS, QUICK_LEVELS,
+        harness=BatchExecutor(),
+    )

@@ -1,0 +1,69 @@
+"""Co-run simulation: contention physics and execution-path identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cosched import CoschedSpec, run_corun
+from repro.harness.executor import execute_spec
+
+pytestmark = pytest.mark.cosched
+
+#: Small cells so each test run costs well under a second of host time.
+SOLO = CoschedSpec(app="mergesort", threads=8, scale=0.1)
+CORUN = CoschedSpec(app="mergesort", injector="inject-membw", level=1.0,
+                    threads=8, scale=0.1, inj_scale=4.0)
+
+
+def test_membw_injector_slows_the_victim():
+    solo = run_corun(SOLO)
+    corun = run_corun(CORUN)
+    assert solo.inj_time_s == 0.0
+    assert corun.app_time_s / solo.app_time_s > 1.5
+    # Contention stretches time much more than it scales power, so
+    # energy-per-run rises too (the EDP story the predictor prices).
+    assert corun.app_energy_j > solo.app_energy_j
+
+
+def test_pressure_level_is_monotone():
+    lo = run_corun(CoschedSpec(app="mergesort", injector="inject-membw",
+                               level=0.5, scale=0.1, inj_scale=4.0))
+    hi = run_corun(CoschedSpec(app="mergesort", injector="inject-membw",
+                               level=2.0, scale=0.1, inj_scale=4.0))
+    assert hi.app_time_s > lo.app_time_s
+
+
+def test_compute_injector_barely_contends():
+    solo = run_corun(SOLO)
+    corun = run_corun(CoschedSpec(app="mergesort", injector="inject-compute",
+                                  level=1.0, scale=0.1, inj_scale=4.0))
+    # The compute-bound control stays within a few percent of solo.
+    assert corun.app_time_s / solo.app_time_s < 1.1
+
+
+def test_corun_is_deterministic():
+    assert run_corun(CORUN) == run_corun(CORUN)
+
+
+def test_record_aliases_and_makespan():
+    record = run_corun(CORUN)
+    assert record.time_s == record.app_time_s
+    assert record.energy_j == record.app_energy_j
+    assert record.watts == record.app_watts
+    assert record.makespan_s >= record.app_time_s
+    assert record.tasks_completed > 0
+    assert record.spec == CORUN
+
+
+def test_execute_spec_dispatches_self_execution():
+    # The harness executes CoschedSpec through its own execute() hook,
+    # bit-identically to a direct run_corun call (wall_s is compare=False).
+    assert execute_spec(CORUN) == run_corun(CORUN)
+
+
+def test_validate_execute_is_bit_identical_and_checked():
+    record, report = CORUN.validate_execute(interval_s=0.1)
+    assert record == run_corun(CORUN)
+    assert report.ok, report.summary_line()
+    assert report.batteries > 0
+    assert sum(report.checks.values()) > 0

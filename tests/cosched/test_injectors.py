@@ -1,0 +1,69 @@
+"""Contention injectors: registry integration and pressure scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import (
+    APP_REGISTRY,
+    INJECTOR_KINDS,
+    app_profile,
+    injector_pressure,
+    injector_profile,
+    list_injectors,
+)
+from repro.config import PAPER_MACHINE
+from repro.sched.roofline import roofline_point
+
+pytestmark = pytest.mark.cosched
+
+
+def test_every_injector_is_a_registry_app():
+    for name in INJECTOR_KINDS:
+        info = APP_REGISTRY[name]
+        assert info.group == "injector"
+        assert info.builder is not None
+        assert info.profile_factory is not None
+    assert list_injectors() == sorted(INJECTOR_KINDS)
+
+
+def test_injector_lineup_covers_the_design_space():
+    # One compute-bound control, two antagonists, one mixed duty cycle.
+    assert set(INJECTOR_KINDS) == {
+        "inject-compute", "inject-membw", "inject-coherence", "inject-mixed",
+    }
+    # The compute injector exerts the least pressure, coherence the most.
+    at_one = {name: injector_pressure(name, 1.0) for name in INJECTOR_KINDS}
+    assert at_one["inject-compute"] < at_one["inject-membw"]
+    assert at_one["inject-membw"] < at_one["inject-coherence"]
+
+
+@pytest.mark.parametrize("name", sorted(INJECTOR_KINDS))
+def test_pressure_scales_linearly_with_level(name):
+    base = injector_pressure(name, 1.0)
+    assert base > 0
+    assert injector_pressure(name, 0.5) == pytest.approx(base * 0.5)
+    assert injector_pressure(name, 2.0) == pytest.approx(base * 2.0)
+
+
+@pytest.mark.parametrize("name", sorted(INJECTOR_KINDS))
+def test_injector_profiles_are_priceable(name):
+    profile = app_profile(name)
+    assert profile.app == name
+    assert profile.total_work_s > 0
+    # app_profile consults the synthetic factory, not the calibration
+    # tables (injectors never appear in the paper's data).
+    assert profile == injector_profile(
+        name, "gcc", "O2", PAPER_MACHINE
+    )
+    # And the roofline closed form prices them, so the predictor and the
+    # analytic scheduler can cost injector jobs like any other app.
+    point = roofline_point(name, 8)
+    assert point.time_s > 0
+    assert point.avg_watts > 0
+
+
+def test_profile_factory_is_cached():
+    assert injector_profile("inject-membw", "gcc", "O2") is injector_profile(
+        "inject-membw", "gcc", "O2"
+    )

@@ -1,0 +1,179 @@
+"""Hypothesis properties pinning the predictor's contracts.
+
+Three guarantees the co-scheduling layer's consumers lean on:
+
+* **monotonicity** — predicted slowdown (hence time, energy, EDP) never
+  decreases as pressure rises, for any fitted or synthetic entry: the
+  slope clamp makes this structural, and the ``predicted`` policy's
+  hold logic depends on it.
+* **permutation invariance** — fitting is a pure function of the
+  profile *set*: any ordering of the same profiles yields the
+  bit-identical model (canonical sort inside ``fit``), so sweep
+  parallelism can never change the artifact.
+* **round-trips** — spec wire encoding and predictor payloads are
+  lossless: decode∘encode is the identity, digests included, which is
+  what makes digest-keyed caching and service submission safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import list_injectors
+from repro.cosched import (
+    AppProfile,
+    CoschedCell,
+    CoschedSpec,
+    PredictorEntry,
+    PredictorModel,
+    ProfileStore,
+)
+from repro.service.protocol import spec_from_wire, spec_to_wire
+
+pytestmark = pytest.mark.cosched
+
+#: Registry apps the strategies draw from (kept small: strategy health,
+#: and roofline_point caches per (app, threads)).
+APPS = ("mergesort", "nqueens", "reduction", "fibonacci")
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+levels = st.floats(min_value=0.1, max_value=2.0, **finite)
+pressures = st.floats(min_value=0.0, max_value=5.0, **finite)
+
+specs = st.builds(
+    CoschedSpec,
+    app=st.sampled_from(APPS + tuple(list_injectors())),
+    injector=st.one_of(st.none(), st.sampled_from(list_injectors())),
+    level=levels,
+    app_level=levels,
+    threads=st.integers(min_value=1, max_value=16),
+    inj_threads=st.integers(min_value=1, max_value=16),
+    node_threads=st.integers(min_value=1, max_value=32),
+    scale=st.floats(min_value=0.01, max_value=8.0, **finite),
+    inj_scale=st.floats(min_value=0.01, max_value=16.0, **finite),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+entries = st.builds(
+    PredictorEntry,
+    app=st.sampled_from(APPS),
+    threads=st.sampled_from((1, 2, 4, 8, 16)),
+    unit_time_s=st.floats(min_value=0.01, max_value=100.0, **finite),
+    watts=st.floats(min_value=1.0, max_value=400.0, **finite),
+    sens_slope=st.floats(min_value=0.0, max_value=10.0, **finite),
+    intensity=st.floats(min_value=0.0, max_value=5.0, **finite),
+)
+
+
+def _cells(rng_floats):
+    return st.lists(
+        st.builds(
+            CoschedCell,
+            injector=st.sampled_from(tuple(list_injectors())),
+            level=levels,
+            slowdown=rng_floats,
+            inj_slowdown=rng_floats,
+        ),
+        max_size=4,
+    )
+
+
+#: One profile per app (unique keys, so set-identity is well defined).
+stores = st.permutations(APPS).flatmap(
+    lambda apps: st.tuples(*[
+        st.builds(
+            AppProfile,
+            app=st.just(app),
+            threads=st.just(8),
+            scale=st.floats(min_value=0.05, max_value=2.0, **finite),
+            solo_time_s=st.floats(min_value=0.1, max_value=50.0, **finite),
+            solo_energy_j=st.floats(min_value=1.0, max_value=5000.0, **finite),
+            solo_watts=st.floats(min_value=10.0, max_value=300.0, **finite),
+            cells=_cells(
+                st.floats(min_value=0.5, max_value=8.0, **finite)
+            ).map(tuple),
+        )
+        for app in apps
+    ]).map(lambda profiles: ProfileStore(profiles=profiles))
+)
+
+
+# ---------------------------------------------------------- monotonicity
+@settings(max_examples=50, deadline=None)
+@given(entry=entries, p1=pressures, p2=pressures,
+       scale=st.floats(min_value=0.01, max_value=10.0, **finite))
+def test_predictions_monotone_in_pressure(entry, p1, p2, scale):
+    model = PredictorModel(entries=(entry,))
+    lo, hi = sorted((p1, p2))
+    app, threads = entry.app, entry.threads
+    assert model.predict_slowdown(app, threads, lo) <= \
+        model.predict_slowdown(app, threads, hi)
+    assert model.predict_time_s(app, threads, scale, lo) <= \
+        model.predict_time_s(app, threads, scale, hi)
+    assert model.predict_edp(app, threads, scale, lo) <= \
+        model.predict_edp(app, threads, scale, hi)
+    # And solo is the floor: pressure only ever costs.
+    assert model.predict_slowdown(app, threads, lo) >= 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(store=stores, p1=pressures, p2=pressures)
+def test_fitted_models_stay_monotone(store, p1, p2):
+    # Even over arbitrary (including speedup-shaped) measured cells, the
+    # slope clamp keeps the *fitted* response monotone.
+    model = PredictorModel.fit(store)
+    lo, hi = sorted((p1, p2))
+    for entry in model.entries:
+        assert entry.sens_slope >= 0.0
+        assert model.predict_slowdown(entry.app, entry.threads, lo) <= \
+            model.predict_slowdown(entry.app, entry.threads, hi)
+
+
+# -------------------------------------------------- permutation invariance
+@settings(max_examples=25, deadline=None)
+@given(store=stores, order=st.randoms(use_true_random=False))
+def test_fit_is_invariant_to_profile_order(store, order):
+    shuffled = list(store.profiles)
+    order.shuffle(shuffled)
+    permuted = ProfileStore(profiles=tuple(shuffled))
+    assert permuted.digest == store.digest
+    a = PredictorModel.fit(store)
+    b = PredictorModel.fit(permuted)
+    assert a == b
+    assert a.digest == b.digest
+
+
+# ------------------------------------------------------------ round-trips
+@settings(max_examples=50, deadline=None)
+@given(spec=specs)
+def test_spec_wire_round_trip_is_identity(spec):
+    decoded = spec_from_wire(spec_to_wire(spec))
+    assert decoded == spec
+    assert decoded.digest == spec.digest
+
+
+@settings(max_examples=25, deadline=None)
+@given(store=stores)
+def test_predictor_payload_round_trip_is_identity(store):
+    model = PredictorModel.fit(store)
+    clone = PredictorModel.from_payload(model.to_payload())
+    assert clone == model
+    assert clone.digest == model.digest
+
+
+@settings(max_examples=25, deadline=None)
+@given(store=stores)
+def test_store_payload_round_trip_is_identity(store):
+    # The payload canonically sorts profiles and cells, so round-
+    # tripping normalises their order; identity is up to that canonical
+    # form — which is exactly the identity the digest hashes.
+    clone = ProfileStore.from_payload(store.to_payload())
+    assert clone.canonical() == store.canonical()
+    assert clone.digest == store.digest
+    assert PredictorModel.fit(clone) == PredictorModel.fit(store)

@@ -1,0 +1,106 @@
+"""ProfileStore: persistence, identity, and the bundled artifact."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cosched import (
+    AppProfile,
+    CoschedCell,
+    PredictorModel,
+    ProfileStore,
+    default_model,
+    default_store,
+)
+from repro.errors import ConfigError
+
+pytestmark = pytest.mark.cosched
+
+
+def _profile(app="mergesort", threads=8, slowdown=2.0):
+    return AppProfile(
+        app=app, threads=threads, scale=0.15,
+        solo_time_s=3.0, solo_energy_j=450.0, solo_watts=150.0,
+        cells=(CoschedCell(injector="inject-membw", level=1.0,
+                           slowdown=slowdown, inj_slowdown=1.1),),
+    )
+
+
+def test_payload_round_trip_preserves_digest():
+    store = ProfileStore(profiles=(_profile(), _profile(app="nqueens")))
+    clone = ProfileStore.from_payload(store.to_payload())
+    assert clone == store
+    assert clone.digest == store.digest
+
+
+def test_digest_ignores_profile_order():
+    a = ProfileStore(profiles=(_profile(), _profile(app="nqueens")))
+    b = ProfileStore(profiles=(_profile(app="nqueens"), _profile()))
+    assert a.digest == b.digest  # canonical payload sorts profiles
+
+
+def test_save_load_round_trip(tmp_path):
+    store = ProfileStore(profiles=(_profile(),))
+    path = str(tmp_path / "profiles.json")
+    store.save(path)
+    assert ProfileStore.load(path) == store
+
+
+def test_merge_later_stores_win():
+    old = ProfileStore(profiles=(_profile(slowdown=2.0),))
+    new = ProfileStore(profiles=(_profile(slowdown=3.0),
+                                 _profile(app="nqueens")))
+    merged = ProfileStore.merge([old, new])
+    assert merged.apps == ("mergesort", "nqueens")
+    assert merged.get("mergesort").cells[0].slowdown == 3.0
+
+
+def test_get_pins_thread_count():
+    store = ProfileStore(profiles=(_profile(threads=8),))
+    assert store.get("mergesort", 8) is store.profiles[0]
+    assert store.get("mergesort", 4) is None
+    assert store.get("absent") is None
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(ConfigError):
+        ProfileStore(schema="cosched-profile-99")
+
+
+def test_sensitivity_and_intensity_are_clamped_means():
+    profile = AppProfile(
+        app="mergesort", threads=8, scale=0.15,
+        solo_time_s=3.0, solo_energy_j=450.0, solo_watts=150.0,
+        cells=(
+            CoschedCell("inject-membw", 1.0, slowdown=3.0, inj_slowdown=0.9),
+            CoschedCell("inject-membw", 0.5, slowdown=1.0, inj_slowdown=1.3),
+        ),
+    )
+    assert profile.sensitivity == pytest.approx(1.0)  # (2.0 + 0.0) / 2
+    assert profile.intensity == pytest.approx(0.15)   # (0.0 + 0.3) / 2
+    empty = dataclasses.replace(profile, cells=())
+    assert empty.sensitivity == 0.0
+    assert empty.intensity == 0.0
+
+
+# ------------------------------------------------------- bundled artifact
+def test_bundled_default_store_loads_and_fits():
+    store = default_store()
+    assert len(store.profiles) >= 5
+    assert sum(len(p.cells) for p in store.profiles) >= 16
+    # Every scheduler job app is profiled (the predicted policy's inputs).
+    from repro.sched.workload import DEFAULT_JOB_APPS
+
+    for app in DEFAULT_JOB_APPS:
+        assert store.get(app) is not None, app
+    model = PredictorModel.fit(store)
+    assert model.entries
+
+
+def test_default_model_is_cached_and_deterministic():
+    assert default_model() is default_model()
+    refit = PredictorModel.fit(default_store())
+    assert refit == default_model()
+    assert refit.digest == default_model().digest

@@ -1,0 +1,81 @@
+"""CoschedSpec: validation, digest stability, self-execution contract."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.cosched import COSCHED_SPEC_SCHEMA, CoschedSpec
+from repro.errors import ConfigError
+
+pytestmark = pytest.mark.cosched
+
+
+def test_digest_is_stable_and_content_sensitive():
+    a = CoschedSpec(app="mergesort", injector="inject-membw", level=1.0)
+    b = CoschedSpec(app="mergesort", injector="inject-membw", level=1.0)
+    c = CoschedSpec(app="mergesort", injector="inject-membw", level=0.5)
+    assert a.digest == b.digest
+    assert a.digest != c.digest
+    assert len(a.digest) == 64  # sha256 hex
+
+
+def test_label_excluded_from_identity():
+    plain = CoschedSpec(app="nqueens")
+    labelled = plain.with_label("cell-a")
+    assert labelled.label == "cell-a"
+    assert labelled == plain
+    assert labelled.digest == plain.digest
+    assert "label" not in plain.payload_dict()
+
+
+def test_payload_carries_schema():
+    assert CoschedSpec().payload_dict()["schema"] == COSCHED_SPEC_SCHEMA
+
+
+def test_solo_property():
+    assert CoschedSpec(app="mergesort").solo
+    assert not CoschedSpec(app="mergesort", injector="inject-membw").solo
+
+
+def test_pickle_round_trip_preserves_digest():
+    spec = CoschedSpec(app="reduction", injector="inject-coherence",
+                       level=1.5, seed=3)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert clone.digest == spec.digest
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"app": "not-an-app"},
+        {"injector": "not-an-injector"},
+        {"injector": "mergesort"},  # real app, wrong group
+        {"injector": "inject-membw", "level": 0.0},
+        {"injector": "inject-membw", "level": 99.0},
+        {"app": "inject-membw", "app_level": 0.0},
+        {"threads": 0},
+        {"inj_threads": 0},
+        {"node_threads": 0},
+        {"scale": 0.0},
+        {"inj_scale": -1.0},
+    ],
+)
+def test_invalid_specs_rejected_eagerly(kwargs):
+    with pytest.raises(ConfigError):
+        CoschedSpec(**kwargs)
+
+
+def test_bad_injector_error_lists_the_injectors():
+    with pytest.raises(ConfigError, match="inject-membw"):
+        CoschedSpec(injector="mergesort")
+
+
+def test_describe_names_the_cell():
+    solo = CoschedSpec(app="mergesort")
+    corun = CoschedSpec(app="mergesort", injector="inject-membw", level=0.5)
+    assert "solo" in solo.describe()
+    assert "inject-membw@0.5" in corun.describe()
+    assert corun.with_label("override").describe() == "override"

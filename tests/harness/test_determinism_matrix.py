@@ -80,3 +80,73 @@ def test_validate_mode_matches_reference(reference) -> None:
     for i in range(len(MATRIX_SPECS)):
         report = harness.validation_reports[i]
         assert report.ok and report.batteries > 0
+
+
+# ----------------------------------------------------------------------
+# the co-scheduling face of the matrix
+# ----------------------------------------------------------------------
+# Self-executing specs ride the same four paths: a co-run cell, a solo
+# baseline, and a scheduled run under the profile-driven ``predicted``
+# policy (whose spec digests in its predictor model).  Their records are
+# frozen scalar dataclasses, so ``==`` is bit-identity here too.
+from repro.cosched import CoschedSpec  # noqa: E402
+from repro.sched import SchedSpec  # noqa: E402
+
+COSCHED_MATRIX = (
+    CoschedSpec(app="mergesort", injector="inject-membw", level=1.0,
+                threads=8, scale=0.1, inj_scale=4.0),
+    CoschedSpec(app="nqueens", threads=8, scale=0.1),
+    SchedSpec(profile="diurnal", policy="predicted", nodes=2,
+              budget_w=300.0, jobs=6, seed=1),
+)
+
+
+@pytest.fixture(scope="module")
+def cosched_reference() -> list:
+    return [execute_spec(spec) for spec in COSCHED_MATRIX]
+
+
+def test_cosched_serial_matches_reference(cosched_reference) -> None:
+    records = BatchExecutor(workers=1).run(
+        list(COSCHED_MATRIX), sweep="cm-serial"
+    )
+    assert records == cosched_reference
+
+
+def test_cosched_parallel_pool_matches_reference(cosched_reference) -> None:
+    records = BatchExecutor(workers=2).run(
+        list(COSCHED_MATRIX), sweep="cm-pool"
+    )
+    assert records == cosched_reference
+
+
+def test_cosched_cache_round_trip_matches_reference(
+    tmp_path, cosched_reference
+) -> None:
+    cache = ResultCache(root=tmp_path)
+    sink = ListSink()
+    first = BatchExecutor(cache=cache, bus=TelemetryBus([sink])).run(
+        list(COSCHED_MATRIX), sweep="cm-warm"
+    )
+    assert not sink.of_type(RunCached)
+    assert first == cosched_reference
+
+    sink2 = ListSink()
+    second = BatchExecutor(cache=cache, bus=TelemetryBus([sink2])).run(
+        list(COSCHED_MATRIX), sweep="cm-hit"
+    )
+    assert len(sink2.of_type(RunCached)) == len(COSCHED_MATRIX)
+    assert second == cosched_reference
+
+
+def test_cosched_validate_mode_matches_reference(cosched_reference) -> None:
+    harness = BatchExecutor(validate=True)
+    records = harness.run(list(COSCHED_MATRIX), sweep="cm-validate")
+    assert records == cosched_reference
+    for i, spec in enumerate(COSCHED_MATRIX):
+        report = harness.validation_reports[i]
+        assert report.ok, report.summary_line()
+        if isinstance(spec, CoschedSpec):
+            # Co-runs execute under the full invariant checker; sched
+            # specs report through their budget auditors instead.
+            assert report.batteries > 0

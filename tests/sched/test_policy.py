@@ -33,9 +33,20 @@ def _state(total_power=100.0, budget=400.0):
 
 
 def test_registry_and_unknown_policy():
-    assert set(POLICIES) == {"fcfs", "bestfit", "edp", "waterfill"}
+    assert set(POLICIES) == {
+        "fcfs", "bestfit", "edp", "waterfill", "predicted",
+    }
     with pytest.raises(ConfigError):
         make_policy("srpt")
+
+
+def test_only_predicted_takes_a_model():
+    model = _model()
+    assert make_policy("predicted", model=model)._model is model
+    for name in sorted(set(POLICIES) - {"predicted"}):
+        make_policy(name)  # no model: fine
+        with pytest.raises(ConfigError, match="does not take a predictor"):
+            make_policy(name, model=model)
 
 
 @pytest.mark.parametrize("name", sorted(POLICIES))
@@ -122,3 +133,79 @@ def test_estimate_and_views():
     view = _node("n", budget=100.0, power=120.0)
     assert view.headroom_w == 0.0  # clamped at zero, never negative
     assert _state(350.0, 300.0).global_headroom_w == 0.0
+
+
+# ------------------------------------------------------------- predicted
+def _model(merge_slope=0.1, nq_slope=4.0, watts=100.0):
+    """Synthetic two-app predictor: mergesort immune, nqueens sensitive."""
+    from repro.cosched import PredictorEntry, PredictorModel
+
+    return PredictorModel(entries=(
+        PredictorEntry(app="mergesort", threads=8, unit_time_s=1.0,
+                       watts=watts, sens_slope=merge_slope, intensity=0.2),
+        PredictorEntry(app="nqueens", threads=8, unit_time_s=1.0,
+                       watts=watts, sens_slope=nq_slope, intensity=0.1),
+    ))
+
+
+def _nq_job(index=0, scale=0.5):
+    return Job(index=index, submit_s=0.0, app="nqueens",
+               threads=8, scale=scale)
+
+
+def test_predicted_holds_early_without_touching_the_model():
+    # Empty queue / no idle node must return None before any model
+    # access — an opaque sentinel would raise on first attribute use.
+    policy = make_policy("predicted", model=object())
+    assert policy.select((), [_node("node0")], _state()) is None
+    assert policy.select((_job(),), [_node("node0", busy=True)],
+                         _state()) is None
+
+
+def test_predicted_lazily_falls_back_to_the_bundled_model():
+    from repro.cosched import default_model
+
+    policy = make_policy("predicted")
+    assert policy._model is None
+    assert policy.model is default_model()
+
+
+def test_predicted_orders_queue_by_predicted_edp_under_pressure():
+    policy = make_policy("predicted", model=_model())
+    sensitive = _nq_job(index=0)    # slope 4.0: slow under pressure
+    immune = _job(index=1)          # mergesort, slope 0.1
+    nodes = [_node("node0")]
+    # No pressure: equal solo EDP, index breaks the tie FCFS-wards.
+    pick = policy.select((sensitive, immune), nodes, _state(0.0, 400.0))
+    assert pick == (0, "node0")
+    # Saturated cluster: the sensitive job's predicted time inflates,
+    # so the immune one jumps the queue.
+    pick = policy.select((sensitive, immune), nodes, _state(400.0, 400.0))
+    assert pick == (1, "node0")
+
+
+def test_predicted_holds_against_the_global_budget():
+    policy = make_policy("predicted", model=_model(watts=150.0))
+    # Marginal draw = 150 W absolute - ~46.4 W idle floor ~ 103.6 W.
+    nodes = [_node("node0", busy=True, power=200.0), _node("node1")]
+    assert policy.select((_job(),), nodes, _state(300.0, 350.0)) is None
+    assert policy.select((_job(),), nodes, _state(300.0, 500.0)) is not None
+    # An all-idle cluster never deadlocks on a prediction.
+    idle = [_node("node0"), _node("node1")]
+    assert policy.select((_job(),), idle, _state(90.0, 100.0)) is not None
+
+
+def test_predicted_steers_sensitive_jobs_away_from_clamped_nodes():
+    policy = make_policy("predicted", model=_model())
+    nodes = [
+        _node("node0", pressure=0.8, budget=150.0, power=20.0),  # headroom 130
+        _node("node1", pressure=0.0, budget=90.0, power=20.0),   # headroom 70
+    ]
+    state = _state(40.0, 400.0)
+    # The sensitive job pays for clamp pressure: low-pressure node wins.
+    assert policy.select((_nq_job(),), nodes, state) == (0, "node1")
+    # The immune job doesn't: headroom dominates (0.1 * 0.8 = 0.08
+    # pressure-cost loses to 60 W of extra headroom only if sensitivity
+    # is genuinely negligible — make it exactly zero to pin the branch).
+    immune = make_policy("predicted", model=_model(merge_slope=0.0))
+    assert immune.select((_job(),), nodes, state) == (0, "node0")

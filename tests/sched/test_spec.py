@@ -76,3 +76,61 @@ def test_describe_mentions_the_knobs_that_matter():
     assert "bursty" in text
     assert "waterfill" in text
     assert "400" in text
+
+
+# ---------------------------------------------------------- predictor field
+def test_unknown_policy_error_lists_the_registered_policies():
+    # Regression: the unknown-policy rejection is eager (construction
+    # time, not first tick) and its message names every registered
+    # policy, so a typo is a one-line fix rather than an archaeology dig.
+    from repro.sched.policy import POLICIES
+
+    with pytest.raises(ConfigError) as err:
+        SchedSpec(policy="srpt")
+    for name in POLICIES:
+        assert name in str(err.value)
+
+
+def test_predicted_policy_materialises_the_default_model():
+    from repro.cosched import default_model
+
+    spec = SchedSpec(policy="predicted")
+    assert spec.predictor is default_model()
+    # The digest names the exact model: payload folds in its digest.
+    assert spec.payload_dict()["predictor"] == default_model().digest
+
+
+def test_predictor_rejected_on_non_predicted_policies():
+    from repro.cosched import default_model
+
+    with pytest.raises(ConfigError, match="does not take a predictor"):
+        SchedSpec(policy="fcfs", predictor=default_model())
+
+
+def test_heuristic_payloads_carry_no_predictor_key():
+    # Digest-space stability: every pre-existing (heuristic) spec digest
+    # must be byte-identical to what it was before the predictor field
+    # existed, so the result cache survives the schema growth.
+    for policy in ("fcfs", "bestfit", "edp", "waterfill"):
+        assert "predictor" not in SchedSpec(policy=policy).payload_dict()
+
+
+def test_custom_predictor_changes_the_digest():
+    import dataclasses
+
+    from repro.cosched import default_model
+
+    base = SchedSpec(policy="predicted")
+    entry = dataclasses.replace(default_model().entries[0], sens_slope=9.0)
+    custom = dataclasses.replace(
+        default_model(), entries=(entry,) + default_model().entries[1:]
+    )
+    assert SchedSpec(policy="predicted", predictor=custom).digest != base.digest
+
+
+def test_predicted_spec_pickles_with_its_model():
+    spec = SchedSpec(profile="diurnal", policy="predicted", jobs=6)
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert clone.digest == spec.digest
+    assert clone.predictor == spec.predictor

@@ -1,0 +1,86 @@
+"""The policy tournament: the headline claim, pinned as a regression.
+
+The acceptance bar for the co-scheduling layer: on the diurnal cell the
+profile-driven ``predicted`` policy must beat at least one crude-
+estimate heuristic on mean EDP while cutting the p95 slowdown tail —
+and the whole tournament must replay bit-identically from the result
+cache, because it is built from ordinary digest-keyed SchedSpecs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.schedsweep import (
+    TOURNAMENT_POLICIES,
+    run_policy_tournament,
+)
+from repro.harness import BatchExecutor
+from repro.harness.cache import ResultCache
+from repro.harness.telemetry import ListSink, RunCached, TelemetryBus
+
+pytestmark = [pytest.mark.sched, pytest.mark.cosched]
+
+
+@pytest.fixture(scope="module")
+def tournament():
+    return run_policy_tournament(harness=BatchExecutor())
+
+
+def test_every_policy_races_and_completes(tournament):
+    assert set(tournament.results) == set(TOURNAMENT_POLICIES)
+    for policy, result in tournament.results.items():
+        assert result.completed > 0, policy
+        assert result.mean_edp_js > 0, policy
+
+
+def test_predicted_beats_a_heuristic_on_mean_edp(tournament):
+    predicted = tournament.results["predicted"].mean_edp_js
+    heuristics = {
+        policy: result.mean_edp_js
+        for policy, result in tournament.results.items()
+        if policy != "predicted"
+    }
+    beaten = [p for p, edp in heuristics.items() if predicted < edp]
+    assert beaten, (
+        f"predicted ({predicted:.0f} J*s) beat no heuristic: {heuristics}"
+    )
+    # The specific cell this seed pins: waterfill holds on a crude
+    # thread-count estimate and loses to the calibrated hold.
+    assert "waterfill" in beaten
+
+
+def test_predicted_has_the_best_slowdown_tail(tournament):
+    tails = {
+        policy: result.slowdown_percentile(95)
+        for policy, result in tournament.results.items()
+    }
+    best = min(tails, key=lambda p: (tails[p], p))
+    assert best == "predicted", tails
+
+
+def test_ranking_and_format_are_coherent(tournament):
+    ranking = tournament.ranking()
+    assert set(ranking) == set(TOURNAMENT_POLICIES)
+    edps = [tournament.results[p].mean_edp_js for p in ranking]
+    assert edps == sorted(edps)
+    text = tournament.format()
+    assert tournament.winner == ranking[0]
+    for policy in TOURNAMENT_POLICIES:
+        assert policy in text
+    assert "predicted beats on mean EDP" in text
+
+
+def test_tournament_replays_bit_identically_from_cache(tmp_path, tournament):
+    cache = ResultCache(root=tmp_path)
+    warm = run_policy_tournament(harness=BatchExecutor(cache=cache))
+    sink = ListSink()
+    replay = run_policy_tournament(
+        harness=BatchExecutor(cache=cache, bus=TelemetryBus([sink]))
+    )
+    # Second pass served every cell from disk...
+    assert len(sink.of_type(RunCached)) == len(TOURNAMENT_POLICIES)
+    # ...and both passes equal the uncached reference, field for field.
+    for policy in TOURNAMENT_POLICIES:
+        assert warm.results[policy] == tournament.results[policy]
+        assert replay.results[policy] == tournament.results[policy]

@@ -1,0 +1,143 @@
+"""Cosched invariants: each detector fires on a surgically broken artifact.
+
+Every test corrupts exactly one quantity in an otherwise-healthy profile
+store or fitted model and asserts the *specific* invariant fires — the
+tripwire discipline the other validate suites follow: a sanitizer that
+never fires on corrupted books is indistinguishable from no sanitizer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cosched import PredictorModel, ProfileStore, default_store
+from repro.validate import (
+    check_cosched,
+    check_cosched_model,
+    check_cosched_store,
+    run_cosched_validation,
+)
+from repro.validate.violations import STRICT_CATEGORIES
+
+pytestmark = pytest.mark.validate
+
+
+def _invariants(violations):
+    return {v.invariant for v in violations}
+
+
+@pytest.fixture(scope="module")
+def store() -> ProfileStore:
+    return default_store()
+
+
+@pytest.fixture(scope="module")
+def model(store) -> PredictorModel:
+    return PredictorModel.fit(store)
+
+
+def _replace_profile(store, index, **changes):
+    profiles = list(store.profiles)
+    profiles[index] = dataclasses.replace(profiles[index], **changes)
+    return ProfileStore(profiles=tuple(profiles))
+
+
+def _replace_cell(store, **changes):
+    """Corrupt the first cell of the first profile that has one."""
+    profiles = list(store.profiles)
+    for i, profile in enumerate(profiles):
+        if profile.cells:
+            cells = list(profile.cells)
+            cells[0] = dataclasses.replace(cells[0], **changes)
+            profiles[i] = dataclasses.replace(profile, cells=tuple(cells))
+            return ProfileStore(profiles=tuple(profiles))
+    raise AssertionError("no profile with cells")
+
+
+def _replace_entry(model, **changes):
+    entries = list(model.entries)
+    entries[0] = dataclasses.replace(entries[0], **changes)
+    return PredictorModel(entries=tuple(entries),
+                          base_threads=model.base_threads)
+
+
+# ----------------------------------------------------------- healthy path
+def test_bundled_artifacts_pass_clean(store, model):
+    assert check_cosched(store, model) == []
+    result = run_cosched_validation()
+    assert result.ok, result.format()
+    assert result.profiles > 0 and result.cells > 0 and result.entries > 0
+    assert "PASS" in result.format()
+
+
+def test_model_category_is_strict():
+    # A cosched violation can never be explained away by fault injection.
+    assert "model" in STRICT_CATEGORIES
+
+
+# -------------------------------------------------------------- tripwires
+def test_solo_identity_fires_on_drifted_baseline(store):
+    bad = _replace_profile(store, 0, solo_slowdown=1.0 + 1e-6)
+    found = list(check_cosched_store(bad))
+    assert _invariants(found) == {"cosched-solo-identity"}
+    assert all(v.category == "model" for v in found)
+
+
+def test_sensitivity_fires_on_a_speedup_cell(store):
+    bad = _replace_cell(store, slowdown=0.5)
+    found = list(check_cosched_store(bad))
+    assert _invariants(found) == {"cosched-sensitivity"}
+    assert "cannot speed up its victim" in found[0].message
+
+
+def test_sensitivity_fires_on_a_speedup_inflicted(store):
+    bad = _replace_cell(store, inj_slowdown=0.5)
+    found = list(check_cosched_store(bad))
+    assert _invariants(found) == {"cosched-sensitivity"}
+    assert "inflicted" in found[0].message
+
+
+def test_sensitivity_tolerates_float_noise(store):
+    # Fractionally-below-1 slowdowns are daemon-granularity noise, not
+    # violations — the tolerance keeps the detector quiet on them.
+    noisy = _replace_cell(store, slowdown=0.995)
+    assert list(check_cosched_store(noisy)) == []
+
+
+def test_sensitivity_fires_on_a_negative_fitted_slope(model):
+    bad = _replace_entry(model, sens_slope=-0.25)
+    found = list(check_cosched_model(bad))
+    assert "cosched-sensitivity" in _invariants(found)
+    assert any("negative" in v.message for v in found)
+
+
+def test_roofline_envelope_fires_on_an_absurd_unit_time(model):
+    bad = _replace_entry(model, unit_time_s=model.entries[0].unit_time_s * 10)
+    found = list(check_cosched_model(bad))
+    assert "cosched-roofline-envelope" in _invariants(found)
+    assert any("unit time" in v.message for v in found)
+
+
+def test_roofline_envelope_fires_on_absurd_watts(model):
+    bad = _replace_entry(model, watts=model.entries[0].watts * 10)
+    found = list(check_cosched_model(bad))
+    assert "cosched-roofline-envelope" in _invariants(found)
+    assert any("unit energy" in v.message for v in found)
+
+
+def test_check_cosched_aggregates_both_sides(store, model):
+    bad_store = _replace_cell(store, slowdown=0.5)
+    bad_model = _replace_entry(model, sens_slope=-1.0)
+    found = check_cosched(bad_store, bad_model)
+    assert _invariants(found) == {"cosched-sensitivity"}
+    assert len(found) >= 2  # one from the store, one from the model
+
+
+def test_run_cosched_validation_reports_failure(store):
+    bad = _replace_cell(store, slowdown=0.5)
+    result = run_cosched_validation(bad)
+    assert not result.ok
+    assert "FAIL" in result.format()
+    assert "cosched-sensitivity" in result.format()
