@@ -4,12 +4,12 @@ PYTHON ?= python
 
 COV_FAIL_UNDER ?= 80
 
-.PHONY: install test test-cosched test-faults test-golden test-harness test-metering test-validate test-sched test-service test-store validate-smoke sched-smoke serve-smoke metersweep-smoke store-smoke cosched-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched bench-service bench-store bench-cosched reproduce recalibrate examples clean
+.PHONY: install test test-cosched test-faults test-golden test-harness test-metering test-obs test-validate test-sched test-service test-store validate-smoke sched-smoke serve-smoke metersweep-smoke store-smoke cosched-smoke obs-smoke coverage sweep-smoke smoke-faults bench bench-engine bench-sweep bench-sched bench-service bench-store bench-cosched bench-obs reproduce recalibrate examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
-test: sweep-smoke sched-smoke serve-smoke metersweep-smoke store-smoke cosched-smoke
+test: sweep-smoke sched-smoke serve-smoke metersweep-smoke store-smoke cosched-smoke obs-smoke
 	$(PYTHON) -m pytest tests/
 
 # Co-scheduling suite: contention injectors, co-run profiling sweep,
@@ -35,6 +35,11 @@ test-harness:
 # observer-overhead accounting tripwires and the metersweep experiment.
 test-metering:
 	$(PYTHON) -m pytest tests/ -m metering
+
+# Observability suite: metrics registry, Prometheus exposition
+# conformance, trace spans, service metrics frame, physics inertness.
+test-obs:
+	$(PYTHON) -m pytest tests/ -m obs
 
 # Validation suite: invariant-checker tripwires, ledger audits,
 # expected-violation taxonomy, differential replay.
@@ -84,6 +89,13 @@ serve-smoke:
 # sensitivity profiles, via the CLI exactly as a user would run it.
 cosched-smoke:
 	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.cli coschedsweep --quick --quiet
+
+# End-to-end observability smoke: a real service answering the metrics
+# frame (queue depth, frame p99, cache hit), the rendered obs report, a
+# traced sched campaign exporting loadable Chrome-trace JSON, and the
+# snapshot-invariant audit.
+obs-smoke:
+	PYTHONPATH=src:$$PYTHONPATH $(PYTHON) -m repro.obs.smoke
 
 # End-to-end store smoke: a read-only pass of the store benchmark,
 # which pins exactly-once counts, warm-query offset coverage and
@@ -145,6 +157,12 @@ bench-store:
 # rewrite BENCH_cosched.json without --update).
 bench-cosched:
 	$(PYTHON) benchmarks/bench_cosched.py
+
+# Observability overhead benchmark: record latencies plus the
+# instrumented-vs-bare sweep gap, which must stay under the 5% cap
+# (read-only; refuses to rewrite BENCH_obs.json without --update).
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs.py
 
 # Regenerate EXPERIMENTS.md (runs the full evaluation, ~5-10 minutes).
 reproduce:

@@ -21,6 +21,7 @@ Subcommands map one-to-one to the paper's evaluation artifacts:
     repro-paper recalibrate                # refresh residual corrections
     repro-paper serve [options]            # always-on experiment service
     repro-paper submit APP [options]       # send one spec to the service
+    repro-paper obs report [options]       # live service metrics + spans
 
 Every sweep command accepts the shared harness flags: ``--workers N``
 (process-parallel execution), ``--no-cache`` / ``--cache-dir DIR``
@@ -53,6 +54,12 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
                        help="append structured telemetry events to FILE (JSONL)")
     group.add_argument("--quiet", action="store_true",
                        help="suppress the per-run progress renderer")
+    group.add_argument("--metrics", default=None, metavar="FILE",
+                       help="dump a repro.obs metrics snapshot (JSON) to FILE "
+                            "when the sweep finishes")
+    group.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome-trace (about:tracing / Perfetto) "
+                            "JSON of the sweep's runs to FILE")
 
 
 @contextlib.contextmanager
@@ -73,12 +80,45 @@ def _make_harness(args: argparse.Namespace) -> Iterator["BatchExecutor"]:
     if args.events:
         jsonl = JsonlSink(args.events)
         bus.subscribe(jsonl)
+    # Observability is strictly opt-in from the CLI: no registry object
+    # even exists unless a flag asks for one, so the default path stays
+    # instrumentation-free.
+    registry = tracer = None
+    if getattr(args, "metrics", None):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    if getattr(args, "trace", None):
+        from repro.obs import SpanRecorder
+
+        tracer = SpanRecorder()
     cache = None if args.no_cache else ResultCache(root=args.cache_dir)
     try:
-        yield BatchExecutor(workers=args.workers, cache=cache, bus=bus)
+        yield BatchExecutor(workers=args.workers, cache=cache, bus=bus,
+                            registry=registry, tracer=tracer)
     finally:
         if jsonl is not None:
             jsonl.close()
+        if registry is not None:
+            _dump_metrics(registry, args.metrics)
+        if tracer is not None:
+            _dump_trace(tracer, args.trace)
+
+
+def _dump_metrics(registry: "MetricsRegistry", path: str) -> None:
+    import json
+
+    snapshot = registry.snapshot()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot.to_json_obj(), handle, sort_keys=True)
+        handle.write("\n")
+    print(f"metrics snapshot written to {path}", file=sys.stderr)
+
+
+def _dump_trace(tracer: "SpanRecorder", path: str) -> None:
+    events = tracer.write_chrome_trace(path)
+    print(f"trace with {events} span(s) written to {path} "
+          f"(load via chrome://tracing or ui.perfetto.dev)", file=sys.stderr)
 
 
 # ------------------------------------------------------------ subcommands
@@ -215,6 +255,17 @@ def _cmd_sched(args: argparse.Namespace) -> int:
     if args.events:
         jsonl = JsonlSink(args.events)
         bus.subscribe(jsonl)
+    registry = tracer = None
+    if args.metrics:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    if args.trace:
+        from repro.obs import SpanRecorder
+
+        # Sim-time spans: no wall clock, timestamps come from the
+        # engine via explicit ``at=`` so the trace shows simulated time.
+        tracer = SpanRecorder(clock=lambda: 0.0)
     try:
         spec = SchedSpec(
             profile=args.profile,
@@ -230,13 +281,18 @@ def _cmd_sched(args: argparse.Namespace) -> int:
             retain_jobs=not args.no_retain,
             segment_jobs=args.segment_jobs,
         )
-        result = spec.execute(bus=bus, checkpoint_dir=args.checkpoint_dir)
+        result = spec.execute(bus=bus, checkpoint_dir=args.checkpoint_dir,
+                              registry=registry, tracer=tracer)
     except ReproError as exc:
         print(f"repro-paper sched: error: {exc}", file=sys.stderr)
         return 2
     finally:
         if jsonl is not None:
             jsonl.close()
+    if registry is not None:
+        _dump_metrics(registry, args.metrics)
+    if tracer is not None:
+        _dump_trace(tracer, args.trace)
     print(result.format())
     return 0 if not result.budget_violations else 1
 
@@ -584,6 +640,31 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0 if response.get("state") in ("done", "queued", "running") else 1
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ServiceError
+    from repro.obs import render_metrics_frame
+    from repro.service.client import ServiceClient
+
+    try:
+        with ServiceClient(host=args.host, port=args.port,
+                           name="obs-report") as client:
+            frame = client.metrics()
+    except ServiceError as exc:
+        print(f"obs report failed: {exc}", file=sys.stderr)
+        return 1
+    if args.prometheus:
+        # Raw text exposition, suitable for piping to promtool et al.
+        sys.stdout.write(frame["prometheus"])
+        return 0
+    if args.json:
+        print(json.dumps(frame["snapshot"], indent=2, sort_keys=True))
+        return 0
+    print(render_metrics_frame(frame))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-paper",
@@ -696,6 +777,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "(tails come from quantile sketches)")
     sched_p.add_argument("--events", default=None, metavar="FILE",
                          help="append structured telemetry events to FILE (JSONL)")
+    sched_p.add_argument("--metrics", default=None, metavar="FILE",
+                         help="dump a repro.obs metrics snapshot (JSON) to FILE")
+    sched_p.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a Chrome-trace JSON of the campaign "
+                              "(per-node job tracks, simulated time)")
     sched_p.add_argument("--quiet", action="store_true",
                          help="suppress the per-job narration")
     sched_p.set_defaults(func=_cmd_sched)
@@ -862,6 +948,20 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="timeout", metavar="S",
                           help="max seconds to wait for the result")
     submit_p.set_defaults(func=_cmd_submit)
+
+    obs_p = sub.add_parser(
+        "obs",
+        help="observability: report a live service's metrics and spans")
+    obs_p.add_argument("action", choices=["report"],
+                       help="'report' pretty-prints the service's metrics "
+                            "frame (headline gauges, instruments, top spans)")
+    obs_p.add_argument("--host", default="127.0.0.1")
+    obs_p.add_argument("--port", type=int, default=7823)
+    obs_p.add_argument("--prometheus", action="store_true",
+                       help="print the raw Prometheus text exposition instead")
+    obs_p.add_argument("--json", action="store_true",
+                       help="print the metrics snapshot as JSON instead")
+    obs_p.set_defaults(func=_cmd_obs)
 
     sub.add_parser("recalibrate", help="refresh empirical residuals").set_defaults(
         func=_cmd_recalibrate

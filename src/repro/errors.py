@@ -110,6 +110,16 @@ class WorkerCrashed(HarnessError):
     """
 
 
+class ObsError(ReproError):
+    """Raised for observability misuse.
+
+    Covers instrument registration conflicts (same name, different kind
+    or label set), malformed metric/label names, and merges of
+    incompatible snapshots.  Recording into a valid instrument never
+    raises — observability must not be able to fail the observed code.
+    """
+
+
 class ServiceError(ReproError):
     """Raised for experiment-service failures (server side or client side)."""
 

@@ -234,6 +234,8 @@ class BatchExecutor:
         max_pool_rebuilds: int = 2,
         validate: bool = False,
         max_violation_events: int = 10,
+        registry=None,
+        tracer=None,
     ) -> None:
         if retries < 0:
             raise HarnessError(f"retries must be >= 0, got {retries!r}")
@@ -261,6 +263,43 @@ class BatchExecutor:
         self.validate = validate
         self.max_violation_events = max_violation_events
         self.validation_reports: dict[int, "ValidationReport"] = {}
+        #: Optional observability hooks, duck-typed so this module never
+        #: imports :mod:`repro.obs`: ``registry`` is a
+        #: ``repro.obs.MetricsRegistry`` (or anything with the same
+        #: counter/histogram factories), ``tracer`` a ``SpanRecorder``.
+        #: ``None`` (the default) keeps the hot path bare — the
+        #: instrumented-vs-bare overhead benchmark compares against it.
+        self.registry = registry
+        self.tracer = tracer
+        self._run_counter = None
+        self._cache_lookups = None
+        self._cache_puts = None
+        self._rebuild_counter = None
+        self._run_seconds = None
+        if registry is not None:
+            self._run_counter = registry.counter(
+                "harness_runs_total",
+                "Per-spec run outcomes, by status.", labels=("status",))
+            for status in ("cached", "executed", "failed", "retried",
+                           "requeued"):
+                self._run_counter.inc(0.0, status=status)
+            self._cache_lookups = registry.counter(
+                "harness_cache_requests_total",
+                "Result-cache lookups before scheduling work, by outcome.",
+                labels=("result",))
+            self._cache_puts = registry.counter(
+                "harness_cache_puts_total",
+                "Records written to the result cache after execution.")
+            self._rebuild_counter = registry.counter(
+                "harness_pool_rebuilds_total",
+                "Broken process pools rebuilt mid-sweep.")
+            self._run_seconds = registry.histogram(
+                "harness_run_seconds",
+                "Per-spec execution wall seconds (cache hits excluded).")
+
+    def _obs_count(self, status: str) -> None:
+        if self._run_counter is not None:
+            self._run_counter.inc(status=status)
 
     # ------------------------------------------------------------------
     def run(
@@ -294,13 +333,22 @@ class BatchExecutor:
             sweep=sweep, total=total, workers=self.workers,
             cache=self.cache is not None,
         ))
+        self._sweep_span = None
+        if self.tracer is not None:
+            self._sweep_span = self.tracer.start(
+                f"sweep:{sweep}", track="harness", total=total,
+                workers=self.workers)
 
         pending: list[int] = []
         for i, spec in enumerate(specs):
             cached = self.cache.get(spec) if self.cache is not None else None
+            if self.cache is not None and self._run_counter is not None:
+                self._cache_lookups.inc(
+                    result="hit" if cached is not None else "miss")
             if cached is not None:
                 records[i] = cached
                 self._counts["cached"] += 1
+                self._obs_count("cached")
                 bus.emit(tel.RunCached(
                     sweep=sweep, index=i, total=total, label=spec.describe(),
                     time_s=cached.time_s, energy_j=cached.energy_j,
@@ -317,6 +365,11 @@ class BatchExecutor:
                 self._run_serial(sweep, specs, pending, records)
 
         wall_s = time.perf_counter() - t_start
+        if self._sweep_span is not None:
+            self.tracer.finish(
+                self._sweep_span, executed=self._counts["executed"],
+                cached=self._counts["cached"],
+                failed=self._counts["failed"])
         bus.emit(tel.SweepFinished(
             sweep=sweep, total=total,
             executed=self._counts["executed"],
@@ -352,8 +405,22 @@ class BatchExecutor:
                 records: list, report=None) -> None:
         records[i] = record
         self._counts["executed"] += 1
+        self._obs_count("executed")
+        if self._run_counter is not None:
+            self._run_seconds.observe(record.wall_s)
+        if self.tracer is not None:
+            # The run happened inside a worker; reconstruct its span on
+            # this timeline anchored at completion, duration = the
+            # worker-measured wall clock.
+            end = self.tracer.now()
+            span = self.tracer.start(
+                specs[i].describe(), parent=self._sweep_span,
+                at=end - record.wall_s, track="harness", index=i)
+            self.tracer.finish(span, at=end)
         if self.cache is not None:
             self.cache.put(specs[i], record)
+            if self._run_counter is not None:
+                self._cache_puts.inc()
         self.bus.emit(tel.RunFinished(
             sweep=sweep, index=i, total=len(specs),
             label=specs[i].describe(), time_s=record.time_s,
@@ -382,6 +449,7 @@ class BatchExecutor:
     def _fail(self, sweep: str, specs, i: int, attempts: int,
               error: BaseException, records: list) -> None:
         self._counts["failed"] += 1
+        self._obs_count("failed")
         self._errors[i] = error
         self.bus.emit(tel.RunFailed(
             sweep=sweep, index=i, total=len(specs),
@@ -410,6 +478,7 @@ class BatchExecutor:
                 except Exception as exc:
                     if attempts <= self.retries:
                         self._counts["retried"] += 1
+                        self._obs_count("retried")
                         self.bus.emit(tel.RunRetried(
                             sweep=sweep, index=i, total=total,
                             label=specs[i].describe(), attempt=attempts,
@@ -469,6 +538,7 @@ class BatchExecutor:
                         except Exception as exc:
                             if attempts[i] <= self.retries:
                                 self._counts["retried"] += 1
+                                self._obs_count("retried")
                                 self.bus.emit(tel.RunRetried(
                                     sweep=sweep, index=i, total=total,
                                     label=specs[i].describe(),
@@ -509,6 +579,7 @@ class BatchExecutor:
                     )
                 else:
                     queue.append(i)
+                    self._obs_count("requeued")
                     self.bus.emit(tel.RunRequeued(
                         sweep=sweep, index=i, total=total,
                         label=specs[i].describe(),
@@ -517,6 +588,8 @@ class BatchExecutor:
             if not queue:
                 return
             rebuilds += 1
+            if self._rebuild_counter is not None:
+                self._rebuild_counter.inc()
             if rebuilds > self.max_pool_rebuilds:
                 self.bus.emit(tel.Note(
                     f"process pool broke {rebuilds} times; finishing "

@@ -1,0 +1,189 @@
+"""Exporters: Prometheus text exposition (and its inverse) for snapshots.
+
+The exposition follows the Prometheus text format (version 0.0.4):
+
+* one ``# HELP`` / ``# TYPE`` pair per metric family, families sorted by
+  name, series within a family sorted by label values — the output is a
+  deterministic function of the snapshot;
+* HELP text escapes ``\\`` and newlines; label values additionally
+  escape ``"``;
+* counters and gauges export their float value directly; histograms
+  export as a Prometheus *summary* family — ``{quantile="0.5"}`` /
+  ``0.9`` / ``0.99`` series straight from the mergeable sketch, plus the
+  exact ``_sum`` and ``_count`` children.
+
+:func:`parse_prometheus` is the test-oriented inverse: it round-trips
+everything the exposition can carry, which is what the hypothesis
+conformance suite pins (snapshot -> exposition -> parse -> same
+numbers).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ObsError
+from repro.obs.metrics import (
+    COUNTER,
+    EXPORT_QUANTILES,
+    GAUGE,
+    HISTOGRAM,
+    MetricsSnapshot,
+)
+
+#: Content-Type for HTTP scrape responses.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (text.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(names, values, extra=()) -> str:
+    pairs = [f'{name}="{_escape_label_value(str(value))}"'
+             for name, value in zip(names, values)]
+    pairs.extend(f'{name}="{_escape_label_value(str(value))}"'
+                 for name, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in Prometheus text-exposition format."""
+    lines: list[str] = []
+    for name in sorted(snapshot.instruments):
+        inst = snapshot.instruments[name]
+        prom_type = "summary" if inst.kind == HISTOGRAM else inst.kind
+        lines.append(f"# HELP {name} {_escape_help(inst.help)}")
+        lines.append(f"# TYPE {name} {prom_type}")
+        for key in sorted(inst.series):
+            value = inst.series[key]
+            if inst.kind in (COUNTER, GAUGE):
+                labels = _labels_text(inst.label_names, key)
+                lines.append(f"{name}{labels} {_format_value(value)}")
+                continue
+            for pct in EXPORT_QUANTILES:
+                labels = _labels_text(
+                    inst.label_names, key,
+                    extra=(("quantile", repr(pct / 100.0)),))
+                lines.append(
+                    f"{name}{labels} {_format_value(value.quantile(pct))}")
+            labels = _labels_text(inst.label_names, key)
+            lines.append(f"{name}_sum{labels} {_format_value(value.total)}")
+            lines.append(f"{name}_count{labels} {_format_value(value.count)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Parsing (round-trip conformance testing + `repro obs report --raw`)
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _unescape_label_value(text: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:
+                out.append(ch)
+                out.append(nxt)
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(body: str) -> tuple[tuple[str, str], ...]:
+    labels: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(body):
+        match = _LABEL_RE.match(body, pos)
+        if match is None:
+            raise ObsError(f"unparseable label body {body!r}")
+        labels.append((match.group("name"),
+                       _unescape_label_value(match.group("value"))))
+        pos = match.end()
+    return tuple(labels)
+
+
+@dataclass
+class ParsedExposition:
+    """Prometheus text parsed back into comparable pieces."""
+
+    #: metric family name -> TYPE string.
+    types: dict[str, str] = field(default_factory=dict)
+    #: metric family name -> unescaped HELP string.
+    helps: dict[str, str] = field(default_factory=dict)
+    #: (sample name, sorted (label, value) pairs) -> float value.
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = \
+        field(default_factory=dict)
+
+    # ``name``/``self`` are positional-only so a label can carry either
+    # word without colliding with the parameters.
+    def value(self, name: str, /, **labels: str) -> float:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        if key not in self.samples:
+            raise ObsError(f"no sample {name!r} with labels {labels!r}")
+        return self.samples[key]
+
+    def has(self, name: str, /, **labels: str) -> bool:
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return key in self.samples
+
+
+def parse_prometheus(text: str) -> ParsedExposition:
+    """Parse text exposition (inverse of :func:`to_prometheus`)."""
+    parsed = ParsedExposition()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            parsed.helps[name] = _unescape_label_value(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, type_text = rest.partition(" ")
+            parsed.types[name] = type_text.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ObsError(f"unparseable sample line {line!r}")
+        labels = _parse_labels(match.group("labels") or "")
+        key = (match.group("name"), tuple(sorted(labels)))
+        parsed.samples[key] = float(match.group("value"))
+    return parsed

@@ -1,0 +1,455 @@
+"""Metrics registry: labelled Counter/Gauge/Histogram instruments.
+
+The design goal is the same one :mod:`repro.metering` applies to power
+measurement: *the observer must account for itself*.  Three rules follow.
+
+1. **Recording never raises.**  Once an instrument is registered, ``inc``
+   / ``set`` / ``observe`` on it are infallible for finite non-negative
+   inputs; misuse (wrong label names, negative counter increments) raises
+   :class:`~repro.errors.ObsError` because those are caller bugs, but no
+   instrument call can fail because of registry state.
+
+2. **Everything merges exactly.**  A snapshot is a pure value: counters
+   sum, ``sum``-gauges sum, ``max``-gauges take the max, and histograms
+   are :class:`~repro.sched.sketch.QuantileSketch` instances whose merge
+   is exact and order-independent.  ``merge`` is therefore associative
+   and commutative, so multi-process fan-in (one registry per worker,
+   merged at the coordinator) reports the same percentiles as a single
+   global registry would — bit for bit.
+
+3. **The registry self-measures.**  A deterministic 1-in-
+   :data:`SAMPLE_EVERY` sample of instrument operations is timed with
+   ``perf_counter`` and extrapolated into observer-effect books
+   (mirroring the charged/skipped accounting of ``repro.metering``),
+   exported as ``obs_registry_*`` metrics so the cost of watching is
+   itself visible on every dashboard.
+
+Histograms reuse the scheduler's deterministic log-bucketed sketch, so
+percentiles are reproducible and mergeable rather than sampled.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.errors import ObsError
+from repro.sched.sketch import DEFAULT_REL_ERR, QuantileSketch
+
+#: One in this many instrument operations is wall-timed to estimate the
+#: registry's own overhead.  Power of two so the modulo is cheap, large
+#: enough that the measurement does not dominate what it measures.
+SAMPLE_EVERY = 64
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Instrument kinds (``kind`` field of snapshots).
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Quantiles exported for histogram instruments.
+EXPORT_QUANTILES = (50.0, 90.0, 99.0)
+
+
+def _check_name(name: str) -> str:
+    if not _METRIC_NAME_RE.match(name or ""):
+        raise ObsError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labels(names: Iterable[str]) -> tuple[str, ...]:
+    out = tuple(names)
+    seen: set[str] = set()
+    for label in out:
+        if not _LABEL_NAME_RE.match(label or ""):
+            raise ObsError(f"invalid label name {label!r}")
+        if label in seen:
+            raise ObsError(f"duplicate label name {label!r}")
+        seen.add(label)
+    return out
+
+
+class _Instrument:
+    """Shared label plumbing for the three instrument kinds."""
+
+    kind = "abstract"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str,
+                 labels: tuple[str, ...]) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.label_names = labels
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
+        if len(labels) != len(self.label_names):
+            raise ObsError(
+                f"{self.name}: expected labels {self.label_names!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            )
+        try:
+            return tuple(str(labels[name]) for name in self.label_names)
+        except KeyError as exc:
+            raise ObsError(
+                f"{self.name}: expected labels {self.label_names!r}, "
+                f"got {tuple(sorted(labels))!r}"
+            ) from exc
+
+
+class Counter(_Instrument):
+    """Monotonically non-decreasing sum (events, bytes, errors)."""
+
+    kind = COUNTER
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0.0:
+            raise ObsError(f"{self.name}: counter increments must be >= 0")
+        tick = self._registry._tick()
+        key = self._key(labels)
+        with self._registry._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+        self._registry._tock(tick)
+
+    def value(self, **labels: object) -> float:
+        return float(self._series.get(self._key(labels), 0.0))  # type: ignore[arg-type]
+
+
+class Gauge(_Instrument):
+    """Point-in-time level (queue depth, in-flight jobs).
+
+    ``agg`` picks the merge rule for multi-process fan-in: ``"sum"``
+    (default — per-worker levels add) or ``"max"`` (high-water marks).
+    Both are associative, which :func:`MetricsSnapshot.merge` requires.
+    """
+
+    kind = GAUGE
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str,
+                 labels: tuple[str, ...], agg: str = "sum") -> None:
+        if agg not in ("sum", "max"):
+            raise ObsError(f"{name}: gauge agg must be 'sum' or 'max'")
+        super().__init__(registry, name, help, labels)
+        self.agg = agg
+
+    def set(self, value: float, **labels: object) -> None:
+        tick = self._registry._tick()
+        key = self._key(labels)
+        with self._registry._lock:
+            self._series[key] = float(value)
+        self._registry._tock(tick)
+
+    def value(self, **labels: object) -> float:
+        return float(self._series.get(self._key(labels), 0.0))  # type: ignore[arg-type]
+
+
+class Histogram(_Instrument):
+    """Distribution instrument backed by a mergeable quantile sketch."""
+
+    kind = HISTOGRAM
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str,
+                 labels: tuple[str, ...],
+                 rel_err: float = DEFAULT_REL_ERR) -> None:
+        super().__init__(registry, name, help, labels)
+        self.rel_err = rel_err
+
+    def observe(self, value: float, **labels: object) -> None:
+        tick = self._registry._tick()
+        key = self._key(labels)
+        with self._registry._lock:
+            sketch = self._series.get(key)
+            if sketch is None:
+                sketch = QuantileSketch(self.rel_err)
+                self._series[key] = sketch
+            sketch.add(max(0.0, float(value)))  # type: ignore[union-attr]
+        self._registry._tock(tick)
+
+    def sketch(self, **labels: object) -> Optional[QuantileSketch]:
+        return self._series.get(self._key(labels))  # type: ignore[return-value]
+
+
+@dataclass
+class InstrumentSnapshot:
+    """Frozen view of one instrument: metadata plus all label series."""
+
+    name: str
+    kind: str
+    help: str
+    label_names: tuple[str, ...]
+    agg: str = "sum"
+    rel_err: float = 0.0
+    #: label-values tuple -> float (counter/gauge) or QuantileSketch.
+    series: dict = field(default_factory=dict)
+
+    def compatible(self, other: "InstrumentSnapshot") -> bool:
+        return (self.name == other.name and self.kind == other.kind
+                and self.label_names == other.label_names
+                and self.agg == other.agg and self.rel_err == other.rel_err)
+
+
+@dataclass
+class MetricsSnapshot:
+    """Atomic, picklable, exactly-mergeable view of a registry.
+
+    A pure value: merging snapshots from N worker registries is
+    associative and commutative, and histogram percentiles survive the
+    merge exactly (the sketch merge is lossless).
+    """
+
+    instruments: dict[str, InstrumentSnapshot] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        return cls()
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Return a new snapshot combining both operands (associative)."""
+        out = _copy_snapshot(self)
+        for name, theirs in other.instruments.items():
+            mine = out.instruments.get(name)
+            if mine is None:
+                out.instruments[name] = _copy_instrument(theirs)
+                continue
+            if not mine.compatible(theirs):
+                raise ObsError(
+                    f"cannot merge instrument {name!r}: conflicting "
+                    f"kind/labels/agg/rel_err"
+                )
+            for key, value in theirs.series.items():
+                if mine.kind == HISTOGRAM:
+                    held = mine.series.get(key)
+                    if held is None:
+                        mine.series[key] = value.copy()
+                    else:
+                        held.merge(value)
+                elif mine.kind == GAUGE and mine.agg == "max":
+                    mine.series[key] = max(
+                        mine.series.get(key, float("-inf")), value)
+                else:
+                    mine.series[key] = mine.series.get(key, 0.0) + value
+        return out
+
+    # -- identity ------------------------------------------------------
+    def canonical(self) -> str:
+        """Deterministic text form, for digesting and equality tests."""
+        parts: list[str] = []
+        for name in sorted(self.instruments):
+            inst = self.instruments[name]
+            parts.append(
+                f"{name}|{inst.kind}|{','.join(inst.label_names)}"
+                f"|{inst.agg}|{inst.rel_err!r}"
+            )
+            for key in sorted(inst.series):
+                value = inst.series[key]
+                text = (value.canonical() if isinstance(value, QuantileSketch)
+                        else repr(float(value)))
+                parts.append(f"  {key!r}={text}")
+        return "\n".join(parts)
+
+    # -- JSON ----------------------------------------------------------
+    def to_json_obj(self) -> dict:
+        """Plain-JSON form (wire format of the service ``metrics`` frame)."""
+        out: dict = {"schema": 1, "instruments": []}
+        for name in sorted(self.instruments):
+            inst = self.instruments[name]
+            series = []
+            for key in sorted(inst.series):
+                value = inst.series[key]
+                entry: dict = {"labels": list(key)}
+                if inst.kind == HISTOGRAM:
+                    state = value.__getstate__()
+                    entry["sketch"] = {
+                        "rel_err": state["rel_err"],
+                        "zeros": state["zeros"],
+                        "count": state["count"],
+                        "total": state["total"],
+                        "min": state["min_value"],
+                        "max": state["max_value"],
+                        "buckets": {str(i): n
+                                    for i, n in state["buckets"].items()},
+                    }
+                else:
+                    entry["value"] = float(value)
+                series.append(entry)
+            out["instruments"].append({
+                "name": inst.name, "kind": inst.kind, "help": inst.help,
+                "labels": list(inst.label_names), "agg": inst.agg,
+                "rel_err": inst.rel_err, "series": series,
+            })
+        return out
+
+    @classmethod
+    def from_json_obj(cls, obj: dict) -> "MetricsSnapshot":
+        snap = cls()
+        for raw in obj.get("instruments", []):
+            inst = InstrumentSnapshot(
+                name=raw["name"], kind=raw["kind"], help=raw.get("help", ""),
+                label_names=tuple(raw.get("labels", [])),
+                agg=raw.get("agg", "sum"), rel_err=raw.get("rel_err", 0.0),
+            )
+            for entry in raw.get("series", []):
+                key = tuple(str(v) for v in entry.get("labels", []))
+                if inst.kind == HISTOGRAM:
+                    state = entry["sketch"]
+                    sketch = QuantileSketch(state["rel_err"])
+                    sketch.__setstate__({
+                        "rel_err": state["rel_err"],
+                        "zeros": state["zeros"],
+                        "count": state["count"],
+                        "total": state["total"],
+                        "min_value": state["min"],
+                        "max_value": state["max"],
+                        "buckets": {int(i): n
+                                    for i, n in state["buckets"].items()},
+                    })
+                    inst.series[key] = sketch
+                else:
+                    inst.series[key] = float(entry["value"])
+            snap.instruments[inst.name] = inst
+        return snap
+
+
+def _copy_instrument(inst: InstrumentSnapshot) -> InstrumentSnapshot:
+    series = {
+        key: (value.copy() if isinstance(value, QuantileSketch)
+              else float(value))
+        for key, value in inst.series.items()
+    }
+    return InstrumentSnapshot(
+        name=inst.name, kind=inst.kind, help=inst.help,
+        label_names=inst.label_names, agg=inst.agg, rel_err=inst.rel_err,
+        series=series,
+    )
+
+
+def _copy_snapshot(snap: MetricsSnapshot) -> MetricsSnapshot:
+    return MetricsSnapshot(instruments={
+        name: _copy_instrument(inst)
+        for name, inst in snap.instruments.items()
+    })
+
+
+class MetricsRegistry:
+    """Instrument factory + atomic snapshot source, thread-safe.
+
+    Registration is idempotent: asking for an existing name with the
+    same kind/labels/agg/rel_err returns the existing instrument (so
+    library code can declare its instruments wherever it first needs
+    them); a conflicting re-registration raises :class:`ObsError`.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+        self._clock = clock
+        # Observer-effect books (mirrors repro.metering's accounting):
+        # every op is counted, one in SAMPLE_EVERY is wall-timed, and
+        # the measured mean is extrapolated over the untimed remainder.
+        self.ops = 0
+        self.timed_ops = 0
+        self.measured_overhead_s = 0.0
+
+    # -- self-measurement ---------------------------------------------
+    def _tick(self) -> Optional[float]:
+        self.ops += 1
+        if self.ops % SAMPLE_EVERY == 1:
+            return self._clock()
+        return None
+
+    def _tock(self, tick: Optional[float]) -> None:
+        if tick is not None:
+            self.timed_ops += 1
+            self.measured_overhead_s += self._clock() - tick
+
+    @property
+    def estimated_overhead_s(self) -> float:
+        """Measured sample cost extrapolated over every operation."""
+        if not self.timed_ops:
+            return 0.0
+        return self.measured_overhead_s / self.timed_ops * self.ops
+
+    # -- registration --------------------------------------------------
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        with self._lock:
+            held = self._instruments.get(instrument.name)
+            if held is None:
+                self._instruments[instrument.name] = instrument
+                return instrument
+            same = (held.kind == instrument.kind
+                    and held.label_names == instrument.label_names
+                    and getattr(held, "agg", "sum")
+                    == getattr(instrument, "agg", "sum")
+                    and getattr(held, "rel_err", 0.0)
+                    == getattr(instrument, "rel_err", 0.0))
+            if not same:
+                raise ObsError(
+                    f"instrument {instrument.name!r} already registered "
+                    f"with a different kind/labels/agg/rel_err"
+                )
+            return held
+
+    def counter(self, name: str, help: str = "",
+                labels: Iterable[str] = ()) -> Counter:
+        return self._register(Counter(
+            self, _check_name(name), help, _check_labels(labels)))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labels: Iterable[str] = (),
+              agg: str = "sum") -> Gauge:
+        return self._register(Gauge(
+            self, _check_name(name), help, _check_labels(labels), agg))  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Iterable[str] = (),
+                  rel_err: float = DEFAULT_REL_ERR) -> Histogram:
+        return self._register(Histogram(
+            self, _check_name(name), help, _check_labels(labels), rel_err))  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    # -- snapshot ------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """Atomic deep copy of every instrument, books included."""
+        snap = MetricsSnapshot()
+        with self._lock:
+            for name, inst in self._instruments.items():
+                frozen = InstrumentSnapshot(
+                    name=inst.name, kind=inst.kind, help=inst.help,
+                    label_names=inst.label_names,
+                    agg=getattr(inst, "agg", "sum"),
+                    rel_err=getattr(inst, "rel_err", 0.0),
+                    series={
+                        key: (value.copy()
+                              if isinstance(value, QuantileSketch)
+                              else float(value))
+                        for key, value in inst._series.items()
+                    },
+                )
+                snap.instruments[name] = frozen
+            books = (
+                ("obs_registry_ops_total", COUNTER,
+                 "Instrument operations recorded by this registry.",
+                 float(self.ops)),
+                ("obs_registry_timed_ops_total", COUNTER,
+                 "Operations wall-timed by the 1-in-%d overhead sampler."
+                 % SAMPLE_EVERY, float(self.timed_ops)),
+                ("obs_registry_overhead_seconds_total", COUNTER,
+                 "Wall seconds directly measured on sampled operations.",
+                 self.measured_overhead_s),
+                ("obs_registry_overhead_estimated_seconds", GAUGE,
+                 "Sampled overhead extrapolated over all operations.",
+                 self.estimated_overhead_s),
+            )
+        for name, kind, help_text, value in books:
+            snap.instruments[name] = InstrumentSnapshot(
+                name=name, kind=kind, help=help_text, label_names=(),
+                series={(): value},
+            )
+        return snap

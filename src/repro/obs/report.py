@@ -1,0 +1,136 @@
+"""Human-readable rendering of a live service's metrics frame.
+
+``repro obs report`` fetches the ``metrics`` frame from a running
+:mod:`repro.service` instance and renders it for a terminal: headline
+operational numbers first (queue depth, p99 frame latency, crash count,
+cache hit ratio), then every counter/gauge series, every histogram with
+its mergeable percentiles, the registry's own observer-overhead books,
+and the longest recent spans.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    MetricsSnapshot,
+)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _series_name(inst, key) -> str:
+    if not inst.label_names:
+        return inst.name
+    pairs = ",".join(f"{n}={v}" for n, v in zip(inst.label_names, key))
+    return f"{inst.name}{{{pairs}}}"
+
+
+def cache_hit_ratio(snapshot: MetricsSnapshot) -> Optional[float]:
+    """hits / (hits + misses) from the service cache counters."""
+    inst = snapshot.instruments.get("service_cache_requests_total")
+    if inst is None:
+        return None
+    hits = misses = 0.0
+    for key, value in inst.series.items():
+        if key and key[0] == "hit":
+            hits += value
+        elif key and key[0] == "miss":
+            misses += value
+    if hits + misses == 0:
+        return None
+    return hits / (hits + misses)
+
+
+def _headline(snapshot: MetricsSnapshot) -> list[str]:
+    lines: list[str] = []
+    queue = snapshot.instruments.get("service_queue_depth")
+    if queue is not None and queue.series:
+        lines.append(f"  queue depth        {_fmt(queue.series.get((), 0.0))}")
+    frames = snapshot.instruments.get("service_frame_seconds")
+    if frames is not None and frames.series:
+        merged = None
+        for sketch in frames.series.values():
+            if merged is None:
+                merged = sketch.copy()
+            else:
+                merged.merge(sketch)
+        if merged is not None and merged.count:
+            lines.append(
+                f"  frame p99 latency  {merged.quantile(99.0) * 1e3:.3f} ms "
+                f"(n={merged.count})")
+    events = snapshot.instruments.get("service_events_total")
+    if events is not None:
+        crashes = events.series.get(("crashes",), 0.0)
+        lines.append(f"  worker crashes     {_fmt(crashes)}")
+    ratio = cache_hit_ratio(snapshot)
+    if ratio is not None:
+        lines.append(f"  cache hit ratio    {ratio:.1%}")
+    return lines
+
+
+def render_snapshot(snapshot: MetricsSnapshot) -> str:
+    out: list[str] = []
+    headline = _headline(snapshot)
+    if headline:
+        out.append("service headline")
+        out.extend(headline)
+        out.append("")
+    books = [name for name in sorted(snapshot.instruments)
+             if name.startswith("obs_registry_")]
+    plain = [name for name in sorted(snapshot.instruments)
+             if name not in books]
+    for section, names in (("metrics", plain), ("observer overhead", books)):
+        rows: list[str] = []
+        for name in names:
+            inst = snapshot.instruments[name]
+            for key in sorted(inst.series):
+                value = inst.series[key]
+                label = _series_name(inst, key)
+                if inst.kind in (COUNTER, GAUGE):
+                    rows.append(f"  {label:<58s} {_fmt(value)}")
+                elif inst.kind == HISTOGRAM:
+                    rows.append(
+                        f"  {label:<58s} n={value.count} "
+                        f"mean={value.mean * 1e3:.3f}ms "
+                        f"p50={value.quantile(50.0) * 1e3:.3f}ms "
+                        f"p99={value.quantile(99.0) * 1e3:.3f}ms")
+        if rows:
+            out.append(section)
+            out.extend(rows)
+            out.append("")
+    return "\n".join(out).rstrip() + "\n"
+
+
+def render_spans(spans: list[dict], dropped: int = 0) -> str:
+    """Render the ``spans`` list of a metrics frame (top spans)."""
+    if not spans:
+        return ""
+    out = ["top spans"]
+    for span in spans:
+        dur = span.get("dur_s")
+        dur_text = f"{dur * 1e3:.3f}ms" if dur is not None else "open"
+        name = str(span.get("name", "?"))
+        track = str(span.get("track", "main"))
+        out.append(f"  {dur_text:>12s}  {name:<40s} [{track}]")
+    if dropped:
+        out.append(f"  ({dropped} older spans dropped from the buffer)")
+    return "\n".join(out) + "\n"
+
+
+def render_metrics_frame(frame: dict) -> str:
+    """Render a full service ``metrics`` frame (snapshot + spans)."""
+    snapshot = MetricsSnapshot.from_json_obj(frame.get("snapshot", {}))
+    text = render_snapshot(snapshot)
+    spans = render_spans(frame.get("spans", []),
+                         int(frame.get("dropped_spans", 0)))
+    if spans:
+        text = text + "\n" + spans
+    return text

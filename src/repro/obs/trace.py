@@ -1,0 +1,187 @@
+"""Parent-linked trace spans with pluggable clocks.
+
+One recorder serves two very different time bases:
+
+* **wall clocks** — the service and harness pass nothing and get
+  ``perf_counter`` timestamps;
+* **sim clocks** — the simulator never reads a wall clock for span
+  timestamps (that would leak nondeterminism into anything derived from
+  the trace); instead it passes explicit ``at=engine.now`` values to
+  :meth:`SpanRecorder.start` / :meth:`SpanRecorder.finish`.
+
+Nesting uses a :class:`contextvars.ContextVar`, so the ``span()``
+context manager parents correctly across threads *and* across ``await``
+boundaries in the asyncio service.  Finished spans land in a bounded
+drop-oldest buffer (the same backpressure rule as the service's stream
+fan-out) with an explicit ``dropped`` counter — lost spans are visible,
+never silent.
+
+Export formats: NDJSON (one span per line, grep-able) and the Chrome
+trace-event JSON that ``chrome://tracing`` / Perfetto load directly.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+#: Default finished-span buffer size (drop-oldest beyond this).
+DEFAULT_MAX_SPANS = 100_000
+
+_current_span: contextvars.ContextVar[Optional["Span"]] = \
+    contextvars.ContextVar("repro_obs_current_span", default=None)
+
+
+@dataclass
+class Span:
+    """One timed operation; ``parent_id`` links the causality tree."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_s: float
+    track: str = "main"
+    attrs: dict = field(default_factory=dict)
+    end_s: Optional[float] = None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def to_json_obj(self) -> dict:
+        return {
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "track": self.track,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "dur_s": self.duration_s if self.end_s is not None else None,
+            "attrs": _json_safe(self.attrs),
+        }
+
+
+def _json_safe(attrs: dict) -> dict:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[str(key)] = value
+        else:
+            out[str(key)] = repr(value)
+    return out
+
+
+class SpanRecorder:
+    """Collects finished spans; hands out ids; bounds its own memory."""
+
+    def __init__(self, clock=None, *, max_spans: int = DEFAULT_MAX_SPANS):
+        self._clock = clock if clock is not None else time.perf_counter
+        self.max_spans = max_spans
+        self.spans: deque[Span] = deque(maxlen=max_spans)
+        self.dropped = 0
+        self.started = 0
+        self._next_id = 1
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- explicit start/finish (async + sim-time callers) --------------
+    def start(self, name: str, *, parent: Optional[Span] = None,
+              at: Optional[float] = None, track: str = "main",
+              **attrs: object) -> Span:
+        if parent is None:
+            parent = _current_span.get()
+        span = Span(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start_s=self._clock() if at is None else float(at),
+            track=track,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.started += 1
+        return span
+
+    def finish(self, span: Span, *, at: Optional[float] = None,
+               **attrs: object) -> Span:
+        if span.end_s is not None:
+            return span
+        span.end_s = self._clock() if at is None else float(at)
+        if attrs:
+            span.attrs.update(attrs)
+        if len(self.spans) == self.max_spans:
+            self.dropped += 1  # deque evicts the oldest span below
+        self.spans.append(span)
+        return span
+
+    # -- context-manager form (sync code paths) ------------------------
+    @contextmanager
+    def span(self, name: str, *, track: str = "main",
+             **attrs: object) -> Iterator[Span]:
+        opened = self.start(name, track=track, **attrs)
+        token = _current_span.set(opened)
+        try:
+            yield opened
+        finally:
+            _current_span.reset(token)
+            self.finish(opened)
+
+    # -- queries -------------------------------------------------------
+    def top(self, n: int = 10) -> list[Span]:
+        """The ``n`` longest finished spans, longest first."""
+        return sorted(self.spans, key=lambda s: (-s.duration_s, s.span_id))[:n]
+
+    # -- export --------------------------------------------------------
+    def to_ndjson_lines(self) -> list[str]:
+        return [json.dumps(span.to_json_obj(), sort_keys=True)
+                for span in self.spans]
+
+    def write_ndjson(self, path) -> int:
+        lines = self.to_ndjson_lines()
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace-event JSON (``ph:"X"`` complete events, µs)."""
+        tids: dict[str, int] = {}
+        events: list[dict] = []
+        for span in self.spans:
+            tid = tids.setdefault(span.track, len(tids))
+            args = _json_safe(span.attrs)
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            events.append({
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": max(0.0, span.duration_s) * 1e6,
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            })
+        meta = [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+             "args": {"name": track}}
+            for track, tid in sorted(tids.items(), key=lambda kv: kv[1])
+        ]
+        return {"traceEvents": meta + events,
+                "displayTimeUnit": "ms",
+                "otherData": {"dropped_spans": self.dropped}}
+
+    def write_chrome_trace(self, path) -> int:
+        trace = self.to_chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, sort_keys=True)
+        return sum(1 for ev in trace["traceEvents"] if ev["ph"] == "X")

@@ -249,9 +249,39 @@ class ClusterSim:
         limit: Optional[int] = None,
         accumulator: Optional[SchedAccumulator] = None,
         records: Optional[list[JobRecord]] = None,
+        registry=None,
+        tracer=None,
     ) -> None:
         self.spec = spec
         self.bus = bus if bus is not None else TelemetryBus()
+        #: Optional observability hooks (duck-typed ``repro.obs``
+        #: objects; this module never imports the package).  Metrics use
+        #: wall clocks only for the policy's own compute time; *span
+        #: timestamps are sim-time* (explicit ``at=engine.now``), so a
+        #: Chrome trace of a campaign shows the simulated timeline and
+        #: enabling tracing cannot perturb the physics.
+        self.tracer = tracer
+        self._m_dispatched = self._m_shed = self._m_select = None
+        self._m_clamp = None
+        if registry is not None:
+            self._m_dispatched = registry.counter(
+                "sched_jobs_dispatched_total",
+                "Jobs placed onto nodes, by policy.", labels=("policy",))
+            self._m_shed = registry.counter(
+                "sched_jobs_shed_total",
+                "Arrivals rejected by the full admission queue.")
+            self._m_select = registry.histogram(
+                "sched_policy_select_seconds",
+                "Wall seconds per placement-policy select() call.",
+                labels=("policy",))
+            self._m_clamp = registry.counter(
+                "sched_clamp_rounds_total",
+                "Coordinator rounds with at least one node clamped "
+                "below its full thread count.")
+            self._m_dispatched.inc(0.0, policy=spec.policy)
+            self._m_shed.inc(0.0)
+            self._m_clamp.inc(0.0)
+        self._job_spans: dict[str, object] = {}
         self.engine = engine if engine is not None else Engine()
         self.policy: PlacementPolicy = make_policy(spec.policy, model=spec.predictor)
         if limit is None:
@@ -350,6 +380,11 @@ class ClusterSim:
                 self.coordinator.samples, spec.budget_w, nodes=len(self.nodes)
             )
         )
+        if self._m_clamp is not None:
+            for sample in self.coordinator.samples:
+                if any(limit < spec.node_threads
+                       for limit in sample.clamp_limits.values()):
+                    self._m_clamp.inc()
         self.accumulator.add_segment(
             peak_power_w=self.coordinator.peak_cluster_power_w,
             peak_queue_depth=self.queue.peak_depth,
@@ -396,6 +431,8 @@ class ClusterSim:
             ))
             if not self.queue.offer(job):
                 self.accumulator.add_rejection(job.index)
+                if self._m_shed is not None:
+                    self._m_shed.inc()
                 self.bus.emit(stel.JobRejected(
                     index=job.index, app=job.app,
                     queue_depth=self.queue.depth, time_s=self.engine.now,
@@ -407,6 +444,11 @@ class ClusterSim:
         return fire
 
     def _job_finished(self, node: SchedNode, record: JobRecord) -> None:
+        if self.tracer is not None:
+            span = self._job_spans.pop(node.name, None)
+            if span is not None:
+                self.tracer.finish(span, at=self.engine.now,
+                                   energy_j=record.energy_j)
         self.accumulator.add_job(record)
         if self.spec.retain_jobs:
             self.records.append(record)
@@ -453,7 +495,13 @@ class ClusterSim:
         by_name = {node.name: node for node in self.nodes}
         while len(self.queue) > 0:
             views, state = self._snapshot()
-            pick = self.policy.select(self.queue.jobs, views, state)
+            if self._m_select is not None:
+                t0 = time.perf_counter()
+                pick = self.policy.select(self.queue.jobs, views, state)
+                self._m_select.observe(time.perf_counter() - t0,
+                                       policy=self.spec.policy)
+            else:
+                pick = self.policy.select(self.queue.jobs, views, state)
             if pick is None:
                 return
             position, node_name = pick
@@ -466,6 +514,14 @@ class ClusterSim:
                 )
             job = self.queue.take(position)
             node.start_job(job)
+            if self._m_dispatched is not None:
+                self._m_dispatched.inc(policy=self.spec.policy)
+            if self.tracer is not None:
+                self._job_spans[node.name] = self.tracer.start(
+                    f"{job.app}:j{job.index}", at=self.engine.now,
+                    track=node.name, threads=job.threads,
+                    policy=self.spec.policy,
+                    wait_s=self.engine.now - job.submit_s)
             self.bus.emit(stel.JobPlaced(
                 index=job.index, app=job.app, node=node.name,
                 policy=self.spec.policy,
@@ -480,12 +536,17 @@ def run_sched(
     bus: Optional[TelemetryBus] = None,
     engine: Optional[Engine] = None,
     checkpoint_dir=None,
+    registry=None,
+    tracer=None,
 ) -> SchedResult:
     """Run a spec via whichever execution path it selects.
 
     ``checkpoint_dir`` (a path) enables atomic between-segment
     checkpoints and resume for specs with ``segment_jobs`` set; it is an
     execution detail (where on disk), never part of the spec digest.
+    ``registry``/``tracer`` attach observability (full simulation path
+    only — the analytic and segmented paths build their own sims); like
+    ``bus``, they are execution details that never reach the digest.
     """
     if spec.execution == "analytic":
         from repro.sched.analytic import run_analytic
@@ -495,4 +556,5 @@ def run_sched(
         from repro.sched.checkpoint import run_segmented
 
         return run_segmented(spec, bus=bus, checkpoint_dir=checkpoint_dir)
-    return ClusterSim(spec, bus=bus, engine=engine).run()
+    return ClusterSim(spec, bus=bus, engine=engine, registry=registry,
+                      tracer=tracer).run()

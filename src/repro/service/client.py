@@ -107,6 +107,10 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         return self._checked(self.request({"op": "stats"}))
 
+    def metrics(self) -> dict[str, Any]:
+        """Observability frame: Prometheus text, snapshot JSON, top spans."""
+        return self._checked(self.request({"op": "metrics"}))
+
     def shutdown(self, *, drain: bool = True) -> dict[str, Any]:
         return self._checked(
             self.request({"op": "shutdown", "drain": drain}))

@@ -40,9 +40,15 @@ TERMINAL_EVENTS = frozenset({"finished", "failed", "dead", "cancelled"})
 class Journal:
     """Append-only, crash-tolerant JSONL journal with single-writer lock."""
 
-    def __init__(self, path: Union[str, Path], *, fsync: bool = False) -> None:
+    def __init__(self, path: Union[str, Path], *, fsync: bool = False,
+                 observe=None) -> None:
         self.path = Path(path)
         self.fsync = fsync
+        #: Optional latency hook: called with the wall seconds each
+        #: ``append`` spent writing/flushing/fsyncing.  Lets the service
+        #: export journal durability latency without the journal knowing
+        #: anything about metrics.
+        self.observe = observe
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("a", encoding="utf-8")
         if fcntl is not None:
@@ -59,11 +65,14 @@ class Journal:
     # ------------------------------------------------------------------
     def append(self, ev: str, **fields: Any) -> None:
         """Durably record one event (flushed; fsync'd when configured)."""
+        started = time.perf_counter()
         entry = {"ev": ev, "t": time.time(), **fields}
         self._fh.write(json.dumps(entry, sort_keys=True) + "\n")
         self._fh.flush()
         if self.fsync:
             os.fsync(self._fh.fileno())
+        if self.observe is not None:
+            self.observe(time.perf_counter() - started)
 
     def close(self) -> None:
         if not self._fh.closed:

@@ -42,7 +42,7 @@ MAX_FRAME_BYTES = 128 * 1024
 #: Requests the server understands.
 OPS = frozenset(
     {"submit", "status", "result", "cancel", "stream", "stats",
-     "shutdown", "ping"}
+     "metrics", "shutdown", "ping"}
 )
 
 Spec = Union[RunSpec, SchedSpec, CoschedSpec]

@@ -41,6 +41,12 @@ from typing import Any, Optional
 from repro.errors import AdmissionError, ProtocolError, ServiceError
 from repro.harness.cache import ResultCache
 from repro.harness.telemetry import TelemetryBus
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+    SpanRecorder,
+    to_prometheus,
+)
 from repro.service import telemetry as stel
 from repro.service.jobs import Job, JobState, result_summary
 from repro.service.journal import Journal
@@ -91,6 +97,23 @@ class ServiceConfig:
     #: How long a drain waits for accepted work before handing the
     #: remainder to the journal.
     drain_grace_s: float = 30.0
+    #: Optional HTTP scrape port: GET anything on it returns the
+    #: Prometheus text exposition (0: ephemeral; None: no HTTP listener —
+    #: the NDJSON ``metrics`` frame is always available).
+    metrics_port: Optional[int] = None
+
+
+#: Lifecycle/admission event names (label values of
+#: ``service_events_total`` and keys of the back-compat ``counters``
+#: mapping).  Declared up front so every series exists — and exports as
+#: an explicit zero — before the first event fires.
+EVENT_KEYS = (
+    "accepted", "attached", "cache_hits", "executed",
+    "shed_queue", "shed_quota", "shed_draining",
+    "retries", "timeouts", "crashes", "requeues",
+    "failed", "dead", "cancelled", "recovered",
+    "stream_dropped",
+)
 
 
 class _StreamFanout:
@@ -112,9 +135,12 @@ class ExperimentService:
         *,
         bus: Optional[TelemetryBus] = None,
         worker_entry=None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
         self.bus = bus if bus is not None else TelemetryBus()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = SpanRecorder(max_spans=4096)
         self.cache = (ResultCache(root=config.cache_root)
                       if config.cache_root else None)
         self.queue = AdmissionQueue(config.queue_depth,
@@ -142,15 +168,51 @@ class ExperimentService:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._started_at = 0.0
         self._fanout = _StreamFanout(self)
-        self.counters: dict[str, int] = {
-            key: 0 for key in (
-                "accepted", "attached", "cache_hits", "executed",
-                "shed_queue", "shed_quota", "shed_draining",
-                "retries", "timeouts", "crashes", "requeues",
-                "failed", "dead", "cancelled", "recovered",
-                "stream_dropped",
-            )
-        }
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        # Instruments: the registry is the single source of truth for
+        # operational state; the legacy ``counters`` mapping (and the
+        # ``stats`` frame built on it) is a read-only view of
+        # ``service_events_total``.
+        reg = self.registry
+        self._events = reg.counter(
+            "service_events_total",
+            "Job lifecycle and admission events, by kind.",
+            labels=("event",))
+        for key in EVENT_KEYS:
+            self._events.inc(0.0, event=key)
+        self._frames = reg.counter(
+            "service_frames_total",
+            "Protocol frames handled, by op (invalid: protocol errors).",
+            labels=("op",))
+        self._frame_seconds = reg.histogram(
+            "service_frame_seconds",
+            "Frame handling latency in seconds, by op.",
+            labels=("op",))
+        self._queue_depth_gauge = reg.gauge(
+            "service_queue_depth", "Jobs waiting in the admission queue.",
+            agg="max")
+        self._in_flight_gauge = reg.gauge(
+            "service_in_flight", "Jobs occupying worker slots.", agg="max")
+        self._streams_gauge = reg.gauge(
+            "service_streams_active", "Connected telemetry-stream clients.",
+            agg="max")
+        for gauge in (self._queue_depth_gauge, self._in_flight_gauge,
+                      self._streams_gauge):
+            gauge.set(0.0)
+        self._cache_requests = reg.counter(
+            "service_cache_requests_total",
+            "Result-cache lookups on the admission path, by outcome.",
+            labels=("result",))
+        self._cache_requests.inc(0.0, result="hit")
+        self._cache_requests.inc(0.0, result="miss")
+        self._stream_drops = reg.counter(
+            "service_stream_dropped_total",
+            "Telemetry events dropped by slow streaming clients "
+            "(drop-oldest buffer overflow).")
+        self._journal_seconds = reg.histogram(
+            "service_journal_append_seconds",
+            "Journal append latency in seconds (write+flush, fsync "
+            "included when enabled).")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -160,6 +222,22 @@ class ExperimentService:
         if self._server is None or not self._server.sockets:
             raise ServiceError("service is not listening")
         return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """Resolved HTTP scrape port (None when not configured)."""
+        if self._metrics_server is None or not self._metrics_server.sockets:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Legacy event-counter view, read from the metrics registry."""
+        return {key: int(self._events.value(event=key))
+                for key in EVENT_KEYS}
+
+    def _count(self, event: str) -> None:
+        self._events.inc(event=event)
 
     async def start(self) -> None:
         self._loop = asyncio.get_running_loop()
@@ -171,12 +249,17 @@ class ExperimentService:
         if self.config.journal_path:
             plan = Journal.recover(self.config.journal_path)
             self.journal = Journal(self.config.journal_path,
-                                   fsync=self.config.journal_fsync)
+                                   fsync=self.config.journal_fsync,
+                                   observe=self._journal_seconds.observe)
             self._seq = max(self._seq, plan.next_seq)
         self._server = await asyncio.start_server(
             self._handle_conn, self.config.host, self.config.port,
             limit=MAX_FRAME_BYTES + 1024,
         )
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_scrape, self.config.host,
+                self.config.metrics_port)
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
         if plan is not None and plan.pending:
             recovered = self._recover(plan)
@@ -212,7 +295,7 @@ class ExperimentService:
                       client=entry["client"],
                       subscribers=list(entry["clients"]))
             self._track(job)
-            self.counters["recovered"] += 1
+            self._count("recovered")
             self._journal("recovered", job=job)
             if self._complete_from_cache(job):
                 cache_hits += 1
@@ -254,6 +337,10 @@ class ExperimentService:
         if self._server is not None:
             with contextlib.suppress(Exception):
                 await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            with contextlib.suppress(Exception):
+                await self._metrics_server.wait_closed()
         self._journal_meta("service-stop")
         self.bus.emit(stel.ServiceStopped(
             accepted=self.counters["accepted"],
@@ -300,6 +387,8 @@ class ExperimentService:
         self._done[job.id] = asyncio.Event()
 
     def _gauge(self) -> None:
+        self._queue_depth_gauge.set(float(len(self.queue)))
+        self._in_flight_gauge.set(float(self._busy))
         self.bus.emit(stel.QueueDepthChanged(
             depth=len(self.queue), in_flight=self._busy))
 
@@ -322,13 +411,15 @@ class ExperimentService:
         if self.cache is None:
             return False
         record = self.cache.get(job.spec)
+        self._cache_requests.inc(result="hit" if record is not None
+                                 else "miss")
         if record is None:
             return False
         job.source = "cache"
         job.result = result_summary(record)
         self._journal("finished", job=job, source="cache")
         self._finalize(job, JobState.DONE)
-        self.counters["cache_hits"] += 1
+        self._count("cache_hits")
         self.bus.emit(stel.JobCacheHit(
             job=job.id, digest=job.digest, client=job.client))
         return True
@@ -341,7 +432,7 @@ class ExperimentService:
         kind = frame["spec"].get("kind", "run")
         client = frame.get("client") or peer
         if self._draining:
-            self.counters["shed_draining"] += 1
+            self._count("shed_draining")
             self.bus.emit(stel.JobShed(client=client, reason="draining",
                                        retry_after_s=0.0))
             return error_response("submit", "service is draining",
@@ -357,7 +448,7 @@ class ExperimentService:
                 known = remembered
         if known is not None:
             known.subscribers.append(client)
-            self.counters["attached"] += 1
+            self._count("attached")
             self._journal("attached", job=known, client=client)
             self.bus.emit(stel.JobAttached(
                 job=known.id, digest=known.digest, client=client,
@@ -377,7 +468,7 @@ class ExperimentService:
         wait_s = self.quotas.admit(client)
         if wait_s > 0.0:
             self._forget(job)
-            self.counters["shed_quota"] += 1
+            self._count("shed_quota")
             self._journal("cancelled", job=job, reason="quota")
             self.bus.emit(stel.JobShed(client=client, reason="quota",
                                        retry_after_s=wait_s))
@@ -387,13 +478,13 @@ class ExperimentService:
             self.queue.push(job)
         except AdmissionError as exc:
             self._forget(job)
-            self.counters["shed_queue"] += 1
+            self._count("shed_queue")
             self._journal("cancelled", job=job, reason="queue-full")
             self.bus.emit(stel.JobShed(client=client, reason=exc.reason,
                                        retry_after_s=exc.retry_after_s))
             return error_response("submit", str(exc), reason=exc.reason,
                                   retry_after_s=exc.retry_after_s)
-        self.counters["accepted"] += 1
+        self._count("accepted")
         self.bus.emit(stel.JobAccepted(
             job=job.id, digest=job.digest, kind=kind, client=client,
             queue_depth=len(self.queue)))
@@ -442,12 +533,16 @@ class ExperimentService:
                 def _on_start(pid: int, job=job) -> None:
                     loop.call_soon_threadsafe(self._note_started, job, pid)
 
+                span = self.tracer.start(
+                    f"job:{job.kind}", track="workers", job=job.id,
+                    digest=job.digest[:12], attempt=job.attempts)
                 outcome = await loop.run_in_executor(
                     self._threads, lambda: self.runner.run(
                         job.id, job.spec, on_start=_on_start))
+                self.tracer.finish(span, outcome=outcome.kind)
                 if job.cancel_requested:
                     job.error = "cancelled while running"
-                    self.counters["cancelled"] += 1
+                    self._count("cancelled")
                     self._journal("cancelled", job=job, reason="client")
                     self.bus.emit(stel.JobCancelled(job=job.id,
                                                     digest=job.digest))
@@ -457,7 +552,7 @@ class ExperimentService:
                     job.source = "executed"
                     job.result = result_summary(outcome.record)
                     job.error = None
-                    self.counters["executed"] += 1
+                    self._count("executed")
                     self._journal("finished", job=job, source="executed")
                     self.bus.emit(stel.JobFinished(
                         job=job.id, digest=job.digest,
@@ -468,7 +563,7 @@ class ExperimentService:
                     self._finalize(job, JobState.DONE)
                     return
                 if outcome.kind == "crash":
-                    self.counters["crashes"] += 1
+                    self._count("crashes")
                     self.bus.emit(stel.WorkerCrashDetected(
                         job=job.id, digest=job.digest, pid=outcome.pid))
                     job.redeliveries += 1
@@ -476,7 +571,7 @@ class ExperimentService:
                     if job.redeliveries > config.max_redeliveries:
                         # Poison quarantine: this spec keeps killing its
                         # workers; stop redelivering it.
-                        self.counters["dead"] += 1
+                        self._count("dead")
                         self._journal("dead", job=job, reason="poison",
                                       error=outcome.error)
                         self.bus.emit(stel.JobDead(
@@ -485,7 +580,7 @@ class ExperimentService:
                             redeliveries=job.redeliveries))
                         self._finalize(job, JobState.DEAD)
                         return
-                    self.counters["requeues"] += 1
+                    self._count("requeues")
                     job.state = JobState.QUEUED
                     self._journal("requeued", job=job,
                                   redelivery=job.redeliveries)
@@ -501,12 +596,12 @@ class ExperimentService:
                 job.failures += 1
                 job.error = outcome.error
                 if outcome.kind == "timeout":
-                    self.counters["timeouts"] += 1
+                    self._count("timeouts")
                 if job.failures <= config.retries:
                     delay = min(
                         config.backoff_base_s * (2 ** (job.failures - 1)),
                         config.backoff_max_s)
-                    self.counters["retries"] += 1
+                    self._count("retries")
                     self._journal("retry", job=job, attempt=job.attempts,
                                   delay_s=delay, error=outcome.error)
                     self.bus.emit(stel.JobRetried(
@@ -516,7 +611,7 @@ class ExperimentService:
                     continue
                 if outcome.kind == "timeout":
                     # Dead-letter: the spec never fits its deadline.
-                    self.counters["dead"] += 1
+                    self._count("dead")
                     self._journal("dead", job=job, reason="timeout",
                                   error=outcome.error)
                     self.bus.emit(stel.JobDead(
@@ -525,7 +620,7 @@ class ExperimentService:
                         redeliveries=job.redeliveries))
                     self._finalize(job, JobState.DEAD)
                     return
-                self.counters["failed"] += 1
+                self._count("failed")
                 self._journal("failed", job=job, error=outcome.error)
                 self.bus.emit(stel.JobFailed(
                     job=job.id, digest=job.digest, attempts=job.attempts,
@@ -555,6 +650,7 @@ class ExperimentService:
                     line = await reader.readline()
                 except (ValueError, asyncio.LimitOverrunError):
                     # Oversized frame: framing is lost, shed and close.
+                    self._frames.inc(op="invalid")
                     await self._send(writer, error_response(
                         None, "frame exceeds size limit",
                         reason="oversized"))
@@ -564,10 +660,16 @@ class ExperimentService:
                 try:
                     frame = validate_request(decode_frame(line))
                 except ProtocolError as exc:
+                    self._frames.inc(op="invalid")
                     await self._send(writer, error_response(
                         None, str(exc), reason="protocol"))
                     continue
+                op = frame["op"]
+                started = time.perf_counter()
                 response = await self._dispatch(frame, peer)
+                self._frames.inc(op=op)
+                self._frame_seconds.observe(
+                    time.perf_counter() - started, op=op)
                 await self._send(writer, response)
                 if frame["op"] == "stream" and stream_id is None:
                     # Subscribe only after the ack is on the wire, so the
@@ -580,6 +682,7 @@ class ExperimentService:
         finally:
             if stream_id is not None:
                 self._streams.pop(stream_id, None)
+                self._streams_gauge.set(float(len(self._streams)))
             if sender is not None:
                 sender.cancel()
                 with contextlib.suppress(asyncio.CancelledError):
@@ -600,6 +703,8 @@ class ExperimentService:
                 return error_response("submit", str(exc), reason="protocol")
         if op == "stats":
             return self._stats()
+        if op == "metrics":
+            return self._metrics()
         if op == "stream":
             return {"ok": True, "op": "stream",
                     "buffer": self.config.stream_buffer}
@@ -638,7 +743,7 @@ class ExperimentService:
                     **job.snapshot()}
         if self.queue.remove(job):
             job.error = "cancelled while queued"
-            self.counters["cancelled"] += 1
+            self._count("cancelled")
             self._journal("cancelled", job=job, reason="client")
             self.bus.emit(stel.JobCancelled(job=job.id, digest=job.digest))
             self._finalize(job, JobState.CANCELLED)
@@ -674,6 +779,42 @@ class ExperimentService:
             "cache": (self.cache.info() if self.cache is not None else None),
         }
 
+    def _metrics(self) -> dict[str, Any]:
+        """Observability frame: exposition + snapshot JSON + top spans."""
+        snapshot = self.registry.snapshot()
+        return {
+            "ok": True,
+            "op": "metrics",
+            "prometheus": to_prometheus(snapshot),
+            "snapshot": snapshot.to_json_obj(),
+            "spans": [span.to_json_obj() for span in self.tracer.top(20)],
+            "dropped_spans": self.tracer.dropped,
+        }
+
+    async def _handle_scrape(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """Minimal HTTP/1.1 GET handler for Prometheus scrapers."""
+        try:
+            while True:  # consume the request head; the path is ignored
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+            body = to_prometheus(self.registry.snapshot()).encode("utf-8")
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                f"Content-Type: {PROMETHEUS_CONTENT_TYPE}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # scraper went away; nothing to salvage
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
     # ------------------------------------------------------------------
     # streaming
     # ------------------------------------------------------------------
@@ -685,6 +826,7 @@ class ExperimentService:
         queue: asyncio.Queue = asyncio.Queue(
             maxsize=max(1, self.config.stream_buffer))
         self._streams[stream_id] = queue
+        self._streams_gauge.set(float(len(self._streams)))
         sender = asyncio.ensure_future(self._stream_sender(queue, writer))
         return stream_id, sender
 
@@ -697,7 +839,8 @@ class ExperimentService:
                 # service on a client's socket.
                 with contextlib.suppress(asyncio.QueueEmpty):
                     queue.get_nowait()
-                self.counters["stream_dropped"] += 1
+                self._count("stream_dropped")
+                self._stream_drops.inc()
             queue.put_nowait(frame)
 
     async def _stream_sender(self, queue: asyncio.Queue,
@@ -735,6 +878,9 @@ async def _serve(config: ServiceConfig, bus: TelemetryBus) -> None:
     await service.start()
     _install_signal_handlers(asyncio.get_running_loop(), service)
     print(f"service listening on {config.host}:{service.port}", flush=True)
+    if service.metrics_port is not None:
+        print(f"metrics exposition on http://{config.host}:"
+              f"{service.metrics_port}/metrics", flush=True)
     await service.serve_forever()
 
 
@@ -760,6 +906,10 @@ def add_serve_arguments(parser) -> None:
                              "recovery)")
     parser.add_argument("--fsync", action="store_true",
                         help="fsync every journal append")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve the Prometheus text exposition over "
+                             "HTTP on PORT (0: ephemeral; default: off)")
     parser.add_argument("--events", default=None, metavar="FILE",
                         help="append service telemetry to FILE (JSONL)")
     parser.add_argument("--quiet", action="store_true",
@@ -796,6 +946,7 @@ def serve_from_args(args) -> int:
         quota_rate=args.quota_rate, quota_burst=args.quota_burst,
         cache_root=cache_root, journal_path=args.journal,
         journal_fsync=args.fsync,
+        metrics_port=getattr(args, "metrics_port", None),
     )
     try:
         asyncio.run(_serve(config, bus))

@@ -28,6 +28,10 @@ This package checks it continuously:
   profiling sweep's artifacts (co-run slowdowns >= 1, solo identity
   exact, predictor costs within the roofline envelope) behind the
   ``repro validate`` cosched section;
+* :mod:`~repro.validate.obs` — observability-book invariants over
+  :mod:`repro.obs` metrics snapshots (histogram count identities,
+  counter signs, self-measurement coherence, merge-with-empty
+  identity), run by the obs smoke and tripwire tests;
 * :mod:`~repro.validate.scale` — million-job-scale invariants pinning
   every streaming substitution to its exact counterpart: quantile-sketch
   tails within the guaranteed error bound, streamed-vs-retained fold
@@ -54,6 +58,7 @@ from repro.validate.cosched import (
     run_cosched_validation,
 )
 from repro.validate.metering import check_overhead_monotone
+from repro.validate.obs import check_obs, check_snapshot as check_obs_snapshot
 from repro.validate.records import check_record
 from repro.validate.scale import (
     ScaleValidationResult,
@@ -88,6 +93,8 @@ __all__ = [
     "check_cosched",
     "check_cosched_model",
     "check_cosched_store",
+    "check_obs",
+    "check_obs_snapshot",
     "check_overhead_monotone",
     "check_record",
     "check_resume_identity",

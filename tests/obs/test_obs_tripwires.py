@@ -1,0 +1,83 @@
+"""validate.obs tripwires: every invariant must catch its corruption."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.validate.obs import check_snapshot
+
+pytestmark = [pytest.mark.obs, pytest.mark.validate]
+
+
+@pytest.fixture
+def snapshot():
+    reg = MetricsRegistry()
+    reg.counter("jobs_total", "jobs", labels=("kind",)).inc(3, kind="run")
+    h = reg.histogram("lat_seconds", "latency")
+    for v in (0.0, 0.001, 0.5, 2.0):
+        h.observe(v)
+    return reg.snapshot()
+
+
+def _invariants(snap):
+    return {v.invariant for v in check_snapshot(snap)}
+
+
+def test_clean_snapshot_has_no_violations(snapshot):
+    assert check_snapshot(snapshot) == []
+
+
+def test_all_violations_are_strict_ledger_category(snapshot):
+    snapshot.instruments["jobs_total"].series[("run",)] = -1.0
+    violations = check_snapshot(snapshot)
+    assert violations
+    assert all(v.category == "ledger" for v in violations), \
+        "no fault profile can explain corrupted observability books"
+
+
+def test_negative_counter_trips(snapshot):
+    snapshot.instruments["jobs_total"].series[("run",)] = -0.5
+    assert "obs-counter-sign" in _invariants(snapshot)
+
+
+def test_nan_counter_trips(snapshot):
+    snapshot.instruments["jobs_total"].series[("run",)] = float("nan")
+    assert "obs-counter-sign" in _invariants(snapshot)
+
+
+def test_sketch_count_mismatch_trips(snapshot):
+    snapshot.instruments["lat_seconds"].series[()].count += 2
+    assert "obs-histogram-count" in _invariants(snapshot)
+
+
+def test_sketch_zeros_mismatch_trips(snapshot):
+    snapshot.instruments["lat_seconds"].series[()].zeros += 1
+    assert "obs-histogram-count" in _invariants(snapshot)
+
+
+def test_inverted_extrema_trip(snapshot):
+    sketch = snapshot.instruments["lat_seconds"].series[()]
+    sketch.min_value, sketch.max_value = sketch.max_value, sketch.min_value
+    assert "obs-histogram-extrema" in _invariants(snapshot)
+
+
+def test_total_outside_extrema_envelope_trips(snapshot):
+    snapshot.instruments["lat_seconds"].series[()].total *= 100.0
+    assert "obs-histogram-extrema" in _invariants(snapshot)
+
+
+def test_books_incoherence_trips(snapshot):
+    books = snapshot.instruments["obs_registry_timed_ops_total"]
+    ops = snapshot.instruments["obs_registry_ops_total"].series[()]
+    books.series[()] = ops + 1.0
+    assert "obs-books-coherence" in _invariants(snapshot)
+
+
+def test_merge_identity_check_runs_on_clean_snapshot(snapshot):
+    # the identity check exercises merge + canonical on every audit;
+    # a clean snapshot must sail through it (covered by the clean test)
+    # and a doctored series count must surface somewhere, not crash.
+    snapshot.instruments["lat_seconds"].series[()].buckets[9999] = 5
+    assert _invariants(snapshot) <= {
+        "obs-histogram-count", "obs-histogram-extrema",
+        "obs-merge-identity"}
+    assert _invariants(snapshot)

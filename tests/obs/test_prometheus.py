@@ -1,0 +1,164 @@
+"""Prometheus text-exposition conformance and round-trip properties."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    parse_prometheus,
+    to_prometheus,
+)
+
+pytestmark = pytest.mark.obs
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+
+# ----------------------------------------------------------- conformance
+def _exposition(build):
+    reg = MetricsRegistry()
+    build(reg)
+    return to_prometheus(reg.snapshot())
+
+
+def test_counter_exposition_shape():
+    text = _exposition(
+        lambda reg: reg.counter("jobs_total", "jobs processed").inc(3))
+    assert "# HELP jobs_total jobs processed\n" in text
+    assert "# TYPE jobs_total counter\n" in text
+    assert "\njobs_total 3\n" in text
+    assert text.endswith("\n")
+
+
+def test_histogram_exports_as_summary_with_quantiles():
+    def build(reg):
+        h = reg.histogram("lat_seconds", "latency")
+        for ms in range(1, 101):
+            h.observe(ms / 1000.0)
+
+    text = _exposition(build)
+    assert "# TYPE lat_seconds summary\n" in text
+    assert 'lat_seconds{quantile="0.5"}' in text
+    assert 'lat_seconds{quantile="0.99"}' in text
+    assert "lat_seconds_count 100\n" in text
+    parsed = parse_prometheus(text)
+    assert parsed.value("lat_seconds_sum") == pytest.approx(5.05, rel=1e-9)
+
+
+def test_label_values_are_escaped():
+    def build(reg):
+        c = reg.counter("events_total", "events", labels=("name",))
+        c.inc(name='tricky"value')
+        c.inc(name="back\\slash")
+        c.inc(name="new\nline")
+
+    text = _exposition(build)
+    assert r'name="tricky\"value"' in text
+    assert r'name="back\\slash"' in text
+    assert r'name="new\nline"' in text
+    parsed = parse_prometheus(text)
+    for value in ('tricky"value', "back\\slash", "new\nline"):
+        assert parsed.value("events_total", name=value) == 1.0
+
+
+def test_help_text_is_escaped():
+    text = _exposition(
+        lambda reg: reg.counter("x_total", "first\nsecond \\ end").inc())
+    assert "# HELP x_total first\\nsecond \\\\ end\n" in text
+    assert parse_prometheus(text).helps["x_total"] == "first\nsecond \\ end"
+
+
+def test_families_and_series_are_sorted():
+    def build(reg):
+        c = reg.counter("zz_total", "z", labels=("op",))
+        c.inc(op="b")
+        c.inc(op="a")
+        reg.counter("aa_total", "a").inc()
+
+    text = _exposition(build)
+    assert text.index("aa_total") < text.index("zz_total")
+    assert text.index('op="a"') < text.index('op="b"')
+
+
+def test_every_family_has_help_and_type_exactly_once():
+    def build(reg):
+        reg.counter("c_total", "c").inc()
+        reg.gauge("g", "g").set(1.0)
+        reg.histogram("h_seconds", "h").observe(0.5)
+
+    text = _exposition(build)
+    for family in ("c_total", "g", "h_seconds"):
+        assert text.count(f"# HELP {family} ") == 1
+        assert text.count(f"# TYPE {family} ") == 1
+    parsed = parse_prometheus(text)
+    assert parsed.types["c_total"] == "counter"
+    assert parsed.types["g"] == "gauge"
+    assert parsed.types["h_seconds"] == "summary"
+
+
+# ------------------------------------------------------------ properties
+label_values = st.text(
+    alphabet=st.sampled_from(list("ab \\\"\n\tµ€")), min_size=0, max_size=8)
+finite_amounts = st.floats(min_value=0.0, max_value=1e12,
+                           allow_nan=False, allow_infinity=False)
+
+
+@given(series=st.dictionaries(label_values, finite_amounts,
+                              min_size=1, max_size=6))
+def test_roundtrip_snapshot_to_exposition_to_parse(series):
+    reg = MetricsRegistry()
+    c = reg.counter("events_total", "events", labels=("name",))
+    g = reg.gauge("level", "level", labels=("name",))
+    for name, amount in series.items():
+        c.inc(amount, name=name)
+        g.set(-amount, name=name)
+    parsed = parse_prometheus(to_prometheus(reg.snapshot()))
+    for name, amount in series.items():
+        # repr round-trip: parse(str(x)) == x exactly for finite floats
+        assert parsed.value("events_total", name=name) == amount
+        assert parsed.value("level", name=name) == -amount
+
+
+#: Exactly-representable observations (multiples of 1/64) keep float
+#: sums associative, so snapshot equality after merge is exact.
+exact_obs = st.integers(min_value=0, max_value=2 ** 20).map(
+    lambda n: n / 64.0)
+hist_batches = st.lists(
+    st.tuples(st.sampled_from(["a", "b", "c"]), exact_obs),
+    min_size=0, max_size=12)
+
+
+def _hist_snapshot(batch):
+    reg = MetricsRegistry()
+    h = reg.histogram("lat_seconds", "latency", labels=("op",))
+    for op, value in batch:
+        h.observe(value, op=op)
+    snap = reg.snapshot()
+    # Strip the self-measurement books: their overhead totals are
+    # wall-clock measurements, legitimately non-deterministic.
+    for name in [n for n in snap.instruments if n.startswith("obs_registry_")]:
+        del snap.instruments[name]
+    return snap
+
+
+@given(a=hist_batches, b=hist_batches, c=hist_batches)
+def test_labeled_histogram_merge_is_associative(a, b, c):
+    sa, sb, sc = _hist_snapshot(a), _hist_snapshot(b), _hist_snapshot(c)
+    left = sa.merge(sb).merge(sc)
+    right = sa.merge(sb.merge(sc))
+    assert left.canonical() == right.canonical()
+
+
+@given(a=hist_batches, b=hist_batches)
+def test_merge_equals_recording_everything_in_one_registry(a, b):
+    merged = _hist_snapshot(a).merge(_hist_snapshot(b))
+    combined = _hist_snapshot(a + b)
+    assert merged.canonical() == combined.canonical()
+
+
+@given(a=hist_batches)
+def test_json_roundtrip_is_exact_for_random_histograms(a):
+    snap = _hist_snapshot(a)
+    assert MetricsSnapshot.from_json_obj(
+        snap.to_json_obj()).canonical() == snap.canonical()

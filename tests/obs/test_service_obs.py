@@ -1,0 +1,115 @@
+"""The service's observability surface: metrics frame, scrape, counters."""
+
+import urllib.request
+
+import pytest
+
+from repro.harness.spec import RunSpec
+from repro.obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsSnapshot,
+    parse_prometheus,
+    render_metrics_frame,
+)
+from repro.validate.obs import check_snapshot
+
+from .conftest import entry_crash, entry_ok
+
+pytestmark = [pytest.mark.obs, pytest.mark.service]
+
+SPEC = RunSpec(app="nqueens", threads=2, scale=0.05, seed=7)
+
+
+# ---------------------------------------------------------- metrics frame
+def test_metrics_frame_carries_exposition_snapshot_and_spans(
+        make_service, make_client):
+    svc = make_service(entry=entry_ok)
+    client = make_client(svc)
+    done = client.submit_and_wait(SPEC, timeout_s=30.0)
+    assert done["state"] == "done"
+
+    frame = client.metrics()
+    parsed = parse_prometheus(frame["prometheus"])
+    assert parsed.value("service_frames_total", op="submit") >= 1.0
+    assert parsed.has("service_frame_seconds", op="submit", quantile="0.99")
+    assert parsed.value("service_events_total", event="executed") == 1.0
+    assert parsed.value("service_queue_depth") == 0.0
+    assert parsed.value("obs_registry_ops_total") > 0.0
+
+    snapshot = MetricsSnapshot.from_json_obj(frame["snapshot"])
+    assert not check_snapshot(snapshot)
+    assert any(span["name"] == "job:run" for span in frame["spans"]), \
+        frame["spans"]
+    assert frame["dropped_spans"] == 0
+
+
+def test_metrics_frame_renders_as_a_report(make_service, make_client):
+    svc = make_service(entry=entry_ok)
+    client = make_client(svc)
+    client.submit_and_wait(SPEC, timeout_s=30.0)
+    report = render_metrics_frame(client.metrics())
+    assert "queue depth" in report
+    assert "service_frame_seconds" in report
+    assert "job:run" in report
+
+
+def test_crash_counter_reaches_the_exposition(make_service, make_client):
+    svc = make_service(entry=entry_crash, retries=0, max_redeliveries=1)
+    client = make_client(svc)
+    response = client.submit(SPEC)
+    assert response["ok"]
+    snap = client.result(response["job"], timeout_s=30.0)
+    assert snap["state"] == "dead"
+    parsed = parse_prometheus(client.metrics()["prometheus"])
+    assert parsed.value("service_events_total", event="crashes") >= 1.0
+
+
+# ------------------------------------------------------------ back-compat
+def test_stats_counters_stay_backed_by_the_registry(
+        make_service, make_client):
+    svc = make_service(entry=entry_ok)
+    client = make_client(svc)
+    client.submit_and_wait(SPEC, timeout_s=30.0)
+    counters = client.stats()["counters"]
+    # the legacy dict view and the registry must agree exactly
+    assert counters["accepted"] == 1
+    assert counters["executed"] == 1
+    assert isinstance(counters["crashes"], int)
+    parsed = parse_prometheus(client.metrics()["prometheus"])
+    for event, count in counters.items():
+        assert parsed.value("service_events_total", event=event) == count
+
+
+# ---------------------------------------------------------- stream drops
+def test_stream_drops_are_counted_not_silent(make_service, make_client):
+    svc = make_service(entry=entry_ok, stream_buffer=1)
+    streamer = make_client(svc, name="slow-stream")
+    # subscribe but never read: the per-client queue (size 1) overflows
+    streamer._checked(streamer.request({"op": "stream"}))
+    client = make_client(svc)
+    for seed in range(3):
+        done = client.submit_and_wait(
+            RunSpec(app="nqueens", threads=2, scale=0.05, seed=seed),
+            timeout_s=30.0)
+        assert done["state"] == "done"
+    parsed = parse_prometheus(client.metrics()["prometheus"])
+    assert parsed.value("service_stream_dropped_total") >= 1.0
+    assert parsed.value("service_events_total", event="stream_dropped") >= 1.0
+    assert client.stats()["counters"]["stream_dropped"] >= 1
+
+
+# ----------------------------------------------------------- HTTP scrape
+def test_http_scrape_endpoint_serves_the_exposition(
+        make_service, make_client):
+    svc = make_service(entry=entry_ok, metrics_port=0)
+    client = make_client(svc)
+    client.submit_and_wait(SPEC, timeout_s=30.0)
+    port = svc.service.metrics_port
+    assert port, "ephemeral metrics port should have been resolved"
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/metrics", timeout=10.0) as response:
+        assert response.status == 200
+        assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        body = response.read().decode("utf-8")
+    parsed = parse_prometheus(body)
+    assert parsed.value("service_events_total", event="executed") >= 1.0

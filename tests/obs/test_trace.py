@@ -1,0 +1,139 @@
+"""SpanRecorder: nesting, sim-time spans, bounded buffers, exports."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import SpanRecorder
+
+pytestmark = pytest.mark.obs
+
+
+def _fake_clock(start=0.0, step=1.0):
+    state = {"t": start - step}
+
+    def clock():
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+# --------------------------------------------------------------- nesting
+def test_context_manager_links_parents():
+    rec = SpanRecorder(clock=_fake_clock())
+    with rec.span("outer") as outer:
+        with rec.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    by_name = {s.name: s for s in rec.spans}
+    assert by_name["inner"].end_s is not None
+    assert by_name["outer"].end_s > by_name["inner"].end_s
+
+
+def test_explicit_start_finish_with_default_parent():
+    rec = SpanRecorder(clock=_fake_clock())
+    with rec.span("request") as req:
+        # async-style span opened inside the context inherits it
+        job = rec.start("job")
+    assert job.parent_id == req.span_id
+    rec.finish(job)
+    assert job.duration_s > 0
+
+
+def test_nesting_is_isolated_across_threads():
+    rec = SpanRecorder()
+    seen = {}
+
+    def worker():
+        span = rec.start("thread-root")
+        seen["parent"] = span.parent_id
+        rec.finish(span)
+
+    with rec.span("main-root"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert seen["parent"] is None, \
+        "contextvar nesting must not leak across threads"
+
+
+def test_finish_is_idempotent():
+    rec = SpanRecorder(clock=_fake_clock())
+    span = rec.start("once")
+    rec.finish(span)
+    end = span.end_s
+    rec.finish(span)
+    assert span.end_s == end
+    assert len(rec.spans) == 1
+
+
+# -------------------------------------------------------------- sim time
+def test_explicit_at_timestamps_bypass_the_clock():
+    boom = lambda: (_ for _ in ()).throw(AssertionError("wall clock read"))
+    rec = SpanRecorder(clock=boom)
+    span = rec.start("job", at=10.0)
+    rec.finish(span, at=12.5)
+    assert span.start_s == 10.0 and span.end_s == 12.5
+    assert span.duration_s == 2.5
+
+
+# ------------------------------------------------------------- bounding
+def test_drop_oldest_beyond_max_spans_is_counted():
+    rec = SpanRecorder(clock=_fake_clock(), max_spans=3)
+    for i in range(5):
+        rec.finish(rec.start(f"s{i}"))
+    assert len(rec.spans) == 3
+    assert rec.dropped == 2
+    assert [s.name for s in rec.spans] == ["s2", "s3", "s4"]
+
+
+def test_top_returns_longest_finished_spans():
+    rec = SpanRecorder()
+    for i, dur in enumerate((0.5, 2.0, 1.0)):
+        span = rec.start(f"s{i}", at=0.0)
+        rec.finish(span, at=dur)
+    assert [s.name for s in rec.top(2)] == ["s1", "s2"]
+
+
+# --------------------------------------------------------------- exports
+def test_ndjson_lines_round_trip(tmp_path):
+    rec = SpanRecorder()
+    span = rec.start("job", at=1.0, track="workers", job="j1")
+    rec.finish(span, at=3.0, outcome="done")
+    path = tmp_path / "spans.ndjson"
+    assert rec.write_ndjson(path) == 1
+    obj = json.loads(path.read_text().splitlines()[0])
+    assert obj["name"] == "job"
+    assert obj["dur_s"] == 2.0
+    assert obj["attrs"] == {"job": "j1", "outcome": "done"}
+
+
+def test_chrome_trace_shape(tmp_path):
+    rec = SpanRecorder()
+    with_span = rec.start("outer", at=0.0, track="node0")
+    rec.finish(with_span, at=0.002)
+    child = rec.start("inner", at=0.001, track="node1", parent=with_span)
+    rec.finish(child, at=0.0015)
+    path = tmp_path / "trace.json"
+    assert rec.write_chrome_trace(path) == 2
+    trace = json.loads(path.read_text())
+    xs = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    assert {e["name"] for e in xs} == {"outer", "inner"}
+    outer = next(e for e in xs if e["name"] == "outer")
+    assert outer["ts"] == 0.0 and outer["dur"] == pytest.approx(2000.0)
+    inner = next(e for e in xs if e["name"] == "inner")
+    assert inner["args"]["parent_id"] == with_span.span_id
+    assert {m["args"]["name"] for m in metas} == {"node0", "node1"}, \
+        "each track needs a thread_name metadata event"
+    assert trace["otherData"]["dropped_spans"] == 0
+
+
+def test_non_json_attrs_are_repr_coerced():
+    rec = SpanRecorder()
+    span = rec.start("s", at=0.0, obj=object())
+    rec.finish(span, at=1.0)
+    line = rec.to_ndjson_lines()[0]
+    assert "object object at" in line  # repr(), never a crash
